@@ -1,0 +1,54 @@
+// Figure 10 — SNICIT runtime breakdown on medium-scale DNNs A and D.
+// Paper: (a) DNN A: pre 62.00%, conversion 11.18%, post 22.52%, recovery
+// 4.30%; (b) DNN D: pre 69.33%, conversion 17.32%, post 13.05%, recovery
+// 0.30%. Expected shape: pre-convergence dominates, recovery is small.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "medium_nets.hpp"
+#include "snicit/engine.hpp"
+
+int main() {
+  using namespace snicit;
+  bench::print_title(
+      "Figure 10: SNICIT runtime breakdown on medium DNNs A and D");
+
+  struct PaperRow {
+    const char* id;
+    double pre, conv, post, rec;
+  };
+  const PaperRow paper[] = {
+      {"A", 62.00, 11.18, 22.52, 4.30},
+      {"D", 69.33, 17.32, 13.05, 0.30},
+  };
+
+  auto nets = bench::load_medium_nets();
+
+  std::printf("\n%-3s | %21s | %21s | %21s | %21s\n", "ID",
+              "pre-convergence", "conversion", "post-convergence",
+              "recovery");
+  std::printf("%-3s | %10s %10s | %10s %10s | %10s %10s | %10s %10s\n", "",
+              "measured", "paper", "measured", "paper", "measured", "paper",
+              "measured", "paper");
+
+  for (const auto& p : paper) {
+    for (auto& m : nets) {
+      if (m.id != p.id) continue;
+      core::SnicitEngine engine(
+          bench::medium_snicit_params(m.net.num_layers()));
+      const auto r = bench::run_engine(engine, m.net, m.hidden0, 3);
+      const double total = r.total_ms();
+      const auto pct = [&](const char* stage) {
+        return 100.0 * r.stages.get(stage) / total;
+      };
+      std::printf(
+          "%-3s | %9.2f%% %9.2f%% | %9.2f%% %9.2f%% | %9.2f%% %9.2f%% | "
+          "%9.2f%% %9.2f%%\n",
+          m.id.c_str(), pct("pre-convergence"), p.pre, pct("conversion"),
+          p.conv, pct("post-convergence"), p.post, pct("recovery"), p.rec);
+    }
+  }
+  bench::print_note(
+      "expected: pre-convergence is the majority share on both nets");
+  return 0;
+}

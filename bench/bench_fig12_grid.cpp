@@ -1,0 +1,63 @@
+// Figure 12 — (threshold t, batch size B) grid search on medium DNNs A-D:
+// SNICIT's speed-up over SNIG-2020 and its accuracy loss at each point.
+// Paper shape: larger B -> larger speed-ups; speed-up peaks at t slightly
+// below l/2; accuracy loss broadly shrinks as t grows (not monotonically);
+// B barely affects accuracy.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/snig2020.hpp"
+#include "bench_util.hpp"
+#include "medium_nets.hpp"
+#include "snicit/engine.hpp"
+#include "train/loss.hpp"
+
+int main() {
+  using namespace snicit;
+  bench::print_title(
+      "Figure 12: (t, B) grid — speed-up over SNIG-2020 and accuracy loss");
+
+  auto nets = bench::load_medium_nets();
+  const std::vector<std::size_t> batches =
+      bench::large_scale() ? std::vector<std::size_t>{100, 200, 250, 500, 1000}
+                           : std::vector<std::size_t>{250, 500, 1000};
+
+  for (auto& m : nets) {
+    const int l = static_cast<int>(m.net.num_layers());
+    std::printf("\nDNN %s (%s, %s): exact accuracy %.2f%%\n", m.id.c_str(),
+                m.config.c_str(), m.dataset_name.c_str(),
+                100.0 * m.exact_accuracy);
+    std::printf("%6s %6s | %10s | %10s | %9s\n", "t", "B", "SNICIT ms",
+                "x SNIG", "acc loss");
+
+    for (std::size_t b : batches) {
+      // Slice a B-column sub-batch of the test set.
+      const auto sub = m.test.slice(0, b);
+      const auto hidden0 = m.mlp.hidden_input(sub.features);
+
+      baselines::Snig2020Engine snig;
+      const auto r_sg = bench::run_engine(snig, m.net, hidden0);
+
+      for (int t = 0; t < l; t += (l > 12 ? 4 : 2)) {
+        auto params = bench::medium_snicit_params(m.net.num_layers());
+        params.threshold_layer = t;
+        core::SnicitEngine snicit(params);
+        const auto r_sn = bench::run_engine(snicit, m.net, hidden0);
+        const auto logits = m.mlp.logits_from_hidden(r_sn.output);
+        const double acc = train::accuracy(logits, sub.labels);
+        const double exact_sub_acc = [&] {
+          const auto exact_logits = m.mlp.logits_from_hidden(
+              dnn::reference_forward(m.net, hidden0));
+          return train::accuracy(exact_logits, sub.labels);
+        }();
+        std::printf("%6d %6zu | %10.2f | %9.2fx | %8.2f%%\n", t, b,
+                    r_sn.total_ms(), r_sg.total_ms() / r_sn.total_ms(),
+                    100.0 * (exact_sub_acc - acc));
+      }
+    }
+  }
+  bench::print_note(
+      "paper: speed-up grows with B and peaks near t slightly below l/2; "
+      "accuracy loss generally drops as t rises");
+  return 0;
+}

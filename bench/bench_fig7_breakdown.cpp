@@ -1,0 +1,67 @@
+// Figure 7 — runtime breakdown of the four SNICIT stages on the N-120
+// benchmarks. Paper values (1024-120 .. 65536-120): pre-convergence
+// 58-81%, conversion 10-17%, post-convergence 2-32%, recovery ~0.3%.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "snicit/engine.hpp"
+
+namespace {
+
+struct PaperBreakdown {
+  double pre, conv, post, rec;
+};
+
+}  // namespace
+
+int main() {
+  using namespace snicit;
+  bench::print_title(
+      "Figure 7: SNICIT runtime breakdown on N-120 benchmarks");
+
+  // Paper pie charts: (a) 1024-120, (b) 4096-120, (c) 16384-120,
+  // (d) 65536-120.
+  const PaperBreakdown paper[] = {
+      {58.22, 9.65, 31.70, 0.43},
+      {71.43, 13.73, 14.55, 0.29},
+      {80.50, 16.92, 2.32, 0.26},
+      {78.99, 15.88, 4.88, 0.25},
+  };
+
+  std::printf("%-10s %-11s | %21s | %21s | %21s | %21s\n", "config",
+              "paper-row", "pre-convergence", "conversion",
+              "post-convergence", "recovery");
+  std::printf("%-10s %-11s | %10s %10s | %10s %10s | %10s %10s | %10s %10s\n",
+              "", "", "measured", "paper", "measured", "paper", "measured",
+              "paper", "measured", "paper");
+
+  int paper_idx = 0;
+  for (const auto& c : bench::sdgc_grid()) {
+    if (c.layers < 100) continue;  // Figure 7 uses the 120-layer column
+    auto wl = bench::make_sdgc_workload(c);
+    core::SnicitParams params;
+    params.threshold_layer = 30;
+    params.sample_size = 32;
+    params.downsample_dim = 16;
+    params.ne_refresh_interval = 5;
+    core::SnicitEngine engine(params);
+    const auto r = bench::run_engine(engine, wl.net, wl.input);
+
+    const double total = r.total_ms();
+    const auto pct = [&](const char* stage) {
+      return 100.0 * r.stages.get(stage) / total;
+    };
+    const auto& p = paper[paper_idx % 4];
+    std::printf(
+        "%-10s %-11s | %9.2f%% %9.2f%% | %9.2f%% %9.2f%% | %9.2f%% %9.2f%% "
+        "| %9.2f%% %9.2f%%\n",
+        c.name.c_str(), c.paper_name.c_str(), pct("pre-convergence"), p.pre,
+        pct("conversion"), p.conv, pct("post-convergence"), p.post,
+        pct("recovery"), p.rec);
+    ++paper_idx;
+  }
+  bench::print_note(
+      "expected shape: pre-convergence dominates and grows with N; "
+      "recovery is negligible");
+  return 0;
+}

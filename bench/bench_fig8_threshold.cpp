@@ -1,0 +1,45 @@
+// Figure 8 — SNICIT runtime as a function of the threshold layer t on the
+// N-120 benchmarks. Paper shape: a U-curve — small t clusters too many
+// centroids and bloats post-convergence; large t degenerates to plain
+// feed-forward; the sweet spot sits in the 20-40 band.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "snicit/engine.hpp"
+
+int main() {
+  using namespace snicit;
+  bench::print_title("Figure 8: runtime vs threshold layer t (N-120 nets)");
+
+  const std::vector<int> sweep = {0, 10, 20, 30, 40, 60, 80, 100, 120};
+
+  for (const auto& c : bench::sdgc_grid()) {
+    if (c.layers < 100) continue;
+    auto wl = bench::make_sdgc_workload(c);
+    std::printf("\n%s (stands in for %s), B=%zu\n", c.name.c_str(),
+                c.paper_name.c_str(), c.batch);
+    std::printf("%6s | %12s | %10s | %12s\n", "t", "runtime ms",
+                "centroids", "final ne cols");
+    for (int t : sweep) {
+      if (t > c.layers) continue;
+      core::SnicitParams params;
+      params.threshold_layer = t;
+      params.sample_size = 32;
+      params.downsample_dim = 16;
+      params.ne_refresh_interval = 5;
+      core::SnicitEngine engine(params);
+      const auto r = bench::run_engine(engine, wl.net, wl.input);
+      std::printf("%6d | %12.2f | %10.0f | %12.0f\n", t, r.total_ms(),
+                  r.diagnostics.count("centroids")
+                      ? r.diagnostics.at("centroids")
+                      : 0.0,
+                  r.diagnostics.count("final_ne_columns")
+                      ? r.diagnostics.at("final_ne_columns")
+                      : 0.0);
+    }
+  }
+  bench::print_note(
+      "paper: best runtime for 20 <= t <= 40, rising toward both ends");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 9 — runtime vs batch size B on the deepest nets of the grid,
+// SNICIT vs XY-2021. Paper shape: both runtimes grow with B, but SNICIT's
+// grows much more slowly (the centroid count is batch-independent, so a
+// larger share of the batch rides in the compressed representation) —
+// hence the speed-up widens with B.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/xy2021.hpp"
+#include "bench_util.hpp"
+#include "data/synthetic.hpp"
+#include "snicit/engine.hpp"
+
+int main() {
+  using namespace snicit;
+  bench::print_title("Figure 9: runtime vs batch size B (deepest nets)");
+
+  const std::vector<std::size_t> batches = {64, 128, 256, 512, 1024};
+
+  // The deepest configuration per neuron size in the active grid.
+  for (const auto& c : bench::sdgc_grid()) {
+    if (c.layers < 100) continue;
+    std::printf("\n%s (stands in for %s)\n", c.name.c_str(),
+                c.paper_name.c_str());
+    std::printf("%7s | %12s | %12s | %8s\n", "B", "SNICIT ms", "XY ms",
+                "speedup");
+
+    radixnet::RadixNetOptions opt;
+    opt.neurons = c.neurons;
+    opt.layers = c.layers;
+    opt.fanin = 32;
+    opt.seed = 42;
+    const auto net = radixnet::make_radixnet(opt);
+
+    for (std::size_t b : batches) {
+      data::SdgcInputOptions in_opt;
+      in_opt.neurons = static_cast<std::size_t>(c.neurons);
+      in_opt.batch = b;
+      in_opt.classes = 10;
+      in_opt.seed = 11;
+      const auto input = data::make_sdgc_input(in_opt).features;
+
+      core::SnicitParams params;
+      params.threshold_layer = 30;
+      params.sample_size = 32;
+      params.downsample_dim = 16;
+      params.ne_refresh_interval = 5;
+      core::SnicitEngine snicit(params);
+      baselines::Xy2021Engine xy;
+
+      const auto r_sn = bench::run_engine(snicit, net, input);
+      const auto r_xy = bench::run_engine(xy, net, input);
+      std::printf("%7zu | %12.2f | %12.2f | %7.2fx\n", b, r_sn.total_ms(),
+                  r_xy.total_ms(), r_xy.total_ms() / r_sn.total_ms());
+    }
+  }
+  bench::print_note("paper: the SNICIT-over-XY speed-up widens as B grows");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Microbenchmarks of the spMM kernel family (the XY-2021-style
+// optimisation space) across activation densities — the data behind the
+// cost model's density threshold. Uses google-benchmark.
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic.hpp"
+#include "platform/rng.hpp"
+#include "radixnet/radixnet.hpp"
+#include "sparse/spmm.hpp"
+
+namespace {
+
+using namespace snicit;
+
+struct Workload {
+  sparse::CsrMatrix w;
+  sparse::CscMatrix w_csc;
+  sparse::DenseMatrix y;
+  sparse::DenseMatrix out;
+};
+
+Workload make_workload(int neurons, int batch, double y_density) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = neurons;
+  opt.layers = 1;
+  opt.fanin = 32;
+  auto net = radixnet::make_radixnet(opt);
+  Workload wl{net.weight(0), sparse::CscMatrix::from_csr(net.weight(0)),
+              sparse::DenseMatrix(static_cast<std::size_t>(neurons),
+                                  static_cast<std::size_t>(batch)),
+              sparse::DenseMatrix(static_cast<std::size_t>(neurons),
+                                  static_cast<std::size_t>(batch))};
+  platform::Rng rng(77);
+  for (std::size_t i = 0; i < wl.y.rows() * wl.y.cols(); ++i) {
+    if (rng.next_bool(y_density)) wl.y.data()[i] = rng.uniform(0.0f, 32.0f);
+  }
+  return wl;
+}
+
+void BM_SpmmGather(benchmark::State& state) {
+  auto wl = make_workload(static_cast<int>(state.range(0)), 64,
+                          static_cast<double>(state.range(1)) / 100.0);
+  for (auto _ : state) {
+    sparse::spmm_gather(wl.w, wl.y, wl.out);
+    benchmark::DoNotOptimize(wl.out.data());
+  }
+  state.counters["nnzW"] = static_cast<double>(wl.w.nnz());
+}
+
+void BM_SpmmScatter(benchmark::State& state) {
+  auto wl = make_workload(static_cast<int>(state.range(0)), 64,
+                          static_cast<double>(state.range(1)) / 100.0);
+  for (auto _ : state) {
+    sparse::spmm_scatter(wl.w_csc, wl.y, wl.out);
+    benchmark::DoNotOptimize(wl.out.data());
+  }
+}
+
+void BM_SpmmTiled(benchmark::State& state) {
+  auto wl = make_workload(static_cast<int>(state.range(0)), 64,
+                          static_cast<double>(state.range(1)) / 100.0);
+  for (auto _ : state) {
+    sparse::spmm_tiled(wl.w, wl.y, wl.out, 16);
+    benchmark::DoNotOptimize(wl.out.data());
+  }
+}
+
+void BM_BiasActivation(benchmark::State& state) {
+  auto wl = make_workload(static_cast<int>(state.range(0)), 64, 0.5);
+  for (auto _ : state) {
+    sparse::apply_bias_activation(wl.y, -0.3f, 32.0f);
+    benchmark::DoNotOptimize(wl.y.data());
+  }
+}
+
+}  // namespace
+
+// Density sweep: 5%, 25%, 100% nonzero activations.
+BENCHMARK(BM_SpmmGather)->Args({1024, 5})->Args({1024, 25})->Args({1024, 100});
+BENCHMARK(BM_SpmmScatter)->Args({1024, 5})->Args({1024, 25})->Args({1024, 100});
+BENCHMARK(BM_SpmmTiled)->Args({1024, 5})->Args({1024, 25})->Args({1024, 100});
+BENCHMARK(BM_BiasActivation)->Arg(1024);
+
+BENCHMARK_MAIN();

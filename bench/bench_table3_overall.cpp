@@ -1,0 +1,114 @@
+// Table 3 — overall runtime of SNICIT vs the previous years' champions
+// (XY-2021, SNIG-2020, BF-2019) across the SDGC benchmark grid.
+//
+// The grid runs at substrate scale (see bench_util.hpp); every scaled
+// case is annotated with the paper row it stands in for, and the harness
+// prints measured speed-ups next to the paper's. The paper's qualitative
+// result to reproduce: SNICIT beats every champion on every row, and its
+// margin grows with depth.
+#include <cstdio>
+#include <map>
+
+#include "baselines/bf2019.hpp"
+#include "baselines/snig2020.hpp"
+#include "baselines/xy2021.hpp"
+#include "bench_util.hpp"
+#include "dnn/harness.hpp"
+#include "platform/env.hpp"
+#include "snicit/engine.hpp"
+
+namespace {
+
+struct PaperSpeedups {
+  double xy;
+  double snig;
+  double bf;
+};
+
+const std::map<std::string, PaperSpeedups> kPaper = {
+    {"1024-120", {1.11, 18.06, 37.16}},   {"1024-480", {1.63, 33.27, 59.60}},
+    {"1024-1920", {1.97, 44.17, 75.34}},  {"4096-120", {1.20, 22.57, 55.32}},
+    {"4096-480", {2.12, 55.78, 121.96}},  {"4096-1920", {3.51, 105.34, 221.16}},
+    {"16384-120", {1.27, 22.51, 59.66}},  {"16384-480", {2.65, 66.56, 161.45}},
+    {"16384-1920", {6.10, 176.48, 409.92}},
+};
+
+}  // namespace
+
+int main() {
+  using namespace snicit;
+  bench::print_title(
+      "Table 3: overall runtime, SNICIT vs XY-2021 / SNIG-2020 / BF-2019");
+  bench::print_note(
+      "scaled substrate; 'paper' columns give the speed-ups reported for "
+      "the corresponding full-size SDGC row");
+
+  std::printf(
+      "%-10s %-11s %5s | %9s | %9s %6s (%6s) | %9s %6s (%6s) | %9s %6s "
+      "(%6s) | %s\n",
+      "config", "paper-row", "B", "SNICIT ms", "XY ms", "x", "paper",
+      "SNIG ms", "x", "paper", "BF ms", "x", "paper", "golden");
+
+  bool all_match = true;
+  for (const auto& c : bench::sdgc_grid()) {
+    auto wl = bench::make_sdgc_workload(c);
+
+    core::SnicitParams params;
+    params.threshold_layer = bench::sdgc_threshold(c.layers);
+    params.sample_size = 32;
+    params.downsample_dim = 16;
+    params.eta = 0.03f;
+    params.epsilon = 0.03f;
+    params.ne_refresh_interval = c.layers >= 200 ? 200 : 5;
+    core::SnicitEngine snicit(params);
+    baselines::Xy2021Engine xy;
+    baselines::Snig2020Engine snig;
+    baselines::Bf2019Engine bf;
+
+    const auto r_sn = bench::run_engine(snicit, wl.net, wl.input);
+    const auto r_xy = bench::run_engine(xy, wl.net, wl.input);
+    const auto r_sg = bench::run_engine(snig, wl.net, wl.input);
+    const auto r_bf = bench::run_engine(bf, wl.net, wl.input);
+
+    // Golden check: categories must agree with the exact champion output.
+    const auto cats_sn = dnn::sdgc_categories(r_sn.output, 1e-3f);
+    const auto cats_xy = dnn::sdgc_categories(r_xy.output, 1e-3f);
+    const bool golden = dnn::category_match_rate(cats_sn, cats_xy) == 1.0;
+    all_match = all_match && golden;
+
+    const auto& p = kPaper.at(c.paper_name);
+    std::printf(
+        "%-10s %-11s %5zu | %9.2f | %9.2f %6.2f (%6.2f) | %9.2f %6.2f "
+        "(%6.2f) | %9.2f %6.2f (%6.2f) | %s\n",
+        c.name.c_str(), c.paper_name.c_str(), c.batch, r_sn.total_ms(),
+        r_xy.total_ms(), r_xy.total_ms() / r_sn.total_ms(), p.xy,
+        r_sg.total_ms(), r_sg.total_ms() / r_sn.total_ms(), p.snig,
+        r_bf.total_ms(), r_bf.total_ms() / r_sn.total_ms(), p.bf,
+        golden ? "match" : "MISMATCH");
+  }
+  std::printf("\nall rows match golden categories: %s\n",
+              all_match ? "yes" : "NO");
+
+  // Machine-readable export: SNICIT_BENCH_JSON=/path/table3.json dumps a
+  // harness comparison of the first grid case.
+  const auto json_path = platform::env_string("SNICIT_BENCH_JSON", "");
+  if (!json_path.empty()) {
+    const auto c = bench::sdgc_grid().front();
+    auto wl = bench::make_sdgc_workload(c);
+    core::SnicitParams params;
+    params.threshold_layer = bench::sdgc_threshold(c.layers);
+    core::SnicitEngine snicit(params);
+    baselines::Xy2021Engine xy;
+    baselines::Snig2020Engine snig;
+    baselines::Bf2019Engine bf;
+    const auto cmp = dnn::compare_engines(
+        c.name, {&xy, &snig, &bf, &snicit}, wl.net, wl.input);
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f != nullptr) {
+      std::fputs(cmp.to_json().c_str(), f);
+      std::fclose(f);
+      std::printf("wrote JSON comparison to %s\n", json_path.c_str());
+    }
+  }
+  return all_match ? 0 : 1;
+}

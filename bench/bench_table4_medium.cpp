@@ -1,0 +1,57 @@
+// Table 4 — medium-scale sparse DNNs (A-D): SNICIT accuracy loss and
+// speed-up over SNIG-2020 and BF-2019.
+//
+// Networks are trained on the synthetic MNIST/CIFAR stand-ins (see
+// DESIGN.md §2) and cached; inference runs on a 1000-column test batch
+// (paper: the 10000-image test sets). Qualitative targets: SNICIT faster
+// than both champions on all four nets, with sub-percent-ish accuracy
+// loss.
+#include <cstdio>
+
+#include "baselines/bf2019.hpp"
+#include "baselines/snig2020.hpp"
+#include "bench_util.hpp"
+#include "medium_nets.hpp"
+#include "snicit/engine.hpp"
+#include "train/loss.hpp"
+
+int main() {
+  using namespace snicit;
+  bench::print_title(
+      "Table 4: medium-scale sparse DNNs — accuracy loss and speed-up");
+
+  auto nets = bench::load_medium_nets();
+
+  std::printf(
+      "\n%-3s %-8s %-11s | %8s %8s | %9s %9s | %7s (%5s) | %7s (%5s)\n",
+      "ID", "N-l", "dataset", "DNN acc", "paper", "acc loss", "paper",
+      "x SNIG", "paper", "x BF", "paper");
+
+  bool all_ok = true;
+  for (auto& m : nets) {
+    core::SnicitEngine snicit(bench::medium_snicit_params(m.net.num_layers()));
+    baselines::Snig2020Engine snig;
+    baselines::Bf2019Engine bf;
+
+    const auto r_sn = bench::run_engine(snicit, m.net, m.hidden0, 2);
+    const auto r_sg = bench::run_engine(snig, m.net, m.hidden0, 2);
+    const auto r_bf = bench::run_engine(bf, m.net, m.hidden0, 2);
+
+    const auto logits = m.mlp.logits_from_hidden(r_sn.output);
+    const double snicit_acc = train::accuracy(logits, m.test.labels);
+    const double acc_loss = m.exact_accuracy - snicit_acc;
+
+    std::printf(
+        "%-3s %-8s %-11s | %7.2f%% %7.2f%% | %8.2f%% %8.2f%% | %6.2fx "
+        "(%4.2f) | %6.2fx (%4.2f)\n",
+        m.id.c_str(), m.config.c_str(), m.dataset_name.c_str(),
+        100.0 * m.exact_accuracy, m.paper_accuracy, 100.0 * acc_loss,
+        m.paper_acc_loss, r_sg.total_ms() / r_sn.total_ms(),
+        m.paper_speedup_snig, r_bf.total_ms() / r_sn.total_ms(),
+        m.paper_speedup_bf);
+
+    all_ok = all_ok && acc_loss < 0.03;  // paper max: 1.43 %
+  }
+  std::printf("\naccuracy losses within 3%%: %s\n", all_ok ? "yes" : "NO");
+  return all_ok ? 0 : 1;
+}

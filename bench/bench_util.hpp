@@ -1,0 +1,79 @@
+// Shared helpers for the benchmark harnesses: workload construction,
+// engine timing, scale selection, and paper-vs-measured table printing.
+//
+// Every harness honours SNICIT_BENCH_SCALE:
+//   small (default) — configurations sized for a single-core CI box
+//   large           — adds the bigger grid points (minutes of runtime)
+// The *structure* of each experiment (grid shape, parameter names, rows
+// printed) always matches the paper; only absolute sizes scale.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "dnn/engine.hpp"
+#include "dnn/reference.hpp"
+#include "platform/env.hpp"
+#include "platform/timer.hpp"
+#include "radixnet/radixnet.hpp"
+
+namespace snicit::bench {
+
+inline bool large_scale() {
+  return platform::env_string("SNICIT_BENCH_SCALE", "small") == "large";
+}
+
+/// A scaled stand-in for one SDGC benchmark (paper row `paper_name`).
+struct SdgcCase {
+  std::string name;        // e.g. "1024-120 (scaled)"
+  std::string paper_name;  // e.g. "16384-480"
+  sparse::Index neurons;
+  int layers;
+  std::size_t batch;
+};
+
+/// The scaled grid mirroring Table 1/3's 12-benchmark layout. The small
+/// grid covers {256,1024} x {48,120}; large adds {4096} and {480}-deep.
+std::vector<SdgcCase> sdgc_grid();
+
+/// The threshold layer t used for an SDGC-style net of this depth
+/// (paper: t = 30; shallower scaled rows use l/2).
+int sdgc_threshold(int layers);
+
+/// Builds the network + clustered binary input for a case (seeded, so all
+/// harnesses see identical workloads).
+struct SdgcWorkload {
+  dnn::SparseDnn net;
+  dnn::DenseMatrix input;
+};
+SdgcWorkload make_sdgc_workload(const SdgcCase& c);
+
+/// Runs the engine once (after a cold ensure of format mirrors) and
+/// returns the result; `repeats` > 1 keeps the fastest run.
+dnn::RunResult run_engine(dnn::InferenceEngine& engine,
+                          const dnn::SparseDnn& net,
+                          const dnn::DenseMatrix& input, int repeats = 1);
+
+/// Mean per-layer latency over layers [first, last) of a run.
+double mean_layer_ms(const dnn::RunResult& result, std::size_t first,
+                     std::size_t last);
+
+/// SDGC's throughput metric: (connections * batch) edges processed per
+/// second of inference, in giga-edges/s.
+double giga_edges_per_sec(const dnn::SparseDnn& net, std::size_t batch,
+                          double total_ms);
+
+/// Section header for harness output.
+inline void print_title(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("note: %s\n", note.c_str());
+}
+
+}  // namespace snicit::bench

@@ -1,0 +1,43 @@
+// Networks A-D of Table 4, trained once on the synthetic MNIST/CIFAR
+// stand-ins and cached on disk (SNICIT_CACHE_DIR, default ./bench_cache),
+// so the medium-scale harnesses (Table 4, Figures 10-12) share identical
+// models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "dnn/sparse_dnn.hpp"
+#include "snicit/params.hpp"
+#include "train/mlp.hpp"
+
+namespace snicit::bench {
+
+struct MediumNet {
+  std::string id;            // "A".."D"
+  std::string config;        // "128-18" etc.
+  std::string dataset_name;  // "MNIST-like" / "CIFAR-like"
+  train::SparseMlp mlp;
+  dnn::SparseDnn net;        // the l sparse hidden layers
+  data::Dataset test;        // held-out labelled data (10000-column scale
+                             // in the paper; 1000 here)
+  sparse::DenseMatrix hidden0;  // engine input: activations entering layer 0
+  double exact_accuracy;     // full-precision inference accuracy
+  double paper_accuracy;     // Table 4 "DNN acc."
+  double paper_acc_loss;     // Table 4 accuracy loss (SNICIT)
+  double paper_speedup_snig; // Table 4 speed-up w.r.t. SNIG-2020
+  double paper_speedup_bf;   // Table 4 speed-up w.r.t. BF-2019
+};
+
+/// Trains (or loads from cache) all four networks. Prints one progress
+/// line per network.
+std::vector<MediumNet> load_medium_nets();
+
+/// The paper's medium-scale SNICIT configuration (§4.2.1): t = largest
+/// even integer <= l/2, s = 128, no sum downsampling, eps = eta = 0.03,
+/// ne_idx refreshed every layer, plus the substrate's calibrated
+/// near-zero pruning threshold on the ymax = 1 scale.
+core::SnicitParams medium_snicit_params(std::size_t layers);
+
+}  // namespace snicit::bench

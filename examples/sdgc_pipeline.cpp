@@ -1,0 +1,94 @@
+// The full SDGC-style workflow, end to end:
+//   1. generate (or load) a Radix-Net sparse network
+//   2. generate a clustered input batch
+//   3. run every engine: golden reference, BF-2019, SNIG-2020, XY-2021,
+//      SNICIT
+//   4. verify all outputs against the golden categories
+//   5. optionally export the network + input in SDGC TSV format
+//
+//   ./sdgc_pipeline [neurons] [layers] [batch] [--export <prefix>]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "baselines/bf2019.hpp"
+#include "baselines/snig2020.hpp"
+#include "baselines/xy2021.hpp"
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "radixnet/radixnet.hpp"
+#include "radixnet/sdgc_io.hpp"
+#include "snicit/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace snicit;
+
+  sparse::Index neurons = 1024;
+  int layers = 48;
+  std::size_t batch = 256;
+  const char* export_prefix = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--export") == 0 && i + 1 < argc) {
+      export_prefix = argv[++i];
+    } else if (i == 1) {
+      neurons = std::atoi(argv[i]);
+    } else if (i == 2) {
+      layers = std::atoi(argv[i]);
+    } else if (i == 3) {
+      batch = static_cast<std::size_t>(std::atoi(argv[i]));
+    }
+  }
+
+  std::printf("== SDGC pipeline: %d neurons x %d layers, batch %zu ==\n",
+              neurons, layers, batch);
+
+  radixnet::RadixNetOptions net_opt;
+  net_opt.neurons = neurons;
+  net_opt.layers = layers;
+  const auto net = radixnet::make_radixnet(net_opt);
+
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = static_cast<std::size_t>(neurons);
+  in_opt.batch = batch;
+  const auto input = data::make_sdgc_input(in_opt).features;
+
+  if (export_prefix != nullptr) {
+    std::printf("exporting network + input to %s-*.tsv ...\n",
+                export_prefix);
+    radixnet::save_network_tsv(net, export_prefix);
+    radixnet::save_matrix_tsv(input,
+                              std::string(export_prefix) + "-input.tsv");
+  }
+
+  // Golden reference.
+  dnn::ReferenceEngine reference;
+  const auto golden = reference.run(net, input);
+  const auto golden_cats = dnn::sdgc_categories(golden.output, 1e-3f);
+  std::printf("%-10s %10.2f ms  (golden)\n", reference.name().c_str(),
+              golden.total_ms());
+
+  // Champions + SNICIT.
+  core::SnicitParams params;
+  params.threshold_layer = layers >= 120 ? 30 : layers / 2;
+  std::vector<std::unique_ptr<dnn::InferenceEngine>> engines;
+  engines.push_back(std::make_unique<baselines::Bf2019Engine>());
+  engines.push_back(std::make_unique<baselines::Snig2020Engine>());
+  engines.push_back(std::make_unique<baselines::Xy2021Engine>());
+  engines.push_back(std::make_unique<core::SnicitEngine>(params));
+
+  bool all_ok = true;
+  for (auto& engine : engines) {
+    net.ensure_csc();
+    const auto result = engine->run(net, input);
+    const auto cats = dnn::sdgc_categories(result.output, 1e-3f);
+    const bool ok = dnn::category_match_rate(cats, golden_cats) == 1.0;
+    all_ok = all_ok && ok;
+    std::printf("%-10s %10.2f ms  (%5.2fx vs golden)  categories: %s\n",
+                engine->name().c_str(), result.total_ms(),
+                golden.total_ms() / result.total_ms(),
+                ok ? "match" : "MISMATCH");
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,200 @@
+// snicit_cli — the library's command-line front end. Subcommands:
+//
+//   generate   build a Radix-Net-style network + input batch and write
+//              them as SDGC TSV files
+//              --neurons N --layers L --batch B --out PREFIX [--mixed-radix]
+//   run        run inference on TSV files (or a generated workload) with a
+//              chosen engine and report timing + categories
+//              --engine snicit|xy2021|snig2020|bf2019|serial|reference
+//              [--net PREFIX --neurons N --layers L --bias B] [--batch B]
+//              [--threshold T] [--auto-threshold] [--stream CHUNK]
+//   analyze    print the per-layer convergence trace of a workload
+//              (Figure 1-style: density, saturation, distinct columns)
+//
+// Everything defaults to a generated workload so each subcommand runs out
+// of the box: `snicit_cli run --engine snicit`.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/bf2019.hpp"
+#include "baselines/serial.hpp"
+#include "baselines/snig2020.hpp"
+#include "baselines/xy2021.hpp"
+#include "data/synthetic.hpp"
+#include "dnn/analysis.hpp"
+#include "dnn/reference.hpp"
+#include "platform/cli.hpp"
+#include "radixnet/mixed_radix.hpp"
+#include "radixnet/radixnet.hpp"
+#include "radixnet/sdgc_io.hpp"
+#include "snicit/engine.hpp"
+#include "snicit/stream.hpp"
+
+namespace {
+
+using namespace snicit;
+
+struct Workload {
+  dnn::SparseDnn net;
+  dnn::DenseMatrix input;
+};
+
+Workload build_workload(const platform::CliArgs& args) {
+  const auto neurons =
+      static_cast<sparse::Index>(args.get_int("neurons", 1024));
+  const auto layers = static_cast<int>(args.get_int("layers", 48));
+  const auto batch = static_cast<std::size_t>(args.get_int("batch", 256));
+
+  dnn::SparseDnn net = [&] {
+    if (args.has("net")) {
+      const float bias = static_cast<float>(
+          args.get_double("bias", radixnet::table1_bias(neurons)));
+      return radixnet::load_network_tsv(args.get("net", ""), neurons, layers,
+                                        bias, 32.0f);
+    }
+    if (args.has("mixed-radix")) {
+      radixnet::MixedRadixOptions opt;
+      opt.radices = radixnet::default_radices(neurons);
+      opt.layers = layers;
+      return radixnet::make_mixed_radix_net(opt);
+    }
+    radixnet::RadixNetOptions opt;
+    opt.neurons = neurons;
+    opt.layers = layers;
+    opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    return radixnet::make_radixnet(opt);
+  }();
+
+  dnn::DenseMatrix input = [&] {
+    if (args.has("input")) {
+      return radixnet::load_matrix_tsv(args.get("input", ""),
+                                       static_cast<std::size_t>(neurons),
+                                       batch);
+    }
+    data::SdgcInputOptions in_opt;
+    in_opt.neurons = static_cast<std::size_t>(neurons);
+    in_opt.batch = batch;
+    in_opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 42)) + 1;
+    return data::make_sdgc_input(in_opt).features;
+  }();
+  return {std::move(net), std::move(input)};
+}
+
+std::unique_ptr<dnn::InferenceEngine> build_engine(
+    const platform::CliArgs& args, const Workload& wl) {
+  const std::string name = args.get("engine", "snicit");
+  if (name == "xy2021") return std::make_unique<baselines::Xy2021Engine>();
+  if (name == "snig2020") {
+    return std::make_unique<baselines::Snig2020Engine>();
+  }
+  if (name == "bf2019") return std::make_unique<baselines::Bf2019Engine>();
+  if (name == "serial") return std::make_unique<baselines::SerialEngine>();
+  if (name == "reference") return std::make_unique<dnn::ReferenceEngine>();
+  if (name != "snicit") {
+    std::fprintf(stderr, "unknown engine '%s', using snicit\n",
+                 name.c_str());
+  }
+  core::SnicitParams params;
+  const auto layers = static_cast<int>(wl.net.num_layers());
+  params.threshold_layer = static_cast<int>(
+      args.get_int("threshold", layers >= 120 ? 30 : layers / 2));
+  params.sample_size = static_cast<int>(args.get_int("sample-size", 32));
+  params.downsample_dim =
+      static_cast<int>(args.get_int("downsample", 16));
+  params.prune_threshold =
+      static_cast<float>(args.get_double("prune", 0.0));
+  params.auto_threshold = args.has("auto-threshold");
+  return std::make_unique<core::SnicitEngine>(params);
+}
+
+int cmd_generate(const platform::CliArgs& args) {
+  const auto wl = build_workload(args);
+  const std::string prefix = args.get("out", "snicit-workload");
+  std::printf("writing %zu layer files + input to %s-*.tsv\n",
+              wl.net.num_layers(), prefix.c_str());
+  radixnet::save_network_tsv(wl.net, prefix);
+  radixnet::save_matrix_tsv(wl.input, prefix + "-input.tsv");
+  std::printf("done: %s (%lld connections)\n", wl.net.name().c_str(),
+              static_cast<long long>(wl.net.connections()));
+  return 0;
+}
+
+int cmd_run(const platform::CliArgs& args) {
+  const auto wl = build_workload(args);
+  auto engine = build_engine(args, wl);
+  wl.net.ensure_csc();
+
+  std::printf("running %s on %s, batch %zu\n", engine->name().c_str(),
+              wl.net.name().c_str(), wl.input.cols());
+
+  if (args.has("stream")) {
+    core::StreamOptions opt;
+    opt.batch_size =
+        static_cast<std::size_t>(args.get_int("stream", 256));
+    const auto streamed =
+        core::stream_inference(*engine, wl.net, wl.input, opt);
+    std::printf("%zu batches of <= %zu: total %.2f ms, mean %.2f ms, "
+                "throughput %.0f samples/s\n",
+                streamed.batches, opt.batch_size, streamed.total_ms,
+                streamed.mean_batch_ms(),
+                streamed.throughput(wl.input.cols()));
+    return 0;
+  }
+
+  const auto result = engine->run(wl.net, wl.input);
+  std::printf("total: %.2f ms\n", result.total_ms());
+  for (const auto& stage : result.stages.entries()) {
+    std::printf("  %-20s %10.2f ms\n", stage.name.c_str(), stage.ms);
+  }
+  for (const auto& [key, value] : result.diagnostics) {
+    std::printf("  %-20s %10g\n", key.c_str(), value);
+  }
+  const auto cats = dnn::sdgc_categories(result.output, 1e-3f);
+  std::size_t active = 0;
+  for (int c : cats) active += static_cast<std::size_t>(c);
+  std::printf("active outputs: %zu / %zu\n", active, cats.size());
+  return 0;
+}
+
+int cmd_analyze(const platform::CliArgs& args) {
+  const auto wl = build_workload(args);
+  std::printf("per-layer trace of %s (batch %zu):\n", wl.net.name().c_str(),
+              wl.input.cols());
+  std::printf("%6s %10s %10s %10s\n", "layer", "density", "saturated",
+              "distinct");
+  for (const auto& row : dnn::layer_trace(wl.net, wl.input)) {
+    std::printf("%6zu %10.4f %10.4f %10zu\n", row.layer, row.density,
+                row.saturated_fraction, row.distinct_columns);
+  }
+  return 0;
+}
+
+void usage() {
+  std::printf(
+      "usage: snicit_cli <generate|run|analyze> [options]\n"
+      "  common:   --neurons N --layers L --batch B --seed S\n"
+      "            --mixed-radix | --net PREFIX --input FILE --bias B\n"
+      "  generate: --out PREFIX\n"
+      "  run:      --engine snicit|xy2021|snig2020|bf2019|serial|reference\n"
+      "            --threshold T --sample-size S --downsample N --prune P\n"
+      "            --auto-threshold --stream CHUNK\n"
+      "  analyze:  (common options only)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const platform::CliArgs args(argc, argv);
+  const std::string cmd = args.positional(0, "");
+  try {
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "analyze") return cmd_analyze(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return cmd.empty() ? 0 : 1;
+}

@@ -1,0 +1,126 @@
+#include "baselines/autotune.hpp"
+
+#include <limits>
+#include <vector>
+
+#include "platform/common.hpp"
+#include "platform/timer.hpp"
+#include "sparse/spmm.hpp"
+
+namespace snicit::baselines {
+
+namespace {
+
+constexpr int kNumArms = 3;  // 0 gather/ELL, 1 scatter, 2 tiled
+
+void run_arm(int arm, const dnn::SparseDnn& net, std::size_t layer,
+             const dnn::DenseMatrix& in, dnn::DenseMatrix& out,
+             bool use_ell) {
+  switch (arm) {
+    case 0:
+      if (use_ell) {
+        sparse::spmm_ell(net.weight_ell(layer), in, out);
+      } else {
+        sparse::spmm_gather(net.weight(layer), in, out);
+      }
+      break;
+    case 1:
+      sparse::spmm_scatter(net.weight_csc(layer), in, out);
+      break;
+    default:
+      sparse::spmm_tiled(net.weight(layer), in, out);
+      break;
+  }
+}
+
+}  // namespace
+
+AutotuneEngine::AutotuneEngine(AutotuneOptions options)
+    : options_(options) {
+  SNICIT_CHECK(options_.trial_rounds >= 1, "trial_rounds must be >= 1");
+  SNICIT_CHECK(options_.low_density <= options_.high_density,
+               "density buckets must be ordered");
+}
+
+dnn::RunResult AutotuneEngine::run(const dnn::SparseDnn& net,
+                                   const dnn::DenseMatrix& input) {
+  net.ensure_csc();
+  const bool use_ell = net.weight_ell(0).padding_ratio() <= 0.1;
+  if (use_ell) net.ensure_ell();
+  committed_ = {-1, -1, -1};
+
+  // Per bucket: best time seen per arm during trials, next arm to trial.
+  struct BucketState {
+    std::array<double, kNumArms> best_ms{
+        std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::infinity()};
+    std::array<int, kNumArms> trials{0, 0, 0};
+    int next_arm = 0;
+  };
+  std::array<BucketState, 3> buckets;
+
+  const std::size_t probe_n =
+      std::min(options_.density_probe_columns,
+               std::max<std::size_t>(1, input.cols()));
+  std::vector<sparse::Index> probe(probe_n);
+  for (std::size_t j = 0; j < probe_n; ++j) {
+    probe[j] = static_cast<sparse::Index>(j);
+  }
+
+  dnn::RunResult result;
+  result.layer_ms.reserve(net.num_layers());
+  platform::Stopwatch total;
+  dnn::DenseMatrix cur = input;
+  dnn::DenseMatrix next(input.rows(), input.cols());
+
+  for (std::size_t layer = 0; layer < net.num_layers(); ++layer) {
+    const double density = sparse::estimate_column_density(cur, probe);
+    const int bucket = density < options_.low_density ? 0
+                       : density < options_.high_density ? 1
+                                                         : 2;
+    auto& state = buckets[static_cast<std::size_t>(bucket)];
+
+    int arm = committed_[static_cast<std::size_t>(bucket)];
+    const bool trialling = arm < 0;
+    if (trialling) arm = state.next_arm;
+
+    platform::Stopwatch lt;
+    run_arm(arm, net, layer, cur, next, use_ell);
+    const double ms = lt.elapsed_ms();
+
+    if (trialling) {
+      state.best_ms[static_cast<std::size_t>(arm)] =
+          std::min(state.best_ms[static_cast<std::size_t>(arm)], ms);
+      if (++state.trials[static_cast<std::size_t>(arm)] >=
+          options_.trial_rounds) {
+        state.next_arm = arm + 1;
+      }
+      if (state.next_arm >= kNumArms) {
+        // All arms trialled: commit to the fastest.
+        int best = 0;
+        for (int a = 1; a < kNumArms; ++a) {
+          if (state.best_ms[static_cast<std::size_t>(a)] <
+              state.best_ms[static_cast<std::size_t>(best)]) {
+            best = a;
+          }
+        }
+        committed_[static_cast<std::size_t>(bucket)] = best;
+      }
+    }
+
+    sparse::apply_bias_activation(next, net.bias(layer), net.ymax());
+    std::swap(cur, next);
+    result.layer_ms.push_back(ms);
+  }
+
+  result.stages.add("feed-forward", total.elapsed_ms());
+  for (int b = 0; b < 3; ++b) {
+    result.diagnostics["bucket" + std::to_string(b) + "_arm"] =
+        committed_[static_cast<std::size_t>(b)];
+  }
+  result.output = std::move(cur);
+  return result;
+}
+
+}  // namespace snicit::baselines

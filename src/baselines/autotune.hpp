@@ -1,0 +1,44 @@
+// Measurement-driven kernel autotuning — the empirical complement to
+// XY-2021's analytic cost model. XY-2021 builds an optimization space of
+// spMM kernels and *predicts* the best point; this engine instead *tries*
+// every kernel arm on the first layers of the run (densities are roughly
+// stationary layer to layer) and then commits to the measured winner per
+// density bucket. Exact engine: every arm computes the same result.
+#pragma once
+
+#include <array>
+
+#include "dnn/engine.hpp"
+
+namespace snicit::baselines {
+
+struct AutotuneOptions {
+  /// Layers spent trialling each kernel arm before committing (per
+  /// density bucket).
+  int trial_rounds = 1;
+  /// Activation-density bucket edges: [0, low) -> bucket 0,
+  /// [low, high) -> bucket 1, [high, 1] -> bucket 2.
+  double low_density = 0.15;
+  double high_density = 0.6;
+  /// Columns probed for the density estimate.
+  std::size_t density_probe_columns = 16;
+};
+
+class AutotuneEngine final : public dnn::InferenceEngine {
+ public:
+  explicit AutotuneEngine(AutotuneOptions options = {});
+
+  std::string name() const override { return "autotune"; }
+  dnn::RunResult run(const dnn::SparseDnn& net,
+                     const dnn::DenseMatrix& input) override;
+
+  /// Kernel arm committed per density bucket after the last run
+  /// (-1 while a bucket is still trialling / was never seen).
+  std::array<int, 3> committed_arms() const { return committed_; }
+
+ private:
+  AutotuneOptions options_;
+  std::array<int, 3> committed_{-1, -1, -1};
+};
+
+}  // namespace snicit::baselines

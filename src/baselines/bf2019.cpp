@@ -1,0 +1,60 @@
+#include "baselines/bf2019.hpp"
+
+#include <algorithm>
+
+#include "platform/common.hpp"
+#include "platform/thread_pool.hpp"
+#include "platform/timer.hpp"
+#include "sparse/spmm.hpp"
+
+namespace snicit::baselines {
+
+Bf2019Engine::Bf2019Engine(std::size_t partitions)
+    : partitions_(partitions) {}
+
+dnn::RunResult Bf2019Engine::run(const dnn::SparseDnn& net,
+                                 const dnn::DenseMatrix& input) {
+  net.ensure_csc();  // model preparation, outside the clock
+
+  const std::size_t batch = input.cols();
+  const std::size_t parts =
+      partitions_ != 0
+          ? std::min(partitions_, std::max<std::size_t>(1, batch))
+          : std::min(platform::ThreadPool::global().size(),
+                     std::max<std::size_t>(1, batch));
+
+  dnn::RunResult result;
+  result.layer_ms.reserve(net.num_layers());
+  result.diagnostics["partitions"] = static_cast<double>(parts);
+
+  platform::Stopwatch total;
+  // Double buffers shared by all partitions: partitions own disjoint
+  // column ranges, so there is no overlap.
+  dnn::DenseMatrix cur = input;
+  dnn::DenseMatrix next(input.rows(), input.cols());
+  const std::size_t chunk = (batch + parts - 1) / parts;
+
+  for (std::size_t layer = 0; layer < net.num_layers(); ++layer) {
+    platform::Stopwatch lt;
+    const auto& w = net.weight_csc(layer);
+    platform::ThreadPool::global().run_chunks(parts, [&](std::size_t p) {
+      const std::size_t lo = p * chunk;
+      const std::size_t hi = std::min(batch, lo + chunk);
+      if (lo >= hi) return;
+      std::vector<sparse::Index> cols(hi - lo);
+      for (std::size_t j = lo; j < hi; ++j) {
+        cols[j - lo] = static_cast<sparse::Index>(j);
+      }
+      sparse::spmm_scatter_cols(w, cur, cols, next);
+    });
+    sparse::apply_bias_activation(next, net.bias(layer), net.ymax());
+    std::swap(cur, next);
+    result.layer_ms.push_back(lt.elapsed_ms());
+  }
+
+  result.stages.add("feed-forward", total.elapsed_ms());
+  result.output = std::move(cur);
+  return result;
+}
+
+}  // namespace snicit::baselines

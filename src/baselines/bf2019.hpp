@@ -1,0 +1,27 @@
+// BF-2019 (Bisson & Fatica), SDGC 2019 champion: partitions the input
+// batch into sections and distributes the feed-forward over multiple GPUs,
+// double-buffering activations per partition. Here each partition maps to
+// a pool task ("one GPU"), and the per-partition kernel is the
+// activation-sparsity scatter kernel (the single-GPU inner loop of the
+// original). Exact: no compression, bit-identical to the reference.
+#pragma once
+
+#include "dnn/engine.hpp"
+
+namespace snicit::baselines {
+
+class Bf2019Engine final : public dnn::InferenceEngine {
+ public:
+  /// `partitions` — number of batch sections (the paper's GPU count);
+  /// 0 picks one partition per pool thread.
+  explicit Bf2019Engine(std::size_t partitions = 0);
+
+  std::string name() const override { return "BF-2019"; }
+  dnn::RunResult run(const dnn::SparseDnn& net,
+                     const dnn::DenseMatrix& input) override;
+
+ private:
+  std::size_t partitions_;
+};
+
+}  // namespace snicit::baselines

@@ -1,0 +1,44 @@
+#include "baselines/serial.hpp"
+
+#include <algorithm>
+
+#include "platform/timer.hpp"
+
+namespace snicit::baselines {
+
+dnn::RunResult SerialEngine::run(const dnn::SparseDnn& net,
+                                 const dnn::DenseMatrix& input) {
+  dnn::RunResult result;
+  result.layer_ms.reserve(net.num_layers());
+
+  platform::Stopwatch total;
+  dnn::DenseMatrix cur = input;
+  dnn::DenseMatrix next(input.rows(), input.cols());
+  for (std::size_t layer = 0; layer < net.num_layers(); ++layer) {
+    platform::Stopwatch lt;
+    const auto& w = net.weight(layer);
+    const auto& bias = net.bias(layer);
+    // Deliberately naive: single thread, no activation-sparsity skipping,
+    // no blocking — the shape of the challenge's reference code.
+    for (std::size_t j = 0; j < cur.cols(); ++j) {
+      const float* in = cur.col(j);
+      float* out = next.col(j);
+      for (dnn::Index r = 0; r < w.rows(); ++r) {
+        const auto cols = w.row_cols(r);
+        const auto vals = w.row_vals(r);
+        float acc = bias[static_cast<std::size_t>(r)];
+        for (std::size_t k = 0; k < cols.size(); ++k) {
+          acc += vals[k] * in[cols[k]];
+        }
+        out[r] = std::min(std::max(acc, 0.0f), net.ymax());
+      }
+    }
+    std::swap(cur, next);
+    result.layer_ms.push_back(lt.elapsed_ms());
+  }
+  result.stages.add("feed-forward", total.elapsed_ms());
+  result.output = std::move(cur);
+  return result;
+}
+
+}  // namespace snicit::baselines

@@ -1,0 +1,18 @@
+// The official SDGC serial CPU reference implementation (the baseline the
+// challenge ships and against which the paper's "24000x over the official
+// CPU baseline" figure is computed): a naive single-threaded triple-loop
+// feed-forward with no sparsity-aware scheduling.
+#pragma once
+
+#include "dnn/engine.hpp"
+
+namespace snicit::baselines {
+
+class SerialEngine final : public dnn::InferenceEngine {
+ public:
+  std::string name() const override { return "SDGC-serial"; }
+  dnn::RunResult run(const dnn::SparseDnn& net,
+                     const dnn::DenseMatrix& input) override;
+};
+
+}  // namespace snicit::baselines

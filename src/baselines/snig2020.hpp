@@ -1,0 +1,29 @@
+// SNIG-2020 (Lin & Huang), SDGC 2020 champion: cuts CPU-GPU
+// synchronization by expressing inference as a task graph — the batch is
+// split into partitions and each partition advances through layers as an
+// independent chain of tasks, so partitions at different depths overlap.
+// Here the chains run on the library's TaskGraph executor. Exact engine.
+#pragma once
+
+#include "dnn/engine.hpp"
+
+namespace snicit::baselines {
+
+class Snig2020Engine final : public dnn::InferenceEngine {
+ public:
+  /// `partitions` — batch partitions (task-graph rows); 0 = 2x pool size.
+  /// `layers_per_task` — layers fused into one task node (reduces graph
+  /// overhead on deep nets, like SNIG's kernel fusion).
+  explicit Snig2020Engine(std::size_t partitions = 0,
+                          std::size_t layers_per_task = 4);
+
+  std::string name() const override { return "SNIG-2020"; }
+  dnn::RunResult run(const dnn::SparseDnn& net,
+                     const dnn::DenseMatrix& input) override;
+
+ private:
+  std::size_t partitions_;
+  std::size_t layers_per_task_;
+};
+
+}  // namespace snicit::baselines

@@ -1,0 +1,40 @@
+// XY-2021 (Xin et al.), SDGC 2021 champion: generalizes the spMM kernel
+// into a parameterized optimization space and picks the best variant with
+// a cost model. This port exposes the library's kernel family (gather /
+// tiled / scatter) as the space and selects per layer from a measured
+// activation-density estimate, mirroring the original's flexible SpMM
+// optimisation-space exploration. Exact engine.
+#pragma once
+
+#include "dnn/engine.hpp"
+
+namespace snicit::baselines {
+
+struct Xy2021Options {
+  /// Columns sampled when estimating activation density per layer.
+  std::size_t density_probe_columns = 16;
+  /// Tile width for the tiled kernel arm.
+  std::size_t tile = 16;
+  /// Fixed per-input-column overhead of the scatter kernel (zeroing the
+  /// accumulator), in units of weight-nnz work; part of the cost model.
+  double scatter_setup_cost = 0.15;
+  /// Use the regular ELLPACK layout for the dense arm when the weights
+  /// have (near-)uniform fan-in — the champions' preferred layout on the
+  /// fixed-32-fan-in SDGC nets.
+  bool prefer_ell = true;
+  double max_ell_padding = 0.10;
+};
+
+class Xy2021Engine final : public dnn::InferenceEngine {
+ public:
+  explicit Xy2021Engine(Xy2021Options options = {});
+
+  std::string name() const override { return "XY-2021"; }
+  dnn::RunResult run(const dnn::SparseDnn& net,
+                     const dnn::DenseMatrix& input) override;
+
+ private:
+  Xy2021Options options_;
+};
+
+}  // namespace snicit::baselines

@@ -1,0 +1,27 @@
+// Labelled feature batches used by examples, tests and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::data {
+
+using sparse::DenseMatrix;
+
+/// A labelled batch: features is dim x count (one column per sample, the
+/// library-wide layout) and labels[j] is the class of column j.
+struct Dataset {
+  DenseMatrix features;
+  std::vector<int> labels;
+  std::size_t num_classes = 0;
+
+  std::size_t size() const { return labels.size(); }
+  std::size_t dim() const { return features.rows(); }
+
+  /// Copies columns [begin, end) into a new dataset.
+  Dataset slice(std::size_t begin, std::size_t end) const;
+};
+
+}  // namespace snicit::data

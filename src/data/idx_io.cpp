@@ -1,0 +1,129 @@
+#include "data/idx_io.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "platform/common.hpp"
+
+namespace snicit::data {
+
+namespace {
+
+constexpr std::uint32_t kImageMagic = 0x00000803;  // idx3-ubyte
+constexpr std::uint32_t kLabelMagic = 0x00000801;  // idx1-ubyte
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_or_throw(const std::string& path, const char* mode) {
+  FilePtr f(std::fopen(path.c_str(), mode));
+  if (!f) throw std::runtime_error("cannot open: " + path);
+  return f;
+}
+
+std::uint32_t read_be32(std::FILE* f, const std::string& path) {
+  std::uint8_t b[4];
+  if (std::fread(b, 1, 4, f) != 4) {
+    throw std::runtime_error("truncated IDX header in " + path);
+  }
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) |
+         static_cast<std::uint32_t>(b[3]);
+}
+
+void write_be32(std::FILE* f, std::uint32_t v) {
+  const std::uint8_t b[4] = {static_cast<std::uint8_t>(v >> 24),
+                             static_cast<std::uint8_t>(v >> 16),
+                             static_cast<std::uint8_t>(v >> 8),
+                             static_cast<std::uint8_t>(v)};
+  if (std::fwrite(b, 1, 4, f) != 4) {
+    throw std::runtime_error("short write in IDX header");
+  }
+}
+
+}  // namespace
+
+IdxImages load_idx_images(const std::string& path) {
+  auto f = open_or_throw(path, "rb");
+  if (read_be32(f.get(), path) != kImageMagic) {
+    throw std::runtime_error("not an idx3-ubyte image file: " + path);
+  }
+  IdxImages images;
+  images.count = read_be32(f.get(), path);
+  images.rows = read_be32(f.get(), path);
+  images.cols = read_be32(f.get(), path);
+  const std::size_t payload = images.count * images.rows * images.cols;
+  images.pixels.resize(payload);
+  if (std::fread(images.pixels.data(), 1, payload, f.get()) != payload) {
+    throw std::runtime_error("truncated IDX image payload in " + path);
+  }
+  return images;
+}
+
+std::vector<std::uint8_t> load_idx_labels(const std::string& path) {
+  auto f = open_or_throw(path, "rb");
+  if (read_be32(f.get(), path) != kLabelMagic) {
+    throw std::runtime_error("not an idx1-ubyte label file: " + path);
+  }
+  const std::uint32_t count = read_be32(f.get(), path);
+  std::vector<std::uint8_t> labels(count);
+  if (std::fread(labels.data(), 1, count, f.get()) != count) {
+    throw std::runtime_error("truncated IDX label payload in " + path);
+  }
+  return labels;
+}
+
+void save_idx_images(const IdxImages& images, const std::string& path) {
+  SNICIT_CHECK(images.pixels.size() ==
+                   images.count * images.rows * images.cols,
+               "IdxImages payload size mismatch");
+  auto f = open_or_throw(path, "wb");
+  write_be32(f.get(), kImageMagic);
+  write_be32(f.get(), static_cast<std::uint32_t>(images.count));
+  write_be32(f.get(), static_cast<std::uint32_t>(images.rows));
+  write_be32(f.get(), static_cast<std::uint32_t>(images.cols));
+  if (std::fwrite(images.pixels.data(), 1, images.pixels.size(), f.get()) !=
+      images.pixels.size()) {
+    throw std::runtime_error("short write in IDX image payload");
+  }
+}
+
+void save_idx_labels(const std::vector<std::uint8_t>& labels,
+                     const std::string& path) {
+  auto f = open_or_throw(path, "wb");
+  write_be32(f.get(), kLabelMagic);
+  write_be32(f.get(), static_cast<std::uint32_t>(labels.size()));
+  if (std::fwrite(labels.data(), 1, labels.size(), f.get()) !=
+      labels.size()) {
+    throw std::runtime_error("short write in IDX label payload");
+  }
+}
+
+Dataset idx_to_dataset(const IdxImages& images,
+                       const std::vector<std::uint8_t>& labels,
+                       std::size_t num_classes) {
+  SNICIT_CHECK(images.count == labels.size(),
+               "image/label count mismatch");
+  const std::size_t dim = images.rows * images.cols;
+  Dataset ds;
+  ds.num_classes = num_classes;
+  ds.features.reset(dim, images.count);
+  ds.labels.resize(images.count);
+  for (std::size_t j = 0; j < images.count; ++j) {
+    const std::uint8_t* src = images.pixels.data() + j * dim;
+    float* dst = ds.features.col(j);
+    for (std::size_t d = 0; d < dim; ++d) {
+      dst[d] = static_cast<float>(src[d]) / 255.0f;
+    }
+    ds.labels[j] = static_cast<int>(labels[j]);
+  }
+  return ds;
+}
+
+}  // namespace snicit::data

@@ -1,0 +1,42 @@
+// Reader/writer for the IDX binary format used by the MNIST distribution
+// (http://yann.lecun.com/exdb/mnist/). When the real dataset files are
+// available offline the library can consume them directly; the test suite
+// exercises the codec with synthetic files, so no download is required.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace snicit::data {
+
+/// A stack of images as stored in an idx3-ubyte file.
+struct IdxImages {
+  std::size_t count = 0;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint8_t> pixels;  // count * rows * cols, row-major
+};
+
+/// Reads an idx3-ubyte image file. Throws std::runtime_error on I/O or
+/// format errors (bad magic, truncated payload).
+IdxImages load_idx_images(const std::string& path);
+
+/// Reads an idx1-ubyte label file.
+std::vector<std::uint8_t> load_idx_labels(const std::string& path);
+
+/// Writers (used by tests and for exporting synthetic corpora in a
+/// format other MNIST tooling can ingest).
+void save_idx_images(const IdxImages& images, const std::string& path);
+void save_idx_labels(const std::vector<std::uint8_t>& labels,
+                     const std::string& path);
+
+/// Converts images+labels into the library's Dataset layout: one
+/// flattened, [0,1]-scaled column per image. Sizes must agree.
+Dataset idx_to_dataset(const IdxImages& images,
+                       const std::vector<std::uint8_t>& labels,
+                       std::size_t num_classes = 10);
+
+}  // namespace snicit::data

@@ -1,0 +1,129 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "platform/common.hpp"
+#include "platform/rng.hpp"
+
+namespace snicit::data {
+
+namespace {
+
+/// Fisher–Yates shuffle of column order, applied to features and labels.
+void shuffle_columns(Dataset& ds, platform::Rng& rng) {
+  const std::size_t n = ds.size();
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  DenseMatrix shuffled(ds.features.rows(), n);
+  std::vector<int> labels(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = perm[j];
+    std::copy_n(ds.features.col(src), ds.features.rows(), shuffled.col(j));
+    labels[j] = ds.labels[src];
+  }
+  ds.features = std::move(shuffled);
+  ds.labels = std::move(labels);
+}
+
+}  // namespace
+
+Dataset Dataset::slice(std::size_t begin, std::size_t end) const {
+  SNICIT_CHECK(begin <= end && end <= size(), "slice range out of bounds");
+  Dataset out;
+  out.num_classes = num_classes;
+  out.features.reset(features.rows(), end - begin);
+  out.labels.assign(labels.begin() + static_cast<std::ptrdiff_t>(begin),
+                    labels.begin() + static_cast<std::ptrdiff_t>(end));
+  for (std::size_t j = begin; j < end; ++j) {
+    std::copy_n(features.col(j), features.rows(), out.features.col(j - begin));
+  }
+  return out;
+}
+
+Dataset make_clustered_dataset(const ClusteredOptions& options) {
+  SNICIT_CHECK(options.classes >= 1, "need at least one class");
+  SNICIT_CHECK(options.dim >= options.classes, "dim must be >= classes");
+  platform::Rng rng(options.seed);
+
+  // Per-class prototypes: a sparse support with values in [0.5, 1],
+  // blended toward a shared base image by (1 - class_separation) so that
+  // classes can overlap.
+  std::vector<float> base(options.dim, 0.0f);
+  for (std::size_t d = 0; d < options.dim; ++d) {
+    if (rng.next_bool(options.active_fraction)) {
+      base[d] = rng.uniform(0.5f, 1.0f);
+    }
+  }
+  const auto sep = static_cast<float>(options.class_separation);
+  DenseMatrix prototypes(options.dim, options.classes);
+  for (std::size_t c = 0; c < options.classes; ++c) {
+    float* p = prototypes.col(c);
+    for (std::size_t d = 0; d < options.dim; ++d) {
+      const float own =
+          rng.next_bool(options.active_fraction) ? rng.uniform(0.5f, 1.0f)
+                                                 : 0.0f;
+      p[d] = sep * own + (1.0f - sep) * base[d];
+    }
+  }
+
+  Dataset ds;
+  ds.num_classes = options.classes;
+  ds.features.reset(options.dim, options.count);
+  ds.labels.resize(options.count);
+  for (std::size_t j = 0; j < options.count; ++j) {
+    const std::size_t c = j % options.classes;
+    ds.labels[j] = rng.next_bool(options.label_noise)
+                       ? static_cast<int>(rng.next_below(options.classes))
+                       : static_cast<int>(c);
+    const float* p = prototypes.col(c);
+    float* x = ds.features.col(j);
+    for (std::size_t d = 0; d < options.dim; ++d) {
+      float v = p[d] + static_cast<float>(rng.next_gaussian() * options.noise);
+      if (rng.next_bool(options.flip_prob)) {
+        v = (v > 0.25f) ? 0.0f : rng.uniform(0.5f, 1.0f);
+      }
+      x[d] = std::clamp(v, 0.0f, 1.0f);
+    }
+  }
+  shuffle_columns(ds, rng);
+  return ds;
+}
+
+Dataset make_sdgc_input(const SdgcInputOptions& options) {
+  SNICIT_CHECK(options.classes >= 1, "need at least one class");
+  platform::Rng rng(options.seed);
+
+  // Binary class prototype masks.
+  std::vector<std::vector<bool>> prototypes(options.classes);
+  for (auto& mask : prototypes) {
+    mask.resize(options.neurons);
+    for (std::size_t d = 0; d < options.neurons; ++d) {
+      mask[d] = rng.next_bool(options.on_fraction);
+    }
+  }
+
+  Dataset ds;
+  ds.num_classes = options.classes;
+  ds.features.reset(options.neurons, options.batch);
+  ds.labels.resize(options.batch);
+  for (std::size_t j = 0; j < options.batch; ++j) {
+    const std::size_t c = j % options.classes;
+    ds.labels[j] = static_cast<int>(c);
+    float* x = ds.features.col(j);
+    const auto& mask = prototypes[c];
+    for (std::size_t d = 0; d < options.neurons; ++d) {
+      bool on = mask[d];
+      if (rng.next_bool(options.flip_prob)) on = !on;
+      x[d] = on ? 1.0f : 0.0f;
+    }
+  }
+  shuffle_columns(ds, rng);
+  return ds;
+}
+
+}  // namespace snicit::data

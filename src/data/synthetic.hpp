@@ -1,0 +1,51 @@
+// Synthetic clustered datasets standing in for MNIST / CIFAR-10 and for
+// the SDGC input batches (see DESIGN.md §2: the official datasets are not
+// available offline; what SNICIT needs from them is (a) class structure so
+// deep activations converge into clusters and (b) shuffled class order so
+// the paper's take-the-first-s column sampling covers all classes).
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace snicit::data {
+
+struct ClusteredOptions {
+  std::size_t dim = 784;       // feature dimension (784 MNIST, 3072 CIFAR)
+  std::size_t classes = 10;    // number of labels
+  std::size_t count = 1000;    // total samples (classes round-robin, then
+                               // shuffled)
+  double active_fraction = 0.25;  // fraction of dimensions active per class
+                                  // prototype (MNIST-like sparsity)
+  double class_separation = 1.0;  // 1 = independent prototypes; < 1 blends
+                                  // each class prototype toward a shared
+                                  // base image, creating class overlap
+                                  // (a real Bayes-error floor)
+  double noise = 0.10;         // per-sample gaussian noise scale
+  double flip_prob = 0.02;     // per-pixel on/off flips
+  double label_noise = 0.0;    // probability a sample's label is
+                               // re-drawn uniformly (injects a Bayes
+                               // error floor, so trained accuracy lands
+                               // below 100% like real datasets)
+  std::uint64_t seed = 7;
+};
+
+/// Continuous-valued clustered data in [0, 1]: per-class sparse prototype
+/// plus clipped gaussian noise and rare pixel flips.
+Dataset make_clustered_dataset(const ClusteredOptions& options);
+
+struct SdgcInputOptions {
+  std::size_t neurons = 1024;  // rows of Y(0) (resized-image pixel count)
+  std::size_t batch = 1024;    // columns of Y(0)
+  std::size_t classes = 10;
+  double on_fraction = 0.20;   // fraction of pixels set in a prototype
+  double flip_prob = 0.03;     // per-pixel flip noise
+  std::uint64_t seed = 11;
+};
+
+/// Binary {0, 1} "resized MNIST" batches in the SDGC style: class
+/// prototype bit-masks with flip noise, classes shuffled across columns.
+Dataset make_sdgc_input(const SdgcInputOptions& options);
+
+}  // namespace snicit::data

@@ -1,0 +1,82 @@
+#include "dnn/analysis.hpp"
+
+#include <cmath>
+
+#include "dnn/reference.hpp"
+#include "platform/common.hpp"
+
+namespace snicit::dnn {
+
+ClusterCensus cluster_census(const DenseMatrix& y, float eta) {
+  ClusterCensus census;
+  const std::size_t b = y.cols();
+  const std::size_t n = y.rows();
+  if (b == 0) return census;
+
+  std::vector<int> group(b, -1);
+  std::vector<std::size_t> representatives;
+  std::vector<std::size_t> group_sizes;
+  double within_total = 0.0;
+  std::size_t within_count = 0;
+
+  for (std::size_t j = 0; j < b; ++j) {
+    const float* col = y.col(j);
+    for (std::size_t g = 0; g < representatives.size(); ++g) {
+      const float* rep = y.col(representatives[g]);
+      std::size_t differing = 0;
+      for (std::size_t r = 0; r < n; ++r) {
+        if (std::fabs(col[r] - rep[r]) > eta) ++differing;
+      }
+      // Same group when at most 1% of entries differ (or none when the
+      // batch is exactly clustered).
+      if (static_cast<double>(differing) <=
+          0.01 * static_cast<double>(n)) {
+        group[j] = static_cast<int>(g);
+        ++group_sizes[g];
+        within_total +=
+            static_cast<double>(differing) / static_cast<double>(n);
+        ++within_count;
+        break;
+      }
+    }
+    if (group[j] == -1) {
+      group[j] = static_cast<int>(representatives.size());
+      representatives.push_back(j);
+      group_sizes.push_back(1);
+    }
+  }
+
+  census.distinct = representatives.size();
+  for (std::size_t s : group_sizes) {
+    census.largest = std::max(census.largest, s);
+  }
+  census.mean_within_distance =
+      within_count == 0 ? 0.0 : within_total / static_cast<double>(within_count);
+  return census;
+}
+
+std::vector<LayerTraceRow> layer_trace(const SparseDnn& net,
+                                       const DenseMatrix& input) {
+  std::vector<LayerTraceRow> rows;
+  rows.reserve(net.num_layers());
+  DenseMatrix y = input;
+  const auto total = static_cast<double>(y.rows() * y.cols());
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    y = reference_forward(net, y, l, l + 1);
+    LayerTraceRow row;
+    row.layer = l + 1;
+    row.nnz = y.count_nonzeros();
+    row.density = total == 0.0 ? 0.0 : static_cast<double>(row.nnz) / total;
+    std::size_t saturated = 0;
+    for (std::size_t i = 0; i < y.rows() * y.cols(); ++i) {
+      if (y.data()[i] == net.ymax()) ++saturated;
+    }
+    row.saturated_fraction =
+        total == 0.0 ? 0.0 : static_cast<double>(saturated) / total;
+    row.distinct_columns = cluster_census(y, 0.0f).distinct;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace snicit::dnn

@@ -1,0 +1,43 @@
+// Batch-level analysis of intermediate results — the quantitative
+// counterpart of the paper's Figure 1: how clustered a batch is, how its
+// activations are distributed, and how both evolve over layers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dnn/sparse_dnn.hpp"
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::dnn {
+
+using sparse::DenseMatrix;
+
+/// Census of the duplicate/cluster structure of a batch: columns equal
+/// under an element tolerance `eta` are grouped greedily (first member
+/// becomes the group representative, like Algorithm 1's pruning).
+struct ClusterCensus {
+  std::size_t distinct = 0;  // number of groups
+  std::size_t largest = 0;   // size of the biggest group
+  /// Mean fraction of rows in which a column differs (> eta) from its
+  /// group representative — 0 when groups are exact duplicates.
+  double mean_within_distance = 0.0;
+};
+
+ClusterCensus cluster_census(const DenseMatrix& y, float eta = 0.0f);
+
+/// Per-layer trace of a batch's evolution through a network.
+struct LayerTraceRow {
+  std::size_t layer = 0;          // 1-based layer index (after this layer)
+  std::size_t nnz = 0;            // nonzeros of Y(layer)
+  double density = 0.0;           // nnz / (N*B)
+  double saturated_fraction = 0.0;  // entries at the ymax clip
+  std::size_t distinct_columns = 0; // exact-duplicate census
+};
+
+/// Runs exact feed-forward and records one row per layer. O(layers) full
+/// forward cost plus census cost — analysis, not a fast path.
+std::vector<LayerTraceRow> layer_trace(const SparseDnn& net,
+                                       const DenseMatrix& input);
+
+}  // namespace snicit::dnn

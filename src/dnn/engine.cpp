@@ -1,0 +1,53 @@
+#include "dnn/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/common.hpp"
+
+namespace snicit::dnn {
+
+std::vector<int> argmax_categories(const DenseMatrix& y,
+                                   std::size_t num_classes) {
+  SNICIT_CHECK(num_classes >= 1 && num_classes <= y.rows(),
+               "num_classes out of range");
+  std::vector<int> cats(y.cols());
+  for (std::size_t j = 0; j < y.cols(); ++j) {
+    const float* c = y.col(j);
+    int best = 0;
+    for (std::size_t r = 1; r < num_classes; ++r) {
+      if (c[r] > c[best]) best = static_cast<int>(r);
+    }
+    cats[j] = best;
+  }
+  return cats;
+}
+
+std::vector<int> sdgc_categories(const DenseMatrix& y, float tol) {
+  std::vector<int> cats(y.cols());
+  for (std::size_t j = 0; j < y.cols(); ++j) {
+    const float* c = y.col(j);
+    int active = 0;
+    for (std::size_t r = 0; r < y.rows(); ++r) {
+      if (std::fabs(c[r]) > tol) {
+        active = 1;
+        break;
+      }
+    }
+    cats[j] = active;
+  }
+  return cats;
+}
+
+double category_match_rate(const std::vector<int>& a,
+                           const std::vector<int>& b) {
+  SNICIT_CHECK(a.size() == b.size(), "category vectors differ in length");
+  if (a.empty()) return 1.0;
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++same;
+  }
+  return static_cast<double>(same) / static_cast<double>(a.size());
+}
+
+}  // namespace snicit::dnn

@@ -1,0 +1,52 @@
+// Common interface implemented by the reference, the three champion
+// baselines (BF-2019 / SNIG-2020 / XY-2021) and SNICIT itself, so tests
+// and benchmark harnesses treat all engines uniformly.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dnn/sparse_dnn.hpp"
+#include "platform/timer.hpp"
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::dnn {
+
+using sparse::DenseMatrix;
+
+struct RunResult {
+  DenseMatrix output;                 // Y(l), neurons x batch
+  platform::StageBreakdown stages;    // named stage durations (ms)
+  std::vector<double> layer_ms;       // per-layer wall time (ms)
+  std::map<std::string, double> diagnostics;  // engine-specific scalars
+
+  double total_ms() const { return stages.total_ms(); }
+};
+
+class InferenceEngine {
+ public:
+  virtual ~InferenceEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Runs the full feed-forward of `net` on `input` (neurons x batch) and
+  /// returns the last-layer activations plus timing.
+  virtual RunResult run(const SparseDnn& net, const DenseMatrix& input) = 0;
+};
+
+/// Argmax class per column, restricted to the first `num_classes` rows
+/// (medium-scale nets put the 10 class scores in the leading rows).
+std::vector<int> argmax_categories(const DenseMatrix& y,
+                                   std::size_t num_classes);
+
+/// SDGC-style category: 1 when a column has any nonzero entry, else 0
+/// (the challenge's golden reference marks which inputs remain active).
+std::vector<int> sdgc_categories(const DenseMatrix& y, float tol = 0.0f);
+
+/// Fraction of matching entries between two category vectors.
+double category_match_rate(const std::vector<int>& a,
+                           const std::vector<int>& b);
+
+}  // namespace snicit::dnn

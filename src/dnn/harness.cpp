@@ -1,0 +1,96 @@
+#include "dnn/harness.hpp"
+
+#include <cstdio>
+
+#include "platform/common.hpp"
+#include "platform/json.hpp"
+
+namespace snicit::dnn {
+
+std::string Comparison::to_table() const {
+  std::string out = "workload: " + workload + "\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-12s %12s %10s %10s %12s\n",
+                "engine", "runtime ms", "speedup", "golden", "max |diff|");
+  out += line;
+  for (const auto& row : rows) {
+    std::snprintf(line, sizeof(line), "%-12s %12.2f %9.2fx %10s %12.3g\n",
+                  row.engine.c_str(), row.total_ms,
+                  row.speedup_vs_baseline,
+                  row.categories_match ? "match" : "MISMATCH",
+                  static_cast<double>(row.max_abs_diff));
+    out += line;
+  }
+  return out;
+}
+
+std::string Comparison::to_json() const {
+  platform::JsonWriter json;
+  json.begin_object();
+  json.key("workload").value(workload);
+  json.key("engines").begin_array();
+  for (const auto& row : rows) {
+    json.begin_object();
+    json.key("name").value(row.engine);
+    json.key("total_ms").value(row.total_ms);
+    json.key("speedup_vs_baseline").value(row.speedup_vs_baseline);
+    json.key("categories_match").value(row.categories_match);
+    json.key("max_abs_diff").value(static_cast<double>(row.max_abs_diff));
+    json.key("diagnostics").begin_object();
+    for (const auto& [key, value] : row.diagnostics) {
+      json.key(key).value(value);
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+Comparison compare_engines(const std::string& workload_name,
+                           const std::vector<InferenceEngine*>& engines,
+                           const SparseDnn& net, const DenseMatrix& input,
+                           int repeats, float category_tol) {
+  SNICIT_CHECK(!engines.empty(), "need at least one engine");
+  net.ensure_csc();  // shared prep so no engine pays it inside its timing
+
+  Comparison comparison;
+  comparison.workload = workload_name;
+
+  DenseMatrix golden;
+  std::vector<int> golden_cats;
+  double baseline_ms = 0.0;
+
+  for (std::size_t e = 0; e < engines.size(); ++e) {
+    RunResult best = engines[e]->run(net, input);
+    for (int r = 1; r < repeats; ++r) {
+      RunResult again = engines[e]->run(net, input);
+      if (again.total_ms() < best.total_ms()) best = std::move(again);
+    }
+
+    ComparisonRow row;
+    row.engine = engines[e]->name();
+    row.total_ms = best.total_ms();
+    row.diagnostics = best.diagnostics;
+    if (e == 0) {
+      baseline_ms = row.total_ms;
+      golden = std::move(best.output);
+      golden_cats = sdgc_categories(golden, category_tol);
+      row.speedup_vs_baseline = 1.0;
+      row.categories_match = true;
+      row.max_abs_diff = 0.0f;
+    } else {
+      row.speedup_vs_baseline =
+          row.total_ms > 0.0 ? baseline_ms / row.total_ms : 0.0;
+      row.max_abs_diff = DenseMatrix::max_abs_diff(best.output, golden);
+      row.categories_match =
+          category_match_rate(sdgc_categories(best.output, category_tol),
+                              golden_cats) == 1.0;
+    }
+    comparison.rows.push_back(std::move(row));
+  }
+  return comparison;
+}
+
+}  // namespace snicit::dnn

@@ -1,0 +1,51 @@
+// Multi-engine comparison harness: runs a set of engines on one workload,
+// checks every output against a designated golden engine, and renders the
+// comparison as a table or JSON. The benchmark binaries are thin wrappers
+// over this.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dnn/engine.hpp"
+
+namespace snicit::dnn {
+
+struct ComparisonRow {
+  std::string engine;
+  double total_ms = 0.0;
+  double speedup_vs_baseline = 1.0;  // first engine is the baseline
+  bool categories_match = true;      // vs the golden output
+  float max_abs_diff = 0.0f;
+  std::map<std::string, double> diagnostics;
+};
+
+struct Comparison {
+  std::string workload;
+  std::vector<ComparisonRow> rows;
+
+  bool all_match() const {
+    for (const auto& row : rows) {
+      if (!row.categories_match) return false;
+    }
+    return true;
+  }
+
+  /// Fixed-width text table.
+  std::string to_table() const;
+
+  /// JSON document: {"workload": ..., "engines": [...]}.
+  std::string to_json() const;
+};
+
+/// Runs every engine on (net, input); the FIRST engine's output is the
+/// golden reference for category checks and its runtime the speed-up
+/// baseline. `repeats` keeps each engine's fastest run.
+Comparison compare_engines(
+    const std::string& workload_name,
+    const std::vector<InferenceEngine*>& engines, const SparseDnn& net,
+    const DenseMatrix& input, int repeats = 1, float category_tol = 1e-3f);
+
+}  // namespace snicit::dnn

@@ -1,0 +1,60 @@
+#include "dnn/memory.hpp"
+
+#include "platform/common.hpp"
+
+namespace snicit::dnn {
+
+ModelFootprint model_footprint(const SparseDnn& net, bool include_mirrors) {
+  ModelFootprint fp;
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const auto& w = net.weight(l);
+    fp.csr_bytes += (w.row_ptr().size() * sizeof(sparse::Offset)) +
+                    (w.col_idx().size() * sizeof(sparse::Index)) +
+                    (w.values().size() * sizeof(float));
+  }
+  if (include_mirrors) {
+    // Mirrors share nnz with CSR: CSC swaps the pointer axis; ELL stores
+    // width*rows slots of (index, value).
+    for (std::size_t l = 0; l < net.num_layers(); ++l) {
+      const auto& w = net.weight(l);
+      fp.csc_bytes +=
+          (static_cast<std::size_t>(w.cols()) + 1) * sizeof(sparse::Offset) +
+          static_cast<std::size_t>(w.nnz()) *
+              (sizeof(sparse::Index) + sizeof(float));
+      // ELL width = max row nnz.
+      std::size_t width = 0;
+      for (sparse::Index r = 0; r < w.rows(); ++r) {
+        width = std::max(width, w.row_cols(r).size());
+      }
+      fp.ell_bytes += static_cast<std::size_t>(w.rows()) * width *
+                      (sizeof(sparse::Index) + sizeof(float));
+    }
+  }
+  return fp;
+}
+
+std::size_t run_working_set_bytes(const SparseDnn& net, std::size_t batch,
+                                  int activation_buffers) {
+  SNICIT_CHECK(activation_buffers >= 1, "need at least one buffer");
+  const auto n = static_cast<std::size_t>(net.neurons());
+  const std::size_t buffers = static_cast<std::size_t>(activation_buffers) *
+                              n * batch * sizeof(float);
+  // Per-column bookkeeping (mapper, ne_rec, ne_idx in the SNICIT case —
+  // counted for every engine as a small constant envelope).
+  const std::size_t bookkeeping =
+      batch * (sizeof(sparse::Index) * 2 + sizeof(std::uint8_t));
+  return buffers + bookkeeping;
+}
+
+std::size_t max_batch_for_budget(const SparseDnn& net,
+                                 std::size_t budget_bytes,
+                                 int activation_buffers) {
+  const std::size_t model = model_footprint(net).total();
+  if (model >= budget_bytes) return 0;
+  const std::size_t left = budget_bytes - model;
+  const std::size_t per_column =
+      run_working_set_bytes(net, 1, activation_buffers);
+  return per_column == 0 ? 0 : left / per_column;
+}
+
+}  // namespace snicit::dnn

@@ -1,0 +1,38 @@
+// Memory footprint accounting. The paper sizes batches against GPU
+// capacity ("B = 30000 for 65536 neurons ... so that no overflow occurs in
+// GPU memory", §4.1.1); these estimators reproduce that arithmetic for any
+// configuration and back the harnesses' batch-size caps.
+#pragma once
+
+#include <cstddef>
+
+#include "dnn/sparse_dnn.hpp"
+
+namespace snicit::dnn {
+
+struct ModelFootprint {
+  std::size_t csr_bytes = 0;  // row_ptr + col_idx + values, all layers
+  std::size_t csc_bytes = 0;  // mirror, when built
+  std::size_t ell_bytes = 0;  // mirror, when built
+  std::size_t total() const { return csr_bytes + csc_bytes + ell_bytes; }
+};
+
+/// Bytes the model occupies in each stored format (mirrors counted only
+/// when `include_mirrors`).
+ModelFootprint model_footprint(const SparseDnn& net,
+                               bool include_mirrors = true);
+
+/// Working-set bytes of one engine run at batch size `batch`:
+/// `activation_buffers` N x B float buffers (2 for the double-buffered
+/// baselines, 3 for SNICIT: Ŷ + spMM scratch + recovery output) plus
+/// per-column bookkeeping.
+std::size_t run_working_set_bytes(const SparseDnn& net, std::size_t batch,
+                                  int activation_buffers);
+
+/// Largest batch size whose model + working set fits in `budget_bytes`
+/// (0 when even B = 1 does not fit).
+std::size_t max_batch_for_budget(const SparseDnn& net,
+                                 std::size_t budget_bytes,
+                                 int activation_buffers);
+
+}  // namespace snicit::dnn

@@ -1,0 +1,24 @@
+// Exact dense feed-forward — the correctness oracle every engine is
+// checked against (the role the SDGC "golden reference" plays in the
+// paper's evaluation).
+#pragma once
+
+#include "dnn/engine.hpp"
+
+namespace snicit::dnn {
+
+class ReferenceEngine final : public InferenceEngine {
+ public:
+  std::string name() const override { return "reference"; }
+  RunResult run(const SparseDnn& net, const DenseMatrix& input) override;
+};
+
+/// Convenience: feed-forward `input` through layers [first, last) of `net`
+/// and return the activations after layer last-1.
+DenseMatrix reference_forward(const SparseDnn& net, const DenseMatrix& input,
+                              std::size_t first, std::size_t last);
+
+/// Full-network reference output (layers [0, num_layers)).
+DenseMatrix reference_forward(const SparseDnn& net, const DenseMatrix& input);
+
+}  // namespace snicit::dnn

@@ -1,0 +1,77 @@
+#include "dnn/sparse_dnn.hpp"
+
+#include "platform/common.hpp"
+
+namespace snicit::dnn {
+
+SparseDnn::SparseDnn(Index neurons, std::vector<CsrMatrix> weights,
+                     std::vector<std::vector<float>> biases, float ymax,
+                     std::string name)
+    : neurons_(neurons),
+      weights_(std::move(weights)),
+      biases_(std::move(biases)),
+      ymax_(ymax),
+      name_(std::move(name)) {
+  SNICIT_CHECK(weights_.size() == biases_.size(),
+               "one bias vector per layer required");
+  SNICIT_CHECK(!weights_.empty(), "a network needs at least one layer");
+  SNICIT_CHECK(ymax_ > 0.0f, "ymax must be positive");
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    SNICIT_CHECK(weights_[i].rows() == neurons_ &&
+                     weights_[i].cols() == neurons_,
+                 "layer weight must be neurons x neurons");
+    SNICIT_CHECK(biases_[i].size() == static_cast<std::size_t>(neurons_),
+                 "bias vector must have one entry per neuron");
+  }
+  csc_.resize(weights_.size());
+  csc_built_.assign(weights_.size(), false);
+  ell_.resize(weights_.size());
+  ell_built_.assign(weights_.size(), false);
+}
+
+bool SparseDnn::bias_is_constant(std::size_t layer) const {
+  const auto& b = biases_[layer];
+  for (float v : b) {
+    if (v != b[0]) return false;
+  }
+  return true;
+}
+
+const CscMatrix& SparseDnn::weight_csc(std::size_t layer) const {
+  if (!csc_built_[layer]) {
+    csc_[layer] = CscMatrix::from_csr(weights_[layer]);
+    csc_built_[layer] = true;
+  }
+  return csc_[layer];
+}
+
+void SparseDnn::ensure_csc() const {
+  for (std::size_t i = 0; i < weights_.size(); ++i) weight_csc(i);
+}
+
+const sparse::EllMatrix& SparseDnn::weight_ell(std::size_t layer) const {
+  if (!ell_built_[layer]) {
+    ell_[layer] = sparse::EllMatrix::from_csr(weights_[layer]);
+    ell_built_[layer] = true;
+  }
+  return ell_[layer];
+}
+
+void SparseDnn::ensure_ell() const {
+  for (std::size_t i = 0; i < weights_.size(); ++i) weight_ell(i);
+}
+
+sparse::Offset SparseDnn::connections() const {
+  sparse::Offset n = 0;
+  for (const auto& w : weights_) n += w.nnz();
+  return n;
+}
+
+double SparseDnn::density() const {
+  if (weights_.empty()) return 0.0;
+  double d = 0.0;
+  for (const auto& w : weights_) d += w.density();
+  return d / static_cast<double>(weights_.size());
+}
+
+}  // namespace snicit::dnn

@@ -1,0 +1,72 @@
+// The sparse DNN model consumed by every inference engine: a stack of
+// square sparse layers Y(i+1) = σ(W(i+1)·Y(i) + b(i+1)) with
+// σ(x) = min(max(x, 0), ymax) — the SDGC feed-forward recurrence.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/csr.hpp"
+
+namespace snicit::dnn {
+
+using sparse::CscMatrix;
+using sparse::CsrMatrix;
+using sparse::Index;
+
+class SparseDnn {
+ public:
+  SparseDnn() = default;
+
+  /// Builds a model; every weight matrix must be neurons x neurons and
+  /// every bias vector of size neurons. ymax is the activation clip
+  /// (32 for SDGC benchmarks, 1 for the paper's medium-scale DNNs).
+  SparseDnn(Index neurons, std::vector<CsrMatrix> weights,
+            std::vector<std::vector<float>> biases, float ymax,
+            std::string name = "sparse-dnn");
+
+  Index neurons() const { return neurons_; }
+  std::size_t num_layers() const { return weights_.size(); }
+  float ymax() const { return ymax_; }
+  const std::string& name() const { return name_; }
+
+  const CsrMatrix& weight(std::size_t layer) const { return weights_[layer]; }
+  const std::vector<float>& bias(std::size_t layer) const {
+    return biases_[layer];
+  }
+
+  /// True when every bias entry of `layer` equals the same constant
+  /// (SDGC benchmarks use a single constant per network).
+  bool bias_is_constant(std::size_t layer) const;
+  float constant_bias(std::size_t layer) const { return biases_[layer][0]; }
+
+  /// CSC mirror of weight(layer); built on first request (not thread-safe
+  /// against concurrent first access — engines call ensure_csc() upfront).
+  const CscMatrix& weight_csc(std::size_t layer) const;
+  void ensure_csc() const;
+
+  /// ELL mirror of weight(layer), same lazy/ensure contract.
+  const sparse::EllMatrix& weight_ell(std::size_t layer) const;
+  void ensure_ell() const;
+
+  /// Total number of nonzero weights across layers.
+  sparse::Offset connections() const;
+
+  /// Average weight density across layers.
+  double density() const;
+
+ private:
+  Index neurons_ = 0;
+  std::vector<CsrMatrix> weights_;
+  std::vector<std::vector<float>> biases_;
+  mutable std::vector<CscMatrix> csc_;  // lazily mirrored
+  mutable std::vector<bool> csc_built_;
+  mutable std::vector<sparse::EllMatrix> ell_;
+  mutable std::vector<bool> ell_built_;
+  float ymax_ = 32.0f;
+  std::string name_;
+};
+
+}  // namespace snicit::dnn

@@ -1,0 +1,73 @@
+#include "dnn/validate.hpp"
+
+#include <cmath>
+
+namespace snicit::dnn {
+
+namespace {
+
+void add(ValidationReport& report, ValidationIssue::Severity severity,
+         std::size_t layer, std::string message) {
+  report.issues.push_back({severity, layer, std::move(message)});
+}
+
+}  // namespace
+
+ValidationReport validate_model(const SparseDnn& net) {
+  ValidationReport report;
+  using Severity = ValidationIssue::Severity;
+
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const auto& w = net.weight(l);
+
+    if (!w.is_valid()) {
+      add(report, Severity::kError, l, "invalid CSR structure");
+      continue;  // further checks on broken structure are meaningless
+    }
+    if (w.nnz() == 0) {
+      add(report, Severity::kWarning, l,
+          "layer has no weights (all outputs collapse to bias)");
+    }
+
+    for (float v : w.values()) {
+      if (!std::isfinite(v)) {
+        add(report, Severity::kError, l, "non-finite weight value");
+        break;
+      }
+    }
+    for (float v : net.bias(l)) {
+      if (!std::isfinite(v)) {
+        add(report, Severity::kError, l, "non-finite bias value");
+        break;
+      }
+    }
+
+    // Dead output rows: the neuron's activation is a constant σ(bias).
+    std::size_t dead_rows = 0;
+    for (Index r = 0; r < w.rows(); ++r) {
+      if (w.row_cols(r).empty()) ++dead_rows;
+    }
+    if (dead_rows > 0) {
+      add(report, Severity::kWarning, l,
+          std::to_string(dead_rows) + " output neurons have no in-edges");
+    }
+
+    // Unused inputs: columns of W with no entries — the previous layer's
+    // neuron feeds nothing forward.
+    std::vector<bool> used(static_cast<std::size_t>(w.cols()), false);
+    for (Index c : w.col_idx()) {
+      used[static_cast<std::size_t>(c)] = true;
+    }
+    std::size_t unused = 0;
+    for (bool u : used) {
+      if (!u) ++unused;
+    }
+    if (unused > 0 && w.nnz() > 0) {
+      add(report, Severity::kWarning, l,
+          std::to_string(unused) + " input neurons feed no output");
+    }
+  }
+  return report;
+}
+
+}  // namespace snicit::dnn

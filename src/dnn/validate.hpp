@@ -1,0 +1,45 @@
+// Model linting: structural and numerical health checks on a SparseDnn
+// before it is served. Catches the issues most likely to silently corrupt
+// a SNICIT run (NaN/Inf weights, dead neurons, empty layers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/sparse_dnn.hpp"
+
+namespace snicit::dnn {
+
+struct ValidationIssue {
+  enum class Severity { kWarning, kError };
+  Severity severity;
+  std::size_t layer;  // layer the issue was found in
+  std::string message;
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  bool ok() const {  // no errors (warnings allowed)
+    for (const auto& issue : issues) {
+      if (issue.severity == ValidationIssue::Severity::kError) return false;
+    }
+    return true;
+  }
+  std::size_t warnings() const {
+    std::size_t n = 0;
+    for (const auto& issue : issues) {
+      if (issue.severity == ValidationIssue::Severity::kWarning) ++n;
+    }
+    return n;
+  }
+  std::size_t errors() const { return issues.size() - warnings(); }
+};
+
+/// Checks every layer for: invalid CSR structure, non-finite weights or
+/// biases (errors); empty weight matrices, output neurons with no incoming
+/// edges ("dead rows", which zero out their channel), and input neurons
+/// with no outgoing edges in the next layer (warnings).
+ValidationReport validate_model(const SparseDnn& net);
+
+}  // namespace snicit::dnn

@@ -1,0 +1,87 @@
+#include "platform/cli.hpp"
+
+#include <cstdlib>
+
+namespace snicit::platform {
+
+namespace {
+
+bool is_option(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+/// True when `arg` can be an option value (not itself an option). Negative
+/// numbers ("-3") are values, not options.
+bool is_value(const std::string& arg) { return !is_option(arg); }
+
+}  // namespace
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!is_option(arg)) {
+      positionals_.push_back(arg);
+      continue;
+    }
+    Option opt;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      // --name=value form.
+      opt.name = arg.substr(2, eq - 2);
+      opt.value = arg.substr(eq + 1);
+      opt.has_value = true;
+    } else {
+      opt.name = arg.substr(2);
+      if (i + 1 < argc && is_value(argv[i + 1])) {
+        opt.value = argv[++i];
+        opt.has_value = true;
+      }
+    }
+    options_.push_back(std::move(opt));
+  }
+}
+
+const CliArgs::Option* CliArgs::find(const std::string& name) const {
+  // Last occurrence wins, so "--b 10 --b 20" resolves to 20.
+  const Option* found = nullptr;
+  for (const auto& opt : options_) {
+    if (opt.name == name) found = &opt;
+  }
+  return found;
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return find(name) != nullptr;
+}
+
+std::string CliArgs::get(const std::string& name,
+                         const std::string& fallback) const {
+  const Option* opt = find(name);
+  return (opt != nullptr && opt->has_value) ? opt->value : fallback;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name,
+                              std::int64_t fallback) const {
+  const Option* opt = find(name);
+  if (opt == nullptr || !opt->has_value) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(opt->value.c_str(), &end, 10);
+  return end == opt->value.c_str() ? fallback
+                                   : static_cast<std::int64_t>(v);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const Option* opt = find(name);
+  if (opt == nullptr || !opt->has_value) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(opt->value.c_str(), &end);
+  return end == opt->value.c_str() ? fallback : v;
+}
+
+std::string CliArgs::positional(std::size_t i,
+                                const std::string& fallback) const {
+  return i < positionals_.size() ? positionals_[i] : fallback;
+}
+
+}  // namespace snicit::platform

@@ -1,0 +1,47 @@
+// Minimal command-line parsing for the example programs and tools:
+// "--key value" options, "--flag" switches, and positionals. No external
+// dependencies, no global state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snicit::platform {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True when "--name" appears (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Value of "--name value"; `fallback` when absent. A trailing "--name"
+  /// with no value also yields `fallback`.
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Arguments that are not "--options" nor their values, in order.
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+  /// i-th positional, or `fallback` when missing.
+  std::string positional(std::size_t i, const std::string& fallback) const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  struct Option {
+    std::string name;  // without the leading dashes
+    std::string value; // empty when used as a bare flag
+    bool has_value = false;
+  };
+
+  const Option* find(const std::string& name) const;
+
+  std::string program_;
+  std::vector<Option> options_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace snicit::platform

@@ -1,0 +1,41 @@
+// Core macros and small utilities shared by every SNICIT module.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace snicit::platform {
+
+/// Abort with a formatted message. Used for unrecoverable internal errors;
+/// recoverable/user errors throw std::invalid_argument instead.
+[[noreturn]] inline void fatal(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[snicit fatal] %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace snicit::platform
+
+/// Always-on invariant check (cheap checks on hot boundaries stay enabled
+/// in release builds; per-element checks must use SNICIT_DCHECK).
+#define SNICIT_CHECK(cond, msg)                                     \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::snicit::platform::fatal(__FILE__, __LINE__,                 \
+                                std::string("CHECK failed: " #cond  \
+                                            " — ") + (msg));        \
+    }                                                               \
+  } while (0)
+
+#ifdef NDEBUG
+#define SNICIT_DCHECK(cond, msg) ((void)0)
+#else
+#define SNICIT_DCHECK(cond, msg) SNICIT_CHECK(cond, msg)
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SNICIT_RESTRICT __restrict__
+#else
+#define SNICIT_RESTRICT
+#endif

@@ -1,0 +1,28 @@
+#include "platform/env.hpp"
+
+#include <cstdlib>
+
+namespace snicit::platform {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  return (end == s) ? fallback : static_cast<std::int64_t>(v);
+}
+
+double env_double(const char* name, double fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  return (end == s) ? fallback : v;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* s = std::getenv(name);
+  return (s == nullptr || *s == '\0') ? fallback : std::string(s);
+}
+
+}  // namespace snicit::platform

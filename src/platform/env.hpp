@@ -1,0 +1,20 @@
+// Environment-variable helpers used by benchmark harnesses to scale
+// workloads (e.g. SNICIT_BENCH_SCALE=full on machines that can afford the
+// paper-sized configurations).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace snicit::platform {
+
+/// Returns the integer value of `name`, or `fallback` when unset/invalid.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Returns the double value of `name`, or `fallback` when unset/invalid.
+double env_double(const char* name, double fallback);
+
+/// Returns the string value of `name`, or `fallback` when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace snicit::platform

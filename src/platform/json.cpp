@@ -1,0 +1,150 @@
+#include "platform/json.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "platform/common.hpp"
+
+namespace snicit::platform {
+
+JsonWriter::JsonWriter() = default;
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::prepare_for_value() {
+  if (stack_.empty()) return;
+  Frame& top = stack_.back();
+  if (top.scope == Scope::kObject) {
+    SNICIT_CHECK(pending_key_, "object values need a key() first");
+    pending_key_ = false;
+    return;
+  }
+  if (top.has_items) out_ += ',';
+  top.has_items = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_for_value();
+  out_ += '{';
+  stack_.push_back({Scope::kObject, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  SNICIT_CHECK(!stack_.empty() && stack_.back().scope == Scope::kObject,
+               "end_object without matching begin_object");
+  SNICIT_CHECK(!pending_key_, "dangling key before end_object");
+  stack_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_for_value();
+  out_ += '[';
+  stack_.push_back({Scope::kArray, false});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  SNICIT_CHECK(!stack_.empty() && stack_.back().scope == Scope::kArray,
+               "end_array without matching begin_array");
+  stack_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  SNICIT_CHECK(!stack_.empty() && stack_.back().scope == Scope::kObject,
+               "key() outside an object");
+  SNICIT_CHECK(!pending_key_, "two keys in a row");
+  if (stack_.back().has_items) out_ += ',';
+  stack_.back().has_items = true;
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  prepare_for_value();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string(v));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  prepare_for_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  prepare_for_value();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::size_t v) {
+  return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prepare_for_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  SNICIT_CHECK(stack_.empty(), "unclosed containers in JSON document");
+  return out_;
+}
+
+}  // namespace snicit::platform

@@ -1,0 +1,51 @@
+// Minimal JSON writer for machine-readable benchmark reports: objects,
+// arrays, strings (escaped), numbers, booleans. Write-only by design — the
+// library never needs to parse JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snicit::platform {
+
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits a key inside an object; must be followed by exactly one value
+  /// (scalar or begin_object/begin_array).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::size_t v);
+  JsonWriter& value(bool v);
+
+  /// The serialized document; valid once all containers are closed.
+  const std::string& str() const;
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void prepare_for_value();
+
+  enum class Scope : std::uint8_t { kObject, kArray };
+  struct Frame {
+    Scope scope;
+    bool has_items = false;
+  };
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;
+};
+
+}  // namespace snicit::platform

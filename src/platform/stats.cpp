@@ -1,0 +1,24 @@
+#include "platform/stats.hpp"
+
+namespace snicit::platform {
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < bins(); ++b) {
+    const double next = cumulative + static_cast<double>(counts_[b]);
+    if (next >= target) {
+      const double within =
+          counts_[b] == 0
+              ? 0.0
+              : (target - cumulative) / static_cast<double>(counts_[b]);
+      return bin_lo(b) + within * (bin_hi(b) - bin_lo(b));
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+}  // namespace snicit::platform

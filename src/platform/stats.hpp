@@ -1,0 +1,86 @@
+// Small statistics utilities used by diagnostics and benchmark reports:
+// single-pass running moments (Welford) and a fixed-range histogram.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace snicit::platform {
+
+/// Numerically stable single-pass mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const {
+    return count_ == 0 ? 0.0 : min_;
+  }
+  double max() const {
+    return count_ == 0 ? 0.0 : max_;
+  }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-range histogram with uniform bins; out-of-range samples clamp to
+/// the edge bins (so totals always add up).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+  void add(double x) {
+    const double clamped = std::clamp(x, lo_, hi_);
+    const double span = hi_ - lo_;
+    auto bin = span <= 0.0
+                   ? 0
+                   : static_cast<std::size_t>((clamped - lo_) / span *
+                                              static_cast<double>(bins()));
+    if (bin >= bins()) bin = bins() - 1;
+    ++counts_[bin];
+    ++total_;
+  }
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+
+  double bin_lo(std::size_t bin) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                     static_cast<double>(bins());
+  }
+  double bin_hi(std::size_t bin) const { return bin_lo(bin + 1); }
+
+  /// Value below which `q` (in [0,1]) of the mass lies, interpolated
+  /// within the containing bin.
+  double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace snicit::platform

@@ -1,0 +1,51 @@
+#include "platform/task_graph.hpp"
+
+#include "platform/common.hpp"
+#include "platform/thread_pool.hpp"
+
+namespace snicit::platform {
+
+TaskGraph::TaskId TaskGraph::add(std::function<void()> work) {
+  nodes_.push_back(Node{std::move(work), {}, 0});
+  return nodes_.size() - 1;
+}
+
+void TaskGraph::add_edge(TaskId before, TaskId after) {
+  SNICIT_CHECK(before < nodes_.size() && after < nodes_.size(),
+               "task id out of range");
+  nodes_[before].successors.push_back(after);
+  ++nodes_[after].dependencies;
+}
+
+void TaskGraph::run() {
+  // Wavefront (level-synchronous Kahn) execution: each wave is the set of
+  // currently-ready nodes, run concurrently on the global pool. Nodes at
+  // different pipeline depths that become ready together execute in the
+  // same wave, which is what gives SNIG-style chunk/layer overlap.
+  std::vector<std::size_t> pending(nodes_.size());
+  std::vector<TaskId> ready;
+  ready.reserve(nodes_.size());
+  for (TaskId i = 0; i < nodes_.size(); ++i) {
+    pending[i] = nodes_[i].dependencies;
+    if (pending[i] == 0) ready.push_back(i);
+  }
+
+  std::size_t retired = 0;
+  std::vector<TaskId> next;
+  while (!ready.empty()) {
+    ThreadPool::global().run_chunks(ready.size(), [&](std::size_t k) {
+      nodes_[ready[k]].work();
+    });
+    retired += ready.size();
+    next.clear();
+    for (TaskId id : ready) {
+      for (TaskId succ : nodes_[id].successors) {
+        if (--pending[succ] == 0) next.push_back(succ);
+      }
+    }
+    ready.swap(next);
+  }
+  SNICIT_CHECK(retired == nodes_.size(), "task graph has a cycle");
+}
+
+}  // namespace snicit::platform

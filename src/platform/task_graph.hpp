@@ -1,0 +1,41 @@
+// A minimal dependency-graph executor, standing in for the CUDA-graph /
+// Taskflow machinery SNIG-2020 uses to overlap per-partition work and cut
+// kernel-launch synchronization. Nodes run on the global ThreadPool as soon
+// as their dependencies retire.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace snicit::platform {
+
+class TaskGraph {
+ public:
+  using TaskId = std::size_t;
+
+  /// Adds a node; returns its id. Tasks must be added before run().
+  TaskId add(std::function<void()> work);
+
+  /// Declares that `after` may only start once `before` finished.
+  void add_edge(TaskId before, TaskId after);
+
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Executes the whole graph; blocks until every node has retired.
+  /// The graph must be acyclic (checked: run aborts if tasks remain).
+  void run();
+
+ private:
+  struct Node {
+    std::function<void()> work;
+    std::vector<TaskId> successors;
+    std::size_t dependencies = 0;
+  };
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace snicit::platform

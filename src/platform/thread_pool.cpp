@@ -1,0 +1,150 @@
+#include "platform/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "platform/common.hpp"
+
+namespace snicit::platform {
+
+namespace {
+
+std::size_t env_thread_count() {
+  if (const char* s = std::getenv("SNICIT_THREADS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = env_thread_count();
+  // The caller thread always participates, so spawn threads-1 workers.
+  const std::size_t workers = threads > 0 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+namespace {
+// Depth of pool-task nesting on this thread. Nested parallel regions
+// (e.g. a per-chunk baseline calling a parallel spMM kernel) execute
+// serially instead of deadlocking or re-entering the pool.
+thread_local int g_pool_depth = 0;
+}  // namespace
+
+void ThreadPool::run_chunks(std::size_t num_chunks,
+                            const std::function<void(std::size_t)>& fn) {
+  if (num_chunks == 0) return;
+  if (workers_.empty() || num_chunks == 1 || g_pool_depth > 0) {
+    for (std::size_t i = 0; i < num_chunks; ++i) fn(i);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SNICIT_CHECK(job_ == nullptr, "nested run_chunks on the same pool");
+    job_ = &fn;
+    num_chunks_ = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    active_ = workers_.size();
+    ++epoch_;
+  }
+  wake_.notify_all();
+
+  // The caller thread drains chunks alongside the workers.
+  ++g_pool_depth;
+  std::size_t i;
+  while ((i = next_chunk_.fetch_add(1, std::memory_order_relaxed)) <
+         num_chunks) {
+    fn(i);
+  }
+  --g_pool_depth;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return active_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    std::size_t num_chunks = 0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+      num_chunks = num_chunks_;
+    }
+    ++g_pool_depth;
+    std::size_t i;
+    while ((i = next_chunk_.fetch_add(1, std::memory_order_relaxed)) <
+           num_chunks) {
+      (*job)(i);
+    }
+    --g_pool_depth;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_.notify_one();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+namespace {
+
+void split_into_ranges(std::size_t begin, std::size_t end, std::size_t grain,
+                       const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t n = end - begin;
+  auto& pool = ThreadPool::global();
+  const std::size_t target_chunks =
+      std::max<std::size_t>(1, pool.size() * 3);
+  std::size_t chunk = std::max<std::size_t>(grain, (n + target_chunks - 1) /
+                                                       target_chunks);
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  pool.run_chunks(num_chunks, [&](std::size_t c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    body(lo, hi);
+  });
+}
+
+}  // namespace
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  if (begin >= end) return;
+  split_into_ranges(begin, end, grain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) body(i);
+  });
+}
+
+void parallel_for_ranges(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t grain) {
+  if (begin >= end) return;
+  split_into_ranges(begin, end, grain, body);
+}
+
+}  // namespace snicit::platform

@@ -1,0 +1,67 @@
+// A persistent worker pool that stands in for the GPU in this reproduction.
+//
+// The paper launches CUDA kernels as <<<blocks, threads>>> grids; here each
+// CUDA *block* maps to one pool task and the per-thread loop inside a block
+// becomes an ordinary inner loop. On a single-core host the pool degrades
+// to serial execution with no locking on the hot path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace snicit::platform {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }  // +1: caller thread
+
+  /// Runs fn(chunk_index) for chunk_index in [0, num_chunks); blocks until
+  /// all chunks finish. The calling thread participates, so a pool with no
+  /// workers executes everything serially with zero synchronization.
+  void run_chunks(std::size_t num_chunks,
+                  const std::function<void(std::size_t)>& fn);
+
+  /// The process-wide pool (sized from SNICIT_THREADS or hardware).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::size_t num_chunks_ = 0;
+  std::size_t active_ = 0;
+  std::uint64_t epoch_ = 0;
+  bool stop_ = false;
+};
+
+/// Parallel loop over [begin, end): splits the range into ~3 chunks per
+/// worker (bounded by `grain`) and runs body(i) for every index.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+/// Parallel loop receiving whole sub-ranges: body(lo, hi). Preferred for
+/// hot kernels since it avoids a std::function call per element.
+void parallel_for_ranges(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t, std::size_t)>& body,
+                         std::size_t grain = 1);
+
+}  // namespace snicit::platform

@@ -1,0 +1,82 @@
+// Wall-clock timing utilities used by all engines and benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace snicit::platform {
+
+/// Monotonic stopwatch with millisecond reporting.
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed milliseconds since construction / last reset().
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named stage durations (e.g. the four SNICIT stages) while
+/// preserving insertion order for reporting.
+class StageBreakdown {
+ public:
+  void add(const std::string& stage, double ms) {
+    auto it = index_.find(stage);
+    if (it == index_.end()) {
+      index_.emplace(stage, entries_.size());
+      entries_.push_back({stage, ms});
+    } else {
+      entries_[it->second].ms += ms;
+    }
+  }
+
+  double get(const std::string& stage) const {
+    auto it = index_.find(stage);
+    return it == index_.end() ? 0.0 : entries_[it->second].ms;
+  }
+
+  double total_ms() const {
+    double t = 0.0;
+    for (const auto& e : entries_) t += e.ms;
+    return t;
+  }
+
+  struct Entry {
+    std::string name;
+    double ms;
+  };
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+  std::map<std::string, std::size_t> index_;
+};
+
+/// Runs fn() `repeats` times after `warmup` unmeasured runs and returns the
+/// minimum wall time in ms (min is the standard noise-robust estimator for
+/// deterministic CPU workloads).
+template <typename Fn>
+double time_best_ms(Fn&& fn, int repeats = 3, int warmup = 1) {
+  for (int i = 0; i < warmup; ++i) fn();
+  double best = -1.0;
+  for (int i = 0; i < repeats; ++i) {
+    Stopwatch sw;
+    fn();
+    const double ms = sw.elapsed_ms();
+    if (best < 0.0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace snicit::platform

@@ -1,0 +1,45 @@
+#include "radixnet/challenge.hpp"
+
+#include "dnn/reference.hpp"
+#include "radixnet/sdgc_io.hpp"
+
+namespace snicit::radixnet {
+
+ChallengeResult run_challenge(dnn::InferenceEngine& engine,
+                              const dnn::SparseDnn& net,
+                              const dnn::DenseMatrix& input,
+                              const std::string& category_path, float tol) {
+  net.ensure_csc();
+  const auto run = engine.run(net, input);
+
+  ChallengeResult result;
+  result.runtime_ms = run.total_ms();
+  const double edges = static_cast<double>(net.connections()) *
+                       static_cast<double>(input.cols());
+  result.giga_edges_per_sec =
+      result.runtime_ms <= 0.0
+          ? 0.0
+          : edges / (result.runtime_ms / 1000.0) / 1e9;
+  result.categories = dnn::sdgc_categories(run.output, tol);
+  for (int c : result.categories) {
+    result.active_inputs += static_cast<std::size_t>(c);
+  }
+
+  const auto golden =
+      dnn::sdgc_categories(dnn::reference_forward(net, input), tol);
+  result.matches_golden =
+      dnn::category_match_rate(result.categories, golden) == 1.0;
+
+  if (!category_path.empty()) {
+    save_categories_tsv(result.categories, category_path);
+  }
+  return result;
+}
+
+double score_submission(const std::string& category_path,
+                        const std::vector<int>& golden) {
+  const auto submitted = load_categories_tsv(category_path, golden.size());
+  return dnn::category_match_rate(submitted, golden);
+}
+
+}  // namespace snicit::radixnet

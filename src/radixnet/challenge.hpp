@@ -1,0 +1,35 @@
+// The Sparse DNN Graph Challenge evaluation protocol as a library: run an
+// engine on a benchmark, produce the challenge's artifacts (category file,
+// timing, edges/sec throughput) and verify a submission against the
+// golden categories — the flow the paper's "results match the golden
+// reference provided by the SDGC evaluation platform" sentence refers to.
+#pragma once
+
+#include <string>
+
+#include "dnn/engine.hpp"
+
+namespace snicit::radixnet {
+
+struct ChallengeResult {
+  double runtime_ms = 0.0;
+  double giga_edges_per_sec = 0.0;  // connections * batch / runtime
+  std::size_t active_inputs = 0;    // inputs with any nonzero output
+  bool matches_golden = false;
+  std::vector<int> categories;      // 0/1 per input column
+};
+
+/// Runs `engine` on (net, input), derives SDGC categories from the output
+/// and checks them against the exact reference. When `category_path` is
+/// non-empty the categories are also written in the submission format.
+ChallengeResult run_challenge(dnn::InferenceEngine& engine,
+                              const dnn::SparseDnn& net,
+                              const dnn::DenseMatrix& input,
+                              const std::string& category_path = "",
+                              float tol = 1e-3f);
+
+/// Scores a category file against golden categories: fraction matching.
+double score_submission(const std::string& category_path,
+                        const std::vector<int>& golden);
+
+}  // namespace snicit::radixnet

@@ -1,0 +1,109 @@
+#include "radixnet/mixed_radix.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "platform/common.hpp"
+#include "platform/rng.hpp"
+#include "radixnet/radixnet.hpp"
+#include "sparse/coo.hpp"
+
+namespace snicit::radixnet {
+
+Index mixed_radix_neurons(const std::vector<int>& radices) {
+  SNICIT_CHECK(!radices.empty(), "radix vector must be non-empty");
+  std::int64_t n = 1;
+  for (int r : radices) {
+    SNICIT_CHECK(r >= 2, "every radix must be >= 2");
+    n *= r;
+    SNICIT_CHECK(n <= (1LL << 30), "radix product overflows Index");
+  }
+  return static_cast<Index>(n);
+}
+
+std::vector<int> default_radices(Index neurons, int max_radix) {
+  if (neurons < 2 || max_radix < 2) {
+    throw std::invalid_argument("default_radices: need neurons, max_radix >= 2");
+  }
+  std::vector<int> radices;
+  Index rest = neurons;
+  while (rest > 1) {
+    int factor = 1;
+    // Largest divisor of `rest` that fits the radix cap.
+    for (int candidate = std::min<Index>(max_radix, rest); candidate >= 2;
+         --candidate) {
+      if (rest % candidate == 0) {
+        factor = candidate;
+        break;
+      }
+    }
+    if (factor == 1) {
+      throw std::invalid_argument(
+          "default_radices: " + std::to_string(neurons) +
+          " has a prime factor above max_radix");
+    }
+    radices.push_back(factor);
+    rest /= factor;
+  }
+  return radices;
+}
+
+SparseDnn make_mixed_radix_net(const MixedRadixOptions& options) {
+  SNICIT_CHECK(options.layers > 0, "layers must be positive");
+  const Index n = mixed_radix_neurons(options.radices);
+  const auto digits = static_cast<int>(options.radices.size());
+
+  const float bias = options.bias == -1024.0f ? table1_bias(n) : options.bias;
+  const auto cal = calibrated_weights(n);
+  const float w_lo = options.w_lo < 0.0f ? cal.w_lo : options.w_lo;
+  const float w_hi = options.w_hi < 0.0f ? cal.w_hi : options.w_hi;
+  const double neg_prob =
+      options.neg_prob < 0.0 ? cal.neg_prob : options.neg_prob;
+  SNICIT_CHECK(w_lo <= w_hi, "invalid weight range");
+
+  // Stride of digit k = product of radices below it.
+  std::vector<Index> stride(static_cast<std::size_t>(digits), 1);
+  for (int k = 1; k < digits; ++k) {
+    stride[static_cast<std::size_t>(k)] =
+        stride[static_cast<std::size_t>(k) - 1] *
+        options.radices[static_cast<std::size_t>(k) - 1];
+  }
+
+  platform::Rng rng(options.seed);
+  std::vector<sparse::CsrMatrix> weights;
+  weights.reserve(static_cast<std::size_t>(options.layers));
+  std::vector<std::vector<float>> biases(
+      static_cast<std::size_t>(options.layers),
+      std::vector<float>(static_cast<std::size_t>(n), bias));
+
+  for (int layer = 0; layer < options.layers; ++layer) {
+    const int d = layer % digits;
+    const Index radix = options.radices[static_cast<std::size_t>(d)];
+    const Index s = stride[static_cast<std::size_t>(d)];
+
+    sparse::CooMatrix coo(n, n);
+    coo.reserve(static_cast<std::size_t>(n) * radix);
+    for (Index j = 0; j < n; ++j) {
+      // Decompose j's digit d and connect to every value of that digit.
+      const Index digit = (j / s) % radix;
+      const Index base = j - digit * s;
+      for (Index v = 0; v < radix; ++v) {
+        float w = rng.uniform(w_lo, w_hi);
+        if (rng.next_bool(neg_prob)) w = -w;
+        coo.add(j, base + v * s, w);
+      }
+    }
+    coo.coalesce();
+    weights.push_back(sparse::CsrMatrix::from_coo(coo));
+  }
+
+  std::string name = "radixnet[";
+  for (std::size_t k = 0; k < options.radices.size(); ++k) {
+    name += (k != 0u ? "x" : "") + std::to_string(options.radices[k]);
+  }
+  name += "]-" + std::to_string(options.layers);
+  return SparseDnn(n, std::move(weights), std::move(biases), options.ymax,
+                   std::move(name));
+}
+
+}  // namespace snicit::radixnet

@@ -1,0 +1,50 @@
+// Faithful mixed-radix butterfly topology (Kepner & Robinett, "Radix-Net:
+// Structured sparse matrices for deep neural networks", IPDPSW 2019).
+//
+// Neurons are addressed by mixed-radix digits over the radix vector
+// [r_0, ..., r_{D-1}] with N = prod r_k. Layer L is a radix-r_{L mod D}
+// butterfly stage: neuron i connects to exactly the r_{L mod D} neurons
+// that share all of i's digits except digit (L mod D). After D
+// consecutive layers every input can reach every output — the full-mixing
+// property the SDGC topologies are built from.
+//
+// make_radixnet (radixnet.hpp) keeps the simpler strided generator used
+// for calibrated benchmarks; this module provides the exact Radix-Net
+// construction for structural studies and interop experiments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/sparse_dnn.hpp"
+
+namespace snicit::radixnet {
+
+using dnn::Index;
+using dnn::SparseDnn;
+
+struct MixedRadixOptions {
+  std::vector<int> radices = {32, 32};  // N = product (1024 here)
+  int layers = 120;
+  /// Bias / weights / clip follow the same conventions as RadixNetOptions
+  /// (negative weight fields select per-N calibration).
+  float bias = -1024.0f;  // sentinel: table1_bias(N)
+  float w_lo = -1.0f;
+  float w_hi = -1.0f;
+  double neg_prob = -1.0;
+  float ymax = 32.0f;
+  std::uint64_t seed = 42;
+};
+
+/// Number of neurons implied by the radix vector.
+Index mixed_radix_neurons(const std::vector<int>& radices);
+
+/// Builds the exact Radix-Net butterfly network.
+SparseDnn make_mixed_radix_net(const MixedRadixOptions& options);
+
+/// Decomposes `neurons` into a radix vector of factors <= max_radix,
+/// preferring large factors (e.g. 4096 -> {32, 32, 4}). Throws
+/// std::invalid_argument when `neurons` has a prime factor > max_radix.
+std::vector<int> default_radices(Index neurons, int max_radix = 32);
+
+}  // namespace snicit::radixnet

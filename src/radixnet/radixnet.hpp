@@ -1,0 +1,77 @@
+// Radix-Net-style synthetic sparse DNN generator.
+//
+// The SDGC benchmarks are produced by Kepner & Robinett's Radix-Net
+// generator: every neuron has exactly `fanin` (32) incoming edges arranged
+// in mixed-radix butterfly layers, biases are one constant per network
+// (Table 1 of the paper), and nonzero weights are random. This module
+// reproduces that topology family at any size, so the repository can build
+// benchmarks structurally equivalent to the official ones without the
+// multi-gigabyte challenge files (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+#include "dnn/sparse_dnn.hpp"
+
+namespace snicit::radixnet {
+
+using dnn::Index;
+using dnn::SparseDnn;
+
+struct RadixNetOptions {
+  Index neurons = 1024;  // N: neurons per layer
+  int layers = 120;      // l: number of sparse layers
+  int fanin = 32;        // incoming edges per neuron (32 in every SDGC net)
+  /// Constant bias added at every layer; NaN selects the Table 1 value
+  /// for `neurons` (see table1_bias).
+  float bias = kAutoBias;
+  /// Nonzero weight magnitudes are uniform in [w_lo, w_hi], negated with
+  /// probability neg_prob. Negative values select the per-N calibrated
+  /// defaults (see calibrated_weights): like the official generator's
+  /// per-N bias constants, the distribution is tuned per neuron count so
+  /// deep layers neither die out nor stay chaotic — the batch converges
+  /// into a small set of stable attractor columns by layer ~12-24, which
+  /// is the intermediate-result convergence SNICIT exploits (Figure 1).
+  float w_lo = kAutoWeights;
+  float w_hi = kAutoWeights;
+  double neg_prob = kAutoWeights;
+  float ymax = 32.0f;  // SDGC activation clip
+  std::uint64_t seed = 42;
+
+  static constexpr float kAutoBias = -1024.0f;  // sentinel: use table1_bias
+  static constexpr float kAutoWeights = -1.0f;  // sentinel: per-N defaults
+};
+
+/// The calibrated weight distribution for a neuron count (paired with the
+/// Table 1 bias for that size).
+struct WeightCalibration {
+  float w_lo;
+  float w_hi;
+  double neg_prob;
+};
+WeightCalibration calibrated_weights(Index neurons);
+
+/// Bias constants from Table 1 (−0.3 at 1024 neurons down to −0.45 at
+/// 65536); sizes in between are interpolated on log2(N).
+float table1_bias(Index neurons);
+
+/// Builds the sparse network. Topology: layer i connects output neuron j
+/// to inputs (j + k*stride_i) mod N for k in [0, fanin), with stride_i
+/// cycling through the mixed-radix sequence 1, fanin, fanin^2, ... (a
+/// radix-`fanin` butterfly, the Radix-Net building block), plus a
+/// per-layer rotation so consecutive layers are not identical.
+SparseDnn make_radixnet(const RadixNetOptions& options);
+
+/// One row of Table 1: static statistics of an SDGC benchmark.
+struct SdgcStats {
+  Index neurons;
+  int layers;
+  float bias;
+  double density;           // fanin / neurons
+  std::int64_t connections; // fanin * neurons * layers
+  double size_gb;           // 12 bytes per edge (row, col, float val)
+};
+
+SdgcStats sdgc_stats(Index neurons, int layers);
+
+}  // namespace snicit::radixnet

@@ -1,0 +1,130 @@
+#include "radixnet/sdgc_io.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "platform/common.hpp"
+#include "sparse/coo.hpp"
+
+namespace snicit::radixnet {
+
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_or_throw(const std::string& path, const char* mode) {
+  FilePtr f(std::fopen(path.c_str(), mode));
+  if (!f) {
+    throw std::runtime_error("cannot open file: " + path);
+  }
+  return f;
+}
+
+std::string layer_path(const std::string& prefix, int layer_1based) {
+  return prefix + "-l" + std::to_string(layer_1based) + ".tsv";
+}
+
+}  // namespace
+
+void save_network_tsv(const dnn::SparseDnn& net, const std::string& prefix) {
+  for (std::size_t layer = 0; layer < net.num_layers(); ++layer) {
+    auto f = open_or_throw(layer_path(prefix, static_cast<int>(layer) + 1),
+                           "w");
+    const auto& w = net.weight(layer);
+    for (Index r = 0; r < w.rows(); ++r) {
+      const auto cols = w.row_cols(r);
+      const auto vals = w.row_vals(r);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        std::fprintf(f.get(), "%d\t%d\t%.9g\n", r + 1, cols[k] + 1, vals[k]);
+      }
+    }
+  }
+}
+
+dnn::SparseDnn load_network_tsv(const std::string& prefix, Index neurons,
+                                int layers, float bias, float ymax) {
+  std::vector<sparse::CsrMatrix> weights;
+  weights.reserve(static_cast<std::size_t>(layers));
+  for (int layer = 1; layer <= layers; ++layer) {
+    auto f = open_or_throw(layer_path(prefix, layer), "r");
+    sparse::CooMatrix coo(neurons, neurons);
+    int r = 0;
+    int c = 0;
+    float v = 0.0f;
+    while (std::fscanf(f.get(), "%d\t%d\t%f", &r, &c, &v) == 3) {
+      if (r < 1 || r > neurons || c < 1 || c > neurons) {
+        throw std::runtime_error("TSV index out of range in " +
+                                 layer_path(prefix, layer));
+      }
+      coo.add(r - 1, c - 1, v);
+    }
+    weights.push_back(sparse::CsrMatrix::from_coo(coo));
+  }
+  std::vector<std::vector<float>> biases(
+      static_cast<std::size_t>(layers),
+      std::vector<float>(static_cast<std::size_t>(neurons), bias));
+  return dnn::SparseDnn(neurons, std::move(weights), std::move(biases), ymax,
+                        prefix);
+}
+
+void save_matrix_tsv(const sparse::DenseMatrix& m, const std::string& path) {
+  auto f = open_or_throw(path, "w");
+  for (std::size_t j = 0; j < m.cols(); ++j) {
+    const float* col = m.col(j);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      if (col[r] != 0.0f) {
+        std::fprintf(f.get(), "%zu\t%zu\t%.9g\n", r + 1, j + 1, col[r]);
+      }
+    }
+  }
+}
+
+sparse::DenseMatrix load_matrix_tsv(const std::string& path,
+                                    std::size_t rows, std::size_t cols) {
+  auto f = open_or_throw(path, "r");
+  sparse::DenseMatrix m(rows, cols);
+  std::uint64_t r = 0;
+  std::uint64_t c = 0;
+  float v = 0.0f;
+  while (std::fscanf(f.get(), "%" SCNu64 "\t%" SCNu64 "\t%f", &r, &c, &v) ==
+         3) {
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      throw std::runtime_error("TSV index out of range in " + path);
+    }
+    m.at(r - 1, c - 1) = v;
+  }
+  return m;
+}
+
+void save_categories_tsv(const std::vector<int>& categories,
+                         const std::string& path) {
+  auto f = open_or_throw(path, "w");
+  for (std::size_t j = 0; j < categories.size(); ++j) {
+    if (categories[j] != 0) {
+      std::fprintf(f.get(), "%zu\n", j + 1);
+    }
+  }
+}
+
+std::vector<int> load_categories_tsv(const std::string& path,
+                                     std::size_t batch) {
+  auto f = open_or_throw(path, "r");
+  std::vector<int> categories(batch, 0);
+  unsigned long long id = 0;
+  while (std::fscanf(f.get(), "%llu", &id) == 1) {
+    if (id < 1 || id > batch) {
+      throw std::runtime_error("category id out of range in " + path);
+    }
+    categories[static_cast<std::size_t>(id) - 1] = 1;
+  }
+  return categories;
+}
+
+}  // namespace snicit::radixnet

@@ -1,0 +1,42 @@
+// Import/export in the SDGC file format: one TSV file per layer with
+// 1-indexed "row<TAB>col<TAB>weight" lines, and the same layout for the
+// input matrix. This lets the library interoperate with the official
+// challenge files when they are available.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dnn/sparse_dnn.hpp"
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::radixnet {
+
+using dnn::Index;
+
+/// Writes weight(layer) of `net` for every layer as
+/// "<prefix>-l<layer+1>.tsv" (SDGC naming: n<N>-l<k>.tsv).
+void save_network_tsv(const dnn::SparseDnn& net, const std::string& prefix);
+
+/// Reads `layers` TSV files "<prefix>-l<k>.tsv" (k = 1..layers) into a
+/// SparseDnn with constant bias `bias` and clip `ymax`.
+dnn::SparseDnn load_network_tsv(const std::string& prefix, Index neurons,
+                                int layers, float bias, float ymax);
+
+/// Writes a dense matrix as sparse TSV (only nonzero entries, 1-indexed).
+void save_matrix_tsv(const sparse::DenseMatrix& m, const std::string& path);
+
+/// Reads a sparse TSV file into a dense rows x cols matrix.
+sparse::DenseMatrix load_matrix_tsv(const std::string& path,
+                                    std::size_t rows, std::size_t cols);
+
+/// Writes per-input categories in the SDGC submission format: one
+/// 1-indexed input id per line for every active input.
+void save_categories_tsv(const std::vector<int>& categories,
+                         const std::string& path);
+
+/// Reads a categories file back into a 0/1 vector of length `batch`.
+std::vector<int> load_categories_tsv(const std::string& path,
+                                     std::size_t batch);
+
+}  // namespace snicit::radixnet

@@ -1,0 +1,42 @@
+#include "snicit/adaptive_prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/stats.hpp"
+
+namespace snicit::core {
+
+float choose_prune_threshold(const CompressedBatch& batch,
+                             double drop_fraction) {
+  if (drop_fraction <= 0.0) return 0.0f;
+  drop_fraction = std::min(drop_fraction, 1.0);
+
+  // Residue magnitudes span orders of magnitude; a log-ish two-pass
+  // approach keeps the histogram informative: first find the max, then
+  // bin on [0, max].
+  float max_abs = 0.0f;
+  const std::size_t n = batch.yhat.rows();
+  for (std::size_t j = 0; j < batch.batch(); ++j) {
+    if (batch.is_centroid(j)) continue;
+    const float* col = batch.yhat.col(j);
+    for (std::size_t r = 0; r < n; ++r) {
+      max_abs = std::max(max_abs, std::fabs(col[r]));
+    }
+  }
+  if (max_abs == 0.0f) return 0.0f;
+
+  platform::Histogram hist(0.0, static_cast<double>(max_abs), 512);
+  for (std::size_t j = 0; j < batch.batch(); ++j) {
+    if (batch.is_centroid(j)) continue;
+    const float* col = batch.yhat.col(j);
+    for (std::size_t r = 0; r < n; ++r) {
+      const float v = std::fabs(col[r]);
+      if (v > 0.0f) hist.add(static_cast<double>(v));
+    }
+  }
+  if (hist.total() == 0) return 0.0f;
+  return static_cast<float>(hist.quantile(drop_fraction));
+}
+
+}  // namespace snicit::core

@@ -1,0 +1,19 @@
+// Adaptive residue pruning. §3.3.1 prunes near-zero residue entries with
+// a fixed threshold, but a good constant depends on the activation scale
+// (32 for SDGC, 1 for medium nets) and the data. This utility picks the
+// threshold from the data instead: the |value| quantile of the current
+// residue entries such that a target fraction of them is dropped.
+#pragma once
+
+#include "snicit/convert.hpp"
+
+namespace snicit::core {
+
+/// Returns a pruning threshold that would zero ~`drop_fraction` of the
+/// nonzero residue entries of `batch` (centroid columns are not
+/// consulted — they are never pruned). Returns 0 when the batch has no
+/// residue entries or drop_fraction <= 0.
+float choose_prune_threshold(const CompressedBatch& batch,
+                             double drop_fraction);
+
+}  // namespace snicit::core

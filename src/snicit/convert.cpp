@@ -1,0 +1,84 @@
+#include "snicit/convert.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "platform/common.hpp"
+#include "platform/thread_pool.hpp"
+
+namespace snicit::core {
+
+void CompressedBatch::refresh_ne_idx() {
+  ne_idx.clear();
+  for (std::size_t j = 0; j < ne_rec.size(); ++j) {
+    if (ne_rec[j] != 0) ne_idx.push_back(static_cast<Index>(j));
+  }
+}
+
+CompressedBatch convert_to_compressed(const DenseMatrix& y,
+                                      const std::vector<Index>& centroid_cols,
+                                      float prune_threshold) {
+  SNICIT_CHECK(!centroid_cols.empty(), "need at least one centroid");
+  const std::size_t n = y.rows();
+  const std::size_t b = y.cols();
+
+  CompressedBatch out;
+  out.yhat.reset(n, b);
+  out.mapper.assign(b, 0);
+  out.centroids = centroid_cols;
+  out.ne_rec.assign(b, 0);
+
+  // Pre-mark centroids with -1 (Algorithm 2 precondition).
+  std::vector<std::uint8_t> is_cent(b, 0);
+  for (Index c : centroid_cols) {
+    SNICIT_CHECK(c >= 0 && static_cast<std::size_t>(c) < b,
+                 "centroid column out of range");
+    is_cent[static_cast<std::size_t>(c)] = 1;
+  }
+
+  platform::parallel_for_ranges(0, b, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      const float* src = y.col(j);
+      float* dst = out.yhat.col(j);
+      if (is_cent[j]) {
+        // Centroid columns are carried verbatim and always non-empty.
+        std::copy_n(src, n, dst);
+        out.mapper[j] = -1;
+        out.ne_rec[j] = 1;
+        continue;
+      }
+      // Nearest centroid by L0 norm of the difference (Eq. 3): the count
+      // of element positions whose values differ. Ties keep the first
+      // (lowest-index) centroid, like the sequential scan in Algorithm 2.
+      std::size_t best_dist = n + 1;
+      Index best = centroid_cols.front();
+      for (Index c : centroid_cols) {
+        const float* cent = y.col(static_cast<std::size_t>(c));
+        std::size_t dist = 0;
+        for (std::size_t r = 0; r < n; ++r) {
+          if (cent[r] != src[r]) ++dist;
+        }
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      // Residue error column (Eq. 4), with near-zero pruning.
+      const float* cent = y.col(static_cast<std::size_t>(best));
+      bool non_empty = false;
+      for (std::size_t r = 0; r < n; ++r) {
+        float v = src[r] - cent[r];
+        if (std::fabs(v) <= prune_threshold) v = 0.0f;
+        dst[r] = v;
+        non_empty |= (v != 0.0f);
+      }
+      out.mapper[j] = best;
+      out.ne_rec[j] = non_empty ? 1 : 0;
+    }
+  });
+
+  out.refresh_ne_idx();
+  return out;
+}
+
+}  // namespace snicit::core

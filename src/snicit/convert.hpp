@@ -1,0 +1,44 @@
+// Cluster-based conversion, steps 3-4 (§3.2.2, Algorithm 2): map every
+// non-centroid column of Y(t) to its L0-nearest centroid and replace it
+// with the residue error, producing the compressed batch Ŷ(t).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::core {
+
+using sparse::DenseMatrix;
+using sparse::Index;
+
+/// The sparse representation SNICIT carries through post-convergence
+/// layers: centroid columns stay dense, every other column holds only its
+/// residue to the mapped centroid (Eq. 4).
+struct CompressedBatch {
+  DenseMatrix yhat;             // Ŷ, neurons x batch
+  std::vector<Index> mapper;    // M: batch-sized; -1 marks a centroid
+  std::vector<Index> centroids; // y*: sorted centroid column indices
+  std::vector<std::uint8_t> ne_rec;  // per-column non-empty flags
+  std::vector<Index> ne_idx;    // sorted indices of non-empty columns
+
+  std::size_t batch() const { return mapper.size(); }
+  bool is_centroid(std::size_t column) const {
+    return mapper[column] == -1;
+  }
+
+  /// Rebuilds ne_idx from ne_rec (the serial pass of §3.3.2; cheap, so
+  /// callers decide the refresh cadence via SnicitParams).
+  void refresh_ne_idx();
+};
+
+/// Algorithm 2. `centroid_cols` are column indices of y (the pruning
+/// survivors). Residue entries with |v| <= prune_threshold are zeroed
+/// (§3.3.1 adjustment (1)); centroid columns are stored verbatim.
+CompressedBatch convert_to_compressed(const DenseMatrix& y,
+                                      const std::vector<Index>& centroid_cols,
+                                      float prune_threshold);
+
+}  // namespace snicit::core

@@ -1,0 +1,182 @@
+#include "snicit/engine.hpp"
+
+#include <algorithm>
+
+#include "platform/common.hpp"
+#include "platform/timer.hpp"
+#include "snicit/adaptive_prune.hpp"
+#include "snicit/convergence.hpp"
+#include "snicit/postconv.hpp"
+#include "snicit/recovery.hpp"
+#include "snicit/sample_prune.hpp"
+#include "snicit/sampling.hpp"
+#include "sparse/spmm.hpp"
+
+namespace snicit::core {
+
+namespace {
+
+void pre_convergence_step(const dnn::SparseDnn& net, std::size_t layer,
+                          PreKernel kernel, const dnn::DenseMatrix& in,
+                          dnn::DenseMatrix& out) {
+  switch (kernel) {
+    case PreKernel::kGather:
+      sparse::spmm_gather(net.weight(layer), in, out);
+      break;
+    case PreKernel::kScatter:
+      sparse::spmm_scatter(net.weight_csc(layer), in, out);
+      break;
+    case PreKernel::kTiled:
+      sparse::spmm_tiled(net.weight(layer), in, out);
+      break;
+  }
+  sparse::apply_bias_activation(out, net.bias(layer), net.ymax());
+}
+
+}  // namespace
+
+SnicitEngine::SnicitEngine(SnicitParams params) : params_(params) {
+  SNICIT_CHECK(params_.sample_size >= 1, "sample_size must be >= 1");
+  SNICIT_CHECK(params_.ne_refresh_interval >= 1,
+               "ne_refresh_interval must be >= 1");
+  SNICIT_CHECK(params_.prune_threshold >= 0.0f,
+               "prune_threshold must be non-negative");
+  SNICIT_CHECK(params_.reconvert_interval >= 0,
+               "reconvert_interval must be non-negative");
+}
+
+dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
+                                 const dnn::DenseMatrix& input) {
+  const auto layers = net.num_layers();
+  const int t_bound = std::clamp<int>(params_.threshold_layer, 0,
+                                      static_cast<int>(layers));
+
+  // Model preparation (format mirrors) happens before the clock starts,
+  // like the paper's device-side model upload.
+  if (params_.pre_kernel == PreKernel::kScatter ||
+      params_.post_kernel == PreKernel::kScatter) {
+    net.ensure_csc();
+  }
+
+  dnn::RunResult result;
+  result.layer_ms.reserve(layers);
+  trace_ = Trace{};
+
+  // --- Stage 1: pre-convergence sparse matrix multiplication (§3.1) ---
+  platform::Stopwatch stage;
+  dnn::DenseMatrix cur = input;
+  dnn::DenseMatrix next(input.rows(), input.cols());
+  ConvergenceDetector detector(params_.auto_level, params_.eta);
+  int t = t_bound;
+  for (int i = 0; i < t_bound; ++i) {
+    platform::Stopwatch layer;
+    pre_convergence_step(net, static_cast<std::size_t>(i),
+                         params_.pre_kernel, cur, next);
+    std::swap(cur, next);
+    result.layer_ms.push_back(layer.elapsed_ms());
+    if (params_.auto_threshold) {
+      const bool done = detector.observe(cur);
+      if (params_.record_trace) {
+        trace_.change_fraction.push_back(detector.last_distance());
+      }
+      if (done) {
+        t = i + 1;  // converged: stop pre-convergence early
+        break;
+      }
+    }
+  }
+  result.stages.add("pre-convergence", stage.elapsed_ms());
+
+  if (static_cast<std::size_t>(t) >= layers) {
+    // No post-convergence layers remain: pure feed-forward, nothing to
+    // compress (the t = l corner of the Figure 8 sweep).
+    stage.reset();
+    for (std::size_t i = static_cast<std::size_t>(t); i < layers; ++i) {
+      pre_convergence_step(net, i, params_.pre_kernel, cur, next);
+      std::swap(cur, next);
+    }
+    result.stages.add("conversion", 0.0);
+    result.stages.add("post-convergence", stage.elapsed_ms());
+    result.stages.add("recovery", 0.0);
+    result.output = std::move(cur);
+    trace_.threshold_layer = t;
+    result.diagnostics["threshold_layer"] = t;
+    result.diagnostics["centroids"] = 0.0;
+    return result;
+  }
+
+  // --- Stage 2: cluster-based conversion (§3.2) ---
+  stage.reset();
+  const dnn::DenseMatrix f =
+      build_sample_matrix(cur, params_.sample_size, params_.downsample_dim);
+  const std::vector<sparse::Index> centroid_cols =
+      prune_samples(f, params_.eta, params_.epsilon);
+  float prune = params_.prune_threshold;
+  CompressedBatch batch = convert_to_compressed(cur, centroid_cols, prune);
+  if (params_.adaptive_prune_target > 0.0) {
+    // Derive the threshold from the initial residues, then re-apply it to
+    // the freshly converted batch (cheap: one elementwise pass).
+    prune = choose_prune_threshold(batch, params_.adaptive_prune_target);
+    if (prune > 0.0f) {
+      batch = convert_to_compressed(cur, centroid_cols, prune);
+    }
+  }
+  result.stages.add("conversion", stage.elapsed_ms());
+  trace_.threshold_layer = t;
+  trace_.centroid_count = centroid_cols.size();
+
+  // --- Stage 3: post-convergence update (§3.3) ---
+  stage.reset();
+  dnn::DenseMatrix scratch(input.rows(), input.cols());
+  int since_refresh = 0;
+  int since_reconvert = 0;
+  const bool post_scatter = params_.post_kernel == PreKernel::kScatter;
+  for (std::size_t i = static_cast<std::size_t>(t); i < layers; ++i) {
+    platform::Stopwatch layer;
+    if (post_scatter) {
+      post_convergence_layer(net.weight_csc(i), net.bias(i), net.ymax(),
+                             prune, batch, scratch);
+    } else {
+      post_convergence_layer(net.weight(i), net.bias(i), net.ymax(), prune,
+                             batch, scratch);
+    }
+    if (++since_refresh >= params_.ne_refresh_interval) {
+      batch.refresh_ne_idx();
+      since_refresh = 0;
+    }
+    if (params_.reconvert_interval > 0 &&
+        ++since_reconvert >= params_.reconvert_interval &&
+        i + 1 < layers) {
+      // Optional re-clustering (§3.2.2 discusses and rejects this):
+      // recover the dense batch, pick fresh centroids, convert again.
+      const dnn::DenseMatrix dense = recover_results(batch);
+      const dnn::DenseMatrix f = build_sample_matrix(
+          dense, params_.sample_size, params_.downsample_dim);
+      batch = convert_to_compressed(
+          dense, prune_samples(f, params_.eta, params_.epsilon), prune);
+      since_reconvert = 0;
+      since_refresh = 0;
+    }
+    result.layer_ms.push_back(layer.elapsed_ms());
+    if (params_.record_trace) {
+      trace_.ne_count.push_back(batch.ne_idx.size());
+      trace_.compressed_nnz.push_back(batch.yhat.count_nonzeros());
+    }
+  }
+  result.stages.add("post-convergence", stage.elapsed_ms());
+
+  // --- Stage 4: final results recovery (§3.4) ---
+  stage.reset();
+  result.output = recover_results(batch);
+  result.stages.add("recovery", stage.elapsed_ms());
+
+  result.diagnostics["threshold_layer"] = t;
+  result.diagnostics["centroids"] =
+      static_cast<double>(centroid_cols.size());
+  result.diagnostics["final_ne_columns"] =
+      static_cast<double>(batch.ne_idx.size());
+  result.diagnostics["prune_threshold"] = static_cast<double>(prune);
+  return result;
+}
+
+}  // namespace snicit::core

@@ -1,0 +1,42 @@
+// The SNICIT inference engine: orchestrates the four pipeline stages of
+// Figure 2 — pre-convergence spMM, cluster-based conversion,
+// post-convergence update, final results recovery — and reports the
+// per-stage breakdown the paper's Figures 7/10 analyse.
+#pragma once
+
+#include <vector>
+
+#include "dnn/engine.hpp"
+#include "snicit/convert.hpp"
+#include "snicit/params.hpp"
+
+namespace snicit::core {
+
+class SnicitEngine final : public dnn::InferenceEngine {
+ public:
+  explicit SnicitEngine(SnicitParams params = {});
+
+  std::string name() const override { return "SNICIT"; }
+  const SnicitParams& params() const { return params_; }
+
+  dnn::RunResult run(const dnn::SparseDnn& net,
+                     const dnn::DenseMatrix& input) override;
+
+  /// Per-run diagnostics recorded when params.record_trace is set.
+  struct Trace {
+    int threshold_layer = -1;           // t actually used (auto mode may
+                                        // pick earlier than the bound)
+    std::size_t centroid_count = 0;     // |y*|
+    std::vector<std::size_t> ne_count;  // non-empty columns per post-layer
+    std::vector<std::size_t> compressed_nnz;  // nnz(Ŷ) per post-layer
+    std::vector<double> change_fraction;      // detector distance trace,
+                                              // per pre-convergence layer
+  };
+  const Trace& last_trace() const { return trace_; }
+
+ private:
+  SnicitParams params_;
+  Trace trace_;
+};
+
+}  // namespace snicit::core

@@ -1,0 +1,91 @@
+#include "snicit/postconv.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/common.hpp"
+#include "platform/thread_pool.hpp"
+#include "sparse/spmm.hpp"
+
+namespace snicit::core {
+
+namespace {
+
+inline float clip(float x, float ymax) {
+  return std::min(std::max(x, 0.0f), ymax);
+}
+
+/// The Eq. (5)/Algorithm 3 update shared by both spMM front ends: one
+/// block per non-empty column. Residue updates read the spMM result of
+/// their centroid column; centroids are always non-empty, so their
+/// scratch column is valid in the same pass.
+void update_centroids_and_residues(std::span<const float> bias, float ymax,
+                                   float prune_threshold,
+                                   CompressedBatch& batch,
+                                   const DenseMatrix& scratch) {
+  const std::size_t n = batch.yhat.rows();
+  platform::parallel_for_ranges(
+      0, batch.ne_idx.size(), [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+          const auto r = static_cast<std::size_t>(batch.ne_idx[k]);
+          const float* SNICIT_RESTRICT mult = scratch.col(r);
+          float* SNICIT_RESTRICT dst = batch.yhat.col(r);
+          if (batch.mapper[r] == -1) {
+            // Centroid: plain feed-forward (first case of Eq. (5)).
+            for (std::size_t j = 0; j < n; ++j) {
+              dst[j] = clip(mult[j] + bias[j], ymax);
+            }
+            batch.ne_rec[r] = 1;
+            continue;
+          }
+          // Residue: second case of Eq. (5), then near-zero pruning.
+          const float* SNICIT_RESTRICT cent =
+              scratch.col(static_cast<std::size_t>(batch.mapper[r]));
+          bool non_empty = false;
+          for (std::size_t j = 0; j < n; ++j) {
+            const float with_res = clip(cent[j] + mult[j] + bias[j], ymax);
+            const float without = clip(cent[j] + bias[j], ymax);
+            float v = with_res - without;
+            if (std::fabs(v) <= prune_threshold) v = 0.0f;
+            dst[j] = v;
+            non_empty |= (v != 0.0f);
+          }
+          batch.ne_rec[r] = non_empty ? 1 : 0;
+        }
+      });
+}
+
+void check_shapes(std::span<const float> bias, const CompressedBatch& batch,
+                  const DenseMatrix& scratch) {
+  SNICIT_CHECK(bias.size() == batch.yhat.rows(), "bias size mismatch");
+  SNICIT_CHECK(scratch.rows() == batch.yhat.rows() &&
+                   scratch.cols() == batch.yhat.cols(),
+               "scratch buffer shape mismatch");
+}
+
+}  // namespace
+
+void post_convergence_layer(const CsrMatrix& w, std::span<const float> bias,
+                            float ymax, float prune_threshold,
+                            CompressedBatch& batch, DenseMatrix& scratch) {
+  check_shapes(bias, batch, scratch);
+  // Load-reduced spMM (§3.3.1): multiply only non-empty columns. Empty
+  // residue columns stay empty under Eq. (5) — σ(c+0+b) − σ(c+b) = 0 — so
+  // skipping them is exact, not an approximation.
+  sparse::spmm_gather_cols(w, batch.yhat, batch.ne_idx, scratch);
+  update_centroids_and_residues(bias, ymax, prune_threshold, batch, scratch);
+}
+
+void post_convergence_layer(const CscMatrix& w_csc,
+                            std::span<const float> bias, float ymax,
+                            float prune_threshold, CompressedBatch& batch,
+                            DenseMatrix& scratch) {
+  check_shapes(bias, batch, scratch);
+  // Scatter front end: additionally skips zero entries *inside* residue
+  // columns, so the multiply cost tracks the compressed nnz, not the
+  // non-empty column count alone.
+  sparse::spmm_scatter_cols(w_csc, batch.yhat, batch.ne_idx, scratch);
+  update_centroids_and_residues(bias, ymax, prune_threshold, batch, scratch);
+}
+
+}  // namespace snicit::core

@@ -1,0 +1,39 @@
+// Post-convergence update (§3.3): one load-reduced spMM followed by the
+// centroid/residue update kernel (Algorithm 3) per layer, keeping the
+// batch in its compressed representation.
+#pragma once
+
+#include <span>
+
+#include "dnn/sparse_dnn.hpp"
+#include "snicit/convert.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+
+namespace snicit::core {
+
+using sparse::CscMatrix;
+using sparse::CsrMatrix;
+
+/// Advances `batch` from Ŷ(i) to Ŷ(i+1) through weight `w` / bias / clip.
+///
+/// `scratch` is the spMM output buffer (neurons x batch, reused across
+/// layers); only the non-empty columns listed in batch.ne_idx are
+/// multiplied (load-reduced spMM, §3.3.1), then Eq. (5) updates centroids
+/// and residues in place and refreshes batch.ne_rec. batch.ne_idx is NOT
+/// rebuilt here — the engine refreshes it on its own cadence (§3.3.2).
+///
+/// This overload uses the CSR gather kernel for the load-reduced spMM.
+void post_convergence_layer(const CsrMatrix& w, std::span<const float> bias,
+                            float ymax, float prune_threshold,
+                            CompressedBatch& batch, DenseMatrix& scratch);
+
+/// Same, using the CSC scatter kernel, which also skips zero *entries*
+/// inside the residue columns — the configuration the paper runs, where
+/// the off-the-shelf champion kernels exploit activation sparsity.
+void post_convergence_layer(const CscMatrix& w_csc,
+                            std::span<const float> bias, float ymax,
+                            float prune_threshold, CompressedBatch& batch,
+                            DenseMatrix& scratch);
+
+}  // namespace snicit::core

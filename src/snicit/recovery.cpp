@@ -1,0 +1,32 @@
+#include "snicit/recovery.hpp"
+
+#include <algorithm>
+
+#include "platform/common.hpp"
+#include "platform/thread_pool.hpp"
+
+namespace snicit::core {
+
+DenseMatrix recover_results(const CompressedBatch& batch) {
+  const std::size_t n = batch.yhat.rows();
+  const std::size_t b = batch.yhat.cols();
+  DenseMatrix y(n, b);
+  platform::parallel_for_ranges(0, b, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      const float* SNICIT_RESTRICT res = batch.yhat.col(j);
+      float* SNICIT_RESTRICT dst = y.col(j);
+      if (batch.mapper[j] == -1) {
+        std::copy_n(res, n, dst);
+        continue;
+      }
+      const float* SNICIT_RESTRICT cent =
+          batch.yhat.col(static_cast<std::size_t>(batch.mapper[j]));
+      for (std::size_t r = 0; r < n; ++r) {
+        dst[r] = res[r] + cent[r];
+      }
+    }
+  });
+  return y;
+}
+
+}  // namespace snicit::core

@@ -1,0 +1,14 @@
+// Final results recovery (§3.4, Eq. 6): translate the compressed batch
+// back to the dense representation by adding each residue column to its
+// centroid.
+#pragma once
+
+#include "snicit/convert.hpp"
+
+namespace snicit::core {
+
+/// Returns Y(l): centroid columns verbatim, every other column as
+/// residue + centroid.
+DenseMatrix recover_results(const CompressedBatch& batch);
+
+}  // namespace snicit::core

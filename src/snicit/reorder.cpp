@@ -1,0 +1,89 @@
+#include "snicit/reorder.hpp"
+
+#include <algorithm>
+
+#include "platform/common.hpp"
+
+namespace snicit::core {
+
+bool BatchPermutation::is_identity() const {
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    if (forward[i] != static_cast<Index>(i)) return false;
+  }
+  return true;
+}
+
+BatchPermutation cluster_order(const CompressedBatch& batch) {
+  const std::size_t b = batch.batch();
+  BatchPermutation perm;
+  perm.forward.reserve(b);
+
+  // Centroids in ascending order, each followed by its residues.
+  for (Index cent : batch.centroids) {
+    perm.forward.push_back(cent);
+    for (std::size_t j = 0; j < b; ++j) {
+      if (batch.mapper[j] == cent) {
+        perm.forward.push_back(static_cast<Index>(j));
+      }
+    }
+  }
+  SNICIT_CHECK(perm.forward.size() == b,
+               "cluster_order must cover every column exactly once");
+
+  perm.inverse.assign(b, 0);
+  for (std::size_t j = 0; j < b; ++j) {
+    perm.inverse[static_cast<std::size_t>(perm.forward[j])] =
+        static_cast<Index>(j);
+  }
+  return perm;
+}
+
+DenseMatrix permute_columns(const DenseMatrix& y,
+                            const BatchPermutation& perm) {
+  SNICIT_CHECK(perm.size() == y.cols(), "permutation size mismatch");
+  DenseMatrix out(y.rows(), y.cols());
+  for (std::size_t j = 0; j < y.cols(); ++j) {
+    std::copy_n(y.col(static_cast<std::size_t>(perm.forward[j])), y.rows(),
+                out.col(j));
+  }
+  return out;
+}
+
+DenseMatrix unpermute_columns(const DenseMatrix& y,
+                              const BatchPermutation& perm) {
+  SNICIT_CHECK(perm.size() == y.cols(), "permutation size mismatch");
+  DenseMatrix out(y.rows(), y.cols());
+  for (std::size_t j = 0; j < y.cols(); ++j) {
+    std::copy_n(y.col(j), y.rows(),
+                out.col(static_cast<std::size_t>(perm.forward[j])));
+  }
+  return out;
+}
+
+CompressedBatch permute_batch(const CompressedBatch& batch,
+                              const BatchPermutation& perm) {
+  SNICIT_CHECK(perm.size() == batch.batch(), "permutation size mismatch");
+  CompressedBatch out;
+  out.yhat = permute_columns(batch.yhat, perm);
+  out.mapper.resize(batch.batch());
+  out.ne_rec.resize(batch.batch());
+  for (std::size_t j = 0; j < batch.batch(); ++j) {
+    const auto old = static_cast<std::size_t>(perm.forward[j]);
+    const Index old_target = batch.mapper[old];
+    out.mapper[j] =
+        old_target == -1
+            ? -1
+            : perm.inverse[static_cast<std::size_t>(old_target)];
+    out.ne_rec[j] = batch.ne_rec[old];
+  }
+  out.centroids.reserve(batch.centroids.size());
+  for (Index cent : batch.centroids) {
+    out.centroids.push_back(
+        perm.inverse[static_cast<std::size_t>(cent)]);
+  }
+  std::sort(out.centroids.begin(), out.centroids.end());
+  out.refresh_ne_idx();
+  return out;
+}
+
+}  // namespace snicit::core

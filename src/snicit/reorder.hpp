@@ -1,0 +1,41 @@
+// Cluster-ordered batch permutation: after conversion, residue columns
+// mapped to the same centroid are scattered across the batch; permuting
+// columns so each centroid is followed by its residues improves locality
+// of the post-convergence kernels (a substrate-level optimization the
+// GPU original gets for free from warp scheduling).
+#pragma once
+
+#include <vector>
+
+#include "snicit/convert.hpp"
+
+namespace snicit::core {
+
+/// A bijective column permutation with its inverse.
+struct BatchPermutation {
+  std::vector<Index> forward;  // new_index -> old_index
+  std::vector<Index> inverse;  // old_index -> new_index
+
+  std::size_t size() const { return forward.size(); }
+  bool is_identity() const;
+};
+
+/// Builds the cluster ordering for a compressed batch: each centroid
+/// column immediately followed by its residue columns (both in ascending
+/// original order). Every column appears exactly once.
+BatchPermutation cluster_order(const CompressedBatch& batch);
+
+/// Returns y with columns permuted: out[:, j] = y[:, perm.forward[j]].
+DenseMatrix permute_columns(const DenseMatrix& y,
+                            const BatchPermutation& perm);
+
+/// Undoes permute_columns.
+DenseMatrix unpermute_columns(const DenseMatrix& y,
+                              const BatchPermutation& perm);
+
+/// Applies the permutation to a whole compressed batch (yhat, mapper,
+/// centroids, ne bookkeeping are all remapped consistently).
+CompressedBatch permute_batch(const CompressedBatch& batch,
+                              const BatchPermutation& perm);
+
+}  // namespace snicit::core

@@ -1,0 +1,56 @@
+#include "snicit/sample_prune.hpp"
+
+#include <cmath>
+
+#include "platform/common.hpp"
+#include "platform/thread_pool.hpp"
+
+namespace snicit::core {
+
+std::vector<Index> prune_samples(const DenseMatrix& f, float eta,
+                                 float epsilon) {
+  const std::size_t n = f.rows();
+  const std::size_t s = f.cols();
+  SNICIT_CHECK(n > 0 && s > 0, "sample matrix must be non-empty");
+
+  // tmp_idx[i] == -1 marks a pruned column (Algorithm 1's shared array).
+  std::vector<Index> tmp_idx(s);
+  for (std::size_t i = 0; i < s; ++i) tmp_idx[i] = static_cast<Index>(i);
+
+  const float limit = static_cast<float>(n) * epsilon;
+  std::vector<int> diff(s);
+
+  for (std::size_t cmp = 0; cmp < s; ++cmp) {
+    if (tmp_idx[cmp] == -1) continue;
+    const float* base = f.col(cmp);
+    // Parallel comparison of every still-active column against the base
+    // (the kernel's (n, s) thread block collapsed to a per-column loop).
+    platform::parallel_for(0, s, [&](std::size_t i) {
+      if (tmp_idx[i] == -1) {
+        diff[i] = 0;
+        return;
+      }
+      const float* col = f.col(i);
+      int d = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (std::fabs(col[j] - base[j]) >= eta) ++d;
+      }
+      diff[i] = d;
+    });
+    for (std::size_t i = 0; i < s; ++i) {
+      if (i != cmp && tmp_idx[i] != -1 &&
+          static_cast<float>(diff[i]) < limit) {
+        tmp_idx[i] = -1;  // same class as the base — discard
+      }
+    }
+  }
+
+  std::vector<Index> survivors;
+  survivors.reserve(s);
+  for (std::size_t i = 0; i < s; ++i) {
+    if (tmp_idx[i] != -1) survivors.push_back(tmp_idx[i]);
+  }
+  return survivors;  // already ascending: tmp_idx preserved input order
+}
+
+}  // namespace snicit::core

@@ -1,0 +1,27 @@
+// Cluster-based conversion, step 2 (§3.2.1, Algorithm 1): prune redundant
+// samples of F so that one representative per class survives. Survivors
+// become the centroid columns y*.
+#pragma once
+
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::core {
+
+using sparse::DenseMatrix;
+using sparse::Index;
+
+/// Runs Algorithm 1 on the sample matrix F (n x s).
+///
+/// Iterates over columns; each surviving column in turn becomes the base,
+/// and every later column whose count of elements differing from the base
+/// by more than `eta` is below n*epsilon (Eq. 2) is discarded as a
+/// duplicate of the base's class. Returns the surviving column indices,
+/// sorted ascending — these index into the *sampled* columns, i.e. into
+/// the first s columns of Y(t).
+std::vector<Index> prune_samples(const DenseMatrix& f, float eta,
+                                 float epsilon);
+
+}  // namespace snicit::core

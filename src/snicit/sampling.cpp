@@ -1,0 +1,44 @@
+#include "snicit/sampling.hpp"
+
+#include <algorithm>
+
+#include "platform/common.hpp"
+#include "platform/thread_pool.hpp"
+
+namespace snicit::core {
+
+DenseMatrix build_sample_matrix(const DenseMatrix& y, int s, int n) {
+  SNICIT_CHECK(s >= 1, "sample size must be >= 1");
+  const std::size_t cols = std::min<std::size_t>(y.cols(),
+                                                 static_cast<std::size_t>(s));
+  const bool downsample =
+      n > 0 && static_cast<std::size_t>(n) < y.rows();
+  const std::size_t dim = downsample ? static_cast<std::size_t>(n) : y.rows();
+
+  DenseMatrix f(dim, cols);
+  if (!downsample) {
+    platform::parallel_for(0, cols, [&](std::size_t j) {
+      std::copy_n(y.col(j), y.rows(), f.col(j));
+    });
+    return f;
+  }
+
+  // Sum downsampling: split each column into n segments of ~N/n elements
+  // and store each segment's sum (Figure 3a). The tail segment absorbs the
+  // remainder when n does not divide N.
+  const std::size_t seg = y.rows() / dim;
+  platform::parallel_for(0, cols, [&](std::size_t j) {
+    const float* src = y.col(j);
+    float* dst = f.col(j);
+    for (std::size_t k = 0; k < dim; ++k) {
+      const std::size_t lo = k * seg;
+      const std::size_t hi = (k + 1 == dim) ? y.rows() : lo + seg;
+      float sum = 0.0f;
+      for (std::size_t r = lo; r < hi; ++r) sum += src[r];
+      dst[k] = sum;
+    }
+  });
+  return f;
+}
+
+}  // namespace snicit::core

@@ -1,0 +1,20 @@
+// Cluster-based conversion, step 1 (§3.2.1): column sampling and sum
+// downsampling produce the small sample matrix F (n x s) from Y(t).
+#pragma once
+
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::core {
+
+using sparse::DenseMatrix;
+
+/// Takes the first `s` columns of `y` (datasets are class-shuffled, so a
+/// prefix is a uniform sample, §3.2.1) and sum-downsamples each into `n`
+/// segment sums. n = 0, or n >= rows, copies columns verbatim (no
+/// downsampling — the medium-scale configuration).
+///
+/// Returns F with shape (n' x s') where n' = effective dimension and
+/// s' = min(s, y.cols()).
+DenseMatrix build_sample_matrix(const DenseMatrix& y, int s, int n);
+
+}  // namespace snicit::core

@@ -1,0 +1,46 @@
+#include "snicit/stream.hpp"
+
+#include <algorithm>
+
+#include "platform/common.hpp"
+#include "platform/timer.hpp"
+
+namespace snicit::core {
+
+StreamResult stream_inference(dnn::InferenceEngine& engine,
+                              const dnn::SparseDnn& net,
+                              const dnn::DenseMatrix& input,
+                              const StreamOptions& options) {
+  SNICIT_CHECK(options.batch_size >= 1, "batch_size must be >= 1");
+  const std::size_t total = input.cols();
+  const std::size_t keep =
+      options.keep_rows == 0 ? input.rows()
+                             : std::min(options.keep_rows, input.rows());
+
+  StreamResult result;
+  result.outputs.reset(keep, total);
+  net.ensure_csc();  // shared model prep across batches
+
+  for (std::size_t start = 0; start < total;
+       start += options.batch_size) {
+    const std::size_t end = std::min(total, start + options.batch_size);
+    dnn::DenseMatrix batch(input.rows(), end - start);
+    for (std::size_t j = start; j < end; ++j) {
+      std::copy_n(input.col(j), input.rows(), batch.col(j - start));
+    }
+
+    platform::Stopwatch sw;
+    const auto run = engine.run(net, batch);
+    const double ms = sw.elapsed_ms();
+    result.batch_ms.push_back(ms);
+    result.total_ms += ms;
+    ++result.batches;
+
+    for (std::size_t j = start; j < end; ++j) {
+      std::copy_n(run.output.col(j - start), keep, result.outputs.col(j));
+    }
+  }
+  return result;
+}
+
+}  // namespace snicit::core

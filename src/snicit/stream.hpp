@@ -1,0 +1,47 @@
+// Streaming inference: feeds an arbitrarily large dataset through an
+// engine in fixed-size batches, reusing the engine (and its compressed
+// state machinery) per batch and aggregating outputs, categories and
+// timing. This is the serving-shape of the paper's batch-size study
+// (§4.1.4/§4.2.3): throughput as a function of the chosen batch size.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dnn/engine.hpp"
+
+namespace snicit::core {
+
+struct StreamOptions {
+  std::size_t batch_size = 1024;
+  /// Rows of the output to keep per sample (0 = keep the full activation
+  /// column; e.g. 10 keeps only class-score rows to bound memory).
+  std::size_t keep_rows = 0;
+};
+
+struct StreamResult {
+  dnn::DenseMatrix outputs;        // keep_rows(or N) x total_samples
+  std::vector<double> batch_ms;    // wall time per batch
+  double total_ms = 0.0;
+  std::size_t batches = 0;
+
+  double mean_batch_ms() const {
+    return batches == 0 ? 0.0 : total_ms / static_cast<double>(batches);
+  }
+  /// Samples per second across the whole stream.
+  double throughput(std::size_t total_samples) const {
+    return total_ms <= 0.0
+               ? 0.0
+               : 1000.0 * static_cast<double>(total_samples) / total_ms;
+  }
+};
+
+/// Runs `input` (N x total) through `engine` in batches. The final batch
+/// may be smaller. The engine sees each batch independently, exactly like
+/// the per-batch runs of the paper's B sweeps.
+StreamResult stream_inference(dnn::InferenceEngine& engine,
+                              const dnn::SparseDnn& net,
+                              const dnn::DenseMatrix& input,
+                              const StreamOptions& options = {});
+
+}  // namespace snicit::core

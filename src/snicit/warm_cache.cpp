@@ -1,0 +1,144 @@
+#include "snicit/warm_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/common.hpp"
+#include "platform/thread_pool.hpp"
+#include "dnn/reference.hpp"
+#include "platform/timer.hpp"
+#include "snicit/engine.hpp"
+#include "snicit/postconv.hpp"
+#include "snicit/recovery.hpp"
+#include "snicit/sample_prune.hpp"
+#include "snicit/sampling.hpp"
+#include "sparse/spmm.hpp"
+
+namespace snicit::core {
+
+CompressedBatch convert_with_cache(const DenseMatrix& y,
+                                   const CentroidCache& cache,
+                                   float prune_threshold) {
+  SNICIT_CHECK(!cache.empty(), "centroid cache is empty");
+  SNICIT_CHECK(cache.columns.rows() == y.rows(),
+               "cache dimensionality mismatch");
+  const std::size_t b = y.cols();
+  const std::size_t k = cache.size();
+  const std::size_t n = y.rows();
+
+  // Extended batch: original columns followed by the cached centroids.
+  DenseMatrix extended(n, b + k);
+  for (std::size_t j = 0; j < b; ++j) {
+    std::copy_n(y.col(j), n, extended.col(j));
+  }
+  std::vector<Index> centroid_cols;
+  centroid_cols.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    std::copy_n(cache.columns.col(c), n, extended.col(b + c));
+    centroid_cols.push_back(static_cast<Index>(b + c));
+  }
+  return convert_to_compressed(extended, centroid_cols, prune_threshold);
+}
+
+WarmSnicitEngine::WarmSnicitEngine(SnicitParams params) : params_(params) {
+  SNICIT_CHECK(!params_.auto_threshold,
+               "WarmSnicitEngine pins t; auto_threshold unsupported");
+}
+
+dnn::RunResult WarmSnicitEngine::run(const dnn::SparseDnn& net,
+                                     const dnn::DenseMatrix& input) {
+  const auto layers = net.num_layers();
+  const auto t = static_cast<std::size_t>(
+      std::clamp<int>(params_.threshold_layer, 0, static_cast<int>(layers)));
+
+  if (!cache_.has_value()) {
+    // Cold run: delegate to the ordinary engine, then capture the
+    // centroid columns of Y(t) for future batches.
+    SnicitEngine cold(params_);
+    auto result = cold.run(net, input);
+    const auto y_t = dnn::reference_forward(net, input, 0, t);
+    const auto f =
+        build_sample_matrix(y_t, params_.sample_size, params_.downsample_dim);
+    const auto centroid_cols =
+        prune_samples(f, params_.eta, params_.epsilon);
+    CentroidCache cache;
+    cache.columns.reset(y_t.rows(), centroid_cols.size());
+    for (std::size_t c = 0; c < centroid_cols.size(); ++c) {
+      std::copy_n(y_t.col(static_cast<std::size_t>(centroid_cols[c])),
+                  y_t.rows(), cache.columns.col(c));
+    }
+    cache_ = std::move(cache);
+    result.diagnostics["warm"] = 0.0;
+    return result;
+  }
+
+  // Warm run: pre-convergence, then map straight onto cached centroids.
+  if (params_.pre_kernel == PreKernel::kScatter ||
+      params_.post_kernel == PreKernel::kScatter) {
+    net.ensure_csc();
+  }
+  dnn::RunResult result;
+  platform::Stopwatch stage;
+  dnn::DenseMatrix cur = input;
+  dnn::DenseMatrix next(input.rows(), input.cols());
+  for (std::size_t i = 0; i < t; ++i) {
+    platform::Stopwatch layer;
+    switch (params_.pre_kernel) {
+      case PreKernel::kGather:
+        sparse::spmm_gather(net.weight(i), cur, next);
+        break;
+      case PreKernel::kScatter:
+        sparse::spmm_scatter(net.weight_csc(i), cur, next);
+        break;
+      case PreKernel::kTiled:
+        sparse::spmm_tiled(net.weight(i), cur, next);
+        break;
+    }
+    sparse::apply_bias_activation(next, net.bias(i), net.ymax());
+    std::swap(cur, next);
+    result.layer_ms.push_back(layer.elapsed_ms());
+  }
+  result.stages.add("pre-convergence", stage.elapsed_ms());
+
+  stage.reset();
+  CompressedBatch batch =
+      convert_with_cache(cur, *cache_, params_.prune_threshold);
+  result.stages.add("conversion", stage.elapsed_ms());
+
+  stage.reset();
+  dnn::DenseMatrix scratch(batch.yhat.rows(), batch.yhat.cols());
+  const bool post_scatter = params_.post_kernel == PreKernel::kScatter;
+  int since_refresh = 0;
+  for (std::size_t i = t; i < layers; ++i) {
+    platform::Stopwatch layer;
+    if (post_scatter) {
+      post_convergence_layer(net.weight_csc(i), net.bias(i), net.ymax(),
+                             params_.prune_threshold, batch, scratch);
+    } else {
+      post_convergence_layer(net.weight(i), net.bias(i), net.ymax(),
+                             params_.prune_threshold, batch, scratch);
+    }
+    if (++since_refresh >= params_.ne_refresh_interval) {
+      batch.refresh_ne_idx();
+      since_refresh = 0;
+    }
+    result.layer_ms.push_back(layer.elapsed_ms());
+  }
+  result.stages.add("post-convergence", stage.elapsed_ms());
+
+  stage.reset();
+  const auto recovered = recover_results(batch);
+  // Drop the appended centroid columns: only [0, B) belong to the caller.
+  result.output.reset(input.rows(), input.cols());
+  for (std::size_t j = 0; j < input.cols(); ++j) {
+    std::copy_n(recovered.col(j), input.rows(), result.output.col(j));
+  }
+  result.stages.add("recovery", stage.elapsed_ms());
+
+  result.diagnostics["warm"] = 1.0;
+  result.diagnostics["centroids"] = static_cast<double>(cache_->size());
+  result.diagnostics["threshold_layer"] = static_cast<double>(t);
+  return result;
+}
+
+}  // namespace snicit::core

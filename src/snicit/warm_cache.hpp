@@ -1,0 +1,61 @@
+// Warm-started conversion: reuse centroids discovered on an earlier batch
+// for later batches of the same workload.
+//
+// The paper's related work (§2.2.2, [25][28]) caches historical
+// intermediate results to shortcut repeated queries; SNICIT itself
+// re-derives centroids per batch. This extension combines the two: the
+// first batch pays for sampling + pruning, and every following batch maps
+// its columns straight onto the cached centroid columns — conversion
+// drops to a single nearest-centroid pass, and cross-batch results stay
+// consistent because all batches share one set of class representatives.
+//
+// Mechanically, the cached centroids are *appended* to each new batch as
+// k extra columns (they must exist in Ŷ for Eq. (5) updates), and the
+// recovery step drops them again.
+#pragma once
+
+#include <optional>
+
+#include "dnn/engine.hpp"
+#include "snicit/convert.hpp"
+#include "snicit/params.hpp"
+
+namespace snicit::core {
+
+/// Centroid columns captured at the threshold layer of some batch.
+struct CentroidCache {
+  DenseMatrix columns;  // neurons x k snapshot of Y(t) centroid columns
+
+  std::size_t size() const { return columns.cols(); }
+  bool empty() const { return columns.cols() == 0; }
+};
+
+/// Converts y (at layer t) against *external* centroids: the cache's
+/// columns are appended as batch columns [B, B+k) and marked as the
+/// centroids; every original column maps to its nearest cached centroid.
+CompressedBatch convert_with_cache(const DenseMatrix& y,
+                                   const CentroidCache& cache,
+                                   float prune_threshold);
+
+/// A SNICIT engine that establishes the centroid cache on its first run
+/// and reuses it on every subsequent run (call reset() to invalidate,
+/// e.g. on distribution shift). Per-run parameters follow SnicitParams;
+/// auto_threshold is not supported (the cache pins t).
+class WarmSnicitEngine final : public dnn::InferenceEngine {
+ public:
+  explicit WarmSnicitEngine(SnicitParams params);
+
+  std::string name() const override { return "SNICIT-warm"; }
+  dnn::RunResult run(const dnn::SparseDnn& net,
+                     const dnn::DenseMatrix& input) override;
+
+  bool warmed() const { return cache_.has_value(); }
+  void reset() { cache_.reset(); }
+  const CentroidCache& cache() const { return *cache_; }
+
+ private:
+  SnicitParams params_;
+  std::optional<CentroidCache> cache_;
+};
+
+}  // namespace snicit::core

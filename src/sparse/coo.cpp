@@ -1,0 +1,32 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+#include "platform/common.hpp"
+
+namespace snicit::sparse {
+
+void CooMatrix::add(Index row, Index col, float value) {
+  SNICIT_DCHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_,
+                "COO entry out of range");
+  entries_.push_back({row, col, value});
+}
+
+void CooMatrix::coalesce() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].row == entries_[i].row &&
+        entries_[out - 1].col == entries_[i].col) {
+      entries_[out - 1].value += entries_[i].value;
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+}
+
+}  // namespace snicit::sparse

@@ -1,0 +1,46 @@
+// Coordinate-format sparse matrix: the assembly/interchange format.
+// Weight generators and file importers build COO; kernels consume the
+// compressed formats produced from it (CsrMatrix / CscMatrix).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace snicit::sparse {
+
+using Index = std::int32_t;   // row/col index; SDGC tops out at 65536 rows
+using Offset = std::int64_t;  // nnz offsets (> 2^31 for the largest nets)
+
+struct Triplet {
+  Index row;
+  Index col;
+  float value;
+};
+
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(Index rows, Index cols) : rows_(rows), cols_(cols) {}
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Offset nnz() const { return static_cast<Offset>(entries_.size()); }
+
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  /// Appends an entry; duplicate (row, col) pairs are summed on conversion.
+  void add(Index row, Index col, float value);
+
+  const std::vector<Triplet>& entries() const { return entries_; }
+  std::vector<Triplet>& entries() { return entries_; }
+
+  /// Sorts entries by (row, col) and merges duplicates by summation.
+  void coalesce();
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Triplet> entries_;
+};
+
+}  // namespace snicit::sparse

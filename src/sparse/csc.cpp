@@ -1,0 +1,53 @@
+#include "sparse/csc.hpp"
+
+#include <algorithm>
+
+#include "platform/common.hpp"
+
+namespace snicit::sparse {
+
+CscMatrix CscMatrix::from_coo(const CooMatrix& coo) {
+  return from_csr(CsrMatrix::from_coo(coo));
+}
+
+CscMatrix CscMatrix::from_csr(const CsrMatrix& csr) {
+  CscMatrix m;
+  m.rows_ = csr.rows();
+  m.cols_ = csr.cols();
+  m.col_ptr_.assign(static_cast<std::size_t>(m.cols_) + 1, 0);
+  m.row_idx_.resize(csr.nnz());
+  m.values_.resize(csr.nnz());
+
+  for (Offset k = 0; k < csr.nnz(); ++k) {
+    ++m.col_ptr_[static_cast<std::size_t>(csr.col_idx()[k]) + 1];
+  }
+  for (std::size_t c = 0; c < static_cast<std::size_t>(m.cols_); ++c) {
+    m.col_ptr_[c + 1] += m.col_ptr_[c];
+  }
+  std::vector<Offset> cursor(m.col_ptr_.begin(), m.col_ptr_.end() - 1);
+  for (Index r = 0; r < csr.rows(); ++r) {
+    for (Offset k = csr.row_ptr()[r]; k < csr.row_ptr()[r + 1]; ++k) {
+      const Index c = csr.col_idx()[k];
+      const Offset pos = cursor[c]++;
+      m.row_idx_[pos] = r;
+      m.values_[pos] = csr.values()[k];
+    }
+  }
+  return m;
+}
+
+bool CscMatrix::is_valid() const {
+  if (col_ptr_.size() != static_cast<std::size_t>(cols_) + 1) return false;
+  if (col_ptr_.front() != 0) return false;
+  if (col_ptr_.back() != nnz()) return false;
+  for (Index c = 0; c < cols_; ++c) {
+    if (col_ptr_[c] > col_ptr_[c + 1]) return false;
+    for (Offset k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+      if (row_idx_[k] < 0 || row_idx_[k] >= rows_) return false;
+      if (k > col_ptr_[c] && row_idx_[k - 1] >= row_idx_[k]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace snicit::sparse

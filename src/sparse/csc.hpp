@@ -1,0 +1,48 @@
+// Compressed Sparse Column matrix — the format used by the scatter-style
+// spMM kernel, which skips zero activations of the input column entirely
+// (the activation-sparsity trick SDGC codes rely on).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace snicit::sparse {
+
+class CscMatrix {
+ public:
+  CscMatrix() = default;
+
+  static CscMatrix from_coo(const CooMatrix& coo);
+  static CscMatrix from_csr(const CsrMatrix& csr);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Offset nnz() const { return static_cast<Offset>(values_.size()); }
+
+  const std::vector<Offset>& col_ptr() const { return col_ptr_; }
+  const std::vector<Index>& row_idx() const { return row_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  std::span<const Index> col_rows(Index c) const {
+    return {row_idx_.data() + col_ptr_[c],
+            static_cast<std::size_t>(col_ptr_[c + 1] - col_ptr_[c])};
+  }
+  std::span<const float> col_vals(Index c) const {
+    return {values_.data() + col_ptr_[c],
+            static_cast<std::size_t>(col_ptr_[c + 1] - col_ptr_[c])};
+  }
+
+  bool is_valid() const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Offset> col_ptr_;  // size cols_+1
+  std::vector<Index> row_idx_;   // size nnz
+  std::vector<float> values_;    // size nnz
+};
+
+}  // namespace snicit::sparse

@@ -1,0 +1,74 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+
+#include "platform/common.hpp"
+
+namespace snicit::sparse {
+
+CsrMatrix CsrMatrix::from_coo(const CooMatrix& coo) {
+  CooMatrix sorted = coo;
+  sorted.coalesce();
+
+  CsrMatrix m;
+  m.rows_ = coo.rows();
+  m.cols_ = coo.cols();
+  m.row_ptr_.assign(static_cast<std::size_t>(m.rows_) + 1, 0);
+  m.col_idx_.resize(sorted.entries().size());
+  m.values_.resize(sorted.entries().size());
+
+  for (const auto& t : sorted.entries()) {
+    ++m.row_ptr_[static_cast<std::size_t>(t.row) + 1];
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(m.rows_); ++r) {
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  }
+  // Entries are already (row, col)-sorted, so a single pass fills in order.
+  for (std::size_t i = 0; i < sorted.entries().size(); ++i) {
+    m.col_idx_[i] = sorted.entries()[i].col;
+    m.values_[i] = sorted.entries()[i].value;
+  }
+  return m;
+}
+
+bool CsrMatrix::is_valid() const {
+  if (row_ptr_.size() != static_cast<std::size_t>(rows_) + 1) return false;
+  if (row_ptr_.front() != 0) return false;
+  if (row_ptr_.back() != nnz()) return false;
+  for (Index r = 0; r < rows_; ++r) {
+    if (row_ptr_[r] > row_ptr_[r + 1]) return false;
+    for (Offset k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (col_idx_[k] < 0 || col_idx_[k] >= cols_) return false;
+      if (k > row_ptr_[r] && col_idx_[k - 1] >= col_idx_[k]) return false;
+    }
+  }
+  return true;
+}
+
+CsrMatrix transpose(const CsrMatrix& a) {
+  CsrMatrix t;
+  t.rows_ = a.cols();
+  t.cols_ = a.rows();
+  t.row_ptr_.assign(static_cast<std::size_t>(t.rows_) + 1, 0);
+  t.col_idx_.resize(a.nnz());
+  t.values_.resize(a.nnz());
+
+  for (Offset k = 0; k < a.nnz(); ++k) {
+    ++t.row_ptr_[static_cast<std::size_t>(a.col_idx()[k]) + 1];
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(t.rows_); ++r) {
+    t.row_ptr_[r + 1] += t.row_ptr_[r];
+  }
+  std::vector<Offset> cursor(t.row_ptr_.begin(), t.row_ptr_.end() - 1);
+  for (Index r = 0; r < a.rows(); ++r) {
+    for (Offset k = a.row_ptr()[r]; k < a.row_ptr()[r + 1]; ++k) {
+      const Index c = a.col_idx()[k];
+      const Offset pos = cursor[c]++;
+      t.col_idx_[pos] = r;
+      t.values_[pos] = a.values()[k];
+    }
+  }
+  return t;
+}
+
+}  // namespace snicit::sparse

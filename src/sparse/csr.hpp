@@ -1,0 +1,61 @@
+// Compressed Sparse Row matrix — the format used by the gather-style spMM
+// kernels (one weight row per output neuron).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/coo.hpp"
+
+namespace snicit::sparse {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from COO (coalesces a copy; the input is left untouched).
+  static CsrMatrix from_coo(const CooMatrix& coo);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Offset nnz() const { return static_cast<Offset>(values_.size()); }
+
+  const std::vector<Offset>& row_ptr() const { return row_ptr_; }
+  const std::vector<Index>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+
+  std::span<const Index> row_cols(Index r) const {
+    return {col_idx_.data() + row_ptr_[r],
+            static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+  std::span<const float> row_vals(Index r) const {
+    return {values_.data() + row_ptr_[r],
+            static_cast<std::size_t>(row_ptr_[r + 1] - row_ptr_[r])};
+  }
+
+  /// Fraction of nonzero entries.
+  double density() const {
+    return rows_ == 0 || cols_ == 0
+               ? 0.0
+               : static_cast<double>(nnz()) /
+                     (static_cast<double>(rows_) * cols_);
+  }
+
+  /// Structural invariants (monotone row_ptr, sorted in-range columns).
+  bool is_valid() const;
+
+  friend class CscMatrix;
+  friend CsrMatrix transpose(const CsrMatrix&);
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Offset> row_ptr_;  // size rows_+1
+  std::vector<Index> col_idx_;   // size nnz
+  std::vector<float> values_;    // size nnz
+};
+
+/// Returns A^T in CSR form.
+CsrMatrix transpose(const CsrMatrix& a);
+
+}  // namespace snicit::sparse

@@ -1,0 +1,63 @@
+// Column-major dense matrix of floats.
+//
+// Activations in this library are stored as N x B matrices with one
+// *contiguous column per input sample*, matching the paper's column-centric
+// kernels (conversion, residue update, recovery all walk whole columns).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace snicit::sparse {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float* col(std::size_t j) { return data_.data() + j * rows_; }
+  const float* col(std::size_t j) const { return data_.data() + j * rows_; }
+
+  std::span<float> col_span(std::size_t j) { return {col(j), rows_}; }
+  std::span<const float> col_span(std::size_t j) const {
+    return {col(j), rows_};
+  }
+
+  float& at(std::size_t r, std::size_t c) { return data_[c * rows_ + r]; }
+  float at(std::size_t r, std::size_t c) const { return data_[c * rows_ + r]; }
+
+  void fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Resizes without preserving contents (values are zero-filled).
+  void reset(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0f);
+  }
+
+  /// Number of entries with |x| > tol.
+  std::size_t count_nonzeros(float tol = 0.0f) const;
+
+  /// Number of entries in column j with |x| > tol.
+  std::size_t column_nonzeros(std::size_t j, float tol = 0.0f) const;
+
+  /// Largest |a - b| over all entries; matrices must have equal shape.
+  static float max_abs_diff(const DenseMatrix& a, const DenseMatrix& b);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace snicit::sparse

@@ -1,0 +1,99 @@
+#include "sparse/quantized.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/common.hpp"
+#include "platform/thread_pool.hpp"
+#include "sparse/coo.hpp"
+
+namespace snicit::sparse {
+
+QuantizedCsr QuantizedCsr::from_csr(const CsrMatrix& csr) {
+  QuantizedCsr q;
+  q.rows_ = csr.rows();
+  q.cols_ = csr.cols();
+  q.row_ptr_ = csr.row_ptr();
+  q.col_idx_ = csr.col_idx();
+  q.values_.resize(static_cast<std::size_t>(csr.nnz()));
+  q.row_scale_.assign(static_cast<std::size_t>(csr.rows()), 0.0f);
+
+  for (Index r = 0; r < csr.rows(); ++r) {
+    const auto vals = csr.row_vals(r);
+    float max_abs = 0.0f;
+    for (float v : vals) {
+      max_abs = std::max(max_abs, std::fabs(v));
+    }
+    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    q.row_scale_[static_cast<std::size_t>(r)] = scale;
+    const Offset base = csr.row_ptr()[r];
+    for (std::size_t k = 0; k < vals.size(); ++k) {
+      const float scaled = vals[k] / scale;
+      q.values_[static_cast<std::size_t>(base) + k] =
+          static_cast<std::int8_t>(
+              std::clamp(std::lround(scaled), -127L, 127L));
+    }
+  }
+  return q;
+}
+
+CsrMatrix QuantizedCsr::dequantize() const {
+  CooMatrix coo(rows_, cols_);
+  for (Index r = 0; r < rows_; ++r) {
+    const float scale = row_scale_[static_cast<std::size_t>(r)];
+    for (Offset k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      coo.add(r, col_idx_[static_cast<std::size_t>(k)],
+              static_cast<float>(values_[static_cast<std::size_t>(k)]) *
+                  scale);
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+float QuantizedCsr::max_quantization_error(const CsrMatrix& source) const {
+  SNICIT_CHECK(source.nnz() == nnz() && source.rows() == rows_,
+               "source matrix does not match quantized structure");
+  float err = 0.0f;
+  for (Index r = 0; r < rows_; ++r) {
+    const float scale = row_scale_[static_cast<std::size_t>(r)];
+    for (Offset k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const float reconstructed =
+          static_cast<float>(values_[static_cast<std::size_t>(k)]) * scale;
+      err = std::max(err,
+                     std::fabs(reconstructed -
+                               source.values()[static_cast<std::size_t>(k)]));
+    }
+  }
+  return err;
+}
+
+void spmm_quantized(const QuantizedCsr& w, const DenseMatrix& y,
+                    DenseMatrix& out) {
+  SNICIT_CHECK(static_cast<std::size_t>(w.cols()) == y.rows(),
+               "quantized spMM inner dimension mismatch");
+  SNICIT_CHECK(static_cast<std::size_t>(w.rows()) == out.rows() &&
+                   y.cols() == out.cols(),
+               "quantized spMM output shape mismatch");
+  platform::parallel_for_ranges(0, y.cols(), [&](std::size_t lo,
+                                                 std::size_t hi) {
+    const Offset* SNICIT_RESTRICT rp = w.row_ptr().data();
+    const Index* SNICIT_RESTRICT ci = w.col_idx().data();
+    const std::int8_t* SNICIT_RESTRICT vs = w.values().data();
+    const float* SNICIT_RESTRICT scales = w.row_scale().data();
+    for (std::size_t j = lo; j < hi; ++j) {
+      const float* SNICIT_RESTRICT y_col = y.col(j);
+      float* SNICIT_RESTRICT out_col = out.col(j);
+      for (Index i = 0; i < w.rows(); ++i) {
+        // Accumulate in the integer-scaled domain; one multiply by the
+        // row scale at the end.
+        float acc = 0.0f;
+        for (Offset k = rp[i]; k < rp[i + 1]; ++k) {
+          acc += static_cast<float>(vs[k]) * y_col[ci[k]];
+        }
+        out_col[i] = acc * scales[i];
+      }
+    }
+  });
+}
+
+}  // namespace snicit::sparse

@@ -1,0 +1,61 @@
+// Int8-quantized sparse weights — the *static* model-compression axis the
+// paper's related work contrasts with SNICIT's *dynamic* data compression
+// (§2.2). Provided so the two can be composed and compared: weights are
+// stored as int8 with one scale per row (symmetric quantization), and the
+// gather kernel dequantizes on the fly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::sparse {
+
+class QuantizedCsr {
+ public:
+  QuantizedCsr() = default;
+
+  /// Quantizes symmetrically: per row, scale = max|w| / 127; stored value
+  /// q = round(w / scale) in [-127, 127].
+  static QuantizedCsr from_csr(const CsrMatrix& csr);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Offset nnz() const { return static_cast<Offset>(values_.size()); }
+
+  const std::vector<Offset>& row_ptr() const { return row_ptr_; }
+  const std::vector<Index>& col_idx() const { return col_idx_; }
+  const std::vector<std::int8_t>& values() const { return values_; }
+  const std::vector<float>& row_scale() const { return row_scale_; }
+
+  /// Reconstructs the float matrix (for error analysis).
+  CsrMatrix dequantize() const;
+
+  /// Largest |w - dequantize(quantize(w))| over all entries of `source`
+  /// (must be the matrix this was built from).
+  float max_quantization_error(const CsrMatrix& source) const;
+
+  /// Bytes of weight payload (values + scales; indices excluded since
+  /// both representations share them).
+  std::size_t payload_bytes() const {
+    return values_.size() * sizeof(std::int8_t) +
+           row_scale_.size() * sizeof(float);
+  }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Offset> row_ptr_;
+  std::vector<Index> col_idx_;
+  std::vector<std::int8_t> values_;
+  std::vector<float> row_scale_;  // one scale per row
+};
+
+/// out = dequantize(W) * y, fused (no materialized float weights).
+void spmm_quantized(const QuantizedCsr& w, const DenseMatrix& y,
+                    DenseMatrix& out);
+
+}  // namespace snicit::sparse

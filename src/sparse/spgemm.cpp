@@ -1,0 +1,66 @@
+#include "sparse/spgemm.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "platform/common.hpp"
+#include "platform/thread_pool.hpp"
+#include "sparse/coo.hpp"
+
+namespace snicit::sparse {
+
+CscMatrix dense_to_csc(const DenseMatrix& y, float tol) {
+  CooMatrix coo(static_cast<Index>(y.rows()), static_cast<Index>(y.cols()));
+  for (std::size_t j = 0; j < y.cols(); ++j) {
+    const float* col = y.col(j);
+    for (std::size_t r = 0; r < y.rows(); ++r) {
+      if (std::fabs(col[r]) > tol) {
+        coo.add(static_cast<Index>(r), static_cast<Index>(j), col[r]);
+      }
+    }
+  }
+  return CscMatrix::from_coo(coo);
+}
+
+DenseMatrix csc_to_dense(const CscMatrix& y) {
+  DenseMatrix out(static_cast<std::size_t>(y.rows()),
+                  static_cast<std::size_t>(y.cols()));
+  for (Index c = 0; c < y.cols(); ++c) {
+    const auto rows = y.col_rows(c);
+    const auto vals = y.col_vals(c);
+    float* col = out.col(static_cast<std::size_t>(c));
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      col[rows[k]] = vals[k];
+    }
+  }
+  return out;
+}
+
+void spgemm(const CscMatrix& a, const CscMatrix& b, DenseMatrix& out) {
+  SNICIT_CHECK(a.cols() == b.rows(), "spGEMM inner dimension mismatch");
+  SNICIT_CHECK(out.rows() == static_cast<std::size_t>(a.rows()) &&
+                   out.cols() == static_cast<std::size_t>(b.cols()),
+               "spGEMM output shape mismatch");
+  platform::parallel_for_ranges(
+      0, static_cast<std::size_t>(b.cols()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j = lo; j < hi; ++j) {
+          float* SNICIT_RESTRICT acc = out.col(j);
+          std::memset(acc, 0,
+                      sizeof(float) * static_cast<std::size_t>(a.rows()));
+          const auto b_rows = b.col_rows(static_cast<Index>(j));
+          const auto b_vals = b.col_vals(static_cast<Index>(j));
+          for (std::size_t p = 0; p < b_rows.size(); ++p) {
+            const Index k = b_rows[p];
+            const float scale = b_vals[p];
+            const auto a_rows = a.col_rows(k);
+            const auto a_vals = a.col_vals(k);
+            for (std::size_t q = 0; q < a_rows.size(); ++q) {
+              acc[a_rows[q]] += a_vals[q] * scale;
+            }
+          }
+        }
+      });
+}
+
+}  // namespace snicit::sparse

@@ -1,0 +1,31 @@
+// Sparse-sparse matrix multiplication (spGEMM) and dense<->compressed
+// batch conversion.
+//
+// SNICIT §3.3.1 considers running post-convergence updates as spGEMM —
+// W (sparse) times the compressed batch Ŷ stored in CSC — and rejects it:
+// Ŷ would need recompression every layer, and the mixed dense-centroid /
+// sparse-residue columns make the work highly irregular. These routines
+// implement that rejected alternative so bench_ablation can measure the
+// paper's claim instead of just citing it.
+#pragma once
+
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::sparse {
+
+/// Compresses a dense column-major batch into CSC, dropping entries with
+/// |v| <= tol (the per-layer recompression step the paper warns about).
+CscMatrix dense_to_csc(const DenseMatrix& y, float tol = 0.0f);
+
+/// Expands a CSC batch back to dense.
+DenseMatrix csc_to_dense(const CscMatrix& y);
+
+/// C = A * B with both operands compressed: A in CSC (m x k), B in CSC
+/// (k x n); result dense (the feed-forward use densifies via bias +
+/// activation anyway). Column-by-column Gustavson: for every nonzero
+/// B(k, j), scatter A's column k scaled by it into out(:, j).
+void spgemm(const CscMatrix& a, const CscMatrix& b, DenseMatrix& out);
+
+}  // namespace snicit::sparse

@@ -1,0 +1,175 @@
+#include "sparse/spmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "platform/common.hpp"
+#include "platform/thread_pool.hpp"
+
+namespace snicit::sparse {
+
+namespace {
+
+void check_shapes(Index w_rows, Index w_cols, const DenseMatrix& y,
+                  const DenseMatrix& out) {
+  SNICIT_CHECK(static_cast<std::size_t>(w_cols) == y.rows(),
+               "spMM inner dimension mismatch");
+  SNICIT_CHECK(static_cast<std::size_t>(w_rows) == out.rows() &&
+                   y.cols() == out.cols(),
+               "spMM output shape mismatch");
+}
+
+/// One output column of the gather kernel: out_col[i] = W.row(i) . y_col.
+void gather_column(const CsrMatrix& w, const float* SNICIT_RESTRICT y_col,
+                   float* SNICIT_RESTRICT out_col) {
+  const Offset* SNICIT_RESTRICT rp = w.row_ptr().data();
+  const Index* SNICIT_RESTRICT ci = w.col_idx().data();
+  const float* SNICIT_RESTRICT vs = w.values().data();
+  const Index rows = w.rows();
+  for (Index i = 0; i < rows; ++i) {
+    float acc = 0.0f;
+    for (Offset k = rp[i]; k < rp[i + 1]; ++k) {
+      acc += vs[k] * y_col[ci[k]];
+    }
+    out_col[i] = acc;
+  }
+}
+
+/// One output column of the scatter kernel: only nonzero inputs contribute.
+void scatter_column(const CscMatrix& w, const float* SNICIT_RESTRICT y_col,
+                    float* SNICIT_RESTRICT out_col) {
+  std::memset(out_col, 0, sizeof(float) * static_cast<std::size_t>(w.rows()));
+  const Offset* SNICIT_RESTRICT cp = w.col_ptr().data();
+  const Index* SNICIT_RESTRICT ri = w.row_idx().data();
+  const float* SNICIT_RESTRICT vs = w.values().data();
+  const Index in_dim = w.cols();
+  for (Index k = 0; k < in_dim; ++k) {
+    const float x = y_col[k];
+    if (x == 0.0f) continue;
+    for (Offset p = cp[k]; p < cp[k + 1]; ++p) {
+      out_col[ri[p]] += vs[p] * x;
+    }
+  }
+}
+
+}  // namespace
+
+void spmm_gather(const CsrMatrix& w, const DenseMatrix& y, DenseMatrix& out) {
+  check_shapes(w.rows(), w.cols(), y, out);
+  platform::parallel_for_ranges(0, y.cols(), [&](std::size_t lo,
+                                                 std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      gather_column(w, y.col(j), out.col(j));
+    }
+  });
+}
+
+void spmm_gather_cols(const CsrMatrix& w, const DenseMatrix& y,
+                      std::span<const Index> columns, DenseMatrix& out) {
+  check_shapes(w.rows(), w.cols(), y, out);
+  platform::parallel_for_ranges(0, columns.size(), [&](std::size_t lo,
+                                                       std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      const auto j = static_cast<std::size_t>(columns[k]);
+      gather_column(w, y.col(j), out.col(j));
+    }
+  });
+}
+
+void spmm_tiled(const CsrMatrix& w, const DenseMatrix& y, DenseMatrix& out,
+                std::size_t tile) {
+  check_shapes(w.rows(), w.cols(), y, out);
+  SNICIT_CHECK(tile >= 1 && tile <= 64, "tile must be in [1, 64]");
+  const std::size_t num_tiles = (y.cols() + tile - 1) / tile;
+  platform::parallel_for(0, num_tiles, [&](std::size_t tidx) {
+    const std::size_t j0 = tidx * tile;
+    const std::size_t j1 = std::min(y.cols(), j0 + tile);
+    const std::size_t width = j1 - j0;
+    float acc[64];
+    const Offset* SNICIT_RESTRICT rp = w.row_ptr().data();
+    const Index* SNICIT_RESTRICT ci = w.col_idx().data();
+    const float* SNICIT_RESTRICT vs = w.values().data();
+    for (Index i = 0; i < w.rows(); ++i) {
+      std::fill(acc, acc + width, 0.0f);
+      for (Offset k = rp[i]; k < rp[i + 1]; ++k) {
+        const float wv = vs[k];
+        const float* SNICIT_RESTRICT yrow = y.data() + ci[k];
+        for (std::size_t j = 0; j < width; ++j) {
+          acc[j] += wv * yrow[(j0 + j) * y.rows()];
+        }
+      }
+      for (std::size_t j = 0; j < width; ++j) {
+        out.at(static_cast<std::size_t>(i), j0 + j) = acc[j];
+      }
+    }
+  });
+}
+
+void spmm_scatter(const CscMatrix& w, const DenseMatrix& y, DenseMatrix& out) {
+  check_shapes(w.rows(), w.cols(), y, out);
+  platform::parallel_for_ranges(0, y.cols(), [&](std::size_t lo,
+                                                 std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      scatter_column(w, y.col(j), out.col(j));
+    }
+  });
+}
+
+void spmm_scatter_cols(const CscMatrix& w, const DenseMatrix& y,
+                       std::span<const Index> columns, DenseMatrix& out) {
+  check_shapes(w.rows(), w.cols(), y, out);
+  platform::parallel_for_ranges(0, columns.size(), [&](std::size_t lo,
+                                                       std::size_t hi) {
+    for (std::size_t k = lo; k < hi; ++k) {
+      const auto j = static_cast<std::size_t>(columns[k]);
+      scatter_column(w, y.col(j), out.col(j));
+    }
+  });
+}
+
+void apply_bias_activation(DenseMatrix& y, std::span<const float> bias,
+                           float ymax) {
+  SNICIT_CHECK(bias.size() == y.rows(), "bias size mismatch");
+  platform::parallel_for_ranges(0, y.cols(), [&](std::size_t lo,
+                                                 std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      float* SNICIT_RESTRICT c = y.col(j);
+      for (std::size_t r = 0; r < y.rows(); ++r) {
+        c[r] = std::min(std::max(c[r] + bias[r], 0.0f), ymax);
+      }
+    }
+  });
+}
+
+void apply_bias_activation(DenseMatrix& y, float bias, float ymax) {
+  platform::parallel_for_ranges(0, y.cols(), [&](std::size_t lo,
+                                                 std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      float* SNICIT_RESTRICT c = y.col(j);
+      for (std::size_t r = 0; r < y.rows(); ++r) {
+        c[r] = std::min(std::max(c[r] + bias, 0.0f), ymax);
+      }
+    }
+  });
+}
+
+double estimate_column_density(const DenseMatrix& y,
+                               std::span<const Index> columns,
+                               std::size_t max_rows) {
+  if (columns.empty() || y.rows() == 0) return 0.0;
+  const std::size_t stride =
+      std::max<std::size_t>(1, y.rows() / std::max<std::size_t>(1, max_rows));
+  std::size_t seen = 0;
+  std::size_t nonzero = 0;
+  for (Index jc : columns) {
+    const float* c = y.col(static_cast<std::size_t>(jc));
+    for (std::size_t r = 0; r < y.rows(); r += stride) {
+      ++seen;
+      if (c[r] != 0.0f) ++nonzero;
+    }
+  }
+  return seen == 0 ? 0.0 : static_cast<double>(nonzero) / seen;
+}
+
+}  // namespace snicit::sparse

@@ -1,0 +1,63 @@
+// The spMM kernel family: sparse weight (N_out x N_in) times dense,
+// column-major activation batch (N_in x B).
+//
+// The four strategies span the optimisation space XY-2021 explores on GPU:
+//   * gather   — CSR, per output column, per output row (dense-input case)
+//   * tiled    — CSR, amortises each weight-row traversal over a tile of
+//                batch columns (cache blocking)
+//   * scatter  — CSC, skips zero input activations entirely (the
+//                activation-sparsity trick; wins when Y is sparse)
+//   * gather over a column subset — SNICIT's load-reduced spMM, §3.3.1
+//
+// All kernels compute *multiplication only*; bias and activation are a
+// separate fused pass (the paper's post-convergence kernels also split
+// multiply and bias/activation, §3.3.1 adjustment (2)).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::sparse {
+
+/// out = W * y for every column of y. out is fully overwritten.
+void spmm_gather(const CsrMatrix& w, const DenseMatrix& y, DenseMatrix& out);
+
+/// Gather kernel restricted to the listed batch columns; all other columns
+/// of `out` are left untouched (callers own their contents).
+void spmm_gather_cols(const CsrMatrix& w, const DenseMatrix& y,
+                      std::span<const Index> columns, DenseMatrix& out);
+
+/// Cache-blocked gather: each weight row is streamed once per tile of
+/// `tile` batch columns.
+void spmm_tiled(const CsrMatrix& w, const DenseMatrix& y, DenseMatrix& out,
+                std::size_t tile = 16);
+
+/// Scatter kernel over CSC weights: per batch column, only nonzero input
+/// activations contribute, so cost scales with activation density.
+void spmm_scatter(const CscMatrix& w, const DenseMatrix& y, DenseMatrix& out);
+
+/// Scatter kernel restricted to the listed batch columns.
+void spmm_scatter_cols(const CscMatrix& w, const DenseMatrix& y,
+                       std::span<const Index> columns, DenseMatrix& out);
+
+/// In place: y = clamp(y + bias, 0, ymax), the SDGC activation
+/// σ(x) = min(max(x, 0), ymax) with per-row bias.
+void apply_bias_activation(DenseMatrix& y, std::span<const float> bias,
+                           float ymax);
+
+/// Same with a single scalar bias for every neuron (SDGC benchmarks).
+void apply_bias_activation(DenseMatrix& y, float bias, float ymax);
+
+/// Fraction of nonzero entries in the listed columns (density estimator
+/// used by the XY-2021-style cost model). Samples at most `max_rows` rows
+/// per column for large matrices.
+double estimate_column_density(const DenseMatrix& y,
+                               std::span<const Index> columns,
+                               std::size_t max_rows = 1024);
+
+}  // namespace snicit::sparse

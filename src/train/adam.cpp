@@ -1,0 +1,34 @@
+#include "train/adam.hpp"
+
+#include <cmath>
+
+#include "platform/common.hpp"
+
+namespace snicit::train {
+
+Adam::Adam(std::size_t size, AdamOptions options)
+    : options_(options), m_(size, 0.0f), v_(size, 0.0f) {}
+
+void Adam::step(std::vector<float>& params, const std::vector<float>& grads) {
+  SNICIT_CHECK(params.size() == m_.size() && grads.size() == m_.size(),
+               "Adam parameter size mismatch");
+  ++t_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float correction1 =
+      1.0f - std::pow(b1, static_cast<float>(t_));
+  const float correction2 =
+      1.0f - std::pow(b2, static_cast<float>(t_));
+  const float decay = 1.0f - options_.lr * options_.weight_decay;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (options_.weight_decay != 0.0f) params[i] *= decay;
+    const float g = grads[i];
+    m_[i] = b1 * m_[i] + (1.0f - b1) * g;
+    v_[i] = b2 * v_[i] + (1.0f - b2) * g * g;
+    const float m_hat = m_[i] / correction1;
+    const float v_hat = v_[i] / correction2;
+    params[i] -= options_.lr * m_hat / (std::sqrt(v_hat) + options_.eps);
+  }
+}
+
+}  // namespace snicit::train

@@ -1,0 +1,40 @@
+// Adam optimizer (Kingma & Ba 2014) — the paper trains networks A-D with
+// Adam at lr = 6e-5 (§4.2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace snicit::train {
+
+struct AdamOptions {
+  float lr = 6e-5f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  /// Decoupled weight decay (AdamW): params *= (1 - lr*weight_decay)
+  /// before the adaptive step. 0 recovers plain Adam.
+  float weight_decay = 0.0f;
+};
+
+/// Optimizer state for one parameter vector.
+class Adam {
+ public:
+  Adam(std::size_t size, AdamOptions options = {});
+
+  /// One update: params -= lr * m_hat / (sqrt(v_hat) + eps).
+  void step(std::vector<float>& params, const std::vector<float>& grads);
+
+  const AdamOptions& options() const { return options_; }
+
+  /// Adjusts the learning rate mid-training (used by LR schedules).
+  void set_lr(float lr) { options_.lr = lr; }
+
+ private:
+  AdamOptions options_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+  long t_ = 0;
+};
+
+}  // namespace snicit::train

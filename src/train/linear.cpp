@@ -1,0 +1,168 @@
+#include "train/linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/common.hpp"
+#include "platform/thread_pool.hpp"
+#include "sparse/coo.hpp"
+
+namespace snicit::train {
+
+SparseLinear::SparseLinear(std::size_t in_dim, std::size_t out_dim,
+                           double density, platform::Rng& rng,
+                           float init_scale)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      w_(in_dim * out_dim, 0.0f),
+      mask_(in_dim * out_dim, 0),
+      b_(out_dim, 0.0f),
+      gw_(in_dim * out_dim, 0.0f),
+      gb_(out_dim, 0.0f) {
+  SNICIT_CHECK(density > 0.0 && density <= 1.0, "density must be in (0, 1]");
+  // Sparse-aware Kaiming-uniform: masked-out weights carry no variance,
+  // so the surviving ones are widened by 1/sqrt(density) to keep the
+  // layer's signal gain at 1 through deep stacks.
+  const float bound =
+      init_scale * std::sqrt(6.0f / (static_cast<float>(in_dim) *
+                                     static_cast<float>(density)));
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    if (density >= 1.0 || rng.next_bool(density)) {
+      mask_[i] = 1;
+      w_[i] = rng.uniform(-bound, bound);
+    }
+  }
+}
+
+double SparseLinear::density() const {
+  std::size_t kept = 0;
+  for (auto m : mask_) kept += m;
+  return static_cast<double>(kept) / static_cast<double>(mask_.size());
+}
+
+void SparseLinear::forward(const DenseMatrix& x, DenseMatrix& y) const {
+  SNICIT_CHECK(x.rows() == in_dim_ && y.rows() == out_dim_ &&
+                   x.cols() == y.cols(),
+               "SparseLinear::forward shape mismatch");
+  platform::parallel_for_ranges(0, x.cols(), [&](std::size_t lo,
+                                                 std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      const float* SNICIT_RESTRICT xc = x.col(j);
+      float* SNICIT_RESTRICT yc = y.col(j);
+      for (std::size_t o = 0; o < out_dim_; ++o) {
+        const float* SNICIT_RESTRICT row = w_.data() + o * in_dim_;
+        float acc = b_[o];
+        for (std::size_t i = 0; i < in_dim_; ++i) {
+          acc += row[i] * xc[i];
+        }
+        yc[o] = acc;
+      }
+    }
+  });
+}
+
+void SparseLinear::backward(const DenseMatrix& x, const DenseMatrix& dy,
+                            DenseMatrix& dx) {
+  SNICIT_CHECK(x.rows() == in_dim_ && dy.rows() == out_dim_ &&
+                   x.cols() == dy.cols(),
+               "SparseLinear::backward shape mismatch");
+  // Parameter gradients (serial over batch to avoid atomics; training
+  // batches are small by design on this substrate).
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    const float* SNICIT_RESTRICT xc = x.col(j);
+    const float* SNICIT_RESTRICT dc = dy.col(j);
+    for (std::size_t o = 0; o < out_dim_; ++o) {
+      const float d = dc[o];
+      if (d == 0.0f) continue;
+      float* SNICIT_RESTRICT grow = gw_.data() + o * in_dim_;
+      for (std::size_t i = 0; i < in_dim_; ++i) {
+        grow[i] += d * xc[i];
+      }
+      gb_[o] += d;
+    }
+  }
+  // Masked entries accumulate no gradient.
+  for (std::size_t i = 0; i < gw_.size(); ++i) {
+    if (mask_[i] == 0) gw_[i] = 0.0f;
+  }
+
+  if (dx.empty()) return;
+  SNICIT_CHECK(dx.rows() == in_dim_ && dx.cols() == dy.cols(),
+               "SparseLinear::backward dx shape mismatch");
+  platform::parallel_for_ranges(0, dy.cols(), [&](std::size_t lo,
+                                                  std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      const float* SNICIT_RESTRICT dc = dy.col(j);
+      float* SNICIT_RESTRICT dxc = dx.col(j);
+      std::fill_n(dxc, in_dim_, 0.0f);
+      for (std::size_t o = 0; o < out_dim_; ++o) {
+        const float d = dc[o];
+        if (d == 0.0f) continue;
+        const float* SNICIT_RESTRICT row = w_.data() + o * in_dim_;
+        for (std::size_t i = 0; i < in_dim_; ++i) {
+          dxc[i] += row[i] * d;
+        }
+      }
+    }
+  });
+}
+
+void SparseLinear::zero_grad() {
+  std::fill(gw_.begin(), gw_.end(), 0.0f);
+  std::fill(gb_.begin(), gb_.end(), 0.0f);
+}
+
+void SparseLinear::apply_mask() {
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    if (mask_[i] == 0) w_[i] = 0.0f;
+  }
+}
+
+sparse::CsrMatrix SparseLinear::to_csr() const {
+  sparse::CooMatrix coo(static_cast<sparse::Index>(out_dim_),
+                        static_cast<sparse::Index>(in_dim_));
+  for (std::size_t o = 0; o < out_dim_; ++o) {
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      const float v = w_[o * in_dim_ + i];
+      if (mask_[o * in_dim_ + i] != 0 && v != 0.0f) {
+        coo.add(static_cast<sparse::Index>(o), static_cast<sparse::Index>(i),
+                v);
+      }
+    }
+  }
+  return sparse::CsrMatrix::from_coo(coo);
+}
+
+void SparseLinear::restore(std::vector<float> weights,
+                           std::vector<std::uint8_t> mask,
+                           std::vector<float> bias) {
+  SNICIT_CHECK(weights.size() == w_.size() && mask.size() == mask_.size() &&
+                   bias.size() == b_.size(),
+               "restore size mismatch");
+  w_ = std::move(weights);
+  mask_ = std::move(mask);
+  b_ = std::move(bias);
+  apply_mask();
+}
+
+void clipped_relu(DenseMatrix& y, float ymax) {
+  float* d = y.data();
+  const std::size_t n = y.rows() * y.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    d[i] = std::min(std::max(d[i], 0.0f), ymax);
+  }
+}
+
+void clipped_relu_backward(const DenseMatrix& y, DenseMatrix& dy,
+                           float ymax) {
+  SNICIT_CHECK(y.rows() == dy.rows() && y.cols() == dy.cols(),
+               "clipped_relu_backward shape mismatch");
+  const float* a = y.data();
+  float* d = dy.data();
+  const std::size_t n = y.rows() * y.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] <= 0.0f || a[i] >= ymax) d[i] = 0.0f;
+  }
+}
+
+}  // namespace snicit::train

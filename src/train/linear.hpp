@@ -1,0 +1,76 @@
+// Trainable linear layers. SparseLinear carries a fixed binary mask over
+// its weights (the SparseLinear-toolkit setup the paper trains networks
+// A-D with, §4.2): masked entries stay exactly zero through training, so
+// the trained layer exports directly to a sparse CSR weight matrix.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/rng.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::train {
+
+using sparse::DenseMatrix;
+
+class SparseLinear {
+ public:
+  /// density = fraction of weights kept trainable (1.0 = dense layer).
+  /// Weights get Kaiming-uniform init on the unmasked entries, scaled by
+  /// init_scale (deep clipped-ReLU stacks train better with < 1: the
+  /// activation clip saturates units that a plain ReLU would not).
+  SparseLinear(std::size_t in_dim, std::size_t out_dim, double density,
+               platform::Rng& rng, float init_scale = 1.0f);
+
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+  double density() const;
+
+  /// y = W x + b for every column; y must be out_dim x batch.
+  void forward(const DenseMatrix& x, DenseMatrix& y) const;
+
+  /// Accumulates parameter gradients from (x, dy) and writes dx = W^T dy.
+  /// dx may be empty() to skip input-gradient computation (first layer).
+  void backward(const DenseMatrix& x, const DenseMatrix& dy, DenseMatrix& dx);
+
+  void zero_grad();
+
+  std::vector<float>& weights() { return w_; }
+  const std::vector<float>& weights() const { return w_; }
+  std::vector<float>& bias() { return b_; }
+  const std::vector<float>& bias() const { return b_; }
+  const std::vector<float>& weight_grad() const { return gw_; }
+  const std::vector<float>& bias_grad() const { return gb_; }
+  const std::vector<std::uint8_t>& mask() const { return mask_; }
+
+  /// Re-applies the mask (call after optimizer steps to keep masked
+  /// weights exactly zero).
+  void apply_mask();
+
+  /// Exports the masked weight matrix as CSR (out_dim x in_dim).
+  sparse::CsrMatrix to_csr() const;
+
+  /// Replaces parameters wholesale (deserialization); sizes must match.
+  void restore(std::vector<float> weights, std::vector<std::uint8_t> mask,
+               std::vector<float> bias);
+
+ private:
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  std::vector<float> w_;           // out x in, row-major
+  std::vector<std::uint8_t> mask_; // 1 = trainable
+  std::vector<float> b_;
+  std::vector<float> gw_;
+  std::vector<float> gb_;
+};
+
+/// In place clipped ReLU: y = min(max(y, 0), ymax).
+void clipped_relu(DenseMatrix& y, float ymax);
+
+/// dx masked by the activation: passes where 0 < y < ymax (y is the
+/// *post-activation* value).
+void clipped_relu_backward(const DenseMatrix& y, DenseMatrix& dy, float ymax);
+
+}  // namespace snicit::train

@@ -1,0 +1,66 @@
+#include "train/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/common.hpp"
+
+namespace snicit::train {
+
+float softmax_cross_entropy(const DenseMatrix& logits,
+                            const std::vector<int>& labels,
+                            DenseMatrix& dlogits) {
+  SNICIT_CHECK(labels.size() == logits.cols(), "one label per column");
+  SNICIT_CHECK(dlogits.rows() == logits.rows() &&
+                   dlogits.cols() == logits.cols(),
+               "dlogits shape mismatch");
+  const std::size_t classes = logits.rows();
+  const std::size_t batch = logits.cols();
+  const float inv_batch = 1.0f / static_cast<float>(batch);
+
+  double loss = 0.0;
+  for (std::size_t j = 0; j < batch; ++j) {
+    const float* z = logits.col(j);
+    float* d = dlogits.col(j);
+    const float zmax = *std::max_element(z, z + classes);
+    float denom = 0.0f;
+    for (std::size_t c = 0; c < classes; ++c) {
+      d[c] = std::exp(z[c] - zmax);
+      denom += d[c];
+    }
+    const int label = labels[j];
+    SNICIT_DCHECK(label >= 0 && static_cast<std::size_t>(label) < classes,
+                  "label out of range");
+    for (std::size_t c = 0; c < classes; ++c) {
+      const float p = d[c] / denom;
+      d[c] = (p - (static_cast<int>(c) == label ? 1.0f : 0.0f)) * inv_batch;
+      if (static_cast<int>(c) == label) {
+        loss -= std::log(std::max(p, 1e-12f));
+      }
+    }
+  }
+  return static_cast<float>(loss * inv_batch);
+}
+
+std::vector<int> predict(const DenseMatrix& logits) {
+  std::vector<int> out(logits.cols());
+  for (std::size_t j = 0; j < logits.cols(); ++j) {
+    const float* z = logits.col(j);
+    out[j] = static_cast<int>(
+        std::max_element(z, z + logits.rows()) - z);
+  }
+  return out;
+}
+
+double accuracy(const DenseMatrix& logits, const std::vector<int>& labels) {
+  SNICIT_CHECK(labels.size() == logits.cols(), "one label per column");
+  if (labels.empty()) return 0.0;
+  const auto preds = predict(logits);
+  std::size_t hit = 0;
+  for (std::size_t j = 0; j < labels.size(); ++j) {
+    if (preds[j] == labels[j]) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(labels.size());
+}
+
+}  // namespace snicit::train

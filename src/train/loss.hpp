@@ -1,0 +1,24 @@
+// Softmax cross-entropy, the paper's training loss for networks A-D.
+#pragma once
+
+#include <vector>
+
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::train {
+
+using sparse::DenseMatrix;
+
+/// Computes mean cross-entropy over the batch and writes dlogits
+/// (= (softmax - onehot) / batch) into `dlogits` (same shape as logits).
+float softmax_cross_entropy(const DenseMatrix& logits,
+                            const std::vector<int>& labels,
+                            DenseMatrix& dlogits);
+
+/// Argmax over rows, per column.
+std::vector<int> predict(const DenseMatrix& logits);
+
+/// Fraction of columns whose argmax equals the label.
+double accuracy(const DenseMatrix& logits, const std::vector<int>& labels);
+
+}  // namespace snicit::train

@@ -1,0 +1,39 @@
+#include "train/lr_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "platform/common.hpp"
+
+namespace snicit::train {
+
+float LrSchedule::at(int epoch) const {
+  SNICIT_CHECK(epoch >= 0, "epoch must be non-negative");
+  float lr = base_lr;
+  switch (decay) {
+    case LrDecay::kConstant:
+      break;
+    case LrDecay::kStep: {
+      const int notches = step_every <= 0 ? 0 : epoch / step_every;
+      lr = base_lr * std::pow(gamma, static_cast<float>(notches));
+      break;
+    }
+    case LrDecay::kCosine: {
+      const int horizon = std::max(1, total_epochs);
+      const float progress =
+          std::min(1.0f, static_cast<float>(epoch) /
+                             static_cast<float>(horizon));
+      lr = floor_lr + (base_lr - floor_lr) *
+                          (1.0f + std::cos(3.14159265358979f * progress)) /
+                          2.0f;
+      break;
+    }
+  }
+  if (warmup_epochs > 0 && epoch < warmup_epochs) {
+    lr *= static_cast<float>(epoch + 1) /
+          static_cast<float>(warmup_epochs + 1);
+  }
+  return lr;
+}
+
+}  // namespace snicit::train

@@ -1,0 +1,32 @@
+// Learning-rate schedules for the trainer: constant, step decay, cosine
+// annealing, and linear warmup composed with any of the former.
+#pragma once
+
+#include <cstddef>
+
+namespace snicit::train {
+
+enum class LrDecay {
+  kConstant,  // lr(e) = base
+  kStep,      // lr(e) = base * gamma^(e / step_every)
+  kCosine,    // lr(e) = floor + (base - floor) * (1 + cos(pi e/E)) / 2
+};
+
+struct LrSchedule {
+  float base_lr = 1e-3f;
+  LrDecay decay = LrDecay::kConstant;
+
+  int total_epochs = 1;    // horizon E for cosine
+  int step_every = 10;     // epochs per step-decay notch
+  float gamma = 0.5f;      // step-decay factor
+  float floor_lr = 0.0f;   // cosine floor
+
+  /// Linear warmup over the first `warmup_epochs` epochs (0 disables):
+  /// lr ramps from base/`warmup_epochs+1` up to the schedule value.
+  int warmup_epochs = 0;
+
+  /// Learning rate for 0-based epoch index `epoch`.
+  float at(int epoch) const;
+};
+
+}  // namespace snicit::train

@@ -1,0 +1,84 @@
+#include "train/metrics.hpp"
+
+#include "platform/common.hpp"
+
+namespace snicit::train {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  SNICIT_CHECK(num_classes >= 1, "need at least one class");
+}
+
+ConfusionMatrix ConfusionMatrix::from_predictions(
+    const std::vector<int>& predicted, const std::vector<int>& actual,
+    std::size_t num_classes) {
+  SNICIT_CHECK(predicted.size() == actual.size(),
+               "prediction/label count mismatch");
+  ConfusionMatrix cm(num_classes);
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    cm.add(predicted[i], actual[i]);
+  }
+  return cm;
+}
+
+void ConfusionMatrix::add(int predicted, int actual) {
+  SNICIT_CHECK(predicted >= 0 &&
+                   static_cast<std::size_t>(predicted) < classes_ &&
+                   actual >= 0 && static_cast<std::size_t>(actual) < classes_,
+               "class index out of range");
+  ++counts_[static_cast<std::size_t>(actual) * classes_ +
+            static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(int actual, int predicted) const {
+  return counts_[static_cast<std::size_t>(actual) * classes_ +
+                 static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    correct += counts_[c * classes_ + c];
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::precision(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t predicted_as = 0;
+  for (std::size_t a = 0; a < classes_; ++a) {
+    predicted_as += counts_[a * classes_ + c];
+  }
+  if (predicted_as == 0) return 1.0;
+  return static_cast<double>(counts_[c * classes_ + c]) /
+         static_cast<double>(predicted_as);
+}
+
+double ConfusionMatrix::recall(int cls) const {
+  const auto c = static_cast<std::size_t>(cls);
+  std::size_t actually = 0;
+  for (std::size_t p = 0; p < classes_; ++p) {
+    actually += counts_[c * classes_ + p];
+  }
+  if (actually == 0) return 1.0;
+  return static_cast<double>(counts_[c * classes_ + c]) /
+         static_cast<double>(actually);
+}
+
+double ConfusionMatrix::f1(int cls) const {
+  const double p = precision(cls);
+  const double r = recall(cls);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_f1() const {
+  double sum = 0.0;
+  for (std::size_t c = 0; c < classes_; ++c) {
+    sum += f1(static_cast<int>(c));
+  }
+  return sum / static_cast<double>(classes_);
+}
+
+}  // namespace snicit::train

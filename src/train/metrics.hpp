@@ -1,0 +1,49 @@
+// Classification quality metrics beyond plain accuracy: confusion matrix
+// and per-class precision/recall/F1 — used when comparing exact inference
+// against SNICIT's pruned inference (accuracy alone can hide class-skewed
+// degradation).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::train {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  /// Builds from predictions and ground truth (equal-length vectors with
+  /// values in [0, num_classes)).
+  static ConfusionMatrix from_predictions(const std::vector<int>& predicted,
+                                          const std::vector<int>& actual,
+                                          std::size_t num_classes);
+
+  std::size_t num_classes() const { return classes_; }
+  std::size_t total() const { return total_; }
+
+  void add(int predicted, int actual);
+
+  /// counts[actual][predicted].
+  std::size_t count(int actual, int predicted) const;
+
+  double accuracy() const;
+  /// Of samples predicted as `cls`, the fraction truly `cls` (1 when the
+  /// class is never predicted).
+  double precision(int cls) const;
+  /// Of samples truly `cls`, the fraction predicted `cls` (1 when the
+  /// class never occurs).
+  double recall(int cls) const;
+  double f1(int cls) const;
+  /// Unweighted mean F1 across classes.
+  double macro_f1() const;
+
+ private:
+  std::size_t classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // classes_ x classes_, row = actual
+};
+
+}  // namespace snicit::train

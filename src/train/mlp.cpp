@@ -1,0 +1,202 @@
+#include "train/mlp.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "platform/common.hpp"
+#include "platform/rng.hpp"
+#include "train/loss.hpp"
+
+namespace snicit::train {
+
+namespace {
+
+platform::Rng make_rng(std::uint64_t seed) { return platform::Rng(seed); }
+
+}  // namespace
+
+SparseMlp::SparseMlp(const MlpOptions& options)
+    : options_(options),
+      input_([&] {
+        auto rng = make_rng(options.seed);
+        return SparseLinear(options.in_dim, options.hidden, 1.0, rng);
+      }()),
+      output_([&] {
+        auto rng = make_rng(options.seed + 1);
+        return SparseLinear(options.hidden, options.classes, 1.0, rng);
+      }()) {
+  hidden_.reserve(options.sparse_layers);
+  for (std::size_t i = 0; i < options.sparse_layers; ++i) {
+    auto rng = make_rng(options.seed + 2 + i);
+    hidden_.emplace_back(options.hidden, options.hidden, options.density,
+                         rng, options.hidden_init_scale);
+  }
+}
+
+DenseMatrix SparseMlp::hidden_input(const DenseMatrix& x) const {
+  DenseMatrix h(options_.hidden, x.cols());
+  input_.forward(x, h);
+  clipped_relu(h, options_.ymax);
+  return h;
+}
+
+DenseMatrix SparseMlp::logits_from_hidden(const DenseMatrix& h) const {
+  DenseMatrix logits(options_.classes, h.cols());
+  output_.forward(h, logits);
+  return logits;
+}
+
+DenseMatrix SparseMlp::forward(const DenseMatrix& x) const {
+  DenseMatrix h = hidden_input(x);
+  DenseMatrix next(options_.hidden, x.cols());
+  for (const auto& layer : hidden_) {
+    layer.forward(h, next);
+    clipped_relu(next, options_.ymax);
+    std::swap(h, next);
+  }
+  return logits_from_hidden(h);
+}
+
+TrainHistory SparseMlp::fit(const data::Dataset& train_set,
+                            const TrainOptions& topts) {
+  SNICIT_CHECK(train_set.dim() == options_.in_dim, "dataset dim mismatch");
+  const std::size_t n = train_set.size();
+  const std::size_t bs = std::min(topts.batch_size, n);
+
+  // One Adam state per parameter vector.
+  Adam opt_in_w(input_.weights().size(), topts.adam);
+  Adam opt_in_b(input_.bias().size(), topts.adam);
+  Adam opt_out_w(output_.weights().size(), topts.adam);
+  Adam opt_out_b(output_.bias().size(), topts.adam);
+  std::vector<Adam> opt_h_w;
+  std::vector<Adam> opt_h_b;
+  for (auto& layer : hidden_) {
+    opt_h_w.emplace_back(layer.weights().size(), topts.adam);
+    opt_h_b.emplace_back(layer.bias().size(), topts.adam);
+  }
+
+  platform::Rng shuffle_rng(options_.seed ^ 0xabcdefULL);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainHistory history;
+  const std::size_t L = hidden_.size();
+  for (int epoch = 0; epoch < topts.epochs; ++epoch) {
+    if (topts.use_schedule) {
+      const float lr = topts.schedule.at(epoch);
+      opt_in_w.set_lr(lr);
+      opt_in_b.set_lr(lr);
+      opt_out_w.set_lr(lr);
+      opt_out_b.set_lr(lr);
+      for (auto& o : opt_h_w) o.set_lr(lr);
+      for (auto& o : opt_h_b) o.set_lr(lr);
+    }
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[shuffle_rng.next_below(i)]);
+    }
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+    std::size_t correct = 0;
+
+    for (std::size_t start = 0; start + bs <= n; start += bs) {
+      // Gather the minibatch.
+      DenseMatrix x(options_.in_dim, bs);
+      std::vector<int> labels(bs);
+      for (std::size_t j = 0; j < bs; ++j) {
+        const std::size_t src = order[start + j];
+        std::copy_n(train_set.features.col(src), options_.in_dim, x.col(j));
+        labels[j] = train_set.labels[src];
+      }
+
+      // Forward with stored activations (post-activation values).
+      std::vector<DenseMatrix> acts;  // acts[0] = hidden input, etc.
+      acts.reserve(L + 1);
+      acts.push_back(DenseMatrix(options_.hidden, bs));
+      input_.forward(x, acts[0]);
+      clipped_relu(acts[0], options_.ymax);
+      for (std::size_t l = 0; l < L; ++l) {
+        acts.push_back(DenseMatrix(options_.hidden, bs));
+        hidden_[l].forward(acts[l], acts[l + 1]);
+        clipped_relu(acts[l + 1], options_.ymax);
+      }
+      DenseMatrix logits(options_.classes, bs);
+      output_.forward(acts[L], logits);
+
+      DenseMatrix dlogits(options_.classes, bs);
+      epoch_loss += softmax_cross_entropy(logits, labels, dlogits);
+      const auto preds = predict(logits);
+      for (std::size_t j = 0; j < bs; ++j) {
+        if (preds[j] == labels[j]) ++correct;
+      }
+      ++batches;
+
+      // Backward.
+      input_.zero_grad();
+      output_.zero_grad();
+      for (auto& layer : hidden_) layer.zero_grad();
+
+      DenseMatrix grad(options_.hidden, bs);
+      output_.backward(acts[L], dlogits, grad);
+      for (std::size_t l = L; l-- > 0;) {
+        clipped_relu_backward(acts[l + 1], grad, options_.ymax);
+        DenseMatrix grad_in(options_.hidden, bs);
+        hidden_[l].backward(acts[l], grad, grad_in);
+        grad = std::move(grad_in);
+      }
+      clipped_relu_backward(acts[0], grad, options_.ymax);
+      DenseMatrix no_dx;  // input gradients are not needed
+      input_.backward(x, grad, no_dx);
+
+      // Optimizer steps + re-masking.
+      opt_in_w.step(input_.weights(), input_.weight_grad());
+      opt_in_b.step(input_.bias(), input_.bias_grad());
+      opt_out_w.step(output_.weights(), output_.weight_grad());
+      opt_out_b.step(output_.bias(), output_.bias_grad());
+      for (std::size_t l = 0; l < L; ++l) {
+        opt_h_w[l].step(hidden_[l].weights(), hidden_[l].weight_grad());
+        opt_h_b[l].step(hidden_[l].bias(), hidden_[l].bias_grad());
+        hidden_[l].apply_mask();
+      }
+      input_.apply_mask();
+      output_.apply_mask();
+    }
+
+    history.loss_per_epoch.push_back(
+        batches == 0 ? 0.0f
+                     : static_cast<float>(epoch_loss /
+                                          static_cast<double>(batches)));
+    history.train_accuracy_per_epoch.push_back(
+        batches == 0 ? 0.0
+                     : static_cast<double>(correct) /
+                           static_cast<double>(batches * bs));
+  }
+  return history;
+}
+
+double SparseMlp::evaluate(const data::Dataset& test_set) const {
+  const DenseMatrix logits = forward(test_set.features);
+  return accuracy(logits, test_set.labels);
+}
+
+dnn::SparseDnn SparseMlp::to_sparse_dnn(const std::string& name) const {
+  std::vector<sparse::CsrMatrix> weights;
+  std::vector<std::vector<float>> biases;
+  weights.reserve(hidden_.size());
+  biases.reserve(hidden_.size());
+  for (const auto& layer : hidden_) {
+    weights.push_back(layer.to_csr());
+    biases.push_back(layer.bias());
+  }
+  return dnn::SparseDnn(static_cast<dnn::Index>(options_.hidden),
+                        std::move(weights), std::move(biases), options_.ymax,
+                        name);
+}
+
+double SparseMlp::hidden_density() const {
+  if (hidden_.empty()) return 0.0;
+  double d = 0.0;
+  for (const auto& layer : hidden_) d += layer.density();
+  return d / static_cast<double>(hidden_.size());
+}
+
+}  // namespace snicit::train

@@ -1,0 +1,93 @@
+// The medium-scale sparse MLP family of §4.2: a dense input layer
+// (in_dim x N), l sparsely connected N x N hidden layers with clipped
+// ReLU, and a dense N x classes output head. Networks A-D of Table 4 are
+// instances of this model. After training, the hidden stack exports to a
+// SparseDnn so every inference engine (baselines + SNICIT) can run it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "dnn/sparse_dnn.hpp"
+#include "train/adam.hpp"
+#include "train/lr_schedule.hpp"
+#include "train/linear.hpp"
+
+namespace snicit::train {
+
+struct MlpOptions {
+  std::size_t in_dim = 784;
+  std::size_t hidden = 256;      // N
+  std::size_t sparse_layers = 12;  // l
+  std::size_t classes = 10;
+  double density = 0.55;  // hidden-layer weight density (paper: 50-60 %)
+  float hidden_init_scale = 1.0f;  // init bound multiplier for the deep
+                                   // hidden stack (see SparseLinear)
+  float ymax = 1.0f;      // clipped-ReLU bound (1 for medium nets, §4.2)
+  std::uint64_t seed = 123;
+};
+
+struct TrainOptions {
+  int epochs = 12;
+  std::size_t batch_size = 64;
+  AdamOptions adam;  // paper defaults: Adam, lr 6e-5 — but on the small
+                     // synthetic sets a larger lr converges in far fewer
+                     // epochs; callers override as needed.
+  /// Optional per-epoch learning-rate schedule; when set, it overrides
+  /// adam.lr each epoch (schedule.base_lr is the driving rate).
+  bool use_schedule = false;
+  LrSchedule schedule;
+};
+
+struct TrainHistory {
+  std::vector<float> loss_per_epoch;
+  std::vector<double> train_accuracy_per_epoch;
+};
+
+class SparseMlp {
+ public:
+  explicit SparseMlp(const MlpOptions& options);
+
+  const MlpOptions& options() const { return options_; }
+
+  /// Full forward pass: logits for a batch (in_dim x B -> classes x B).
+  DenseMatrix forward(const DenseMatrix& x) const;
+
+  /// Activations entering the first sparse hidden layer (N x B): the
+  /// input-layer output. This is the Y(0) the inference engines consume.
+  DenseMatrix hidden_input(const DenseMatrix& x) const;
+
+  /// Applies the output head to last-hidden activations (N x B).
+  DenseMatrix logits_from_hidden(const DenseMatrix& h) const;
+
+  /// Minibatch Adam training with softmax cross-entropy.
+  TrainHistory fit(const data::Dataset& train_set,
+                   const TrainOptions& topts);
+
+  /// Test accuracy via the full forward pass.
+  double evaluate(const data::Dataset& test_set) const;
+
+  /// Exports the l sparse hidden layers (weights + biases + clip) as a
+  /// SparseDnn named like the paper ("A 128-18" etc. is up to callers).
+  dnn::SparseDnn to_sparse_dnn(const std::string& name) const;
+
+  std::size_t num_sparse_layers() const { return hidden_.size(); }
+  double hidden_density() const;
+
+  /// Layer access for inspection and serialization.
+  SparseLinear& input_layer() { return input_; }
+  const SparseLinear& input_layer() const { return input_; }
+  std::vector<SparseLinear>& hidden_layers() { return hidden_; }
+  const std::vector<SparseLinear>& hidden_layers() const { return hidden_; }
+  SparseLinear& output_layer() { return output_; }
+  const SparseLinear& output_layer() const { return output_; }
+
+ private:
+  MlpOptions options_;
+  SparseLinear input_;
+  std::vector<SparseLinear> hidden_;
+  SparseLinear output_;
+};
+
+}  // namespace snicit::train

@@ -1,0 +1,130 @@
+#include "train/serialize.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace snicit::train {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'N', 'I', 'C', 'M', 'L', 'P', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_bytes(std::FILE* f, const void* data, std::size_t size) {
+  if (std::fwrite(data, 1, size, f) != size) {
+    throw std::runtime_error("short write while saving model");
+  }
+}
+
+void read_bytes(std::FILE* f, void* data, std::size_t size) {
+  if (std::fread(data, 1, size, f) != size) {
+    throw std::runtime_error("short read while loading model");
+  }
+}
+
+template <typename T>
+void write_pod(std::FILE* f, const T& v) {
+  write_bytes(f, &v, sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::FILE* f) {
+  T v{};
+  read_bytes(f, &v, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void write_vec(std::FILE* f, const std::vector<T>& v) {
+  write_pod<std::uint64_t>(f, v.size());
+  write_bytes(f, v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::FILE* f) {
+  const auto size = read_pod<std::uint64_t>(f);
+  if (size > (1ULL << 32)) {
+    throw std::runtime_error("corrupt model file: vector too large");
+  }
+  std::vector<T> v(static_cast<std::size_t>(size));
+  read_bytes(f, v.data(), v.size() * sizeof(T));
+  return v;
+}
+
+void write_layer(std::FILE* f, const SparseLinear& layer) {
+  write_pod<std::uint64_t>(f, layer.in_dim());
+  write_pod<std::uint64_t>(f, layer.out_dim());
+  write_vec(f, layer.weights());
+  write_vec(f, layer.mask());
+  write_vec(f, layer.bias());
+}
+
+void read_layer_into(std::FILE* f, SparseLinear& layer) {
+  const auto in = read_pod<std::uint64_t>(f);
+  const auto out = read_pod<std::uint64_t>(f);
+  if (in != layer.in_dim() || out != layer.out_dim()) {
+    throw std::runtime_error("corrupt model file: layer shape mismatch");
+  }
+  auto w = read_vec<float>(f);
+  auto m = read_vec<std::uint8_t>(f);
+  auto b = read_vec<float>(f);
+  layer.restore(std::move(w), std::move(m), std::move(b));
+}
+
+}  // namespace
+
+void save_mlp(const SparseMlp& mlp, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("cannot open for write: " + path);
+  write_bytes(f.get(), kMagic, sizeof(kMagic));
+  const auto& opt = mlp.options();
+  write_pod<std::uint64_t>(f.get(), opt.in_dim);
+  write_pod<std::uint64_t>(f.get(), opt.hidden);
+  write_pod<std::uint64_t>(f.get(), opt.sparse_layers);
+  write_pod<std::uint64_t>(f.get(), opt.classes);
+  write_pod<double>(f.get(), opt.density);
+  write_pod<float>(f.get(), opt.ymax);
+  write_pod<std::uint64_t>(f.get(), opt.seed);
+  write_layer(f.get(), mlp.input_layer());
+  for (const auto& layer : mlp.hidden_layers()) {
+    write_layer(f.get(), layer);
+  }
+  write_layer(f.get(), mlp.output_layer());
+}
+
+SparseMlp load_mlp(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open for read: " + path);
+  char magic[8];
+  read_bytes(f.get(), magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not a SNICIT model file: " + path);
+  }
+  MlpOptions opt;
+  opt.in_dim = static_cast<std::size_t>(read_pod<std::uint64_t>(f.get()));
+  opt.hidden = static_cast<std::size_t>(read_pod<std::uint64_t>(f.get()));
+  opt.sparse_layers =
+      static_cast<std::size_t>(read_pod<std::uint64_t>(f.get()));
+  opt.classes = static_cast<std::size_t>(read_pod<std::uint64_t>(f.get()));
+  opt.density = read_pod<double>(f.get());
+  opt.ymax = read_pod<float>(f.get());
+  opt.seed = read_pod<std::uint64_t>(f.get());
+
+  SparseMlp mlp(opt);
+  read_layer_into(f.get(), mlp.input_layer());
+  for (auto& layer : mlp.hidden_layers()) {
+    read_layer_into(f.get(), layer);
+  }
+  read_layer_into(f.get(), mlp.output_layer());
+  return mlp;
+}
+
+}  // namespace snicit::train

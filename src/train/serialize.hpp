@@ -1,0 +1,24 @@
+// Binary (de)serialization of trained SparseMlp models, so benchmark
+// harnesses can train networks A-D once and reload them across runs and
+// binaries (the paper trains its four networks offline in PyTorch).
+#pragma once
+
+#include <string>
+
+#include "train/mlp.hpp"
+
+namespace snicit::train {
+
+/// Writes the full model (options + every layer's weights/mask/bias) to
+/// `path`. Throws std::runtime_error on I/O failure.
+void save_mlp(const SparseMlp& mlp, const std::string& path);
+
+/// Reads a model written by save_mlp. Throws std::runtime_error on I/O or
+/// format errors.
+SparseMlp load_mlp(const std::string& path);
+
+/// Access to layer internals needed by save/load (kept out of the public
+/// SparseMlp interface).
+struct MlpSerializer;
+
+}  // namespace snicit::train

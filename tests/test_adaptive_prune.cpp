@@ -1,0 +1,108 @@
+#include "snicit/adaptive_prune.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "platform/rng.hpp"
+#include "radixnet/radixnet.hpp"
+#include "snicit/engine.hpp"
+
+namespace snicit::core {
+namespace {
+
+TEST(AdaptivePrune, ZeroTargetGivesZeroThreshold) {
+  DenseMatrix y(4, 3, 1.0f);
+  y.at(0, 1) = 2.0f;
+  const auto batch = convert_to_compressed(y, {0}, 0.0f);
+  EXPECT_FLOAT_EQ(choose_prune_threshold(batch, 0.0), 0.0f);
+  EXPECT_FLOAT_EQ(choose_prune_threshold(batch, -1.0), 0.0f);
+}
+
+TEST(AdaptivePrune, EmptyResiduesGiveZeroThreshold) {
+  DenseMatrix y(4, 3, 2.0f);  // all duplicates: residues all zero
+  const auto batch = convert_to_compressed(y, {0}, 0.0f);
+  EXPECT_FLOAT_EQ(choose_prune_threshold(batch, 0.5), 0.0f);
+}
+
+TEST(AdaptivePrune, QuantileSplitsResidueMass) {
+  // Residues: half the entries at 0.1, half at 1.0. A 50% target must
+  // land between them.
+  DenseMatrix y(8, 2);
+  for (std::size_t r = 0; r < 8; ++r) {
+    y.at(r, 0) = 0.0f;                            // centroid
+    y.at(r, 1) = (r < 4) ? 0.1f : 1.0f;           // residues
+  }
+  const auto batch = convert_to_compressed(y, {0}, 0.0f);
+  const float threshold = choose_prune_threshold(batch, 0.5);
+  EXPECT_GT(threshold, 0.1f);
+  EXPECT_LT(threshold, 1.0f);
+}
+
+TEST(AdaptivePrune, ThresholdMonotoneInTarget) {
+  platform::Rng rng(7);
+  DenseMatrix y(64, 20);
+  for (std::size_t j = 0; j < 20; ++j) {
+    for (std::size_t r = 0; r < 64; ++r) {
+      y.at(r, j) = rng.uniform(0.0f, 4.0f);
+    }
+  }
+  const auto batch = convert_to_compressed(y, {0, 1}, 0.0f);
+  float prev = 0.0f;
+  for (double target : {0.1, 0.3, 0.5, 0.8}) {
+    const float th = choose_prune_threshold(batch, target);
+    EXPECT_GE(th, prev);
+    prev = th;
+  }
+}
+
+TEST(AdaptivePrune, EngineDerivesThresholdAndStaysAccurate) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 128;
+  opt.layers = 16;
+  opt.fanin = 16;
+  opt.seed = 3;
+  const auto net = radixnet::make_radixnet(opt);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 128;
+  in_opt.batch = 48;
+  in_opt.seed = 4;
+  const auto input = data::make_sdgc_input(in_opt).features;
+  const auto golden = dnn::reference_forward(net, input);
+
+  SnicitParams params;
+  params.threshold_layer = 8;
+  params.sample_size = 16;
+  params.downsample_dim = 0;
+  params.adaptive_prune_target = 0.25;
+  SnicitEngine engine(params);
+  const auto result = engine.run(net, input);
+
+  // A data-derived threshold was chosen and reported.
+  EXPECT_GT(result.diagnostics.at("prune_threshold"), 0.0);
+  // Categories still match the golden reference (pruning is gentle).
+  EXPECT_DOUBLE_EQ(
+      dnn::category_match_rate(dnn::sdgc_categories(result.output, 1e-3f),
+                               dnn::sdgc_categories(golden, 1e-3f)),
+      1.0);
+}
+
+TEST(AdaptivePrune, DisabledModeReportsConfiguredThreshold) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 64;
+  opt.layers = 8;
+  opt.fanin = 8;
+  const auto net = radixnet::make_radixnet(opt);
+  dnn::DenseMatrix input(64, 8, 0.5f);
+  SnicitParams params;
+  params.threshold_layer = 4;
+  params.prune_threshold = 0.015f;
+  SnicitEngine engine(params);
+  const auto result = engine.run(net, input);
+  EXPECT_NEAR(result.diagnostics.at("prune_threshold"), 0.015, 1e-6);
+}
+
+}  // namespace
+}  // namespace snicit::core

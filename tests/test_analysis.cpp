@@ -1,0 +1,88 @@
+#include "dnn/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "radixnet/radixnet.hpp"
+
+namespace snicit::dnn {
+namespace {
+
+TEST(ClusterCensus, AllIdenticalColumns) {
+  DenseMatrix y(16, 8, 3.0f);
+  const auto census = cluster_census(y);
+  EXPECT_EQ(census.distinct, 1u);
+  EXPECT_EQ(census.largest, 8u);
+  EXPECT_DOUBLE_EQ(census.mean_within_distance, 0.0);
+}
+
+TEST(ClusterCensus, AllDistinctColumns) {
+  DenseMatrix y(16, 6);
+  for (std::size_t j = 0; j < 6; ++j) {
+    for (std::size_t r = 0; r < 16; ++r) {
+      y.at(r, j) = static_cast<float>(j * 100);
+    }
+  }
+  const auto census = cluster_census(y);
+  EXPECT_EQ(census.distinct, 6u);
+  EXPECT_EQ(census.largest, 1u);
+}
+
+TEST(ClusterCensus, TwoGroups) {
+  DenseMatrix y(32, 10);
+  for (std::size_t j = 0; j < 10; ++j) {
+    const float v = j < 7 ? 1.0f : 9.0f;
+    for (std::size_t r = 0; r < 32; ++r) y.at(r, j) = v;
+  }
+  const auto census = cluster_census(y);
+  EXPECT_EQ(census.distinct, 2u);
+  EXPECT_EQ(census.largest, 7u);
+}
+
+TEST(ClusterCensus, EtaToleranceGroupsNearDuplicates) {
+  DenseMatrix y(16, 2, 1.0f);
+  for (std::size_t r = 0; r < 16; ++r) {
+    y.at(r, 1) = 1.02f;  // off by 0.02 everywhere
+  }
+  EXPECT_EQ(cluster_census(y, 0.0f).distinct, 2u);
+  EXPECT_EQ(cluster_census(y, 0.05f).distinct, 1u);
+}
+
+TEST(ClusterCensus, EmptyBatch) {
+  DenseMatrix y;
+  const auto census = cluster_census(y);
+  EXPECT_EQ(census.distinct, 0u);
+}
+
+TEST(LayerTrace, RecordsConvergenceOnSdgcNet) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 256;
+  opt.layers = 30;
+  opt.fanin = 32;
+  const auto net = radixnet::make_radixnet(opt);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 256;
+  in_opt.batch = 64;
+  const auto input = data::make_sdgc_input(in_opt).features;
+
+  const auto trace = layer_trace(net, input);
+  ASSERT_EQ(trace.size(), 30u);
+  EXPECT_EQ(trace.front().layer, 1u);
+  EXPECT_EQ(trace.back().layer, 30u);
+  for (const auto& row : trace) {
+    EXPECT_GE(row.density, 0.0);
+    EXPECT_LE(row.density, 1.0);
+    EXPECT_GE(row.saturated_fraction, 0.0);
+    EXPECT_LE(row.saturated_fraction, row.density + 1e-12);
+    EXPECT_GE(row.distinct_columns, 1u);
+    EXPECT_LE(row.distinct_columns, 64u);
+  }
+  // The calibrated 256-neuron regime collapses the batch well before
+  // layer 30 (the Figure 1 claim at substrate scale).
+  EXPECT_LT(trace.back().distinct_columns,
+            trace.front().distinct_columns);
+  EXPECT_LE(trace.back().distinct_columns, 8u);
+}
+
+}  // namespace
+}  // namespace snicit::dnn

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "baselines/bf2019.hpp"
+#include "baselines/snig2020.hpp"
+#include "baselines/xy2021.hpp"
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "radixnet/radixnet.hpp"
+
+namespace snicit::baselines {
+namespace {
+
+struct TestCase {
+  dnn::SparseDnn net;
+  dnn::DenseMatrix input;
+  dnn::DenseMatrix expected;
+};
+
+TestCase make_case(sparse::Index neurons, int layers, std::size_t batch,
+                   std::uint64_t seed) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = neurons;
+  opt.layers = layers;
+  opt.fanin = 8;
+  opt.seed = seed;
+  auto net = radixnet::make_radixnet(opt);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = static_cast<std::size_t>(neurons);
+  in_opt.batch = batch;
+  in_opt.seed = seed + 1;
+  auto input = data::make_sdgc_input(in_opt).features;
+  auto expected = dnn::reference_forward(net, input);
+  return {std::move(net), std::move(input), std::move(expected)};
+}
+
+// The champion engines are exact methods: outputs must match the golden
+// reference up to kernel-order float noise.
+constexpr float kTol = 1e-4f;
+
+TEST(Bf2019, MatchesReference) {
+  auto tc = make_case(96, 10, 33, 1);
+  Bf2019Engine engine(4);
+  const auto result = engine.run(tc.net, tc.input);
+  EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, tc.expected), kTol);
+  EXPECT_EQ(result.layer_ms.size(), 10u);
+  EXPECT_DOUBLE_EQ(result.diagnostics.at("partitions"), 4.0);
+}
+
+TEST(Bf2019, SinglePartitionStillCorrect) {
+  auto tc = make_case(64, 6, 10, 2);
+  Bf2019Engine engine(1);
+  const auto result = engine.run(tc.net, tc.input);
+  EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, tc.expected), kTol);
+}
+
+TEST(Bf2019, MorePartitionsThanColumns) {
+  auto tc = make_case(64, 4, 3, 3);
+  Bf2019Engine engine(16);
+  const auto result = engine.run(tc.net, tc.input);
+  EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, tc.expected), kTol);
+}
+
+TEST(Snig2020, MatchesReference) {
+  auto tc = make_case(96, 12, 40, 4);
+  Snig2020Engine engine(4, 3);
+  const auto result = engine.run(tc.net, tc.input);
+  EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, tc.expected), kTol);
+  EXPECT_GT(result.diagnostics.at("graph_nodes"), 0.0);
+}
+
+TEST(Snig2020, OddLayerCountBufferParity) {
+  auto tc = make_case(64, 7, 12, 5);  // odd layer count
+  Snig2020Engine engine(3, 2);
+  const auto result = engine.run(tc.net, tc.input);
+  EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, tc.expected), kTol);
+}
+
+TEST(Snig2020, SingleLayerPerTask) {
+  auto tc = make_case(48, 5, 9, 6);
+  Snig2020Engine engine(2, 1);
+  const auto result = engine.run(tc.net, tc.input);
+  EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, tc.expected), kTol);
+}
+
+TEST(Snig2020, FusedStagesLargerThanDepth) {
+  auto tc = make_case(48, 3, 9, 7);
+  Snig2020Engine engine(2, 100);
+  const auto result = engine.run(tc.net, tc.input);
+  EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, tc.expected), kTol);
+}
+
+TEST(Xy2021, MatchesReference) {
+  auto tc = make_case(96, 10, 25, 8);
+  Xy2021Engine engine;
+  const auto result = engine.run(tc.net, tc.input);
+  EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, tc.expected), kTol);
+}
+
+TEST(Xy2021, CostModelUsesBothKernels) {
+  // Dense input at layer 0 should pick gather; saturation-sparse later
+  // layers should pick scatter. On an SDGC-style net with negative bias
+  // both arms are typically exercised.
+  auto tc = make_case(128, 16, 32, 9);
+  Xy2021Engine engine;
+  const auto result = engine.run(tc.net, tc.input);
+  const double gather = result.diagnostics.at("gather_layers");
+  const double scatter = result.diagnostics.at("scatter_layers");
+  EXPECT_EQ(gather + scatter, 16.0);
+  EXPECT_GT(scatter, 0.0);  // sparse activations must trigger scatter
+}
+
+TEST(Xy2021, PerLayerTimesRecorded) {
+  auto tc = make_case(64, 8, 16, 10);
+  Xy2021Engine engine;
+  const auto result = engine.run(tc.net, tc.input);
+  EXPECT_EQ(result.layer_ms.size(), 8u);
+  for (double ms : result.layer_ms) {
+    EXPECT_GE(ms, 0.0);
+  }
+}
+
+// Cross-engine agreement sweep over shapes: every engine must produce the
+// same categories as the reference.
+class EngineAgreement
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(EngineAgreement, AllEnginesMatchReference) {
+  const auto [neurons, layers, batch] = GetParam();
+  auto tc = make_case(neurons, layers, static_cast<std::size_t>(batch),
+                      static_cast<std::uint64_t>(neurons + layers + batch));
+  Bf2019Engine bf(2);
+  Snig2020Engine snig(2, 2);
+  Xy2021Engine xy;
+  for (dnn::InferenceEngine* engine :
+       std::initializer_list<dnn::InferenceEngine*>{&bf, &snig, &xy}) {
+    const auto result = engine->run(tc.net, tc.input);
+    EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, tc.expected),
+              kTol)
+        << engine->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EngineAgreement,
+    ::testing::Values(std::make_tuple(32, 1, 1), std::make_tuple(32, 2, 5),
+                      std::make_tuple(64, 9, 17),
+                      std::make_tuple(128, 6, 64)));
+
+}  // namespace
+}  // namespace snicit::baselines

@@ -1,0 +1,92 @@
+#include "radixnet/challenge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baselines/xy2021.hpp"
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "radixnet/radixnet.hpp"
+#include "radixnet/sdgc_io.hpp"
+#include "snicit/engine.hpp"
+
+namespace snicit::radixnet {
+namespace {
+
+struct Workload {
+  dnn::SparseDnn net;
+  dnn::DenseMatrix input;
+};
+
+Workload make_workload() {
+  RadixNetOptions opt;
+  opt.neurons = 128;
+  opt.layers = 12;
+  opt.fanin = 16;
+  opt.seed = 50;
+  auto net = make_radixnet(opt);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 128;
+  in_opt.batch = 32;
+  in_opt.seed = 51;
+  auto input = data::make_sdgc_input(in_opt).features;
+  return {std::move(net), std::move(input)};
+}
+
+TEST(Challenge, SnicitSubmissionMatchesGolden) {
+  auto wl = make_workload();
+  core::SnicitParams params;
+  params.threshold_layer = 6;
+  core::SnicitEngine engine(params);
+  const auto result = run_challenge(engine, wl.net, wl.input);
+  EXPECT_TRUE(result.matches_golden);
+  EXPECT_GT(result.runtime_ms, 0.0);
+  EXPECT_GT(result.giga_edges_per_sec, 0.0);
+  EXPECT_EQ(result.categories.size(), 32u);
+  // Throughput arithmetic: edges = connections * batch.
+  const double edges = static_cast<double>(wl.net.connections()) * 32.0;
+  EXPECT_NEAR(result.giga_edges_per_sec,
+              edges / (result.runtime_ms / 1000.0) / 1e9, 1e-9);
+}
+
+TEST(Challenge, WritesAndScoresSubmissionFile) {
+  auto wl = make_workload();
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "snicit_challenge_test";
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "categories.tsv").string();
+
+  baselines::Xy2021Engine engine;
+  const auto result = run_challenge(engine, wl.net, wl.input, path);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  const auto golden = dnn::sdgc_categories(
+      dnn::reference_forward(wl.net, wl.input), 1e-3f);
+  EXPECT_DOUBLE_EQ(score_submission(path, golden), 1.0);
+  EXPECT_EQ(result.active_inputs,
+            static_cast<std::size_t>(
+                std::count(golden.begin(), golden.end(), 1)));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Challenge, DetectsWrongSubmission) {
+  auto wl = make_workload();
+  const auto golden = dnn::sdgc_categories(
+      dnn::reference_forward(wl.net, wl.input), 1e-3f);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "snicit_challenge_bad";
+  std::filesystem::create_directories(dir);
+  const auto path = (dir / "bad.tsv").string();
+  // A submission claiming the complement of the truth.
+  std::vector<int> wrong(golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    wrong[i] = 1 - golden[i];
+  }
+  save_categories_tsv(wrong, path);
+  EXPECT_DOUBLE_EQ(score_submission(path, golden), 0.0);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace snicit::radixnet

@@ -1,0 +1,75 @@
+#include "platform/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snicit::platform {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EmptyArguments) {
+  const auto args = parse({});
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_TRUE(args.positionals().empty());
+  EXPECT_FALSE(args.has("anything"));
+  EXPECT_EQ(args.get_int("n", 7), 7);
+}
+
+TEST(Cli, KeyValuePairs) {
+  const auto args = parse({"--neurons", "1024", "--name", "run1"});
+  EXPECT_EQ(args.get_int("neurons", 0), 1024);
+  EXPECT_EQ(args.get("name", ""), "run1");
+  EXPECT_TRUE(args.has("neurons"));
+}
+
+TEST(Cli, EqualsSyntax) {
+  const auto args = parse({"--batch=512", "--scale=0.5"});
+  EXPECT_EQ(args.get_int("batch", 0), 512);
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 0.0), 0.5);
+}
+
+TEST(Cli, BareFlags) {
+  const auto args = parse({"--verbose", "--dry-run"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.has("dry-run"));
+  EXPECT_EQ(args.get("verbose", "fallback"), "fallback");  // no value
+}
+
+TEST(Cli, FlagFollowedByOptionDoesNotSwallowIt) {
+  const auto args = parse({"--verbose", "--batch", "64"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get("verbose", "none"), "none");
+  EXPECT_EQ(args.get_int("batch", 0), 64);
+}
+
+TEST(Cli, NegativeNumbersAreValues) {
+  const auto args = parse({"--bias", "-0.3"});
+  EXPECT_DOUBLE_EQ(args.get_double("bias", 0.0), -0.3);
+}
+
+TEST(Cli, PositionalsPreserveOrder) {
+  const auto args = parse({"alpha", "--k", "v", "beta", "gamma"});
+  ASSERT_EQ(args.positionals().size(), 3u);
+  EXPECT_EQ(args.positional(0, ""), "alpha");
+  EXPECT_EQ(args.positional(1, ""), "beta");
+  EXPECT_EQ(args.positional(2, ""), "gamma");
+  EXPECT_EQ(args.positional(9, "none"), "none");
+}
+
+TEST(Cli, LastOccurrenceWins) {
+  const auto args = parse({"--b", "10", "--b", "20"});
+  EXPECT_EQ(args.get_int("b", 0), 20);
+}
+
+TEST(Cli, MalformedNumberFallsBack) {
+  const auto args = parse({"--n", "abc"});
+  EXPECT_EQ(args.get_int("n", 5), 5);
+  EXPECT_DOUBLE_EQ(args.get_double("n", 1.5), 1.5);
+}
+
+}  // namespace
+}  // namespace snicit::platform

@@ -1,0 +1,123 @@
+#include "snicit/convert.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/rng.hpp"
+
+namespace snicit::core {
+namespace {
+
+/// 4 columns: col0/col1 nearly equal, col2/col3 nearly equal.
+DenseMatrix two_cluster_batch() {
+  DenseMatrix y(6, 4);
+  for (std::size_t r = 0; r < 6; ++r) {
+    y.at(r, 0) = 1.0f;
+    y.at(r, 1) = 1.0f;
+    y.at(r, 2) = 5.0f;
+    y.at(r, 3) = 5.0f;
+  }
+  y.at(0, 1) = 1.5f;  // col1 differs from col0 in one entry
+  y.at(5, 3) = 4.0f;  // col3 differs from col2 in one entry
+  return y;
+}
+
+TEST(Convert, CentroidColumnsStoredVerbatim) {
+  const auto y = two_cluster_batch();
+  const auto batch = convert_to_compressed(y, {0, 2}, 0.0f);
+  for (std::size_t r = 0; r < 6; ++r) {
+    EXPECT_FLOAT_EQ(batch.yhat.at(r, 0), y.at(r, 0));
+    EXPECT_FLOAT_EQ(batch.yhat.at(r, 2), y.at(r, 2));
+  }
+  EXPECT_EQ(batch.mapper[0], -1);
+  EXPECT_EQ(batch.mapper[2], -1);
+  EXPECT_TRUE(batch.is_centroid(0));
+  EXPECT_FALSE(batch.is_centroid(1));
+}
+
+TEST(Convert, NonCentroidsMapToNearestByL0) {
+  const auto y = two_cluster_batch();
+  const auto batch = convert_to_compressed(y, {0, 2}, 0.0f);
+  EXPECT_EQ(batch.mapper[1], 0);  // col1 differs from col0 in 1 place,
+                                  // from col2 in 6 places
+  EXPECT_EQ(batch.mapper[3], 2);
+}
+
+TEST(Convert, ResidueIsExactDifference) {
+  const auto y = two_cluster_batch();
+  const auto batch = convert_to_compressed(y, {0, 2}, 0.0f);
+  // col1 residue: 0 everywhere except row 0 = 0.5.
+  EXPECT_FLOAT_EQ(batch.yhat.at(0, 1), 0.5f);
+  for (std::size_t r = 1; r < 6; ++r) {
+    EXPECT_FLOAT_EQ(batch.yhat.at(r, 1), 0.0f);
+  }
+  // col3 residue: row 5 = -1.
+  EXPECT_FLOAT_EQ(batch.yhat.at(5, 3), -1.0f);
+}
+
+TEST(Convert, ExactDuplicateBecomesEmptyColumn) {
+  DenseMatrix y(4, 3, 2.0f);  // all columns identical
+  const auto batch = convert_to_compressed(y, {0}, 0.0f);
+  EXPECT_EQ(batch.ne_rec[0], 1);  // centroid always non-empty
+  EXPECT_EQ(batch.ne_rec[1], 0);
+  EXPECT_EQ(batch.ne_rec[2], 0);
+  ASSERT_EQ(batch.ne_idx.size(), 1u);
+  EXPECT_EQ(batch.ne_idx[0], 0);
+}
+
+TEST(Convert, PruneThresholdZeroesSmallResidues) {
+  DenseMatrix y(4, 2, 1.0f);
+  y.at(2, 1) = 1.005f;  // tiny residue 0.005
+  const auto strict = convert_to_compressed(y, {0}, 0.0f);
+  EXPECT_EQ(strict.ne_rec[1], 1);
+  const auto pruned = convert_to_compressed(y, {0}, 0.01f);
+  EXPECT_EQ(pruned.ne_rec[1], 0);
+  EXPECT_FLOAT_EQ(pruned.yhat.at(2, 1), 0.0f);
+}
+
+TEST(Convert, RefreshNeIdxTracksNeRec) {
+  DenseMatrix y(4, 4, 1.0f);
+  y.at(0, 3) = 9.0f;
+  auto batch = convert_to_compressed(y, {0}, 0.0f);
+  ASSERT_EQ(batch.ne_idx.size(), 2u);  // centroid + column 3
+  EXPECT_EQ(batch.ne_idx[0], 0);
+  EXPECT_EQ(batch.ne_idx[1], 3);
+  batch.ne_rec[3] = 0;
+  batch.ne_rec[2] = 1;
+  batch.refresh_ne_idx();
+  ASSERT_EQ(batch.ne_idx.size(), 2u);
+  EXPECT_EQ(batch.ne_idx[1], 2);
+}
+
+TEST(Convert, TieBreaksToLowestCentroidIndex) {
+  // A column equidistant from both centroids must map to the first.
+  DenseMatrix y(2, 3);
+  y.at(0, 0) = 0.0f;  // centroid A = (0, 0)
+  y.at(0, 1) = 4.0f;  // centroid B = (4, 4)
+  y.at(1, 1) = 4.0f;
+  y.at(0, 2) = 0.0f;  // query = (0, 4): L0 distance 1 from both
+  y.at(1, 2) = 4.0f;
+  const auto batch = convert_to_compressed(y, {0, 1}, 0.0f);
+  EXPECT_EQ(batch.mapper[2], 0);
+}
+
+TEST(Convert, SparsificationOnClusteredData) {
+  // The paper's core claim at the conversion step: Ŷ has far fewer
+  // nonzeros than Y when columns are clustered.
+  platform::Rng rng(7);
+  const std::size_t n = 64;
+  const std::size_t b = 40;
+  DenseMatrix y(n, b);
+  for (std::size_t j = 0; j < b; ++j) {
+    const int cls = static_cast<int>(j % 2);
+    for (std::size_t r = 0; r < n; ++r) {
+      float v = cls == 0 ? 1.0f : 3.0f;
+      if (rng.next_bool(0.05)) v += 0.5f;  // sparse perturbations
+      y.at(r, j) = v;
+    }
+  }
+  const auto batch = convert_to_compressed(y, {0, 1}, 0.0f);
+  EXPECT_LT(batch.yhat.count_nonzeros(), y.count_nonzeros() / 4);
+}
+
+}  // namespace
+}  // namespace snicit::core

@@ -1,0 +1,87 @@
+#include "sparse/dense_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snicit::sparse {
+namespace {
+
+TEST(DenseMatrix, ConstructionAndShape) {
+  DenseMatrix m(3, 5, 1.5f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_FALSE(m.empty());
+  for (std::size_t j = 0; j < 5; ++j) {
+    for (std::size_t r = 0; r < 3; ++r) {
+      EXPECT_FLOAT_EQ(m.at(r, j), 1.5f);
+    }
+  }
+}
+
+TEST(DenseMatrix, DefaultIsEmpty) {
+  DenseMatrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(DenseMatrix, ColumnsAreContiguousColumnMajor) {
+  DenseMatrix m(4, 3);
+  m.at(2, 1) = 7.0f;
+  // Column pointer arithmetic must match at().
+  EXPECT_FLOAT_EQ(m.col(1)[2], 7.0f);
+  EXPECT_EQ(m.col(1), m.data() + 4);
+  EXPECT_EQ(m.col(2), m.data() + 8);
+}
+
+TEST(DenseMatrix, ColSpanCoversColumn) {
+  DenseMatrix m(4, 2);
+  auto span = m.col_span(1);
+  EXPECT_EQ(span.size(), 4u);
+  span[3] = 9.0f;
+  EXPECT_FLOAT_EQ(m.at(3, 1), 9.0f);
+}
+
+TEST(DenseMatrix, ResetZeroFills) {
+  DenseMatrix m(2, 2, 5.0f);
+  m.reset(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.count_nonzeros(), 0u);
+}
+
+TEST(DenseMatrix, CountNonzerosWithTolerance) {
+  DenseMatrix m(2, 2);
+  m.at(0, 0) = 0.5f;
+  m.at(1, 0) = -0.01f;
+  m.at(0, 1) = 0.0f;
+  m.at(1, 1) = 2.0f;
+  EXPECT_EQ(m.count_nonzeros(), 3u);
+  EXPECT_EQ(m.count_nonzeros(0.1f), 2u);
+}
+
+TEST(DenseMatrix, ColumnNonzeros) {
+  DenseMatrix m(3, 2);
+  m.at(0, 0) = 1.0f;
+  m.at(2, 0) = -1.0f;
+  EXPECT_EQ(m.column_nonzeros(0), 2u);
+  EXPECT_EQ(m.column_nonzeros(1), 0u);
+}
+
+TEST(DenseMatrix, MaxAbsDiff) {
+  DenseMatrix a(2, 2);
+  DenseMatrix b(2, 2);
+  a.at(1, 1) = 3.0f;
+  b.at(1, 1) = 1.0f;
+  b.at(0, 0) = -0.5f;
+  EXPECT_FLOAT_EQ(DenseMatrix::max_abs_diff(a, b), 2.0f);
+  EXPECT_FLOAT_EQ(DenseMatrix::max_abs_diff(a, a), 0.0f);
+}
+
+TEST(DenseMatrix, FillOverwritesEverything) {
+  DenseMatrix m(3, 3, 2.0f);
+  m.fill(0.0f);
+  EXPECT_EQ(m.count_nonzeros(), 0u);
+}
+
+}  // namespace
+}  // namespace snicit::sparse

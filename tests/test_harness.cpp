@@ -1,0 +1,101 @@
+#include "dnn/harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/serial.hpp"
+#include "baselines/xy2021.hpp"
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "radixnet/radixnet.hpp"
+#include "snicit/engine.hpp"
+
+namespace snicit::dnn {
+namespace {
+
+struct Workload {
+  SparseDnn net;
+  DenseMatrix input;
+};
+
+Workload make_workload() {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 96;
+  opt.layers = 12;
+  opt.fanin = 8;
+  opt.seed = 5;
+  auto net = radixnet::make_radixnet(opt);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 96;
+  in_opt.batch = 24;
+  in_opt.seed = 6;
+  auto input = data::make_sdgc_input(in_opt).features;
+  return {std::move(net), std::move(input)};
+}
+
+TEST(Harness, ComparesEnginesAgainstFirst) {
+  auto wl = make_workload();
+  ReferenceEngine golden;
+  baselines::Xy2021Engine xy;
+  core::SnicitParams params;
+  params.threshold_layer = 6;
+  core::SnicitEngine snicit(params);
+
+  const auto cmp = compare_engines("test-workload", {&golden, &xy, &snicit},
+                                   wl.net, wl.input);
+  ASSERT_EQ(cmp.rows.size(), 3u);
+  EXPECT_EQ(cmp.rows[0].engine, "reference");
+  EXPECT_DOUBLE_EQ(cmp.rows[0].speedup_vs_baseline, 1.0);
+  EXPECT_TRUE(cmp.all_match());
+  for (const auto& row : cmp.rows) {
+    EXPECT_GT(row.total_ms, 0.0);
+  }
+  EXPECT_LE(cmp.rows[2].max_abs_diff, 5e-3f);
+}
+
+TEST(Harness, TableContainsEveryEngine) {
+  auto wl = make_workload();
+  ReferenceEngine golden;
+  baselines::SerialEngine serial;
+  const auto cmp =
+      compare_engines("tbl", {&golden, &serial}, wl.net, wl.input);
+  const auto table = cmp.to_table();
+  EXPECT_NE(table.find("reference"), std::string::npos);
+  EXPECT_NE(table.find("SDGC-serial"), std::string::npos);
+  EXPECT_NE(table.find("match"), std::string::npos);
+}
+
+TEST(Harness, JsonIsWellFormedAndComplete) {
+  auto wl = make_workload();
+  ReferenceEngine golden;
+  core::SnicitParams params;
+  params.threshold_layer = 4;
+  core::SnicitEngine snicit(params);
+  const auto cmp =
+      compare_engines("json-check", {&golden, &snicit}, wl.net, wl.input);
+  const auto json = cmp.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"workload\":\"json-check\""), std::string::npos);
+  EXPECT_NE(json.find("\"engines\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"SNICIT\""), std::string::npos);
+  EXPECT_NE(json.find("\"categories_match\":true"), std::string::npos);
+  // SNICIT diagnostics surface in the JSON.
+  EXPECT_NE(json.find("\"centroids\":"), std::string::npos);
+}
+
+TEST(Harness, RepeatsKeepFastestRun) {
+  auto wl = make_workload();
+  ReferenceEngine golden;
+  const auto once =
+      compare_engines("r1", {&golden}, wl.net, wl.input, /*repeats=*/1);
+  const auto thrice =
+      compare_engines("r3", {&golden}, wl.net, wl.input, /*repeats=*/3);
+  // Not a strict inequality (timing noise), but both must be positive and
+  // the 3-repeat run should not be slower by an order of magnitude.
+  EXPECT_GT(once.rows[0].total_ms, 0.0);
+  EXPECT_GT(thrice.rows[0].total_ms, 0.0);
+  EXPECT_LT(thrice.rows[0].total_ms, once.rows[0].total_ms * 10 + 50.0);
+}
+
+}  // namespace
+}  // namespace snicit::dnn

@@ -1,0 +1,103 @@
+#include "data/idx_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace snicit::data {
+namespace {
+
+class IdxIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("snicit_idx_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+IdxImages tiny_images() {
+  IdxImages images;
+  images.count = 3;
+  images.rows = 2;
+  images.cols = 2;
+  images.pixels = {0, 64, 128, 255, 1, 2, 3, 4, 250, 251, 252, 253};
+  return images;
+}
+
+TEST_F(IdxIoTest, ImageRoundTrip) {
+  const auto original = tiny_images();
+  save_idx_images(original, path("imgs.idx3-ubyte"));
+  const auto loaded = load_idx_images(path("imgs.idx3-ubyte"));
+  EXPECT_EQ(loaded.count, 3u);
+  EXPECT_EQ(loaded.rows, 2u);
+  EXPECT_EQ(loaded.cols, 2u);
+  EXPECT_EQ(loaded.pixels, original.pixels);
+}
+
+TEST_F(IdxIoTest, LabelRoundTrip) {
+  const std::vector<std::uint8_t> labels = {0, 9, 4, 4, 7};
+  save_idx_labels(labels, path("labels.idx1-ubyte"));
+  EXPECT_EQ(load_idx_labels(path("labels.idx1-ubyte")), labels);
+}
+
+TEST_F(IdxIoTest, HeaderIsBigEndian) {
+  save_idx_labels({1, 2, 3}, path("be.idx1-ubyte"));
+  std::FILE* f = std::fopen(path("be.idx1-ubyte").c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  unsigned char header[8];
+  ASSERT_EQ(std::fread(header, 1, 8, f), 8u);
+  std::fclose(f);
+  // Magic 0x00000801, count 3 — both big-endian.
+  EXPECT_EQ(header[0], 0x00);
+  EXPECT_EQ(header[2], 0x08);
+  EXPECT_EQ(header[3], 0x01);
+  EXPECT_EQ(header[7], 0x03);
+}
+
+TEST_F(IdxIoTest, WrongMagicThrows) {
+  save_idx_labels({1}, path("l.idx1-ubyte"));
+  EXPECT_THROW(load_idx_images(path("l.idx1-ubyte")), std::runtime_error);
+  save_idx_images(tiny_images(), path("i.idx3-ubyte"));
+  EXPECT_THROW(load_idx_labels(path("i.idx3-ubyte")), std::runtime_error);
+}
+
+TEST_F(IdxIoTest, TruncatedPayloadThrows) {
+  save_idx_images(tiny_images(), path("trunc.idx3-ubyte"));
+  std::filesystem::resize_file(path("trunc.idx3-ubyte"), 18);  // cut payload
+  EXPECT_THROW(load_idx_images(path("trunc.idx3-ubyte")),
+               std::runtime_error);
+}
+
+TEST_F(IdxIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_idx_images(path("missing")), std::runtime_error);
+}
+
+TEST(IdxToDataset, ScalesAndFlattens) {
+  IdxImages images;
+  images.count = 2;
+  images.rows = 1;
+  images.cols = 3;
+  images.pixels = {0, 255, 51, 102, 153, 204};
+  const auto ds = idx_to_dataset(images, {7, 2});
+  EXPECT_EQ(ds.dim(), 3u);
+  EXPECT_EQ(ds.size(), 2u);
+  EXPECT_FLOAT_EQ(ds.features.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(ds.features.at(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(ds.features.at(2, 0), 0.2f);
+  EXPECT_FLOAT_EQ(ds.features.at(0, 1), 0.4f);
+  EXPECT_EQ(ds.labels[0], 7);
+  EXPECT_EQ(ds.labels[1], 2);
+}
+
+}  // namespace
+}  // namespace snicit::data

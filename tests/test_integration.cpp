@@ -1,0 +1,169 @@
+// End-to-end flows across modules: the two pipelines the paper evaluates —
+// (1) SDGC-style large sparse nets, all engines vs the golden reference;
+// (2) medium-scale trained classifier, SNICIT accuracy loss vs exact.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+
+#include "baselines/bf2019.hpp"
+#include "baselines/snig2020.hpp"
+#include "baselines/xy2021.hpp"
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "radixnet/radixnet.hpp"
+#include "radixnet/sdgc_io.hpp"
+#include "snicit/engine.hpp"
+#include "train/loss.hpp"
+#include "train/mlp.hpp"
+
+namespace snicit {
+namespace {
+
+TEST(Integration, SdgcPipelineAllEnginesAgree) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 256;
+  opt.layers = 30;
+  opt.fanin = 16;
+  opt.seed = 77;
+  const auto net = radixnet::make_radixnet(opt);
+
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 256;
+  in_opt.batch = 64;
+  in_opt.classes = 8;
+  in_opt.seed = 78;
+  const auto input = data::make_sdgc_input(in_opt).features;
+
+  const auto golden = dnn::reference_forward(net, input);
+  const auto golden_cats = dnn::sdgc_categories(golden, 1e-3f);
+
+  core::SnicitParams params;
+  params.threshold_layer = 10;
+  params.sample_size = 32;
+  params.downsample_dim = 16;
+  params.ne_refresh_interval = 5;
+
+  std::vector<std::unique_ptr<dnn::InferenceEngine>> engines;
+  engines.push_back(std::make_unique<baselines::Bf2019Engine>(4));
+  engines.push_back(std::make_unique<baselines::Snig2020Engine>(4, 5));
+  engines.push_back(std::make_unique<baselines::Xy2021Engine>());
+  engines.push_back(std::make_unique<core::SnicitEngine>(params));
+
+  for (auto& engine : engines) {
+    const auto result = engine->run(net, input);
+    const auto cats = dnn::sdgc_categories(result.output, 1e-3f);
+    EXPECT_DOUBLE_EQ(dnn::category_match_rate(cats, golden_cats), 1.0)
+        << engine->name();
+    EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, golden), 0.05f)
+        << engine->name();
+  }
+}
+
+TEST(Integration, SnicitCompressesDeepNetWorkload) {
+  // The headline mechanism: on a deep saturating net, post-convergence
+  // layers must process far fewer nonzeros than the dense batch carries.
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 256;
+  opt.layers = 40;
+  opt.fanin = 16;
+  opt.seed = 5;
+  const auto net = radixnet::make_radixnet(opt);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 256;
+  in_opt.batch = 128;
+  in_opt.classes = 10;
+  in_opt.seed = 6;
+  const auto input = data::make_sdgc_input(in_opt).features;
+
+  core::SnicitParams params;
+  params.threshold_layer = 15;
+  params.sample_size = 32;
+  params.downsample_dim = 16;
+  params.record_trace = true;
+  core::SnicitEngine engine(params);
+  engine.run(net, input);
+
+  const auto& trace = engine.last_trace();
+  ASSERT_FALSE(trace.ne_count.empty());
+  // Late post-convergence layers carry only a small set of non-empty
+  // columns relative to the batch.
+  EXPECT_LT(trace.ne_count.back(), input.cols() / 2);
+  // And the compressed representation is much sparser than dense N*B.
+  EXPECT_LT(trace.compressed_nnz.back(), 256u * 128u / 4u);
+}
+
+TEST(Integration, MediumDnnAccuracyLossSmall) {
+  // Train a small classifier, run its sparse stack through SNICIT with
+  // pruning, and bound the accuracy loss (Table 4's criterion).
+  data::ClusteredOptions dopt;
+  dopt.dim = 64;
+  dopt.classes = 5;
+  dopt.count = 500;
+  dopt.noise = 0.08;
+  dopt.seed = 10;
+  const auto ds = data::make_clustered_dataset(dopt);
+  const auto train_set = ds.slice(0, 400);
+  const auto test_set = ds.slice(400, 500);
+
+  train::MlpOptions mopt;
+  mopt.in_dim = 64;
+  mopt.hidden = 48;
+  mopt.sparse_layers = 8;
+  mopt.classes = 5;
+  mopt.density = 0.55;
+  train::SparseMlp mlp(mopt);
+  train::TrainOptions topt;
+  topt.epochs = 10;
+  topt.batch_size = 32;
+  topt.adam.lr = 3e-3f;
+  mlp.fit(train_set, topt);
+  const double exact_acc = mlp.evaluate(test_set);
+  ASSERT_GT(exact_acc, 0.85);
+
+  const auto net = mlp.to_sparse_dnn("medium");
+  const auto h0 = mlp.hidden_input(test_set.features);
+
+  core::SnicitParams params;
+  params.threshold_layer = 4;  // l/2
+  params.sample_size = 32;
+  params.downsample_dim = 0;   // no downsampling for medium nets (§4.2.1)
+  params.prune_threshold = 0.01f;
+  core::SnicitEngine engine(params);
+  const auto result = engine.run(net, h0);
+  const auto logits = mlp.logits_from_hidden(result.output);
+  const double snicit_acc = train::accuracy(logits, test_set.labels);
+
+  EXPECT_GE(snicit_acc, exact_acc - 0.02);  // paper: <= ~1.4% loss
+}
+
+TEST(Integration, TsvRoundTripPreservesInference) {
+  // Save a generated net in SDGC format, reload, and verify identical
+  // inference results — the interoperability path for real SDGC files.
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 64;
+  opt.layers = 5;
+  opt.fanin = 8;
+  opt.bias = -0.25f;
+  const auto net = radixnet::make_radixnet(opt);
+
+  const auto dir = std::filesystem::temp_directory_path() /
+                   "snicit_integration_tsv";
+  std::filesystem::create_directories(dir);
+  const std::string prefix = (dir / "n64").string();
+  radixnet::save_network_tsv(net, prefix);
+  const auto loaded =
+      radixnet::load_network_tsv(prefix, 64, 5, -0.25f, net.ymax());
+
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 64;
+  in_opt.batch = 12;
+  const auto input = data::make_sdgc_input(in_opt).features;
+  const auto a = dnn::reference_forward(net, input);
+  const auto b = dnn::reference_forward(loaded, input);
+  EXPECT_FLOAT_EQ(dnn::DenseMatrix::max_abs_diff(a, b), 0.0f);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace snicit

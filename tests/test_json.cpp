@@ -1,0 +1,98 @@
+#include "platform/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snicit::platform {
+namespace {
+
+TEST(Json, EmptyObject) {
+  JsonWriter w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(Json, EmptyArray) {
+  JsonWriter w;
+  w.begin_array().end_array();
+  EXPECT_EQ(w.str(), "[]");
+}
+
+TEST(Json, ScalarTypes) {
+  JsonWriter w;
+  w.begin_object()
+      .key("s").value("hi")
+      .key("i").value(std::int64_t{-42})
+      .key("d").value(2.5)
+      .key("b").value(true)
+      .key("n").value(std::size_t{7})
+      .end_object();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"hi\",\"i\":-42,\"d\":2.5,\"b\":true,\"n\":7}");
+}
+
+TEST(Json, NestedContainers) {
+  JsonWriter w;
+  w.begin_object()
+      .key("rows").begin_array()
+          .begin_object().key("x").value(std::int64_t{1}).end_object()
+          .begin_object().key("x").value(std::int64_t{2}).end_object()
+      .end_array()
+      .end_object();
+  EXPECT_EQ(w.str(), "{\"rows\":[{\"x\":1},{\"x\":2}]}");
+}
+
+TEST(Json, ArrayCommaPlacement) {
+  JsonWriter w;
+  w.begin_array().value(1.0).value(2.0).value(3.0).end_array();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  JsonWriter w;
+  w.begin_array()
+      .value(std::numeric_limits<double>::infinity())
+      .value(std::numeric_limits<double>::quiet_NaN())
+      .end_array();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonDeathTest, ValueWithoutKeyInObjectAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.begin_object().value(1.0);
+      },
+      "key");
+}
+
+TEST(JsonDeathTest, MismatchedCloseAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.begin_object().end_array();
+      },
+      "end_array");
+}
+
+TEST(JsonDeathTest, StrWithOpenContainerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.begin_object();
+        (void)w.str();
+      },
+      "unclosed");
+}
+
+}  // namespace
+}  // namespace snicit::platform

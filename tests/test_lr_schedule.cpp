@@ -1,0 +1,74 @@
+#include "train/lr_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snicit::train {
+namespace {
+
+TEST(LrSchedule, ConstantIsFlat) {
+  LrSchedule s;
+  s.base_lr = 0.01f;
+  for (int e = 0; e < 20; ++e) {
+    EXPECT_FLOAT_EQ(s.at(e), 0.01f);
+  }
+}
+
+TEST(LrSchedule, StepDecayNotches) {
+  LrSchedule s;
+  s.base_lr = 1.0f;
+  s.decay = LrDecay::kStep;
+  s.step_every = 5;
+  s.gamma = 0.5f;
+  EXPECT_FLOAT_EQ(s.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(4), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(5), 0.5f);
+  EXPECT_FLOAT_EQ(s.at(9), 0.5f);
+  EXPECT_FLOAT_EQ(s.at(10), 0.25f);
+}
+
+TEST(LrSchedule, CosineAnnealsToFloor) {
+  LrSchedule s;
+  s.base_lr = 1.0f;
+  s.decay = LrDecay::kCosine;
+  s.total_epochs = 10;
+  s.floor_lr = 0.1f;
+  EXPECT_FLOAT_EQ(s.at(0), 1.0f);
+  EXPECT_NEAR(s.at(5), (1.0f + 0.1f) / 2.0f, 1e-6);  // midpoint
+  EXPECT_NEAR(s.at(10), 0.1f, 1e-6);
+  EXPECT_NEAR(s.at(50), 0.1f, 1e-6);  // clamped past the horizon
+}
+
+TEST(LrSchedule, CosineIsMonotoneNonIncreasing) {
+  LrSchedule s;
+  s.base_lr = 1.0f;
+  s.decay = LrDecay::kCosine;
+  s.total_epochs = 30;
+  for (int e = 1; e <= 30; ++e) {
+    EXPECT_LE(s.at(e), s.at(e - 1) + 1e-7);
+  }
+}
+
+TEST(LrSchedule, WarmupRampsLinearly) {
+  LrSchedule s;
+  s.base_lr = 1.0f;
+  s.warmup_epochs = 4;
+  EXPECT_FLOAT_EQ(s.at(0), 0.2f);  // 1/5
+  EXPECT_FLOAT_EQ(s.at(1), 0.4f);
+  EXPECT_FLOAT_EQ(s.at(3), 0.8f);
+  EXPECT_FLOAT_EQ(s.at(4), 1.0f);  // warmup over
+}
+
+TEST(LrSchedule, WarmupComposesWithDecay) {
+  LrSchedule s;
+  s.base_lr = 1.0f;
+  s.decay = LrDecay::kStep;
+  s.step_every = 2;
+  s.gamma = 0.5f;
+  s.warmup_epochs = 2;
+  EXPECT_FLOAT_EQ(s.at(0), 1.0f / 3.0f);  // warmup on epoch 0
+  EXPECT_FLOAT_EQ(s.at(1), 2.0f / 3.0f);  // still pre-notch, warming
+  EXPECT_FLOAT_EQ(s.at(2), 0.5f);         // first decay notch, no warmup
+}
+
+}  // namespace
+}  // namespace snicit::train

@@ -1,0 +1,77 @@
+#include "train/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snicit::train {
+namespace {
+
+TEST(ConfusionMatrixTest, PerfectPredictions) {
+  const auto cm = ConfusionMatrix::from_predictions({0, 1, 2, 1}, {0, 1, 2, 1}, 3);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(cm.precision(c), 1.0);
+    EXPECT_DOUBLE_EQ(cm.recall(c), 1.0);
+    EXPECT_DOUBLE_EQ(cm.f1(c), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 1.0);
+}
+
+TEST(ConfusionMatrixTest, KnownCounts) {
+  // actual 0 predicted 0 twice; actual 0 predicted 1 once; actual 1
+  // predicted 1 once.
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(0, 0);
+  cm.add(1, 0);
+  cm.add(1, 1);
+  EXPECT_EQ(cm.total(), 4u);
+  EXPECT_EQ(cm.count(0, 0), 2u);
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.count(1, 1), 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(cm.precision(0), 1.0);      // predicted-0 always right
+  EXPECT_DOUBLE_EQ(cm.recall(0), 2.0 / 3.0);   // one 0 missed
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.5);
+  EXPECT_DOUBLE_EQ(cm.recall(1), 1.0);
+}
+
+TEST(ConfusionMatrixTest, AbsentClassConventions) {
+  // Class 2 never occurs and is never predicted.
+  const auto cm = ConfusionMatrix::from_predictions({0, 1}, {0, 1}, 3);
+  EXPECT_DOUBLE_EQ(cm.precision(2), 1.0);
+  EXPECT_DOUBLE_EQ(cm.recall(2), 1.0);
+  EXPECT_DOUBLE_EQ(cm.f1(2), 1.0);
+}
+
+TEST(ConfusionMatrixTest, AllWrongF1Zero) {
+  const auto cm = ConfusionMatrix::from_predictions({1, 0}, {0, 1}, 2);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(0), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(1), 0.0);
+  EXPECT_DOUBLE_EQ(cm.macro_f1(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, MacroF1IsUnweightedMean) {
+  // Class 0: precision 1/2, recall 1 -> F1 = 2/3.
+  // Class 1: precision 1, recall 1/2 -> F1 = 2/3.
+  ConfusionMatrix cm(2);
+  cm.add(0, 0);
+  cm.add(1, 1);
+  cm.add(0, 1);  // a true-1 predicted as 0
+  EXPECT_NEAR(cm.f1(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.f1(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cm.macro_f1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrixDeathTest, OutOfRangeClassAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        ConfusionMatrix cm(2);
+        cm.add(2, 0);
+      },
+      "out of range");
+}
+
+}  // namespace
+}  // namespace snicit::train

@@ -1,0 +1,107 @@
+#include "sparse/quantized.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/rng.hpp"
+#include "radixnet/radixnet.hpp"
+#include "sparse/spmm.hpp"
+
+namespace snicit::sparse {
+namespace {
+
+CsrMatrix random_csr(Index n, double density, std::uint64_t seed) {
+  platform::Rng rng(seed);
+  CooMatrix coo(n, n);
+  for (Index r = 0; r < n; ++r) {
+    for (Index c = 0; c < n; ++c) {
+      if (rng.next_bool(density)) {
+        coo.add(r, c, rng.uniform(-0.5f, 0.5f));
+      }
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+TEST(Quantized, StructureShared) {
+  const auto w = random_csr(32, 0.2, 1);
+  const auto q = QuantizedCsr::from_csr(w);
+  EXPECT_EQ(q.rows(), 32);
+  EXPECT_EQ(q.nnz(), w.nnz());
+  EXPECT_EQ(q.row_ptr(), w.row_ptr());
+  EXPECT_EQ(q.col_idx(), w.col_idx());
+}
+
+TEST(Quantized, ErrorBoundedByHalfScale) {
+  const auto w = random_csr(48, 0.3, 2);
+  const auto q = QuantizedCsr::from_csr(w);
+  // Symmetric int8: reconstruction error <= scale/2 per entry.
+  float max_half_scale = 0.0f;
+  for (float s : q.row_scale()) {
+    max_half_scale = std::max(max_half_scale, s / 2.0f);
+  }
+  EXPECT_LE(q.max_quantization_error(w), max_half_scale + 1e-7f);
+}
+
+TEST(Quantized, DequantizeRoundTripsStructure) {
+  const auto w = random_csr(24, 0.25, 3);
+  const auto back = QuantizedCsr::from_csr(w).dequantize();
+  EXPECT_EQ(back.nnz(), w.nnz());
+  EXPECT_EQ(back.col_idx(), w.col_idx());
+  for (std::size_t k = 0; k < w.values().size(); ++k) {
+    EXPECT_NEAR(back.values()[k], w.values()[k], 0.01f);
+  }
+}
+
+TEST(Quantized, ExtremesQuantizeExactly) {
+  // A row's max-magnitude entry maps to +-127 exactly, so it reconstructs
+  // with zero error.
+  CooMatrix coo(1, 3);
+  coo.add(0, 0, 0.5f);
+  coo.add(0, 1, -0.5f);
+  coo.add(0, 2, 0.25f);
+  const auto q = QuantizedCsr::from_csr(CsrMatrix::from_coo(coo));
+  EXPECT_EQ(q.values()[0], 127);
+  EXPECT_EQ(q.values()[1], -127);
+  const auto back = q.dequantize();
+  EXPECT_FLOAT_EQ(back.values()[0], 0.5f);
+  EXPECT_FLOAT_EQ(back.values()[1], -0.5f);
+}
+
+TEST(Quantized, ZeroRowGetsUnitScale) {
+  CooMatrix coo(2, 2);
+  coo.add(0, 0, 0.0f);  // explicit zero entry
+  const auto q = QuantizedCsr::from_csr(CsrMatrix::from_coo(coo));
+  EXPECT_FLOAT_EQ(q.row_scale()[0], 1.0f);
+  EXPECT_EQ(q.values()[0], 0);
+}
+
+TEST(Quantized, SpmmCloseToFloatSpmm) {
+  const auto w = random_csr(64, 0.2, 5);
+  const auto q = QuantizedCsr::from_csr(w);
+  platform::Rng rng(6);
+  DenseMatrix y(64, 8);
+  for (std::size_t i = 0; i < 64 * 8; ++i) {
+    y.data()[i] = rng.uniform(0.0f, 1.0f);
+  }
+  DenseMatrix exact(64, 8);
+  DenseMatrix approx(64, 8);
+  spmm_gather(w, y, exact);
+  spmm_quantized(q, y, approx);
+  // ~13 nonzeros/row, error per product <= scale/2 * |y| <= 0.002.
+  EXPECT_LE(DenseMatrix::max_abs_diff(exact, approx), 0.05f);
+  EXPECT_GT(DenseMatrix::max_abs_diff(exact, approx), 0.0f);  // lossy
+}
+
+TEST(Quantized, PayloadFourTimesSmallerThanFloat) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 256;
+  opt.layers = 1;
+  opt.fanin = 32;
+  const auto net = radixnet::make_radixnet(opt);
+  const auto q = QuantizedCsr::from_csr(net.weight(0));
+  const std::size_t float_payload = net.weight(0).values().size() * 4;
+  EXPECT_LT(q.payload_bytes(), float_payload / 2);
+}
+
+}  // namespace
+}  // namespace snicit::sparse

@@ -1,0 +1,131 @@
+#include "radixnet/radixnet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace snicit::radixnet {
+namespace {
+
+TEST(Table1Bias, MatchesPaperConstants) {
+  EXPECT_NEAR(table1_bias(1024), -0.30f, 1e-6);
+  EXPECT_NEAR(table1_bias(4096), -0.35f, 1e-6);
+  EXPECT_NEAR(table1_bias(16384), -0.40f, 1e-6);
+  EXPECT_NEAR(table1_bias(65536), -0.45f, 1e-6);
+}
+
+TEST(SdgcStatsTest, ConnectionCountsMatchTable1) {
+  EXPECT_EQ(sdgc_stats(1024, 120).connections, 3932160LL);
+  EXPECT_EQ(sdgc_stats(1024, 480).connections, 15728640LL);
+  EXPECT_EQ(sdgc_stats(4096, 1920).connections, 251658240LL);
+  EXPECT_EQ(sdgc_stats(16384, 480).connections, 251658240LL);
+  EXPECT_EQ(sdgc_stats(65536, 1920).connections, 4026531840LL);
+}
+
+TEST(SdgcStatsTest, DensityMatchesTable1) {
+  EXPECT_NEAR(sdgc_stats(1024, 120).density, 0.03125, 1e-9);   // ~0.03
+  EXPECT_NEAR(sdgc_stats(4096, 120).density, 0.0078125, 1e-9); // ~0.008
+  EXPECT_NEAR(sdgc_stats(65536, 120).density, 0.00048828125, 1e-9);
+}
+
+TEST(MakeRadixnet, ShapeAndFaninExact) {
+  RadixNetOptions opt;
+  opt.neurons = 256;
+  opt.layers = 6;
+  opt.fanin = 8;
+  const auto net = make_radixnet(opt);
+  EXPECT_EQ(net.neurons(), 256);
+  EXPECT_EQ(net.num_layers(), 6u);
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const auto& w = net.weight(l);
+    EXPECT_TRUE(w.is_valid());
+    EXPECT_EQ(w.nnz(), 256 * 8);  // exactly fanin edges per neuron
+    for (Index r = 0; r < w.rows(); ++r) {
+      EXPECT_EQ(w.row_cols(r).size(), 8u) << "layer " << l << " row " << r;
+    }
+  }
+}
+
+TEST(MakeRadixnet, UsesTable1BiasByDefault) {
+  RadixNetOptions opt;
+  opt.neurons = 1024;
+  opt.layers = 2;
+  const auto net = make_radixnet(opt);
+  EXPECT_TRUE(net.bias_is_constant(0));
+  EXPECT_NEAR(net.constant_bias(0), -0.30f, 1e-6);
+}
+
+TEST(MakeRadixnet, ExplicitBiasOverrides) {
+  RadixNetOptions opt;
+  opt.neurons = 128;
+  opt.layers = 2;
+  opt.fanin = 4;
+  opt.bias = -0.1f;
+  const auto net = make_radixnet(opt);
+  EXPECT_FLOAT_EQ(net.constant_bias(1), -0.1f);
+}
+
+TEST(MakeRadixnet, DeterministicForSeed) {
+  RadixNetOptions opt;
+  opt.neurons = 64;
+  opt.layers = 3;
+  opt.fanin = 4;
+  const auto a = make_radixnet(opt);
+  const auto b = make_radixnet(opt);
+  for (std::size_t l = 0; l < 3; ++l) {
+    EXPECT_EQ(a.weight(l).col_idx(), b.weight(l).col_idx());
+    EXPECT_EQ(a.weight(l).values(), b.weight(l).values());
+  }
+  opt.seed = 43;
+  const auto c = make_radixnet(opt);
+  EXPECT_NE(a.weight(0).values(), c.weight(0).values());
+}
+
+TEST(MakeRadixnet, StridesVaryAcrossLayers) {
+  // Butterfly strides must not leave the topology identical in every
+  // layer: distinct column patterns should appear within a stride cycle.
+  RadixNetOptions opt;
+  opt.neurons = 64;
+  opt.layers = 4;
+  opt.fanin = 8;
+  opt.seed = 5;
+  const auto net = make_radixnet(opt);
+  std::set<std::vector<Index>> patterns;
+  for (std::size_t l = 0; l < net.num_layers(); ++l) {
+    const auto row = net.weight(l).row_cols(0);
+    patterns.insert(std::vector<Index>(row.begin(), row.end()));
+  }
+  EXPECT_GE(patterns.size(), 2u);
+}
+
+TEST(MakeRadixnet, WeightsWithinConfiguredRange) {
+  RadixNetOptions opt;
+  opt.neurons = 128;
+  opt.layers = 2;
+  opt.fanin = 8;
+  opt.w_lo = 0.05f;
+  opt.w_hi = 0.10f;
+  const auto net = make_radixnet(opt);
+  for (float v : net.weight(0).values()) {
+    EXPECT_GE(std::abs(v), 0.05f - 1e-6f);
+    EXPECT_LE(std::abs(v), 0.10f + 1e-6f);
+  }
+}
+
+TEST(MakeRadixnet, NegativeFractionRoughlyMatchesNegProb) {
+  RadixNetOptions opt;
+  opt.neurons = 1024;
+  opt.layers = 1;
+  opt.neg_prob = 0.30;
+  const auto net = make_radixnet(opt);
+  std::size_t neg = 0;
+  for (float v : net.weight(0).values()) {
+    if (v < 0.0f) ++neg;
+  }
+  const double frac =
+      static_cast<double>(neg) / static_cast<double>(net.weight(0).nnz());
+  EXPECT_NEAR(frac, 0.30, 0.03);
+}
+
+}  // namespace
+}  // namespace snicit::radixnet

@@ -1,0 +1,99 @@
+// Tests of the optional periodic re-clustering feature (the design
+// alternative §3.2.2 discusses and rejects — implemented to quantify it).
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "radixnet/radixnet.hpp"
+#include "snicit/engine.hpp"
+
+namespace snicit::core {
+namespace {
+
+struct Workload {
+  dnn::SparseDnn net;
+  dnn::DenseMatrix input;
+};
+
+Workload make_workload() {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 128;
+  opt.layers = 24;
+  opt.fanin = 16;
+  opt.seed = 12;
+  auto net = radixnet::make_radixnet(opt);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 128;
+  in_opt.batch = 40;
+  in_opt.seed = 13;
+  auto input = data::make_sdgc_input(in_opt).features;
+  return {std::move(net), std::move(input)};
+}
+
+SnicitParams base_params() {
+  SnicitParams p;
+  p.threshold_layer = 8;
+  p.sample_size = 16;
+  p.downsample_dim = 0;
+  return p;
+}
+
+TEST(Reclustering, StillMatchesReference) {
+  auto wl = make_workload();
+  const auto expected = dnn::reference_forward(wl.net, wl.input);
+  for (int interval : {1, 3, 7, 100}) {
+    auto params = base_params();
+    params.reconvert_interval = interval;
+    SnicitEngine engine(params);
+    const auto result = engine.run(wl.net, wl.input);
+    EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, expected),
+              5e-3f)
+        << "interval " << interval;
+  }
+}
+
+TEST(Reclustering, ZeroDisables) {
+  auto wl = make_workload();
+  auto off = base_params();
+  off.reconvert_interval = 0;
+  // An interval beyond the post-convergence depth never fires either, so
+  // the two runs must be bitwise identical.
+  auto beyond = base_params();
+  beyond.reconvert_interval = 1000;
+  SnicitEngine a(off);
+  SnicitEngine b(beyond);
+  const auto ya = a.run(wl.net, wl.input).output;
+  const auto yb = b.run(wl.net, wl.input).output;
+  EXPECT_FLOAT_EQ(dnn::DenseMatrix::max_abs_diff(ya, yb), 0.0f);
+}
+
+TEST(Reclustering, CentroidsRefreshWithPruning) {
+  // With pruning enabled, re-clustering replaces accumulated residues by
+  // fresh ones against up-to-date centroids; results stay within the
+  // pruning tolerance envelope of the reference.
+  auto wl = make_workload();
+  const auto expected = dnn::reference_forward(wl.net, wl.input);
+  auto params = base_params();
+  params.prune_threshold = 0.02f;
+  params.reconvert_interval = 4;
+  SnicitEngine engine(params);
+  const auto result = engine.run(wl.net, wl.input);
+  EXPECT_DOUBLE_EQ(
+      dnn::category_match_rate(dnn::sdgc_categories(result.output, 1e-3f),
+                               dnn::sdgc_categories(expected, 1e-3f)),
+      1.0);
+}
+
+TEST(RechusteringDeathTest, NegativeIntervalAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SnicitParams params;
+        params.reconvert_interval = -1;
+        SnicitEngine engine(params);
+      },
+      "reconvert_interval");
+}
+
+}  // namespace
+}  // namespace snicit::core

@@ -1,0 +1,79 @@
+#include "snicit/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/rng.hpp"
+
+namespace snicit::core {
+namespace {
+
+TEST(Recovery, InvertsConversionExactly) {
+  // recover(convert(y)) == y bitwise: Eq. (6) reverses Eq. (4), and
+  // (a - b) + b == a holds in IEEE float when no rounding occurs in the
+  // subtraction... which is not generally true — so the library's
+  // guarantee is elementwise closeness; exactness holds for values from
+  // a shared grid, as produced by clipped activations.
+  DenseMatrix y(8, 6);
+  platform::Rng rng(3);
+  for (std::size_t j = 0; j < 6; ++j) {
+    for (std::size_t r = 0; r < 8; ++r) {
+      // Values on a coarse grid: subtraction is exact (no rounding).
+      y.at(r, j) = 0.25f * static_cast<float>(rng.next_below(16));
+    }
+  }
+  const auto batch = convert_to_compressed(y, {0, 3}, 0.0f);
+  const auto recovered = recover_results(batch);
+  EXPECT_FLOAT_EQ(DenseMatrix::max_abs_diff(recovered, y), 0.0f);
+}
+
+TEST(Recovery, CentroidColumnsPassThrough) {
+  DenseMatrix y(4, 3);
+  y.at(0, 1) = 7.0f;
+  const auto batch = convert_to_compressed(y, {1}, 0.0f);
+  const auto recovered = recover_results(batch);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_FLOAT_EQ(recovered.at(r, 1), y.at(r, 1));
+  }
+}
+
+TEST(Recovery, EmptyResidueRecoversCentroidValue) {
+  DenseMatrix y(4, 2, 3.0f);  // duplicate columns
+  const auto batch = convert_to_compressed(y, {0}, 0.0f);
+  ASSERT_EQ(batch.ne_rec[1], 0);
+  const auto recovered = recover_results(batch);
+  for (std::size_t r = 0; r < 4; ++r) {
+    EXPECT_FLOAT_EQ(recovered.at(r, 1), 3.0f);
+  }
+}
+
+TEST(Recovery, HandComputedResidueAddition) {
+  DenseMatrix y(2, 2);
+  y.at(0, 0) = 1.0f;
+  y.at(1, 0) = 2.0f;
+  y.at(0, 1) = 1.5f;
+  y.at(1, 1) = 2.0f;
+  auto batch = convert_to_compressed(y, {0}, 0.0f);
+  // Residue col1 = (0.5, 0). Now perturb it and check recovery adds the
+  // *current* centroid (as after post-convergence updates).
+  batch.yhat.at(0, 0) = 10.0f;  // centroid evolved
+  batch.yhat.at(1, 0) = 20.0f;
+  batch.yhat.at(0, 1) = -1.0f;  // residue evolved
+  batch.yhat.at(1, 1) = 0.0f;
+  const auto recovered = recover_results(batch);
+  EXPECT_FLOAT_EQ(recovered.at(0, 1), 9.0f);   // -1 + 10
+  EXPECT_FLOAT_EQ(recovered.at(1, 1), 20.0f);  // 0 + 20
+}
+
+TEST(Recovery, AllColumnsCentroidsIsIdentity) {
+  DenseMatrix y(3, 3);
+  platform::Rng rng(5);
+  for (std::size_t i = 0; i < 9; ++i) {
+    y.data()[i] = rng.uniform(-4.0f, 4.0f);
+  }
+  const auto batch = convert_to_compressed(y, {0, 1, 2}, 0.0f);
+  const auto recovered = recover_results(batch);
+  EXPECT_FLOAT_EQ(DenseMatrix::max_abs_diff(recovered, y), 0.0f);
+}
+
+}  // namespace
+}  // namespace snicit::core

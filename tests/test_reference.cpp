@@ -1,0 +1,144 @@
+#include "dnn/reference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "radixnet/radixnet.hpp"
+#include "sparse/coo.hpp"
+
+namespace snicit::dnn {
+namespace {
+
+/// A tiny hand-checkable network: 2 neurons, 1 layer,
+/// W = [[0.5, 0], [1, -1]], b = [0.1, -0.1], ymax = 1.
+SparseDnn tiny_net() {
+  sparse::CooMatrix coo(2, 2);
+  coo.add(0, 0, 0.5f);
+  coo.add(1, 0, 1.0f);
+  coo.add(1, 1, -1.0f);
+  std::vector<sparse::CsrMatrix> w;
+  w.push_back(sparse::CsrMatrix::from_coo(coo));
+  std::vector<std::vector<float>> b = {{0.1f, -0.1f}};
+  return SparseDnn(2, std::move(w), std::move(b), 1.0f, "tiny");
+}
+
+TEST(Reference, HandComputedSingleLayer) {
+  const auto net = tiny_net();
+  DenseMatrix x(2, 2);
+  x.at(0, 0) = 1.0f;  // col0 = (1, 0)
+  x.at(1, 1) = 2.0f;  // col1 = (0, 2)
+  const auto y = reference_forward(net, x);
+  // col0: σ(0.5*1+0.1)=0.6 ; σ(1*1-0*1-0.1)=0.9
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.6f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 0.9f);
+  // col1: σ(0+0.1)=0.1 ; σ(-2-0.1)=0
+  EXPECT_FLOAT_EQ(y.at(0, 1), 0.1f);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 0.0f);
+}
+
+TEST(Reference, LayerRangeComposition) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 64;
+  opt.layers = 6;
+  opt.fanin = 8;
+  const auto net = radixnet::make_radixnet(opt);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 64;
+  in_opt.batch = 10;
+  const auto input = data::make_sdgc_input(in_opt).features;
+
+  const auto full = reference_forward(net, input);
+  const auto mid = reference_forward(net, input, 0, 3);
+  const auto composed = reference_forward(net, mid, 3, 6);
+  EXPECT_FLOAT_EQ(DenseMatrix::max_abs_diff(full, composed), 0.0f);
+}
+
+TEST(Reference, EngineMatchesFreeFunction) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 32;
+  opt.layers = 4;
+  opt.fanin = 4;
+  const auto net = radixnet::make_radixnet(opt);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 32;
+  in_opt.batch = 8;
+  const auto input = data::make_sdgc_input(in_opt).features;
+
+  ReferenceEngine engine;
+  auto result = engine.run(net, input);
+  EXPECT_FLOAT_EQ(
+      DenseMatrix::max_abs_diff(result.output, reference_forward(net, input)),
+      0.0f);
+  EXPECT_EQ(result.layer_ms.size(), 4u);
+  EXPECT_GT(result.total_ms(), 0.0);
+}
+
+TEST(Reference, OutputsRespectActivationBounds) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 128;
+  opt.layers = 10;
+  opt.fanin = 16;
+  const auto net = radixnet::make_radixnet(opt);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 128;
+  in_opt.batch = 16;
+  const auto input = data::make_sdgc_input(in_opt).features;
+  const auto y = reference_forward(net, input);
+  for (std::size_t i = 0; i < y.rows() * y.cols(); ++i) {
+    EXPECT_GE(y.data()[i], 0.0f);
+    EXPECT_LE(y.data()[i], net.ymax());
+  }
+}
+
+TEST(Categories, ArgmaxPicksLargestLeadingRow) {
+  DenseMatrix y(5, 2);
+  y.at(1, 0) = 3.0f;
+  y.at(4, 0) = 9.0f;  // outside the first 3 classes — must be ignored
+  y.at(2, 1) = 1.0f;
+  const auto cats = argmax_categories(y, 3);
+  EXPECT_EQ(cats[0], 1);
+  EXPECT_EQ(cats[1], 2);
+}
+
+TEST(Categories, SdgcActiveFlag) {
+  DenseMatrix y(3, 3);
+  y.at(2, 0) = 0.5f;
+  // col 1 all zero; col 2 sub-tolerance
+  y.at(0, 2) = 1e-6f;
+  auto cats = sdgc_categories(y, 1e-4f);
+  EXPECT_EQ(cats[0], 1);
+  EXPECT_EQ(cats[1], 0);
+  EXPECT_EQ(cats[2], 0);
+}
+
+TEST(Categories, MatchRate) {
+  EXPECT_DOUBLE_EQ(category_match_rate({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(category_match_rate({1, 2, 3, 4}, {1, 0, 3, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(category_match_rate({}, {}), 1.0);
+}
+
+TEST(SparseDnnModel, ConnectionAndDensityAccounting) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 64;
+  opt.layers = 3;
+  opt.fanin = 8;
+  const auto net = radixnet::make_radixnet(opt);
+  EXPECT_EQ(net.connections(), 64 * 8 * 3);
+  EXPECT_NEAR(net.density(), 8.0 / 64.0, 1e-12);
+}
+
+TEST(SparseDnnModel, CscMirrorMatchesCsr) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 32;
+  opt.layers = 2;
+  opt.fanin = 4;
+  const auto net = radixnet::make_radixnet(opt);
+  net.ensure_csc();
+  for (std::size_t l = 0; l < 2; ++l) {
+    EXPECT_EQ(net.weight_csc(l).nnz(), net.weight(l).nnz());
+    EXPECT_TRUE(net.weight_csc(l).is_valid());
+  }
+}
+
+}  // namespace
+}  // namespace snicit::dnn

@@ -1,0 +1,132 @@
+#include "snicit/sample_prune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/rng.hpp"
+
+namespace snicit::core {
+namespace {
+
+TEST(SamplePrune, IdenticalColumnsCollapseToOne) {
+  DenseMatrix f(4, 5, 1.0f);  // five identical columns
+  const auto centroids = prune_samples(f, 0.03f, 0.03f);
+  ASSERT_EQ(centroids.size(), 1u);
+  EXPECT_EQ(centroids[0], 0);  // the first column survives as base
+}
+
+TEST(SamplePrune, DistinctColumnsAllSurvive) {
+  DenseMatrix f(4, 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      f.at(r, j) = static_cast<float>(j);  // columns 0, 1, 2 very far apart
+    }
+  }
+  const auto centroids = prune_samples(f, 0.03f, 0.5f);
+  EXPECT_EQ(centroids.size(), 3u);
+}
+
+TEST(SamplePrune, TwoClassesYieldTwoCentroids) {
+  // Columns 0,1,3 ~ class A; columns 2,4 ~ class B (small jitter < eta).
+  DenseMatrix f(8, 5);
+  for (std::size_t j : {0u, 1u, 3u}) {
+    for (std::size_t r = 0; r < 8; ++r) {
+      f.at(r, j) = 1.0f + 0.001f * static_cast<float>(j);
+    }
+  }
+  for (std::size_t j : {2u, 4u}) {
+    for (std::size_t r = 0; r < 8; ++r) {
+      f.at(r, j) = 5.0f + 0.001f * static_cast<float>(j);
+    }
+  }
+  const auto centroids = prune_samples(f, 0.03f, 0.03f);
+  ASSERT_EQ(centroids.size(), 2u);
+  EXPECT_EQ(centroids[0], 0);
+  EXPECT_EQ(centroids[1], 2);
+}
+
+TEST(SamplePrune, EpsilonControlsToleratedDifferences) {
+  // Columns differ in exactly 1 of 10 elements.
+  DenseMatrix f(10, 2, 2.0f);
+  f.at(0, 1) = 10.0f;
+  // n*eps = 10*0.05 = 0.5 -> 1 differing element is too many: both kept.
+  EXPECT_EQ(prune_samples(f, 0.03f, 0.05f).size(), 2u);
+  // n*eps = 10*0.2 = 2 -> 1 differing element tolerated: merged.
+  EXPECT_EQ(prune_samples(f, 0.03f, 0.2f).size(), 1u);
+}
+
+TEST(SamplePrune, EtaControlsElementSimilarity) {
+  DenseMatrix f(4, 2, 1.0f);
+  for (std::size_t r = 0; r < 4; ++r) {
+    f.at(r, 1) = 1.02f;  // all elements differ by 0.02
+  }
+  // eta = 0.03: 0.02 difference is "same" everywhere -> merged.
+  EXPECT_EQ(prune_samples(f, 0.03f, 0.03f).size(), 1u);
+  // eta = 0.01: every element differs -> both survive.
+  EXPECT_EQ(prune_samples(f, 0.01f, 0.03f).size(), 2u);
+}
+
+TEST(SamplePrune, SingleColumnSurvives) {
+  DenseMatrix f(6, 1, 3.0f);
+  const auto centroids = prune_samples(f, 0.03f, 0.03f);
+  ASSERT_EQ(centroids.size(), 1u);
+  EXPECT_EQ(centroids[0], 0);
+}
+
+TEST(SamplePrune, ResultSortedAscending) {
+  platform::Rng rng(3);
+  DenseMatrix f(16, 12);
+  for (std::size_t j = 0; j < 12; ++j) {
+    for (std::size_t r = 0; r < 16; ++r) {
+      f.at(r, j) = rng.uniform(0.0f, 10.0f);
+    }
+  }
+  const auto centroids = prune_samples(f, 0.03f, 0.03f);
+  for (std::size_t k = 1; k < centroids.size(); ++k) {
+    EXPECT_LT(centroids[k - 1], centroids[k]);
+  }
+}
+
+TEST(SamplePrune, TransitiveChainCollapsesToFirstBase) {
+  // col1 close to col0, col2 close to col1 but NOT to col0: Algorithm 1
+  // is greedy — col1 is pruned by col0, col2 is then compared against
+  // col0 only and survives.
+  DenseMatrix f(10, 3, 0.0f);
+  for (std::size_t r = 0; r < 10; ++r) {
+    f.at(r, 0) = 0.0f;
+    f.at(r, 1) = 0.02f;  // within eta of col0
+    f.at(r, 2) = 0.04f;  // within eta of col1, outside eta of col0
+  }
+  const auto centroids = prune_samples(f, 0.03f, 0.03f);
+  ASSERT_EQ(centroids.size(), 2u);
+  EXPECT_EQ(centroids[0], 0);
+  EXPECT_EQ(centroids[1], 2);
+}
+
+// Property sweep: k well-separated synthetic classes always produce
+// exactly k centroids regardless of samples-per-class.
+class PruneClassSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PruneClassSweep, RecoversClassCount) {
+  const auto [classes, per_class] = GetParam();
+  platform::Rng rng(classes * 31 + per_class);
+  const std::size_t n = 12;
+  DenseMatrix f(n, static_cast<std::size_t>(classes * per_class));
+  // Class c has values near 10*c; jitter stays below eta.
+  for (int j = 0; j < classes * per_class; ++j) {
+    const int c = j % classes;
+    for (std::size_t r = 0; r < n; ++r) {
+      f.at(r, static_cast<std::size_t>(j)) =
+          10.0f * static_cast<float>(c) + rng.uniform(-0.01f, 0.01f);
+    }
+  }
+  const auto centroids = prune_samples(f, 0.05f, 0.03f);
+  EXPECT_EQ(centroids.size(), static_cast<std::size_t>(classes));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PruneClassSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 5, 10),
+                                            ::testing::Values(1, 3, 8)));
+
+}  // namespace
+}  // namespace snicit::core

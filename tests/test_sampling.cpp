@@ -1,0 +1,91 @@
+#include "snicit/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snicit::core {
+namespace {
+
+TEST(Sampling, TakesFirstColumnsVerbatimWithoutDownsampling) {
+  DenseMatrix y(6, 10);
+  for (std::size_t j = 0; j < 10; ++j) {
+    for (std::size_t r = 0; r < 6; ++r) {
+      y.at(r, j) = static_cast<float>(j * 10 + r);
+    }
+  }
+  const auto f = build_sample_matrix(y, 4, 0);
+  EXPECT_EQ(f.rows(), 6u);
+  EXPECT_EQ(f.cols(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t r = 0; r < 6; ++r) {
+      EXPECT_FLOAT_EQ(f.at(r, j), y.at(r, j));
+    }
+  }
+}
+
+TEST(Sampling, SumDownsamplingSegments) {
+  DenseMatrix y(8, 2, 1.0f);  // every element 1
+  const auto f = build_sample_matrix(y, 2, 4);
+  EXPECT_EQ(f.rows(), 4u);
+  EXPECT_EQ(f.cols(), 2u);
+  for (std::size_t j = 0; j < 2; ++j) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      EXPECT_FLOAT_EQ(f.at(k, j), 2.0f);  // segments of 8/4 = 2 ones
+    }
+  }
+}
+
+TEST(Sampling, TailSegmentAbsorbsRemainder) {
+  DenseMatrix y(10, 1, 1.0f);
+  const auto f = build_sample_matrix(y, 1, 4);  // 10/4 -> segments 2,2,2,4
+  EXPECT_EQ(f.rows(), 4u);
+  EXPECT_FLOAT_EQ(f.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(f.at(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(f.at(2, 0), 2.0f);
+  EXPECT_FLOAT_EQ(f.at(3, 0), 4.0f);
+}
+
+TEST(Sampling, SegmentSumsMatchManualComputation) {
+  DenseMatrix y(6, 1);
+  for (std::size_t r = 0; r < 6; ++r) {
+    y.at(r, 0) = static_cast<float>(r + 1);  // 1..6
+  }
+  const auto f = build_sample_matrix(y, 1, 3);
+  EXPECT_FLOAT_EQ(f.at(0, 0), 3.0f);   // 1+2
+  EXPECT_FLOAT_EQ(f.at(1, 0), 7.0f);   // 3+4
+  EXPECT_FLOAT_EQ(f.at(2, 0), 11.0f);  // 5+6
+}
+
+TEST(Sampling, SampleSizeClampedToBatch) {
+  DenseMatrix y(4, 3, 1.0f);
+  const auto f = build_sample_matrix(y, 32, 2);
+  EXPECT_EQ(f.cols(), 3u);  // only 3 columns exist
+}
+
+TEST(Sampling, DownsampleDimGreaterThanRowsFallsBackToCopy) {
+  DenseMatrix y(4, 2);
+  y.at(3, 1) = 5.0f;
+  const auto f = build_sample_matrix(y, 2, 16);
+  EXPECT_EQ(f.rows(), 4u);
+  EXPECT_FLOAT_EQ(f.at(3, 1), 5.0f);
+}
+
+TEST(Sampling, TotalMassPreserved) {
+  // Sum downsampling must preserve each column's total sum.
+  DenseMatrix y(37, 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    for (std::size_t r = 0; r < 37; ++r) {
+      y.at(r, j) = static_cast<float>((r * 7 + j * 13) % 5);
+    }
+  }
+  const auto f = build_sample_matrix(y, 3, 8);
+  for (std::size_t j = 0; j < 3; ++j) {
+    float col_sum = 0.0f;
+    for (std::size_t r = 0; r < 37; ++r) col_sum += y.at(r, j);
+    float ds_sum = 0.0f;
+    for (std::size_t k = 0; k < 8; ++k) ds_sum += f.at(k, j);
+    EXPECT_FLOAT_EQ(ds_sum, col_sum);
+  }
+}
+
+}  // namespace
+}  // namespace snicit::core

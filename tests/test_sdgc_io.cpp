@@ -1,0 +1,125 @@
+#include "radixnet/sdgc_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "radixnet/radixnet.hpp"
+
+namespace snicit::radixnet {
+namespace {
+
+class SdgcIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("snicit_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string prefix(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SdgcIoTest, NetworkRoundTrip) {
+  RadixNetOptions opt;
+  opt.neurons = 64;
+  opt.layers = 3;
+  opt.fanin = 4;
+  opt.bias = -0.2f;
+  const auto net = make_radixnet(opt);
+  save_network_tsv(net, prefix("n64"));
+  const auto loaded =
+      load_network_tsv(prefix("n64"), 64, 3, -0.2f, net.ymax());
+
+  ASSERT_EQ(loaded.num_layers(), net.num_layers());
+  EXPECT_EQ(loaded.neurons(), net.neurons());
+  for (std::size_t l = 0; l < 3; ++l) {
+    EXPECT_EQ(loaded.weight(l).row_ptr(), net.weight(l).row_ptr());
+    EXPECT_EQ(loaded.weight(l).col_idx(), net.weight(l).col_idx());
+    // Values survive the %.9g text round trip exactly for floats.
+    ASSERT_EQ(loaded.weight(l).values().size(),
+              net.weight(l).values().size());
+    for (std::size_t k = 0; k < net.weight(l).values().size(); ++k) {
+      EXPECT_FLOAT_EQ(loaded.weight(l).values()[k],
+                      net.weight(l).values()[k]);
+    }
+  }
+}
+
+TEST_F(SdgcIoTest, MatrixRoundTripPreservesSparsityPattern) {
+  sparse::DenseMatrix m(8, 5);
+  m.at(0, 0) = 1.25f;
+  m.at(7, 4) = -3.5f;
+  m.at(3, 2) = 0.015625f;
+  save_matrix_tsv(m, prefix("mat.tsv"));
+  const auto loaded = load_matrix_tsv(prefix("mat.tsv"), 8, 5);
+  EXPECT_FLOAT_EQ(sparse::DenseMatrix::max_abs_diff(m, loaded), 0.0f);
+}
+
+TEST_F(SdgcIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_matrix_tsv(prefix("nope.tsv"), 4, 4),
+               std::runtime_error);
+  EXPECT_THROW(load_network_tsv(prefix("nope"), 4, 1, 0.0f, 1.0f),
+               std::runtime_error);
+}
+
+TEST_F(SdgcIoTest, OutOfRangeIndexThrows) {
+  {
+    std::FILE* f = std::fopen(prefix("bad.tsv").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "9\t1\t1.0\n");  // row 9 > rows=4
+    std::fclose(f);
+  }
+  EXPECT_THROW(load_matrix_tsv(prefix("bad.tsv"), 4, 4),
+               std::runtime_error);
+}
+
+TEST_F(SdgcIoTest, OneIndexedOnDisk) {
+  sparse::DenseMatrix m(2, 2);
+  m.at(0, 0) = 2.0f;
+  save_matrix_tsv(m, prefix("one.tsv"));
+  std::FILE* f = std::fopen(prefix("one.tsv").c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  int r = 0;
+  int c = 0;
+  float v = 0.0f;
+  ASSERT_EQ(std::fscanf(f, "%d\t%d\t%f", &r, &c, &v), 3);
+  std::fclose(f);
+  EXPECT_EQ(r, 1);  // SDGC files are 1-indexed
+  EXPECT_EQ(c, 1);
+  EXPECT_FLOAT_EQ(v, 2.0f);
+}
+
+TEST_F(SdgcIoTest, CategoriesRoundTrip) {
+  const std::vector<int> cats = {1, 0, 0, 1, 1, 0};
+  save_categories_tsv(cats, prefix("cats.tsv"));
+  EXPECT_EQ(load_categories_tsv(prefix("cats.tsv"), 6), cats);
+}
+
+TEST_F(SdgcIoTest, CategoriesFileListsActiveIdsOneIndexed) {
+  save_categories_tsv({0, 1, 0, 1}, prefix("ids.tsv"));
+  std::FILE* f = std::fopen(prefix("ids.tsv").c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  int a = 0;
+  int b = 0;
+  ASSERT_EQ(std::fscanf(f, "%d %d", &a, &b), 2);
+  std::fclose(f);
+  EXPECT_EQ(a, 2);
+  EXPECT_EQ(b, 4);
+}
+
+TEST_F(SdgcIoTest, CategoriesOutOfRangeThrows) {
+  save_categories_tsv({0, 0, 1}, prefix("far.tsv"));
+  EXPECT_THROW(load_categories_tsv(prefix("far.tsv"), 2),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace snicit::radixnet

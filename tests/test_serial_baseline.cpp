@@ -1,0 +1,74 @@
+#include "baselines/serial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "radixnet/radixnet.hpp"
+
+namespace snicit::baselines {
+namespace {
+
+TEST(SerialBaseline, MatchesReferenceBitwise) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 64;
+  opt.layers = 8;
+  opt.fanin = 8;
+  const auto net = radixnet::make_radixnet(opt);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 64;
+  in_opt.batch = 12;
+  const auto input = data::make_sdgc_input(in_opt).features;
+
+  SerialEngine engine;
+  const auto result = engine.run(net, input);
+  const auto expected = dnn::reference_forward(net, input);
+  // Same CSR-order accumulation as the reference: bitwise equal.
+  EXPECT_FLOAT_EQ(dnn::DenseMatrix::max_abs_diff(result.output, expected),
+                  0.0f);
+  EXPECT_EQ(result.layer_ms.size(), 8u);
+  EXPECT_EQ(result.stages.entries().size(), 1u);
+}
+
+TEST(SerialBaseline, HandlesVectorBias) {
+  // A trained-style net with per-neuron biases must flow through the
+  // naive loop unchanged.
+  sparse::CooMatrix coo(3, 3);
+  coo.add(0, 0, 1.0f);
+  coo.add(1, 1, 2.0f);
+  coo.add(2, 0, -1.0f);
+  std::vector<sparse::CsrMatrix> w;
+  w.push_back(sparse::CsrMatrix::from_coo(coo));
+  std::vector<std::vector<float>> b = {{0.1f, 0.2f, 0.3f}};
+  dnn::SparseDnn net(3, std::move(w), std::move(b), 1.0f, "vb");
+
+  dnn::DenseMatrix x(3, 1);
+  x.at(0, 0) = 0.5f;
+  x.at(1, 0) = 0.25f;
+  SerialEngine engine;
+  const auto y = engine.run(net, x).output;
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.6f);   // 0.5 + 0.1
+  EXPECT_FLOAT_EQ(y.at(1, 0), 0.7f);   // 0.5 + 0.2
+  EXPECT_FLOAT_EQ(y.at(2, 0), 0.0f);   // -0.5 + 0.3 clipped
+}
+
+TEST(SerialBaseline, SlowerOrEqualToParallelEngines) {
+  // Sanity property used by the Table 3 narrative: on non-trivial
+  // workloads the naive serial loop is the slowest engine. (Timing
+  // assertions are fragile; assert only non-negative + recorded.)
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 128;
+  opt.layers = 6;
+  opt.fanin = 16;
+  const auto net = radixnet::make_radixnet(opt);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 128;
+  in_opt.batch = 32;
+  const auto input = data::make_sdgc_input(in_opt).features;
+  SerialEngine engine;
+  const auto result = engine.run(net, input);
+  EXPECT_GT(result.total_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace snicit::baselines

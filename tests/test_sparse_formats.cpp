@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "platform/rng.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+
+namespace snicit::sparse {
+namespace {
+
+CooMatrix small_example() {
+  // 3x4:
+  //   [ 1 0 2 0 ]
+  //   [ 0 0 0 3 ]
+  //   [ 4 5 0 0 ]
+  CooMatrix coo(3, 4);
+  coo.add(0, 0, 1.0f);
+  coo.add(0, 2, 2.0f);
+  coo.add(1, 3, 3.0f);
+  coo.add(2, 0, 4.0f);
+  coo.add(2, 1, 5.0f);
+  return coo;
+}
+
+TEST(Coo, CoalesceSortsAndMergesDuplicates) {
+  CooMatrix coo(2, 2);
+  coo.add(1, 1, 1.0f);
+  coo.add(0, 0, 2.0f);
+  coo.add(1, 1, 3.0f);
+  coo.coalesce();
+  ASSERT_EQ(coo.nnz(), 2);
+  EXPECT_EQ(coo.entries()[0].row, 0);
+  EXPECT_FLOAT_EQ(coo.entries()[0].value, 2.0f);
+  EXPECT_EQ(coo.entries()[1].row, 1);
+  EXPECT_FLOAT_EQ(coo.entries()[1].value, 4.0f);
+}
+
+TEST(Csr, FromCooMatchesDenseLayout) {
+  const auto csr = CsrMatrix::from_coo(small_example());
+  EXPECT_EQ(csr.rows(), 3);
+  EXPECT_EQ(csr.cols(), 4);
+  EXPECT_EQ(csr.nnz(), 5);
+  EXPECT_TRUE(csr.is_valid());
+
+  ASSERT_EQ(csr.row_cols(0).size(), 2u);
+  EXPECT_EQ(csr.row_cols(0)[0], 0);
+  EXPECT_EQ(csr.row_cols(0)[1], 2);
+  EXPECT_FLOAT_EQ(csr.row_vals(0)[1], 2.0f);
+  ASSERT_EQ(csr.row_cols(1).size(), 1u);
+  EXPECT_EQ(csr.row_cols(1)[0], 3);
+  ASSERT_EQ(csr.row_cols(2).size(), 2u);
+  EXPECT_FLOAT_EQ(csr.row_vals(2)[0], 4.0f);
+}
+
+TEST(Csr, EmptyMatrix) {
+  CooMatrix coo(3, 3);
+  const auto csr = CsrMatrix::from_coo(coo);
+  EXPECT_EQ(csr.nnz(), 0);
+  EXPECT_TRUE(csr.is_valid());
+  EXPECT_EQ(csr.row_cols(1).size(), 0u);
+}
+
+TEST(Csr, DensityComputation) {
+  const auto csr = CsrMatrix::from_coo(small_example());
+  EXPECT_DOUBLE_EQ(csr.density(), 5.0 / 12.0);
+}
+
+TEST(Csr, TransposeRoundTrip) {
+  const auto csr = CsrMatrix::from_coo(small_example());
+  const auto t = transpose(csr);
+  EXPECT_EQ(t.rows(), 4);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.nnz(), 5);
+  EXPECT_TRUE(t.is_valid());
+  const auto tt = transpose(t);
+  ASSERT_EQ(tt.nnz(), csr.nnz());
+  EXPECT_EQ(tt.row_ptr(), csr.row_ptr());
+  EXPECT_EQ(tt.col_idx(), csr.col_idx());
+  EXPECT_EQ(tt.values(), csr.values());
+}
+
+TEST(Csc, FromCsrMatchesEntries) {
+  const auto csr = CsrMatrix::from_coo(small_example());
+  const auto csc = CscMatrix::from_csr(csr);
+  EXPECT_EQ(csc.rows(), 3);
+  EXPECT_EQ(csc.cols(), 4);
+  EXPECT_EQ(csc.nnz(), 5);
+  EXPECT_TRUE(csc.is_valid());
+
+  ASSERT_EQ(csc.col_rows(0).size(), 2u);  // column 0 holds rows 0 and 2
+  EXPECT_EQ(csc.col_rows(0)[0], 0);
+  EXPECT_EQ(csc.col_rows(0)[1], 2);
+  EXPECT_FLOAT_EQ(csc.col_vals(0)[1], 4.0f);
+  EXPECT_EQ(csc.col_rows(2).size(), 1u);
+  EXPECT_FLOAT_EQ(csc.col_vals(2)[0], 2.0f);
+}
+
+TEST(Csc, FromCooEqualsFromCsr) {
+  const auto coo = small_example();
+  const auto a = CscMatrix::from_coo(coo);
+  const auto b = CscMatrix::from_csr(CsrMatrix::from_coo(coo));
+  EXPECT_EQ(a.col_ptr(), b.col_ptr());
+  EXPECT_EQ(a.row_idx(), b.row_idx());
+  EXPECT_EQ(a.values(), b.values());
+}
+
+// Property sweep: CSR <-> CSC round trips preserve every entry on random
+// matrices of assorted shapes and densities.
+class FormatRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(FormatRoundTrip, CsrToCscPreservesDenseReconstruction) {
+  const auto [rows, cols, density] = GetParam();
+  platform::Rng rng(rows * 1000 + cols);
+  CooMatrix coo(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (rng.next_bool(density)) {
+        coo.add(r, c, rng.uniform(-1.0f, 1.0f));
+      }
+    }
+  }
+  const auto csr = CsrMatrix::from_coo(coo);
+  const auto csc = CscMatrix::from_csr(csr);
+  ASSERT_TRUE(csr.is_valid());
+  ASSERT_TRUE(csc.is_valid());
+  ASSERT_EQ(csr.nnz(), csc.nnz());
+
+  // Reconstruct dense from both and compare.
+  std::vector<float> dense_csr(static_cast<std::size_t>(rows) * cols, 0.0f);
+  for (Index r = 0; r < rows; ++r) {
+    const auto cs = csr.row_cols(r);
+    const auto vs = csr.row_vals(r);
+    for (std::size_t k = 0; k < cs.size(); ++k) {
+      dense_csr[static_cast<std::size_t>(r) * cols + cs[k]] = vs[k];
+    }
+  }
+  std::vector<float> dense_csc(static_cast<std::size_t>(rows) * cols, 0.0f);
+  for (Index c = 0; c < cols; ++c) {
+    const auto rs = csc.col_rows(c);
+    const auto vs = csc.col_vals(c);
+    for (std::size_t k = 0; k < rs.size(); ++k) {
+      dense_csc[static_cast<std::size_t>(rs[k]) * cols + c] = vs[k];
+    }
+  }
+  EXPECT_EQ(dense_csr, dense_csc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FormatRoundTrip,
+    ::testing::Values(std::make_tuple(1, 1, 1.0), std::make_tuple(16, 16, 0.1),
+                      std::make_tuple(64, 8, 0.3), std::make_tuple(8, 64, 0.3),
+                      std::make_tuple(50, 50, 0.02),
+                      std::make_tuple(33, 17, 0.5)));
+
+}  // namespace
+}  // namespace snicit::sparse

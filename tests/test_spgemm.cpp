@@ -1,0 +1,110 @@
+#include "sparse/spgemm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/rng.hpp"
+#include "sparse/spmm.hpp"
+
+namespace snicit::sparse {
+namespace {
+
+CsrMatrix random_csr(Index rows, Index cols, double density,
+                     std::uint64_t seed) {
+  platform::Rng rng(seed);
+  CooMatrix coo(rows, cols);
+  for (Index r = 0; r < rows; ++r) {
+    for (Index c = 0; c < cols; ++c) {
+      if (rng.next_bool(density)) {
+        coo.add(r, c, rng.uniform(-1.0f, 1.0f));
+      }
+    }
+  }
+  return CsrMatrix::from_coo(coo);
+}
+
+TEST(DenseToCsc, DropsBelowTolerance) {
+  DenseMatrix y(3, 2);
+  y.at(0, 0) = 1.0f;
+  y.at(1, 0) = 0.005f;
+  y.at(2, 1) = -2.0f;
+  const auto strict = dense_to_csc(y, 0.0f);
+  EXPECT_EQ(strict.nnz(), 3);
+  const auto pruned = dense_to_csc(y, 0.01f);
+  EXPECT_EQ(pruned.nnz(), 2);
+}
+
+TEST(DenseToCsc, RoundTripThroughDense) {
+  platform::Rng rng(2);
+  DenseMatrix y(20, 7);
+  for (std::size_t i = 0; i < 140; ++i) {
+    if (rng.next_bool(0.3)) y.data()[i] = rng.uniform(-3.0f, 3.0f);
+  }
+  const auto back = csc_to_dense(dense_to_csc(y));
+  EXPECT_FLOAT_EQ(DenseMatrix::max_abs_diff(back, y), 0.0f);
+}
+
+TEST(Spgemm, MatchesSpmmOnDensifiedInput) {
+  const auto w = random_csr(24, 24, 0.2, 3);
+  platform::Rng rng(4);
+  DenseMatrix y(24, 10);
+  for (std::size_t i = 0; i < 240; ++i) {
+    if (rng.next_bool(0.25)) y.data()[i] = rng.uniform(0.0f, 2.0f);
+  }
+  DenseMatrix expected(24, 10);
+  spmm_gather(w, y, expected);
+
+  DenseMatrix out(24, 10);
+  spgemm(CscMatrix::from_csr(w), dense_to_csc(y), out);
+  EXPECT_LE(DenseMatrix::max_abs_diff(out, expected), 1e-4f);
+}
+
+TEST(Spgemm, EmptyOperands) {
+  CooMatrix empty(8, 8);
+  const auto a = CscMatrix::from_coo(empty);
+  const auto b = CscMatrix::from_coo(empty);
+  DenseMatrix out(8, 8, 9.0f);
+  spgemm(a, b, out);
+  EXPECT_EQ(out.count_nonzeros(), 0u);  // fully overwritten with zeros
+}
+
+TEST(Spgemm, HandComputed) {
+  // A = [[1, 0], [2, 3]], B = [[0, 4], [5, 0]] -> AB = [[0,4],[15,8]].
+  CooMatrix a_coo(2, 2);
+  a_coo.add(0, 0, 1.0f);
+  a_coo.add(1, 0, 2.0f);
+  a_coo.add(1, 1, 3.0f);
+  CooMatrix b_coo(2, 2);
+  b_coo.add(0, 1, 4.0f);
+  b_coo.add(1, 0, 5.0f);
+  DenseMatrix out(2, 2);
+  spgemm(CscMatrix::from_coo(a_coo), CscMatrix::from_coo(b_coo), out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 15.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 8.0f);
+}
+
+// Property: spGEMM == spMM on random sparse pairs.
+class SpgemmEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpgemmEquivalence, AgreesWithSpmm) {
+  const int seed = GetParam();
+  platform::Rng rng(static_cast<std::uint64_t>(seed));
+  const Index n = 16 + static_cast<Index>(rng.next_below(48));
+  const Index b = 1 + static_cast<Index>(rng.next_below(20));
+  const auto w = random_csr(n, n, 0.15, static_cast<std::uint64_t>(seed) * 7);
+  DenseMatrix y(static_cast<std::size_t>(n), static_cast<std::size_t>(b));
+  for (std::size_t i = 0; i < y.rows() * y.cols(); ++i) {
+    if (rng.next_bool(0.2)) y.data()[i] = rng.uniform(-2.0f, 2.0f);
+  }
+  DenseMatrix expected(y.rows(), y.cols());
+  spmm_gather(w, y, expected);
+  DenseMatrix out(y.rows(), y.cols());
+  spgemm(CscMatrix::from_csr(w), dense_to_csc(y), out);
+  EXPECT_LE(DenseMatrix::max_abs_diff(out, expected), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpgemmEquivalence, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace snicit::sparse

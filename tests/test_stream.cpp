@@ -1,0 +1,107 @@
+#include "snicit/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/serial.hpp"
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "radixnet/radixnet.hpp"
+#include "snicit/engine.hpp"
+
+namespace snicit::core {
+namespace {
+
+struct Workload {
+  dnn::SparseDnn net;
+  dnn::DenseMatrix input;
+};
+
+Workload make_workload(std::size_t batch) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 96;
+  opt.layers = 10;
+  opt.fanin = 8;
+  opt.seed = 3;
+  auto net = radixnet::make_radixnet(opt);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 96;
+  in_opt.batch = batch;
+  in_opt.seed = 4;
+  auto input = data::make_sdgc_input(in_opt).features;
+  return {std::move(net), std::move(input)};
+}
+
+TEST(Stream, MatchesSingleShotRun) {
+  auto wl = make_workload(50);
+  SnicitParams params;
+  params.threshold_layer = 4;
+  SnicitEngine engine(params);
+
+  StreamOptions opt;
+  opt.batch_size = 16;  // 50 -> batches of 16,16,16,2
+  const auto streamed = stream_inference(engine, wl.net, wl.input, opt);
+  EXPECT_EQ(streamed.batches, 4u);
+  ASSERT_EQ(streamed.batch_ms.size(), 4u);
+  EXPECT_EQ(streamed.outputs.rows(), 96u);
+  EXPECT_EQ(streamed.outputs.cols(), 50u);
+
+  // Per-batch results must match running each batch independently, which
+  // for the exact reference equals the full-batch run.
+  const auto expected = dnn::reference_forward(wl.net, wl.input);
+  EXPECT_LE(dnn::DenseMatrix::max_abs_diff(streamed.outputs, expected),
+            5e-3f);
+}
+
+TEST(Stream, ExactEngineStreamsExactly) {
+  auto wl = make_workload(23);
+  baselines::SerialEngine engine;
+  StreamOptions opt;
+  opt.batch_size = 7;
+  const auto streamed = stream_inference(engine, wl.net, wl.input, opt);
+  const auto expected = dnn::reference_forward(wl.net, wl.input);
+  EXPECT_FLOAT_EQ(
+      dnn::DenseMatrix::max_abs_diff(streamed.outputs, expected), 0.0f);
+  EXPECT_EQ(streamed.batches, 4u);  // 7+7+7+2
+}
+
+TEST(Stream, KeepRowsTruncatesOutput) {
+  auto wl = make_workload(10);
+  baselines::SerialEngine engine;
+  StreamOptions opt;
+  opt.batch_size = 10;
+  opt.keep_rows = 5;
+  const auto streamed = stream_inference(engine, wl.net, wl.input, opt);
+  EXPECT_EQ(streamed.outputs.rows(), 5u);
+  const auto expected = dnn::reference_forward(wl.net, wl.input);
+  for (std::size_t j = 0; j < 10; ++j) {
+    for (std::size_t r = 0; r < 5; ++r) {
+      EXPECT_FLOAT_EQ(streamed.outputs.at(r, j), expected.at(r, j));
+    }
+  }
+}
+
+TEST(Stream, BatchLargerThanInput) {
+  auto wl = make_workload(5);
+  baselines::SerialEngine engine;
+  StreamOptions opt;
+  opt.batch_size = 100;
+  const auto streamed = stream_inference(engine, wl.net, wl.input, opt);
+  EXPECT_EQ(streamed.batches, 1u);
+  EXPECT_EQ(streamed.outputs.cols(), 5u);
+}
+
+TEST(Stream, ThroughputAccounting) {
+  auto wl = make_workload(20);
+  baselines::SerialEngine engine;
+  const auto streamed = stream_inference(engine, wl.net, wl.input,
+                                         {.batch_size = 5, .keep_rows = 0});
+  EXPECT_GT(streamed.total_ms, 0.0);
+  EXPECT_GT(streamed.mean_batch_ms(), 0.0);
+  EXPECT_GT(streamed.throughput(20), 0.0);
+  double sum = 0.0;
+  for (double ms : streamed.batch_ms) sum += ms;
+  EXPECT_NEAR(sum, streamed.total_ms, 1e-9);
+}
+
+}  // namespace
+}  // namespace snicit::core

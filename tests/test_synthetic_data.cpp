@@ -1,0 +1,161 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace snicit::data {
+namespace {
+
+TEST(ClusteredDataset, ShapeAndLabels) {
+  ClusteredOptions opt;
+  opt.dim = 32;
+  opt.classes = 4;
+  opt.count = 100;
+  const auto ds = make_clustered_dataset(opt);
+  EXPECT_EQ(ds.dim(), 32u);
+  EXPECT_EQ(ds.size(), 100u);
+  EXPECT_EQ(ds.num_classes, 4u);
+  for (int label : ds.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+}
+
+TEST(ClusteredDataset, AllClassesPresentAndBalanced) {
+  ClusteredOptions opt;
+  opt.classes = 5;
+  opt.count = 100;
+  opt.dim = 16;
+  const auto ds = make_clustered_dataset(opt);
+  std::vector<int> counts(5, 0);
+  for (int label : ds.labels) ++counts[label];
+  for (int c : counts) EXPECT_EQ(c, 20);  // round-robin generation
+}
+
+TEST(ClusteredDataset, ValuesInUnitInterval) {
+  const auto ds = make_clustered_dataset({});
+  for (std::size_t i = 0; i < ds.features.rows() * ds.features.cols(); ++i) {
+    EXPECT_GE(ds.features.data()[i], 0.0f);
+    EXPECT_LE(ds.features.data()[i], 1.0f);
+  }
+}
+
+TEST(ClusteredDataset, SameClassCloserThanCrossClass) {
+  // The clustering property SNICIT depends on: intra-class distances must
+  // be systematically smaller than inter-class distances.
+  ClusteredOptions opt;
+  opt.dim = 64;
+  opt.classes = 3;
+  opt.count = 60;
+  opt.noise = 0.05;
+  const auto ds = make_clustered_dataset(opt);
+  double intra = 0.0;
+  double inter = 0.0;
+  std::size_t n_intra = 0;
+  std::size_t n_inter = 0;
+  for (std::size_t a = 0; a < ds.size(); ++a) {
+    for (std::size_t b = a + 1; b < ds.size(); ++b) {
+      double d = 0.0;
+      for (std::size_t r = 0; r < ds.dim(); ++r) {
+        const double diff = ds.features.at(r, a) - ds.features.at(r, b);
+        d += diff * diff;
+      }
+      if (ds.labels[a] == ds.labels[b]) {
+        intra += d;
+        ++n_intra;
+      } else {
+        inter += d;
+        ++n_inter;
+      }
+    }
+  }
+  ASSERT_GT(n_intra, 0u);
+  ASSERT_GT(n_inter, 0u);
+  EXPECT_LT(intra / n_intra, 0.5 * inter / n_inter);
+}
+
+TEST(ClusteredDataset, ShuffledPrefixCoversClasses) {
+  // §3.2.1 takes the first s columns as the sample; the generator must
+  // therefore shuffle classes across the batch.
+  ClusteredOptions opt;
+  opt.classes = 10;
+  opt.count = 500;
+  opt.dim = 16;
+  const auto ds = make_clustered_dataset(opt);
+  std::set<int> prefix_classes(ds.labels.begin(), ds.labels.begin() + 64);
+  EXPECT_GE(prefix_classes.size(), 9u);
+}
+
+TEST(ClusteredDataset, DeterministicPerSeed) {
+  ClusteredOptions opt;
+  opt.count = 50;
+  opt.dim = 8;
+  opt.classes = 4;
+  const auto a = make_clustered_dataset(opt);
+  const auto b = make_clustered_dataset(opt);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_FLOAT_EQ(
+      sparse::DenseMatrix::max_abs_diff(a.features, b.features), 0.0f);
+}
+
+TEST(DatasetSlice, ExtractsColumns) {
+  ClusteredOptions opt;
+  opt.count = 20;
+  opt.dim = 8;
+  opt.classes = 4;
+  const auto ds = make_clustered_dataset(opt);
+  const auto part = ds.slice(5, 12);
+  EXPECT_EQ(part.size(), 7u);
+  EXPECT_EQ(part.labels[0], ds.labels[5]);
+  for (std::size_t r = 0; r < 8; ++r) {
+    EXPECT_FLOAT_EQ(part.features.at(r, 0), ds.features.at(r, 5));
+    EXPECT_FLOAT_EQ(part.features.at(r, 6), ds.features.at(r, 11));
+  }
+}
+
+TEST(SdgcInput, BinaryValues) {
+  SdgcInputOptions opt;
+  opt.neurons = 128;
+  opt.batch = 64;
+  const auto ds = make_sdgc_input(opt);
+  EXPECT_EQ(ds.dim(), 128u);
+  EXPECT_EQ(ds.size(), 64u);
+  for (std::size_t i = 0; i < 128u * 64u; ++i) {
+    const float v = ds.features.data()[i];
+    EXPECT_TRUE(v == 0.0f || v == 1.0f);
+  }
+}
+
+TEST(SdgcInput, OnFractionApproximatelyRespected) {
+  SdgcInputOptions opt;
+  opt.neurons = 4096;
+  opt.batch = 32;
+  opt.on_fraction = 0.2;
+  opt.flip_prob = 0.0;
+  const auto ds = make_sdgc_input(opt);
+  const double density =
+      static_cast<double>(ds.features.count_nonzeros()) / (4096.0 * 32.0);
+  EXPECT_NEAR(density, 0.2, 0.05);
+}
+
+TEST(SdgcInput, SameClassSharesPrototype) {
+  SdgcInputOptions opt;
+  opt.neurons = 256;
+  opt.batch = 40;
+  opt.classes = 4;
+  opt.flip_prob = 0.0;  // no noise: class columns are identical
+  const auto ds = make_sdgc_input(opt);
+  for (std::size_t a = 0; a < ds.size(); ++a) {
+    for (std::size_t b = a + 1; b < ds.size(); ++b) {
+      if (ds.labels[a] != ds.labels[b]) continue;
+      for (std::size_t r = 0; r < ds.dim(); ++r) {
+        ASSERT_FLOAT_EQ(ds.features.at(r, a), ds.features.at(r, b));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace snicit::data

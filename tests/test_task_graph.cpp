@@ -1,0 +1,100 @@
+#include "platform/task_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace snicit::platform {
+namespace {
+
+TEST(TaskGraph, RunsAllNodes) {
+  TaskGraph g;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    g.add([&] { count.fetch_add(1); });
+  }
+  g.run();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(TaskGraph, EmptyGraphRuns) {
+  TaskGraph g;
+  g.run();  // must not hang or crash
+  SUCCEED();
+}
+
+TEST(TaskGraph, RespectsChainOrder) {
+  TaskGraph g;
+  std::vector<int> order;
+  std::mutex m;
+  TaskGraph::TaskId prev = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto id = g.add([&order, &m, i] {
+      std::lock_guard<std::mutex> lock(m);
+      order.push_back(i);
+    });
+    if (i > 0) g.add_edge(prev, id);
+    prev = id;
+  }
+  g.run();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(TaskGraph, DiamondDependency) {
+  TaskGraph g;
+  std::atomic<int> stage{0};
+  const auto a = g.add([&] { EXPECT_EQ(stage.fetch_add(1), 0); });
+  const auto b = g.add([&] { stage.fetch_add(1); });
+  const auto c = g.add([&] { stage.fetch_add(1); });
+  const auto d = g.add([&] { EXPECT_EQ(stage.load(), 3); });
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  g.run();
+}
+
+TEST(TaskGraph, IndependentChainsAllComplete) {
+  // The SNIG-2020 shape: one chain per batch partition.
+  TaskGraph g;
+  constexpr int kChains = 8;
+  constexpr int kDepth = 12;
+  std::vector<std::atomic<int>> progress(kChains);
+  for (int c = 0; c < kChains; ++c) {
+    TaskGraph::TaskId prev = 0;
+    for (int d = 0; d < kDepth; ++d) {
+      const auto id = g.add([&progress, c, d] {
+        // Each node must observe its predecessor's effect.
+        EXPECT_EQ(progress[c].fetch_add(1), d);
+      });
+      if (d > 0) g.add_edge(prev, id);
+      prev = id;
+    }
+  }
+  g.run();
+  for (auto& p : progress) {
+    EXPECT_EQ(p.load(), kDepth);
+  }
+}
+
+TEST(TaskGraphDeathTest, CycleAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        TaskGraph g;
+        const auto a = g.add([] {});
+        const auto b = g.add([] {});
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        g.run();
+      },
+      "cycle");
+}
+
+}  // namespace
+}  // namespace snicit::platform

@@ -1,0 +1,238 @@
+#include "train/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "train/adam.hpp"
+#include "train/linear.hpp"
+#include "train/loss.hpp"
+
+namespace snicit::train {
+namespace {
+
+TEST(SparseLinear, ForwardMatchesManualComputation) {
+  platform::Rng rng(1);
+  SparseLinear layer(3, 2, 1.0, rng);
+  // Overwrite with known weights: W = [[1,2,3],[4,5,6]], b = (0.5, -0.5).
+  layer.weights() = {1, 2, 3, 4, 5, 6};
+  layer.bias() = {0.5f, -0.5f};
+  DenseMatrix x(3, 1);
+  x.at(0, 0) = 1.0f;
+  x.at(1, 0) = 0.0f;
+  x.at(2, 0) = 2.0f;
+  DenseMatrix y(2, 1);
+  layer.forward(x, y);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1 + 6 + 0.5f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 4 + 12 - 0.5f);
+}
+
+TEST(SparseLinear, MaskZeroesStayZeroThroughTraining) {
+  platform::Rng rng(2);
+  SparseLinear layer(16, 16, 0.5, rng);
+  const auto mask = layer.mask();
+  // Simulate a few "optimizer" perturbations + re-masking.
+  for (int step = 0; step < 3; ++step) {
+    for (auto& w : layer.weights()) w += 0.1f;
+    layer.apply_mask();
+  }
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] == 0) {
+      EXPECT_FLOAT_EQ(layer.weights()[i], 0.0f);
+    }
+  }
+}
+
+TEST(SparseLinear, DensityApproximatesRequest) {
+  platform::Rng rng(3);
+  SparseLinear layer(64, 64, 0.55, rng);
+  EXPECT_NEAR(layer.density(), 0.55, 0.05);
+}
+
+TEST(SparseLinear, BackwardGradientsMatchFiniteDifferences) {
+  platform::Rng rng(4);
+  SparseLinear layer(4, 3, 1.0, rng);
+  DenseMatrix x(4, 2);
+  for (std::size_t i = 0; i < 8; ++i) x.data()[i] = rng.uniform(-1, 1);
+
+  // Loss = sum(y): dL/dy = 1.
+  auto loss = [&] {
+    DenseMatrix y(3, 2);
+    layer.forward(x, y);
+    float s = 0.0f;
+    for (std::size_t i = 0; i < 6; ++i) s += y.data()[i];
+    return s;
+  };
+  DenseMatrix dy(3, 2, 1.0f);
+  DenseMatrix dx(4, 2);
+  layer.zero_grad();
+  layer.backward(x, dy, dx);
+
+  const float eps = 1e-3f;
+  // Check two weight gradients and one bias gradient numerically.
+  for (std::size_t idx : {0u, 7u}) {
+    const float base = loss();
+    layer.weights()[idx] += eps;
+    const float up = loss();
+    layer.weights()[idx] -= eps;
+    EXPECT_NEAR((up - base) / eps, layer.weight_grad()[idx], 2e-2f);
+    (void)base;
+  }
+  {
+    const float base = loss();
+    layer.bias()[1] += eps;
+    const float up = loss();
+    layer.bias()[1] -= eps;
+    EXPECT_NEAR((up - base) / eps, layer.bias_grad()[1], 2e-2f);
+  }
+  // Input gradient: dL/dx_i = sum_o W[o][i].
+  for (std::size_t i = 0; i < 4; ++i) {
+    float expect = 0.0f;
+    for (std::size_t o = 0; o < 3; ++o) expect += layer.weights()[o * 4 + i];
+    EXPECT_NEAR(dx.at(i, 0), expect, 1e-4f);
+    EXPECT_NEAR(dx.at(i, 1), expect, 1e-4f);
+  }
+}
+
+TEST(ClippedRelu, ForwardAndBackward) {
+  DenseMatrix y(4, 1);
+  y.at(0, 0) = -1.0f;
+  y.at(1, 0) = 0.5f;
+  y.at(2, 0) = 2.0f;
+  y.at(3, 0) = 1.0f;
+  clipped_relu(y, 1.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 0), 0.5f);
+  EXPECT_FLOAT_EQ(y.at(2, 0), 1.0f);
+
+  DenseMatrix dy(4, 1, 1.0f);
+  clipped_relu_backward(y, dy, 1.0f);
+  EXPECT_FLOAT_EQ(dy.at(0, 0), 0.0f);  // at lower clip
+  EXPECT_FLOAT_EQ(dy.at(1, 0), 1.0f);  // interior
+  EXPECT_FLOAT_EQ(dy.at(2, 0), 0.0f);  // at upper clip
+  EXPECT_FLOAT_EQ(dy.at(3, 0), 0.0f);  // exactly at clip: saturated
+}
+
+TEST(SoftmaxXent, LossAndGradientSanity) {
+  DenseMatrix logits(3, 2);
+  logits.at(0, 0) = 5.0f;  // confident, correct (label 0)
+  logits.at(2, 1) = -5.0f; // wrong direction for label 2
+  DenseMatrix dlogits(3, 2);
+  const float loss = softmax_cross_entropy(logits, {0, 2}, dlogits);
+  EXPECT_GT(loss, 0.0f);
+  // Gradient columns sum to ~0 (softmax simplex property).
+  for (std::size_t j = 0; j < 2; ++j) {
+    float s = 0.0f;
+    for (std::size_t c = 0; c < 3; ++c) s += dlogits.at(c, j);
+    EXPECT_NEAR(s, 0.0f, 1e-6f);
+  }
+  // True-class gradient is negative.
+  EXPECT_LT(dlogits.at(0, 0), 0.0f);
+  EXPECT_LT(dlogits.at(2, 1), 0.0f);
+}
+
+TEST(AdamOpt, ConvergesOnQuadratic) {
+  // Minimise f(w) = (w - 3)^2 with Adam.
+  std::vector<float> w = {0.0f};
+  AdamOptions opts;
+  opts.lr = 0.1f;
+  Adam adam(1, opts);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<float> g = {2.0f * (w[0] - 3.0f)};
+    adam.step(w, g);
+  }
+  EXPECT_NEAR(w[0], 3.0f, 0.05f);
+}
+
+TEST(AdamOpt, DecoupledWeightDecayShrinksParams) {
+  // With zero gradients, AdamW reduces to pure exponential decay.
+  std::vector<float> w = {1.0f};
+  AdamOptions opts;
+  opts.lr = 0.1f;
+  opts.weight_decay = 0.5f;  // per-step factor 1 - 0.05
+  Adam adam(1, opts);
+  const std::vector<float> g = {0.0f};
+  for (int i = 0; i < 10; ++i) adam.step(w, g);
+  EXPECT_NEAR(w[0], std::pow(0.95f, 10.0f), 1e-4f);
+
+  // Plain Adam leaves zero-gradient params untouched.
+  std::vector<float> w2 = {1.0f};
+  AdamOptions plain;
+  plain.lr = 0.1f;
+  Adam adam2(1, plain);
+  for (int i = 0; i < 10; ++i) adam2.step(w2, g);
+  EXPECT_FLOAT_EQ(w2[0], 1.0f);
+}
+
+TEST(MlpTraining, LearnsClusteredDataset) {
+  data::ClusteredOptions dopt;
+  dopt.dim = 32;
+  dopt.classes = 4;
+  dopt.count = 400;
+  dopt.noise = 0.08;
+  const auto ds = make_clustered_dataset(dopt);
+  const auto train_set = ds.slice(0, 300);
+  const auto test_set = ds.slice(300, 400);
+
+  MlpOptions mopt;
+  mopt.in_dim = 32;
+  mopt.hidden = 32;
+  mopt.sparse_layers = 4;
+  mopt.classes = 4;
+  mopt.density = 0.55;
+  SparseMlp mlp(mopt);
+
+  const double before = mlp.evaluate(test_set);
+  TrainOptions topt;
+  topt.epochs = 8;
+  topt.batch_size = 32;
+  topt.adam.lr = 3e-3f;
+  const auto history = mlp.fit(train_set, topt);
+  const double after = mlp.evaluate(test_set);
+
+  EXPECT_GT(after, 0.9);
+  EXPECT_GT(after, before);
+  EXPECT_LT(history.loss_per_epoch.back(), history.loss_per_epoch.front());
+}
+
+TEST(MlpExport, SparseDnnReproducesHiddenStack) {
+  data::ClusteredOptions dopt;
+  dopt.dim = 16;
+  dopt.classes = 3;
+  dopt.count = 30;
+  const auto ds = make_clustered_dataset(dopt);
+
+  MlpOptions mopt;
+  mopt.in_dim = 16;
+  mopt.hidden = 24;
+  mopt.sparse_layers = 3;
+  mopt.classes = 3;
+  SparseMlp mlp(mopt);
+
+  const auto net = mlp.to_sparse_dnn("export-test");
+  EXPECT_EQ(net.num_layers(), 3u);
+  EXPECT_EQ(net.neurons(), 24);
+  EXPECT_FLOAT_EQ(net.ymax(), 1.0f);
+
+  // forward(x) must equal: hidden_input -> SparseDnn feed-forward ->
+  // output head.
+  const auto h0 = mlp.hidden_input(ds.features);
+  const auto hl = dnn::reference_forward(net, h0);
+  const auto via_dnn = mlp.logits_from_hidden(hl);
+  const auto direct = mlp.forward(ds.features);
+  EXPECT_LE(DenseMatrix::max_abs_diff(via_dnn, direct), 1e-4f);
+}
+
+TEST(MlpExport, DensityWithinPaperBand) {
+  MlpOptions mopt;
+  mopt.in_dim = 16;
+  mopt.hidden = 64;
+  mopt.sparse_layers = 4;
+  mopt.density = 0.55;
+  SparseMlp mlp(mopt);
+  EXPECT_GT(mlp.hidden_density(), 0.45);
+  EXPECT_LT(mlp.hidden_density(), 0.65);
+}
+
+}  // namespace
+}  // namespace snicit::train

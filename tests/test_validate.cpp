@@ -1,0 +1,111 @@
+#include "dnn/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/builder.hpp"
+#include "radixnet/radixnet.hpp"
+
+namespace snicit::dnn {
+namespace {
+
+TEST(Validate, HealthyRadixNetPasses) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 64;
+  opt.layers = 4;
+  opt.fanin = 8;
+  const auto net = radixnet::make_radixnet(opt);
+  const auto report = validate_model(net);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.errors(), 0u);
+  // Butterfly layers touch every input: no warnings either.
+  EXPECT_EQ(report.warnings(), 0u);
+}
+
+TEST(Validate, NanWeightIsError) {
+  DnnBuilder builder(4);
+  const auto net =
+      builder.add_layer({{0, 0, std::nanf("")}, {1, 1, 1.0f}}).build();
+  const auto report = validate_model(net);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.errors(), 1u);
+}
+
+TEST(Validate, InfiniteBiasIsError) {
+  DnnBuilder builder(4);
+  const auto net =
+      builder.add_banded_layer(0, 1.0f)
+          .with_bias(std::vector<float>{
+              0.0f, std::numeric_limits<float>::infinity(), 0.0f, 0.0f})
+          .build();
+  const auto report = validate_model(net);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(Validate, DeadRowsAreWarnings) {
+  DnnBuilder builder(4);
+  // Only row 0 has in-edges; rows 1-3 are dead.
+  const auto net = builder.add_layer({{0, 0, 1.0f}, {0, 1, 1.0f}}).build();
+  const auto report = validate_model(net);
+  EXPECT_TRUE(report.ok());  // warnings don't fail validation
+  EXPECT_GE(report.warnings(), 1u);
+  bool found = false;
+  for (const auto& issue : report.issues) {
+    if (issue.message.find("no in-edges") != std::string::npos) {
+      EXPECT_NE(issue.message.find("3"), std::string::npos);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, UnusedInputsAreWarnings) {
+  DnnBuilder builder(4);
+  const auto net = builder
+                       .add_layer({{0, 0, 1.0f},
+                                   {1, 0, 1.0f},
+                                   {2, 0, 1.0f},
+                                   {3, 0, 1.0f}})
+                       .build();
+  const auto report = validate_model(net);
+  bool found = false;
+  for (const auto& issue : report.issues) {
+    if (issue.message.find("feed no output") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, EmptyLayerIsWarning) {
+  DnnBuilder builder(4);
+  const auto net = builder.add_layer({}).build();
+  const auto report = validate_model(net);
+  EXPECT_TRUE(report.ok());
+  bool found = false;
+  for (const auto& issue : report.issues) {
+    if (issue.message.find("no weights") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Validate, IssuesCarryLayerIndex) {
+  DnnBuilder builder(4);
+  builder.add_banded_layer(1, 1.0f);                 // healthy
+  builder.add_layer({{0, 0, std::nanf("")}});        // broken layer 1
+  const auto net = builder.build();
+  const auto report = validate_model(net);
+  ASSERT_FALSE(report.issues.empty());
+  bool layer1 = false;
+  for (const auto& issue : report.issues) {
+    if (issue.severity == ValidationIssue::Severity::kError) {
+      EXPECT_EQ(issue.layer, 1u);
+      layer1 = true;
+    }
+  }
+  EXPECT_TRUE(layer1);
+}
+
+}  // namespace
+}  // namespace snicit::dnn
