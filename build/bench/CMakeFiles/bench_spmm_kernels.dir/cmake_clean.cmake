@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spmm_kernels.dir/bench_spmm_kernels.cpp.o"
+  "CMakeFiles/bench_spmm_kernels.dir/bench_spmm_kernels.cpp.o.d"
+  "bench_spmm_kernels"
+  "bench_spmm_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spmm_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_medium.dir/bench_table4_medium.cpp.o"
+  "CMakeFiles/bench_table4_medium.dir/bench_table4_medium.cpp.o.d"
+  "bench_table4_medium"
+  "bench_table4_medium.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_medium.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../lib/libsnicit_bench_common.a"
+  "../lib/libsnicit_bench_common.pdb"
+  "CMakeFiles/snicit_bench_common.dir/bench_util.cpp.o"
+  "CMakeFiles/snicit_bench_common.dir/bench_util.cpp.o.d"
+  "CMakeFiles/snicit_bench_common.dir/medium_nets.cpp.o"
+  "CMakeFiles/snicit_bench_common.dir/medium_nets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicit_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

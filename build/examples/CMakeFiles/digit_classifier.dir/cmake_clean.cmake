@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/digit_classifier.dir/digit_classifier.cpp.o"
+  "CMakeFiles/digit_classifier.dir/digit_classifier.cpp.o.d"
+  "digit_classifier"
+  "digit_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/digit_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

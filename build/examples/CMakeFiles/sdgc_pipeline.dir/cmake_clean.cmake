@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdgc_pipeline.dir/sdgc_pipeline.cpp.o"
+  "CMakeFiles/sdgc_pipeline.dir/sdgc_pipeline.cpp.o.d"
+  "sdgc_pipeline"
+  "sdgc_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdgc_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snicit_cli.dir/snicit_cli.cpp.o"
+  "CMakeFiles/snicit_cli.dir/snicit_cli.cpp.o.d"
+  "snicit_cli"
+  "snicit_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicit_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
