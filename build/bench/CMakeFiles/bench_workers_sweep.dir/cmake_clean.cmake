@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_workers_sweep.dir/bench_workers_sweep.cpp.o"
+  "CMakeFiles/bench_workers_sweep.dir/bench_workers_sweep.cpp.o.d"
+  "bench_workers_sweep"
+  "bench_workers_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_workers_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/snicit/convergence.cpp" "src/snicit/CMakeFiles/snicit_core.dir/convergence.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/convergence.cpp.o.d"
   "/root/repo/src/snicit/convert.cpp" "src/snicit/CMakeFiles/snicit_core.dir/convert.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/convert.cpp.o.d"
   "/root/repo/src/snicit/engine.cpp" "src/snicit/CMakeFiles/snicit_core.dir/engine.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/engine.cpp.o.d"
+  "/root/repo/src/snicit/parallel_stream.cpp" "src/snicit/CMakeFiles/snicit_core.dir/parallel_stream.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/parallel_stream.cpp.o.d"
   "/root/repo/src/snicit/postconv.cpp" "src/snicit/CMakeFiles/snicit_core.dir/postconv.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/postconv.cpp.o.d"
   "/root/repo/src/snicit/recovery.cpp" "src/snicit/CMakeFiles/snicit_core.dir/recovery.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/recovery.cpp.o.d"
   "/root/repo/src/snicit/reorder.cpp" "src/snicit/CMakeFiles/snicit_core.dir/reorder.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/reorder.cpp.o.d"

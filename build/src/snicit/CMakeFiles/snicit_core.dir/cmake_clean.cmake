@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/snicit_core.dir/convert.cpp.o.d"
   "CMakeFiles/snicit_core.dir/engine.cpp.o"
   "CMakeFiles/snicit_core.dir/engine.cpp.o.d"
+  "CMakeFiles/snicit_core.dir/parallel_stream.cpp.o"
+  "CMakeFiles/snicit_core.dir/parallel_stream.cpp.o.d"
   "CMakeFiles/snicit_core.dir/postconv.cpp.o"
   "CMakeFiles/snicit_core.dir/postconv.cpp.o.d"
   "CMakeFiles/snicit_core.dir/recovery.cpp.o"

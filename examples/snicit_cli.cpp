@@ -13,6 +13,7 @@
 //
 // Everything defaults to a generated workload so each subcommand runs out
 // of the box: `snicit_cli run --engine snicit`.
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -29,6 +30,7 @@
 #include "radixnet/radixnet.hpp"
 #include "radixnet/sdgc_io.hpp"
 #include "snicit/engine.hpp"
+#include "snicit/parallel_stream.hpp"
 #include "snicit/stream.hpp"
 
 namespace {
@@ -129,16 +131,24 @@ int cmd_run(const platform::CliArgs& args) {
               wl.net.name().c_str(), wl.input.cols());
 
   if (args.has("stream")) {
-    core::StreamOptions opt;
+    core::ParallelStreamOptions opt;
     opt.batch_size =
         static_cast<std::size_t>(args.get_int("stream", 256));
-    const auto streamed =
-        core::stream_inference(*engine, wl.net, wl.input, opt);
-    std::printf("%zu batches of <= %zu: total %.2f ms, mean %.2f ms, "
-                "throughput %.0f samples/s\n",
-                streamed.batches, opt.batch_size, streamed.total_ms,
+    opt.workers = static_cast<std::size_t>(
+        std::max<std::int64_t>(args.get_int("workers", 1), 0));
+    opt.queue_capacity = static_cast<std::size_t>(
+        std::max<std::int64_t>(args.get_int("queue", 0), 0));
+    const core::ParallelStreamExecutor executor(opt);
+    const auto streamed = executor.run(*engine, wl.net, wl.input);
+    std::printf("%zu batches of <= %zu on %zu worker(s): total %.2f ms, "
+                "mean %.2f ms, throughput %.0f samples/s\n",
+                streamed.batches, opt.batch_size,
+                std::max<std::size_t>(opt.workers, 1), streamed.total_ms,
                 streamed.mean_batch_ms(),
                 streamed.throughput(wl.input.cols()));
+    std::printf("batch latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+                streamed.latency.p50(), streamed.latency.p95(),
+                streamed.latency.p99());
     return 0;
   }
 
@@ -178,7 +188,7 @@ void usage() {
       "  generate: --out PREFIX\n"
       "  run:      --engine snicit|xy2021|snig2020|bf2019|serial|reference\n"
       "            --threshold T --sample-size S --downsample N --prune P\n"
-      "            --auto-threshold --stream CHUNK\n"
+      "            --auto-threshold --stream CHUNK --workers N --queue C\n"
       "  analyze:  (common options only)\n");
 }
 

@@ -31,6 +31,11 @@ class AutotuneEngine final : public dnn::InferenceEngine {
   std::string name() const override { return "autotune"; }
   dnn::RunResult run(const dnn::SparseDnn& net,
                      const dnn::DenseMatrix& input) override;
+  /// Clones carry the committed kernel arms, so a pooled clone of a
+  /// warmed engine skips the trial rounds.
+  std::unique_ptr<dnn::InferenceEngine> clone() const override {
+    return std::make_unique<AutotuneEngine>(*this);
+  }
 
   /// Kernel arm committed per density bucket after the last run
   /// (-1 while a bucket is still trialling / was never seen).

@@ -19,6 +19,9 @@ class Bf2019Engine final : public dnn::InferenceEngine {
   std::string name() const override { return "BF-2019"; }
   dnn::RunResult run(const dnn::SparseDnn& net,
                      const dnn::DenseMatrix& input) override;
+  std::unique_ptr<dnn::InferenceEngine> clone() const override {
+    return std::make_unique<Bf2019Engine>(*this);
+  }
 
  private:
   std::size_t partitions_;

@@ -13,6 +13,9 @@ class SerialEngine final : public dnn::InferenceEngine {
   std::string name() const override { return "SDGC-serial"; }
   dnn::RunResult run(const dnn::SparseDnn& net,
                      const dnn::DenseMatrix& input) override;
+  std::unique_ptr<dnn::InferenceEngine> clone() const override {
+    return std::make_unique<SerialEngine>(*this);
+  }
 };
 
 }  // namespace snicit::baselines

@@ -20,6 +20,9 @@ class Snig2020Engine final : public dnn::InferenceEngine {
   std::string name() const override { return "SNIG-2020"; }
   dnn::RunResult run(const dnn::SparseDnn& net,
                      const dnn::DenseMatrix& input) override;
+  std::unique_ptr<dnn::InferenceEngine> clone() const override {
+    return std::make_unique<Snig2020Engine>(*this);
+  }
 
  private:
   std::size_t partitions_;

@@ -32,6 +32,9 @@ class Xy2021Engine final : public dnn::InferenceEngine {
   std::string name() const override { return "XY-2021"; }
   dnn::RunResult run(const dnn::SparseDnn& net,
                      const dnn::DenseMatrix& input) override;
+  std::unique_ptr<dnn::InferenceEngine> clone() const override {
+    return std::make_unique<Xy2021Engine>(*this);
+  }
 
  private:
   Xy2021Options options_;

@@ -34,6 +34,13 @@ class InferenceEngine {
   /// Runs the full feed-forward of `net` on `input` (neurons x batch) and
   /// returns the last-layer activations plus timing.
   virtual RunResult run(const SparseDnn& net, const DenseMatrix& input) = 0;
+
+  /// Deep copy of this engine — parameters plus any warmed per-engine
+  /// state (centroid caches, autotuned kernel choices) — so serving
+  /// layers can pool W independent instances and run them concurrently
+  /// without sharing mutable state. Returns nullptr when the engine
+  /// cannot be duplicated.
+  virtual std::unique_ptr<InferenceEngine> clone() const { return nullptr; }
 };
 
 /// Argmax class per column, restricted to the first `num_classes` rows

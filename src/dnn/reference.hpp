@@ -11,6 +11,9 @@ class ReferenceEngine final : public InferenceEngine {
  public:
   std::string name() const override { return "reference"; }
   RunResult run(const SparseDnn& net, const DenseMatrix& input) override;
+  std::unique_ptr<InferenceEngine> clone() const override {
+    return std::make_unique<ReferenceEngine>(*this);
+  }
 };
 
 /// Convenience: feed-forward `input` through layers [first, last) of `net`

@@ -79,6 +79,26 @@ double CliArgs::get_double(const std::string& name, double fallback) const {
   return end == opt->value.c_str() ? fallback : v;
 }
 
+std::vector<std::int64_t> CliArgs::get_int_list(
+    const std::string& name,
+    const std::vector<std::int64_t>& fallback) const {
+  const Option* opt = find(name);
+  if (opt == nullptr || !opt->has_value) return fallback;
+  std::vector<std::int64_t> out;
+  std::size_t pos = 0;
+  while (pos <= opt->value.size()) {
+    const std::size_t comma = opt->value.find(',', pos);
+    const std::string item = opt->value.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    char* end = nullptr;
+    const long long v = std::strtoll(item.c_str(), &end, 10);
+    if (end != item.c_str()) out.push_back(static_cast<std::int64_t>(v));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out.empty() ? fallback : out;
+}
+
 std::string CliArgs::positional(std::size_t i,
                                 const std::string& fallback) const {
   return i < positionals_.size() ? positionals_[i] : fallback;

@@ -22,6 +22,12 @@ class CliArgs {
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
 
+  /// Comma-separated integer list: "--workers 1,2,4,8". Returns `fallback`
+  /// when the option is absent; malformed elements are skipped (an
+  /// all-malformed value also yields `fallback`).
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name, const std::vector<std::int64_t>& fallback) const;
+
   /// Arguments that are not "--options" nor their values, in order.
   const std::vector<std::string>& positionals() const { return positionals_; }
 

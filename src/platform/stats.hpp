@@ -83,4 +83,35 @@ class Histogram {
   std::size_t total_ = 0;
 };
 
+/// Exact-quantile accumulator for modest sample counts (per-batch serving
+/// latencies, per-layer timings): keeps every sample and answers order
+/// statistics on demand with linear interpolation between neighbouring
+/// order statistics (the "type 7" definition most tools default to).
+/// Complements RunningStats (moments only) and Histogram (fixed range,
+/// binned error): use this when the range is unknown and exact p50/p95/p99
+/// matter more than O(1) memory.
+class QuantileTracker {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = samples_.size() <= 1;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+
+  /// q is clamped to [0, 1]; 0 samples yield 0.0. quantile(0) = min,
+  /// quantile(1) = max, interior points interpolate.
+  double quantile(double q) const;
+
+  double median() const { return quantile(0.5); }
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+ private:
+  // Sorted lazily on query so add() stays O(1) amortized on the hot path.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
 }  // namespace snicit::platform

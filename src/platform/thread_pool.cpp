@@ -55,8 +55,17 @@ void ThreadPool::run_chunks(std::size_t num_chunks,
   }
 
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    SNICIT_CHECK(job_ == nullptr, "nested run_chunks on the same pool");
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (job_ != nullptr) {
+      // Another thread's scatter-gather is already in flight. Late
+      // submitters run their chunks inline rather than queueing, which
+      // keeps the dispatch protocol single-job and deadlock-free when
+      // independent threads (e.g. stream-serving workers) share the
+      // global pool.
+      lock.unlock();
+      for (std::size_t i = 0; i < num_chunks; ++i) fn(i);
+      return;
+    }
     job_ = &fn;
     num_chunks_ = num_chunks;
     next_chunk_.store(0, std::memory_order_relaxed);
@@ -110,6 +119,11 @@ ThreadPool& ThreadPool::global() {
   static ThreadPool pool;
   return pool;
 }
+
+ScopedSerialRegion::ScopedSerialRegion() { ++g_pool_depth; }
+ScopedSerialRegion::~ScopedSerialRegion() { --g_pool_depth; }
+
+bool in_serial_region() { return g_pool_depth > 0; }
 
 namespace {
 

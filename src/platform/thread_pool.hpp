@@ -52,6 +52,25 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Marks the current thread as a serial region for its lifetime: every
+/// run_chunks / parallel_for issued from this thread executes inline on
+/// the calling thread instead of entering the shared pool. Coarse-grained
+/// executors (e.g. the parallel stream server, whose workers each own a
+/// whole engine) use this so W concurrent engine runs do not fight over
+/// the pool with their inner kernel loops.
+class ScopedSerialRegion {
+ public:
+  ScopedSerialRegion();
+  ~ScopedSerialRegion();
+
+  ScopedSerialRegion(const ScopedSerialRegion&) = delete;
+  ScopedSerialRegion& operator=(const ScopedSerialRegion&) = delete;
+};
+
+/// True while the current thread is inside a ScopedSerialRegion or a pool
+/// task (where nested parallelism always degrades to inline execution).
+bool in_serial_region();
+
 /// Parallel loop over [begin, end): splits the range into ~3 chunks per
 /// worker (bounded by `grain`) and runs body(i) for every index.
 void parallel_for(std::size_t begin, std::size_t end,

@@ -22,6 +22,12 @@ class SnicitEngine final : public dnn::InferenceEngine {
   dnn::RunResult run(const dnn::SparseDnn& net,
                      const dnn::DenseMatrix& input) override;
 
+  /// Clones are fully independent: each owns its params and per-run
+  /// Trace, so pooled instances never race on diagnostics.
+  std::unique_ptr<dnn::InferenceEngine> clone() const override {
+    return std::make_unique<SnicitEngine>(*this);
+  }
+
   /// Per-run diagnostics recorded when params.record_trace is set.
   struct Trace {
     int threshold_layer = -1;           // t actually used (auto mode may

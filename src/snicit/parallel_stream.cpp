@@ -1,0 +1,145 @@
+#include "snicit/parallel_stream.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "platform/bounded_queue.hpp"
+#include "platform/common.hpp"
+#include "platform/thread_pool.hpp"
+#include "platform/timer.hpp"
+
+namespace snicit::core {
+
+namespace {
+
+/// One unit of work: a sliced batch plus where its results belong.
+struct BatchJob {
+  std::size_t index = 0;  // batch number (latency slot)
+  std::size_t start = 0;  // first output column
+  dnn::DenseMatrix batch;
+};
+
+/// Runs one batch and scatters the kept rows into the shared result.
+/// Workers write disjoint column ranges and disjoint batch_ms slots, so
+/// no synchronization is needed on the result.
+void serve_batch(dnn::InferenceEngine& engine, const dnn::SparseDnn& net,
+                 const BatchJob& job, std::size_t keep,
+                 StreamResult& result) {
+  platform::Stopwatch sw;
+  const auto run = engine.run(net, job.batch);
+  result.batch_ms[job.index] = sw.elapsed_ms();
+  for (std::size_t j = 0; j < job.batch.cols(); ++j) {
+    std::copy_n(run.output.col(j), keep, result.outputs.col(job.start + j));
+  }
+}
+
+}  // namespace
+
+ParallelStreamExecutor::ParallelStreamExecutor(ParallelStreamOptions options)
+    : options_(options) {
+  SNICIT_CHECK(options_.batch_size >= 1, "batch_size must be >= 1");
+}
+
+StreamResult ParallelStreamExecutor::run(dnn::InferenceEngine& engine,
+                                         const dnn::SparseDnn& net,
+                                         const dnn::DenseMatrix& input) const {
+  const std::size_t total = input.cols();
+  const std::size_t bs = options_.batch_size;
+  const std::size_t num_batches = (total + bs - 1) / bs;
+
+  std::size_t workers = options_.workers != 0
+                            ? options_.workers
+                            : platform::ThreadPool::global().size();
+  // Batch 0 runs on the caller's engine; only the remainder is pooled.
+  workers = std::min(workers, num_batches > 0 ? num_batches - 1
+                                              : std::size_t{0});
+  if (workers <= 1) {
+    // One worker (or <= 2 batches) cannot overlap anything: the serial
+    // path is the same computation without threads or clones.
+    StreamOptions serial;
+    serial.batch_size = options_.batch_size;
+    serial.keep_rows = options_.keep_rows;
+    return stream_inference(engine, net, input, serial);
+  }
+
+  const std::size_t keep =
+      options_.keep_rows == 0 ? input.rows()
+                              : std::min(options_.keep_rows, input.rows());
+
+  platform::Stopwatch wall;
+  StreamResult result;
+  result.outputs.reset(keep, total);
+  result.batch_ms.assign(num_batches, 0.0);
+  result.batches = num_batches;
+  net.ensure_csc();  // shared model prep, same as the serial path
+
+  // Batch 0 on the caller's engine, before any clone exists: triggers the
+  // remaining lazy mirror builds (e.g. ELL) and warms stateful engines,
+  // so the net is read-only and the engine state final when cloned.
+  BatchJob first{0, 0, input.columns(0, std::min(bs, total))};
+  serve_batch(engine, net, first, keep, result);
+
+  std::vector<std::unique_ptr<dnn::InferenceEngine>> engines;
+  engines.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    auto clone = engine.clone();
+    if (!clone) {
+      throw std::invalid_argument("engine '" + engine.name() +
+                                  "' does not support clone(); "
+                                  "parallel serving needs engine pooling");
+    }
+    engines.push_back(std::move(clone));
+  }
+
+  const std::size_t capacity = options_.queue_capacity != 0
+                                   ? options_.queue_capacity
+                                   : 2 * workers;
+  platform::BoundedQueue<BatchJob> queue(capacity);
+
+  std::mutex failure_mutex;
+  std::exception_ptr failure;
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      // Each worker owns a core's worth of work: its engine's inner
+      // kernel loops run inline instead of re-entering the shared pool.
+      platform::ScopedSerialRegion serial_region;
+      try {
+        while (auto job = queue.pop()) {
+          serve_batch(*engines[w], net, *job, keep, result);
+        }
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(failure_mutex);
+          if (!failure) failure = std::current_exception();
+        }
+        queue.close();  // unblock the producer and drain the pool
+      }
+    });
+  }
+
+  // Producer: slice and enqueue the remaining batches. push() blocking on
+  // a full queue is the backpressure bound — at most `capacity` sliced
+  // batches ever exist beyond the ones being served.
+  std::size_t index = 1;
+  for (std::size_t start = bs; start < total; start += bs, ++index) {
+    BatchJob job{index, start, input.columns(start, std::min(total, start + bs))};
+    if (!queue.push(std::move(job))) break;  // closed: a worker failed
+  }
+  queue.close();
+  for (auto& t : threads) t.join();
+  if (failure) std::rethrow_exception(failure);
+
+  for (double ms : result.batch_ms) result.latency.add(ms);
+  result.total_ms = wall.elapsed_ms();
+  return result;
+}
+
+}  // namespace snicit::core

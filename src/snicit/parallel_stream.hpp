@@ -1,0 +1,66 @@
+// Concurrent serving layer over stream_inference: partitions a sample
+// stream into batches and serves them on a pool of W workers, each owning
+// an independent clone of the caller's engine (InferenceEngine::clone), so
+// per-run engine state — SNICIT Traces, warm centroid caches, autotuned
+// kernel arms — never races. A bounded work queue between the slicing
+// producer and the workers provides backpressure: at most queue_capacity
+// sliced batches are ever in flight, whatever the stream length.
+//
+// This is the serving shape the paper's batch-size study (§4.1.4/§4.2.3)
+// points at — throughput is won by overlapping independent batches, the
+// same lever as Hidayetoğlu et al.'s at-scale SDGC inference and
+// SparseDNN's batch-parallel CPU serving — while each batch still rides
+// SNICIT's compressed representation inside its worker.
+//
+// Determinism: batch j's outputs land in columns [j*B, ...) of the result
+// regardless of which worker ran it or in what order batches finished, so
+// outputs are bit-identical to the serial stream_inference path (workers
+// pin their engine's inner kernels to a ScopedSerialRegion; every kernel
+// computes columns independently, so chunking never changes the floats).
+#pragma once
+
+#include <cstddef>
+
+#include "snicit/stream.hpp"
+
+namespace snicit::core {
+
+struct ParallelStreamOptions {
+  std::size_t batch_size = 1024;
+  /// Rows of the output kept per sample (0 = full activation column),
+  /// identical to StreamOptions::keep_rows.
+  std::size_t keep_rows = 0;
+  /// Worker threads serving batches. 0 sizes from the global thread pool
+  /// (SNICIT_THREADS / hardware); 1 degrades to the serial path.
+  std::size_t workers = 0;
+  /// Bound on sliced-but-undispatched batches (the producer blocks once
+  /// this many are queued). 0 picks 2x workers.
+  std::size_t queue_capacity = 0;
+};
+
+class ParallelStreamExecutor {
+ public:
+  explicit ParallelStreamExecutor(ParallelStreamOptions options = {});
+
+  const ParallelStreamOptions& options() const { return options_; }
+
+  /// Streams `input` (N x total) through an engine pool cloned from
+  /// `engine`. The first batch runs on `engine` itself before the pool
+  /// spins up: that run builds the model's lazy format mirrors and warms
+  /// any stateful engine (centroid cache, autotuned arms) exactly as the
+  /// serial path would, so the clones inherit identical state and the
+  /// result is bit-identical to stream_inference. Throws
+  /// std::invalid_argument when more than one worker is requested and the
+  /// engine does not support clone().
+  ///
+  /// StreamResult::total_ms is the wall time of the whole run (so
+  /// throughput() measures the overlapped serving rate); batch_ms[j] and
+  /// the latency percentiles still record per-batch engine latency.
+  StreamResult run(dnn::InferenceEngine& engine, const dnn::SparseDnn& net,
+                   const dnn::DenseMatrix& input) const;
+
+ private:
+  ParallelStreamOptions options_;
+};
+
+}  // namespace snicit::core

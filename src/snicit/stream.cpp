@@ -24,15 +24,13 @@ StreamResult stream_inference(dnn::InferenceEngine& engine,
   for (std::size_t start = 0; start < total;
        start += options.batch_size) {
     const std::size_t end = std::min(total, start + options.batch_size);
-    dnn::DenseMatrix batch(input.rows(), end - start);
-    for (std::size_t j = start; j < end; ++j) {
-      std::copy_n(input.col(j), input.rows(), batch.col(j - start));
-    }
+    const dnn::DenseMatrix batch = input.columns(start, end);
 
     platform::Stopwatch sw;
     const auto run = engine.run(net, batch);
     const double ms = sw.elapsed_ms();
     result.batch_ms.push_back(ms);
+    result.latency.add(ms);
     result.total_ms += ms;
     ++result.batches;
 

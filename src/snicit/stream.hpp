@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dnn/engine.hpp"
+#include "platform/stats.hpp"
 
 namespace snicit::core {
 
@@ -21,12 +22,19 @@ struct StreamOptions {
 
 struct StreamResult {
   dnn::DenseMatrix outputs;        // keep_rows(or N) x total_samples
-  std::vector<double> batch_ms;    // wall time per batch
+  std::vector<double> batch_ms;    // per-batch engine latency, by batch index
+  /// Quantile view of batch_ms (p50/p95/p99 serving percentiles).
+  platform::QuantileTracker latency;
+  /// Serial path: sum of batch_ms. Parallel path: wall time of the whole
+  /// run, so throughput() reflects real overlapped serving rate.
   double total_ms = 0.0;
   std::size_t batches = 0;
 
   double mean_batch_ms() const {
-    return batches == 0 ? 0.0 : total_ms / static_cast<double>(batches);
+    if (batches == 0) return 0.0;
+    double sum = 0.0;
+    for (double ms : batch_ms) sum += ms;
+    return sum / static_cast<double>(batches);
   }
   /// Samples per second across the whole stream.
   double throughput(std::size_t total_samples) const {

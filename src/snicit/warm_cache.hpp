@@ -49,6 +49,13 @@ class WarmSnicitEngine final : public dnn::InferenceEngine {
   dnn::RunResult run(const dnn::SparseDnn& net,
                      const dnn::DenseMatrix& input) override;
 
+  /// Clones copy the centroid cache: cloning a warmed engine yields a
+  /// pool whose members all map batches onto the *same* representatives,
+  /// so pooled serving stays bit-identical to serial serving.
+  std::unique_ptr<dnn::InferenceEngine> clone() const override {
+    return std::make_unique<WarmSnicitEngine>(*this);
+  }
+
   bool warmed() const { return cache_.has_value(); }
   void reset() { cache_.reset(); }
   const CentroidCache& cache() const { return *cache_; }

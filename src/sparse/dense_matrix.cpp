@@ -7,6 +7,13 @@
 
 namespace snicit::sparse {
 
+DenseMatrix DenseMatrix::columns(std::size_t begin, std::size_t end) const {
+  SNICIT_CHECK(begin <= end && end <= cols_, "column slice out of range");
+  DenseMatrix out(rows_, end - begin);
+  std::copy_n(col(begin), rows_ * (end - begin), out.data());
+  return out;
+}
+
 std::size_t DenseMatrix::count_nonzeros(float tol) const {
   std::size_t n = 0;
   for (float v : data_) {

@@ -45,6 +45,10 @@ class DenseMatrix {
     data_.assign(rows * cols, 0.0f);
   }
 
+  /// Copy of columns [begin, end) as a new rows() x (end - begin) matrix
+  /// (one contiguous memcpy — columns are the storage unit).
+  DenseMatrix columns(std::size_t begin, std::size_t end) const;
+
   /// Number of entries with |x| > tol.
   std::size_t count_nonzeros(float tol = 0.0f) const;
 

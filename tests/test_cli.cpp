@@ -71,5 +71,32 @@ TEST(Cli, MalformedNumberFallsBack) {
   EXPECT_DOUBLE_EQ(args.get_double("n", 1.5), 1.5);
 }
 
+TEST(Cli, IntListParsesCsv) {
+  const auto args = parse({"--workers", "1,2,4,8"});
+  EXPECT_EQ(args.get_int_list("workers", {}),
+            (std::vector<std::int64_t>{1, 2, 4, 8}));
+}
+
+TEST(Cli, IntListSingleValueAndEqualsForm) {
+  const auto args = parse({"--workers=16"});
+  EXPECT_EQ(args.get_int_list("workers", {1}),
+            (std::vector<std::int64_t>{16}));
+}
+
+TEST(Cli, IntListAbsentUsesFallback) {
+  const auto args = parse({"--other", "3"});
+  EXPECT_EQ(args.get_int_list("workers", {1, 2}),
+            (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Cli, IntListSkipsMalformedElements) {
+  const auto args = parse({"--workers", "1,x,4"});
+  EXPECT_EQ(args.get_int_list("workers", {}),
+            (std::vector<std::int64_t>{1, 4}));
+  const auto all_bad = parse({"--workers", "x,y"});
+  EXPECT_EQ(all_bad.get_int_list("workers", {7}),
+            (std::vector<std::int64_t>{7}));
+}
+
 }  // namespace
 }  // namespace snicit::platform

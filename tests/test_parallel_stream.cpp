@@ -1,0 +1,359 @@
+// Concurrency/correctness suite for the parallel serving pipeline:
+// bit-exact equivalence of ParallelStreamExecutor against the serial
+// stream_inference path across engines (reference, SNICIT, warm-cache),
+// worker counts, batch sizes that do not divide the sample count, and a
+// seeded scheduler-jitter stress harness checking per-sample category
+// parity with the exact reference.
+#include "snicit/parallel_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <tuple>
+
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "platform/rng.hpp"
+#include "radixnet/radixnet.hpp"
+#include "snicit/engine.hpp"
+#include "snicit/stream.hpp"
+#include "snicit/warm_cache.hpp"
+
+namespace snicit::core {
+namespace {
+
+struct Workload {
+  dnn::SparseDnn net;
+  dnn::DenseMatrix input;
+};
+
+Workload make_workload(std::size_t samples, std::uint64_t seed = 3,
+                       sparse::Index neurons = 96, int layers = 10) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = neurons;
+  opt.layers = layers;
+  opt.fanin = 8;
+  opt.seed = seed;
+  auto net = radixnet::make_radixnet(opt);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = static_cast<std::size_t>(neurons);
+  in_opt.batch = samples;
+  in_opt.seed = seed + 1;
+  auto input = data::make_sdgc_input(in_opt).features;
+  return {std::move(net), std::move(input)};
+}
+
+enum class Kind { kReference, kSnicit, kWarm };
+
+std::unique_ptr<dnn::InferenceEngine> make_engine(Kind kind) {
+  SnicitParams params;
+  params.threshold_layer = 4;
+  switch (kind) {
+    case Kind::kReference:
+      return std::make_unique<dnn::ReferenceEngine>();
+    case Kind::kSnicit:
+      return std::make_unique<SnicitEngine>(params);
+    case Kind::kWarm:
+      return std::make_unique<WarmSnicitEngine>(params);
+  }
+  return nullptr;
+}
+
+class ParallelStreamEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ParallelStreamEquivalence, BitExactVsSerial) {
+  const auto kind = static_cast<Kind>(std::get<0>(GetParam()));
+  const auto workers = static_cast<std::size_t>(std::get<1>(GetParam()));
+  const auto batch = static_cast<std::size_t>(std::get<2>(GetParam()));
+  auto wl = make_workload(50);  // 50 % 16 == 2, 50 % 7 == 1: partial tails
+
+  auto serial_engine = make_engine(kind);
+  StreamOptions serial_opt;
+  serial_opt.batch_size = batch;
+  const auto serial =
+      stream_inference(*serial_engine, wl.net, wl.input, serial_opt);
+
+  auto pooled_engine = make_engine(kind);
+  ParallelStreamOptions opt;
+  opt.batch_size = batch;
+  opt.workers = workers;
+  const ParallelStreamExecutor executor(opt);
+  const auto parallel = executor.run(*pooled_engine, wl.net, wl.input);
+
+  EXPECT_EQ(parallel.batches, serial.batches);
+  EXPECT_EQ(parallel.batch_ms.size(), serial.batch_ms.size());
+  EXPECT_EQ(parallel.outputs.rows(), serial.outputs.rows());
+  EXPECT_EQ(parallel.outputs.cols(), 50u);
+  EXPECT_EQ(parallel.latency.count(), parallel.batches);
+  EXPECT_GT(parallel.total_ms, 0.0);
+  EXPECT_FLOAT_EQ(
+      dnn::DenseMatrix::max_abs_diff(parallel.outputs, serial.outputs), 0.0f)
+      << "engine kind " << std::get<0>(GetParam()) << " workers " << workers
+      << " batch " << batch;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EnginesWorkersBatches, ParallelStreamEquivalence,
+    ::testing::Combine(::testing::Values(0, 1, 2),        // engine kind
+                       ::testing::Values(1, 2, 4, 7),     // workers
+                       ::testing::Values(16, 7)));        // batch size
+
+TEST(ParallelStream, KeepRowsTruncatesLikeSerial) {
+  auto wl = make_workload(41);
+  SnicitParams params;
+  params.threshold_layer = 4;
+  SnicitEngine serial_engine(params);
+  StreamOptions serial_opt;
+  serial_opt.batch_size = 8;
+  serial_opt.keep_rows = 5;
+  const auto serial =
+      stream_inference(serial_engine, wl.net, wl.input, serial_opt);
+
+  SnicitEngine pooled(params);
+  ParallelStreamOptions opt;
+  opt.batch_size = 8;
+  opt.keep_rows = 5;
+  opt.workers = 4;
+  const auto parallel =
+      ParallelStreamExecutor(opt).run(pooled, wl.net, wl.input);
+  EXPECT_EQ(parallel.outputs.rows(), 5u);
+  EXPECT_FLOAT_EQ(
+      dnn::DenseMatrix::max_abs_diff(parallel.outputs, serial.outputs), 0.0f);
+}
+
+TEST(ParallelStream, KeepRowsBeyondNeuronsClamps) {
+  auto wl = make_workload(30);
+  dnn::ReferenceEngine engine;
+  ParallelStreamOptions opt;
+  opt.batch_size = 4;
+  opt.keep_rows = 500;  // > 96 neurons: clamps to the full column
+  opt.workers = 3;
+  const auto parallel =
+      ParallelStreamExecutor(opt).run(engine, wl.net, wl.input);
+  EXPECT_EQ(parallel.outputs.rows(), 96u);
+  const auto expected = dnn::reference_forward(wl.net, wl.input);
+  EXPECT_FLOAT_EQ(
+      dnn::DenseMatrix::max_abs_diff(parallel.outputs, expected), 0.0f);
+}
+
+TEST(ParallelStream, SingleBatchFallsBackToSerial) {
+  auto wl = make_workload(5);
+  dnn::ReferenceEngine engine;
+  ParallelStreamOptions opt;
+  opt.batch_size = 100;  // one batch, nothing to overlap
+  opt.workers = 8;
+  const auto parallel =
+      ParallelStreamExecutor(opt).run(engine, wl.net, wl.input);
+  EXPECT_EQ(parallel.batches, 1u);
+  EXPECT_EQ(parallel.outputs.cols(), 5u);
+  const auto expected = dnn::reference_forward(wl.net, wl.input);
+  EXPECT_FLOAT_EQ(
+      dnn::DenseMatrix::max_abs_diff(parallel.outputs, expected), 0.0f);
+}
+
+TEST(ParallelStream, ZeroSamples) {
+  auto wl = make_workload(10);
+  dnn::DenseMatrix empty(wl.input.rows(), 0);
+  dnn::ReferenceEngine engine;
+  ParallelStreamOptions opt;
+  opt.batch_size = 8;
+  opt.workers = 4;
+  const auto parallel = ParallelStreamExecutor(opt).run(engine, wl.net, empty);
+  EXPECT_EQ(parallel.batches, 0u);
+  EXPECT_EQ(parallel.outputs.cols(), 0u);
+  EXPECT_EQ(parallel.outputs.rows(), wl.input.rows());
+  EXPECT_EQ(parallel.latency.count(), 0u);
+}
+
+TEST(ParallelStream, MoreWorkersThanBatches) {
+  auto wl = make_workload(50);
+  dnn::ReferenceEngine engine;
+  ParallelStreamOptions opt;
+  opt.batch_size = 16;  // 4 batches
+  opt.workers = 64;     // clamped to the 3 pooled batches
+  const auto parallel =
+      ParallelStreamExecutor(opt).run(engine, wl.net, wl.input);
+  const auto expected = dnn::reference_forward(wl.net, wl.input);
+  EXPECT_FLOAT_EQ(
+      dnn::DenseMatrix::max_abs_diff(parallel.outputs, expected), 0.0f);
+}
+
+TEST(ParallelStream, TinyQueueCapacityStillExact) {
+  auto wl = make_workload(60);
+  SnicitParams params;
+  params.threshold_layer = 4;
+  SnicitEngine serial_engine(params);
+  const auto serial = stream_inference(serial_engine, wl.net, wl.input,
+                                       {.batch_size = 5, .keep_rows = 0});
+  SnicitEngine pooled(params);
+  ParallelStreamOptions opt;
+  opt.batch_size = 5;
+  opt.workers = 4;
+  opt.queue_capacity = 1;  // maximum backpressure on the producer
+  const auto parallel =
+      ParallelStreamExecutor(opt).run(pooled, wl.net, wl.input);
+  EXPECT_FLOAT_EQ(
+      dnn::DenseMatrix::max_abs_diff(parallel.outputs, serial.outputs), 0.0f);
+}
+
+TEST(ParallelStream, WarmEngineIsWarmedByFirstBatch) {
+  auto wl = make_workload(50);
+  SnicitParams params;
+  params.threshold_layer = 4;
+  WarmSnicitEngine engine(params);
+  ParallelStreamOptions opt;
+  opt.batch_size = 10;
+  opt.workers = 3;
+  const auto parallel =
+      ParallelStreamExecutor(opt).run(engine, wl.net, wl.input);
+  EXPECT_TRUE(engine.warmed());
+  EXPECT_EQ(parallel.batches, 5u);
+}
+
+// An engine without clone(): pooled serving must refuse it loudly, while
+// the one-worker configuration still works through the serial path.
+class UncloneableEngine final : public dnn::InferenceEngine {
+ public:
+  std::string name() const override { return "uncloneable"; }
+  dnn::RunResult run(const dnn::SparseDnn& net,
+                     const dnn::DenseMatrix& input) override {
+    dnn::RunResult result;
+    result.output = dnn::reference_forward(net, input);
+    return result;
+  }
+};
+
+TEST(ParallelStream, UncloneableEngineThrowsForPools) {
+  auto wl = make_workload(50);
+  UncloneableEngine engine;
+  ParallelStreamOptions opt;
+  opt.batch_size = 10;
+  opt.workers = 4;
+  EXPECT_THROW(ParallelStreamExecutor(opt).run(engine, wl.net, wl.input),
+               std::invalid_argument);
+
+  opt.workers = 1;  // serial path needs no clone
+  const auto serial = ParallelStreamExecutor(opt).run(engine, wl.net, wl.input);
+  const auto expected = dnn::reference_forward(wl.net, wl.input);
+  EXPECT_FLOAT_EQ(
+      dnn::DenseMatrix::max_abs_diff(serial.outputs, expected), 0.0f);
+}
+
+TEST(ParallelStream, WorkerExceptionPropagates) {
+  class FailingEngine final : public dnn::InferenceEngine {
+   public:
+    std::string name() const override { return "failing"; }
+    dnn::RunResult run(const dnn::SparseDnn& net,
+                       const dnn::DenseMatrix& input) override {
+      // The warm-up batch (first call, on the caller) succeeds so the
+      // failure happens inside a worker thread.
+      if (calls_++ > 0) throw std::runtime_error("engine blew up");
+      dnn::RunResult result;
+      result.output = dnn::reference_forward(net, input);
+      return result;
+    }
+    std::unique_ptr<dnn::InferenceEngine> clone() const override {
+      return std::make_unique<FailingEngine>(*this);
+    }
+
+   private:
+    int calls_ = 0;
+  };
+
+  auto wl = make_workload(50);
+  FailingEngine engine;
+  ParallelStreamOptions opt;
+  opt.batch_size = 5;
+  opt.workers = 4;
+  EXPECT_THROW(ParallelStreamExecutor(opt).run(engine, wl.net, wl.input),
+               std::runtime_error);
+}
+
+// --- Seeded scheduler-jitter stress harness -------------------------------
+//
+// Wraps SNICIT in an engine that sleeps a random few hundred microseconds
+// before and after every run, so batch completion order is scrambled
+// differently on every schedule. Output values are untouched: whatever
+// the interleaving, reassembly must stay deterministic.
+class JitterSnicitEngine final : public dnn::InferenceEngine {
+ public:
+  JitterSnicitEngine(SnicitParams params, std::uint64_t seed)
+      : inner_(params), rng_(seed) {}
+
+  std::string name() const override { return "jitter-snicit"; }
+
+  dnn::RunResult run(const dnn::SparseDnn& net,
+                     const dnn::DenseMatrix& input) override {
+    nap();
+    auto result = inner_.run(net, input);
+    nap();
+    return result;
+  }
+
+  std::unique_ptr<dnn::InferenceEngine> clone() const override {
+    // Each clone jitters on its own schedule.
+    return std::make_unique<JitterSnicitEngine>(
+        inner_.params(), next_clone_seed_.fetch_add(1) * 7919u + 13u);
+  }
+
+ private:
+  void nap() {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(rng_.next_below(400)));
+    std::this_thread::yield();
+  }
+
+  SnicitEngine inner_;
+  platform::Rng rng_;
+  static inline std::atomic<std::uint64_t> next_clone_seed_{1};
+};
+
+class ParallelStressFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelStressFuzz, ManySmallBatchesKeepCategoryParity) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  platform::Rng rng(seed * 2654435761ULL + 5);
+
+  const std::size_t samples = 120 + rng.next_below(80);
+  auto wl = make_workload(samples, seed, 64, 8);
+  const auto golden = dnn::reference_forward(wl.net, wl.input);
+
+  SnicitParams params;
+  params.threshold_layer = 3;
+  params.sample_size = 16;
+
+  JitterSnicitEngine serial_engine(params, seed);
+  StreamOptions serial_opt;
+  serial_opt.batch_size = 3 + rng.next_below(6);
+  const auto serial =
+      stream_inference(serial_engine, wl.net, wl.input, serial_opt);
+
+  JitterSnicitEngine pooled(params, seed + 1000);
+  ParallelStreamOptions opt;
+  opt.batch_size = serial_opt.batch_size;
+  opt.workers = 4 + rng.next_below(4);           // 4..7 workers
+  opt.queue_capacity = 1 + rng.next_below(8);    // vary the backpressure
+  const auto parallel =
+      ParallelStreamExecutor(opt).run(pooled, wl.net, wl.input);
+
+  // Reassembly is deterministic: bit-identical to the serial stream.
+  EXPECT_FLOAT_EQ(
+      dnn::DenseMatrix::max_abs_diff(parallel.outputs, serial.outputs), 0.0f)
+      << "seed " << seed << " B=" << opt.batch_size << " W=" << opt.workers
+      << " q=" << opt.queue_capacity;
+
+  // And per-sample categories agree with the exact reference.
+  const auto got = dnn::sdgc_categories(parallel.outputs, 1e-3f);
+  const auto want = dnn::sdgc_categories(golden, 1e-3f);
+  EXPECT_DOUBLE_EQ(dnn::category_match_rate(got, want), 1.0)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelStressFuzz, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace snicit::core

@@ -92,5 +92,72 @@ TEST(Histogram, QuantileEdgeCases) {
   EXPECT_NEAR(h.quantile(1.0), 0.75, 1e-9);  // within the containing bin
 }
 
+TEST(QuantileTracker, EmptyYieldsZero) {
+  QuantileTracker t;
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_DOUBLE_EQ(t.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(t.p99(), 0.0);
+}
+
+TEST(QuantileTracker, SingleSampleIsEveryQuantile) {
+  QuantileTracker t;
+  t.add(3.25);
+  for (double q : {0.0, 0.1, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(t.quantile(q), 3.25);
+  }
+}
+
+TEST(QuantileTracker, ExactSmallSampleQuantiles) {
+  QuantileTracker t;
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) t.add(v);  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(t.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.quantile(0.25), 2.0);
+  EXPECT_DOUBLE_EQ(t.median(), 3.0);
+  EXPECT_DOUBLE_EQ(t.quantile(0.75), 4.0);
+  EXPECT_DOUBLE_EQ(t.quantile(1.0), 5.0);
+  // Interior points interpolate linearly between order statistics.
+  EXPECT_NEAR(t.quantile(0.1), 1.4, 1e-12);
+  EXPECT_NEAR(t.quantile(0.9), 4.6, 1e-12);
+}
+
+TEST(QuantileTracker, ClampsOutOfRangeQ) {
+  QuantileTracker t;
+  t.add(10.0);
+  t.add(20.0);
+  EXPECT_DOUBLE_EQ(t.quantile(-3.0), 10.0);  // clamps to min
+  EXPECT_DOUBLE_EQ(t.quantile(7.0), 20.0);   // clamps to max
+}
+
+TEST(QuantileTracker, MonotoneInQ) {
+  QuantileTracker t;
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) t.add(rng.next_gaussian() * 5.0);
+  double prev = t.quantile(0.0);
+  for (double q = 0.01; q <= 1.0; q += 0.01) {
+    const double v = t.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
+TEST(QuantileTracker, InterleavedAddAndQuery) {
+  // Queries sort lazily; later adds must invalidate the cached order.
+  QuantileTracker t;
+  t.add(2.0);
+  t.add(4.0);
+  EXPECT_DOUBLE_EQ(t.median(), 3.0);
+  t.add(0.0);  // new minimum after a query
+  EXPECT_DOUBLE_EQ(t.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(t.median(), 2.0);
+}
+
+TEST(QuantileTracker, PercentilesOfKnownSequence) {
+  QuantileTracker t;
+  for (int i = 1; i <= 100; ++i) t.add(static_cast<double>(i));
+  EXPECT_NEAR(t.p50(), 50.5, 1e-12);
+  EXPECT_NEAR(t.p95(), 95.05, 1e-12);
+  EXPECT_NEAR(t.p99(), 99.01, 1e-12);
+}
+
 }  // namespace
 }  // namespace snicit::platform

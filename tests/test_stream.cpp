@@ -90,6 +90,77 @@ TEST(Stream, BatchLargerThanInput) {
   EXPECT_EQ(streamed.outputs.cols(), 5u);
 }
 
+TEST(Stream, KeepRowsBeyondNeuronsClampsToFullColumn) {
+  auto wl = make_workload(12);
+  baselines::SerialEngine engine;
+  StreamOptions opt;
+  opt.batch_size = 5;
+  opt.keep_rows = 500;  // > 96 rows: must clamp, not read out of bounds
+  const auto streamed = stream_inference(engine, wl.net, wl.input, opt);
+  EXPECT_EQ(streamed.outputs.rows(), 96u);
+  const auto expected = dnn::reference_forward(wl.net, wl.input);
+  EXPECT_FLOAT_EQ(
+      dnn::DenseMatrix::max_abs_diff(streamed.outputs, expected), 0.0f);
+}
+
+TEST(Stream, ZeroSampleInput) {
+  auto wl = make_workload(5);
+  dnn::DenseMatrix empty(wl.input.rows(), 0);
+  baselines::SerialEngine engine;
+  StreamOptions opt;
+  opt.batch_size = 8;
+  const auto streamed = stream_inference(engine, wl.net, empty, opt);
+  EXPECT_EQ(streamed.batches, 0u);
+  EXPECT_TRUE(streamed.batch_ms.empty());
+  EXPECT_EQ(streamed.outputs.rows(), 96u);
+  EXPECT_EQ(streamed.outputs.cols(), 0u);
+  EXPECT_DOUBLE_EQ(streamed.total_ms, 0.0);
+  EXPECT_DOUBLE_EQ(streamed.mean_batch_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(streamed.throughput(0), 0.0);
+}
+
+TEST(Stream, ZeroSamplesWithKeepRows) {
+  auto wl = make_workload(5);
+  dnn::DenseMatrix empty(wl.input.rows(), 0);
+  baselines::SerialEngine engine;
+  StreamOptions opt;
+  opt.batch_size = 4;
+  opt.keep_rows = 10;
+  const auto streamed = stream_inference(engine, wl.net, empty, opt);
+  EXPECT_EQ(streamed.outputs.rows(), 10u);
+  EXPECT_EQ(streamed.outputs.cols(), 0u);
+}
+
+TEST(Stream, BatchSizeOne) {
+  auto wl = make_workload(9);
+  baselines::SerialEngine engine;
+  StreamOptions opt;
+  opt.batch_size = 1;
+  const auto streamed = stream_inference(engine, wl.net, wl.input, opt);
+  EXPECT_EQ(streamed.batches, 9u);
+  const auto expected = dnn::reference_forward(wl.net, wl.input);
+  EXPECT_FLOAT_EQ(
+      dnn::DenseMatrix::max_abs_diff(streamed.outputs, expected), 0.0f);
+}
+
+TEST(Stream, LatencyQuantilesTrackBatches) {
+  auto wl = make_workload(40);
+  baselines::SerialEngine engine;
+  StreamOptions opt;
+  opt.batch_size = 4;
+  const auto streamed = stream_inference(engine, wl.net, wl.input, opt);
+  EXPECT_EQ(streamed.latency.count(), streamed.batches);
+  EXPECT_GE(streamed.latency.p95(), streamed.latency.p50());
+  EXPECT_GE(streamed.latency.p99(), streamed.latency.p95());
+  double lo = streamed.batch_ms.front(), hi = lo;
+  for (double ms : streamed.batch_ms) {
+    lo = std::min(lo, ms);
+    hi = std::max(hi, ms);
+  }
+  EXPECT_DOUBLE_EQ(streamed.latency.quantile(0.0), lo);
+  EXPECT_DOUBLE_EQ(streamed.latency.quantile(1.0), hi);
+}
+
 TEST(Stream, ThroughputAccounting) {
   auto wl = make_workload(20);
   baselines::SerialEngine engine;

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 namespace snicit::platform {
@@ -79,6 +80,52 @@ TEST(ParallelFor, NestedParallelismFallsBackToSerial) {
   for (auto& h : hits) {
     EXPECT_EQ(h.load(), 1);
   }
+}
+
+TEST(ScopedSerialRegion, PinsParallelForToCallingThread) {
+  EXPECT_FALSE(in_serial_region());
+  ScopedSerialRegion region;
+  EXPECT_TRUE(in_serial_region());
+  const auto self = std::this_thread::get_id();
+  std::atomic<int> off_thread{0};
+  std::vector<std::atomic<int>> hits(256);
+  parallel_for(0, 256, [&](std::size_t i) {
+    hits[i].fetch_add(1);
+    if (std::this_thread::get_id() != self) off_thread.fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(off_thread.load(), 0);  // everything ran inline
+}
+
+TEST(ScopedSerialRegion, NestsAndRestores) {
+  EXPECT_FALSE(in_serial_region());
+  {
+    ScopedSerialRegion outer;
+    {
+      ScopedSerialRegion inner;
+      EXPECT_TRUE(in_serial_region());
+    }
+    EXPECT_TRUE(in_serial_region());
+  }
+  EXPECT_FALSE(in_serial_region());
+}
+
+TEST(ThreadPool, ConcurrentExternalSubmittersBothComplete) {
+  // Two independent threads racing run_chunks on one pool: the loser of
+  // the dispatch race must fall back to inline execution, not abort.
+  ThreadPool pool(2);
+  constexpr int kRounds = 50;
+  std::atomic<int> total{0};
+  auto submit = [&] {
+    for (int r = 0; r < kRounds; ++r) {
+      pool.run_chunks(8, [&](std::size_t) { total.fetch_add(1); });
+    }
+  };
+  std::thread a(submit);
+  std::thread b(submit);
+  a.join();
+  b.join();
+  EXPECT_EQ(total.load(), 2 * kRounds * 8);
 }
 
 TEST(ParallelFor, GrainRespected) {
