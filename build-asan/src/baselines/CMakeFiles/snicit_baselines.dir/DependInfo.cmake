@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/autotune.cpp" "src/baselines/CMakeFiles/snicit_baselines.dir/autotune.cpp.o" "gcc" "src/baselines/CMakeFiles/snicit_baselines.dir/autotune.cpp.o.d"
+  "/root/repo/src/baselines/bf2019.cpp" "src/baselines/CMakeFiles/snicit_baselines.dir/bf2019.cpp.o" "gcc" "src/baselines/CMakeFiles/snicit_baselines.dir/bf2019.cpp.o.d"
+  "/root/repo/src/baselines/serial.cpp" "src/baselines/CMakeFiles/snicit_baselines.dir/serial.cpp.o" "gcc" "src/baselines/CMakeFiles/snicit_baselines.dir/serial.cpp.o.d"
+  "/root/repo/src/baselines/snig2020.cpp" "src/baselines/CMakeFiles/snicit_baselines.dir/snig2020.cpp.o" "gcc" "src/baselines/CMakeFiles/snicit_baselines.dir/snig2020.cpp.o.d"
+  "/root/repo/src/baselines/xy2021.cpp" "src/baselines/CMakeFiles/snicit_baselines.dir/xy2021.cpp.o" "gcc" "src/baselines/CMakeFiles/snicit_baselines.dir/xy2021.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/dnn/CMakeFiles/snicit_dnn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sparse/CMakeFiles/snicit_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/platform/CMakeFiles/snicit_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

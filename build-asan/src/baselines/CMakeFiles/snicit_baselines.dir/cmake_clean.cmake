@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "../../lib/libsnicit_baselines.a"
+  "../../lib/libsnicit_baselines.pdb"
+  "CMakeFiles/snicit_baselines.dir/autotune.cpp.o"
+  "CMakeFiles/snicit_baselines.dir/autotune.cpp.o.d"
+  "CMakeFiles/snicit_baselines.dir/bf2019.cpp.o"
+  "CMakeFiles/snicit_baselines.dir/bf2019.cpp.o.d"
+  "CMakeFiles/snicit_baselines.dir/serial.cpp.o"
+  "CMakeFiles/snicit_baselines.dir/serial.cpp.o.d"
+  "CMakeFiles/snicit_baselines.dir/snig2020.cpp.o"
+  "CMakeFiles/snicit_baselines.dir/snig2020.cpp.o.d"
+  "CMakeFiles/snicit_baselines.dir/xy2021.cpp.o"
+  "CMakeFiles/snicit_baselines.dir/xy2021.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicit_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

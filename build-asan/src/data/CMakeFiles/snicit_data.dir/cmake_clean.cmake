@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "../../lib/libsnicit_data.a"
+  "../../lib/libsnicit_data.pdb"
+  "CMakeFiles/snicit_data.dir/idx_io.cpp.o"
+  "CMakeFiles/snicit_data.dir/idx_io.cpp.o.d"
+  "CMakeFiles/snicit_data.dir/synthetic.cpp.o"
+  "CMakeFiles/snicit_data.dir/synthetic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicit_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

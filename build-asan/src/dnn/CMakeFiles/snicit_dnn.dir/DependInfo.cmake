@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/analysis.cpp" "src/dnn/CMakeFiles/snicit_dnn.dir/analysis.cpp.o" "gcc" "src/dnn/CMakeFiles/snicit_dnn.dir/analysis.cpp.o.d"
+  "/root/repo/src/dnn/builder.cpp" "src/dnn/CMakeFiles/snicit_dnn.dir/builder.cpp.o" "gcc" "src/dnn/CMakeFiles/snicit_dnn.dir/builder.cpp.o.d"
+  "/root/repo/src/dnn/engine.cpp" "src/dnn/CMakeFiles/snicit_dnn.dir/engine.cpp.o" "gcc" "src/dnn/CMakeFiles/snicit_dnn.dir/engine.cpp.o.d"
+  "/root/repo/src/dnn/harness.cpp" "src/dnn/CMakeFiles/snicit_dnn.dir/harness.cpp.o" "gcc" "src/dnn/CMakeFiles/snicit_dnn.dir/harness.cpp.o.d"
+  "/root/repo/src/dnn/memory.cpp" "src/dnn/CMakeFiles/snicit_dnn.dir/memory.cpp.o" "gcc" "src/dnn/CMakeFiles/snicit_dnn.dir/memory.cpp.o.d"
+  "/root/repo/src/dnn/reference.cpp" "src/dnn/CMakeFiles/snicit_dnn.dir/reference.cpp.o" "gcc" "src/dnn/CMakeFiles/snicit_dnn.dir/reference.cpp.o.d"
+  "/root/repo/src/dnn/sparse_dnn.cpp" "src/dnn/CMakeFiles/snicit_dnn.dir/sparse_dnn.cpp.o" "gcc" "src/dnn/CMakeFiles/snicit_dnn.dir/sparse_dnn.cpp.o.d"
+  "/root/repo/src/dnn/validate.cpp" "src/dnn/CMakeFiles/snicit_dnn.dir/validate.cpp.o" "gcc" "src/dnn/CMakeFiles/snicit_dnn.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sparse/CMakeFiles/snicit_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/platform/CMakeFiles/snicit_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

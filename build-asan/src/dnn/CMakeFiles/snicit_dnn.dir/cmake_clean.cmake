@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "../../lib/libsnicit_dnn.a"
+  "../../lib/libsnicit_dnn.pdb"
+  "CMakeFiles/snicit_dnn.dir/analysis.cpp.o"
+  "CMakeFiles/snicit_dnn.dir/analysis.cpp.o.d"
+  "CMakeFiles/snicit_dnn.dir/builder.cpp.o"
+  "CMakeFiles/snicit_dnn.dir/builder.cpp.o.d"
+  "CMakeFiles/snicit_dnn.dir/engine.cpp.o"
+  "CMakeFiles/snicit_dnn.dir/engine.cpp.o.d"
+  "CMakeFiles/snicit_dnn.dir/harness.cpp.o"
+  "CMakeFiles/snicit_dnn.dir/harness.cpp.o.d"
+  "CMakeFiles/snicit_dnn.dir/memory.cpp.o"
+  "CMakeFiles/snicit_dnn.dir/memory.cpp.o.d"
+  "CMakeFiles/snicit_dnn.dir/reference.cpp.o"
+  "CMakeFiles/snicit_dnn.dir/reference.cpp.o.d"
+  "CMakeFiles/snicit_dnn.dir/sparse_dnn.cpp.o"
+  "CMakeFiles/snicit_dnn.dir/sparse_dnn.cpp.o.d"
+  "CMakeFiles/snicit_dnn.dir/validate.cpp.o"
+  "CMakeFiles/snicit_dnn.dir/validate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicit_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

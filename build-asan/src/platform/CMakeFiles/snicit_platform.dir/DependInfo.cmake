@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cli.cpp" "src/platform/CMakeFiles/snicit_platform.dir/cli.cpp.o" "gcc" "src/platform/CMakeFiles/snicit_platform.dir/cli.cpp.o.d"
+  "/root/repo/src/platform/env.cpp" "src/platform/CMakeFiles/snicit_platform.dir/env.cpp.o" "gcc" "src/platform/CMakeFiles/snicit_platform.dir/env.cpp.o.d"
+  "/root/repo/src/platform/json.cpp" "src/platform/CMakeFiles/snicit_platform.dir/json.cpp.o" "gcc" "src/platform/CMakeFiles/snicit_platform.dir/json.cpp.o.d"
+  "/root/repo/src/platform/stats.cpp" "src/platform/CMakeFiles/snicit_platform.dir/stats.cpp.o" "gcc" "src/platform/CMakeFiles/snicit_platform.dir/stats.cpp.o.d"
+  "/root/repo/src/platform/task_graph.cpp" "src/platform/CMakeFiles/snicit_platform.dir/task_graph.cpp.o" "gcc" "src/platform/CMakeFiles/snicit_platform.dir/task_graph.cpp.o.d"
+  "/root/repo/src/platform/thread_pool.cpp" "src/platform/CMakeFiles/snicit_platform.dir/thread_pool.cpp.o" "gcc" "src/platform/CMakeFiles/snicit_platform.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "../../lib/libsnicit_platform.a"
+  "../../lib/libsnicit_platform.pdb"
+  "CMakeFiles/snicit_platform.dir/cli.cpp.o"
+  "CMakeFiles/snicit_platform.dir/cli.cpp.o.d"
+  "CMakeFiles/snicit_platform.dir/env.cpp.o"
+  "CMakeFiles/snicit_platform.dir/env.cpp.o.d"
+  "CMakeFiles/snicit_platform.dir/json.cpp.o"
+  "CMakeFiles/snicit_platform.dir/json.cpp.o.d"
+  "CMakeFiles/snicit_platform.dir/stats.cpp.o"
+  "CMakeFiles/snicit_platform.dir/stats.cpp.o.d"
+  "CMakeFiles/snicit_platform.dir/task_graph.cpp.o"
+  "CMakeFiles/snicit_platform.dir/task_graph.cpp.o.d"
+  "CMakeFiles/snicit_platform.dir/thread_pool.cpp.o"
+  "CMakeFiles/snicit_platform.dir/thread_pool.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicit_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

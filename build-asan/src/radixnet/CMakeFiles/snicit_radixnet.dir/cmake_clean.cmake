@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "../../lib/libsnicit_radixnet.a"
+  "../../lib/libsnicit_radixnet.pdb"
+  "CMakeFiles/snicit_radixnet.dir/challenge.cpp.o"
+  "CMakeFiles/snicit_radixnet.dir/challenge.cpp.o.d"
+  "CMakeFiles/snicit_radixnet.dir/mixed_radix.cpp.o"
+  "CMakeFiles/snicit_radixnet.dir/mixed_radix.cpp.o.d"
+  "CMakeFiles/snicit_radixnet.dir/radixnet.cpp.o"
+  "CMakeFiles/snicit_radixnet.dir/radixnet.cpp.o.d"
+  "CMakeFiles/snicit_radixnet.dir/sdgc_io.cpp.o"
+  "CMakeFiles/snicit_radixnet.dir/sdgc_io.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicit_radixnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

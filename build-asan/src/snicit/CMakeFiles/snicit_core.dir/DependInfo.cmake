@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snicit/adaptive_prune.cpp" "src/snicit/CMakeFiles/snicit_core.dir/adaptive_prune.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/adaptive_prune.cpp.o.d"
+  "/root/repo/src/snicit/convergence.cpp" "src/snicit/CMakeFiles/snicit_core.dir/convergence.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/convergence.cpp.o.d"
+  "/root/repo/src/snicit/convert.cpp" "src/snicit/CMakeFiles/snicit_core.dir/convert.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/convert.cpp.o.d"
+  "/root/repo/src/snicit/engine.cpp" "src/snicit/CMakeFiles/snicit_core.dir/engine.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/engine.cpp.o.d"
+  "/root/repo/src/snicit/parallel_stream.cpp" "src/snicit/CMakeFiles/snicit_core.dir/parallel_stream.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/parallel_stream.cpp.o.d"
+  "/root/repo/src/snicit/postconv.cpp" "src/snicit/CMakeFiles/snicit_core.dir/postconv.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/postconv.cpp.o.d"
+  "/root/repo/src/snicit/recovery.cpp" "src/snicit/CMakeFiles/snicit_core.dir/recovery.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/recovery.cpp.o.d"
+  "/root/repo/src/snicit/reorder.cpp" "src/snicit/CMakeFiles/snicit_core.dir/reorder.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/reorder.cpp.o.d"
+  "/root/repo/src/snicit/sample_prune.cpp" "src/snicit/CMakeFiles/snicit_core.dir/sample_prune.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/sample_prune.cpp.o.d"
+  "/root/repo/src/snicit/sampling.cpp" "src/snicit/CMakeFiles/snicit_core.dir/sampling.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/sampling.cpp.o.d"
+  "/root/repo/src/snicit/stream.cpp" "src/snicit/CMakeFiles/snicit_core.dir/stream.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/stream.cpp.o.d"
+  "/root/repo/src/snicit/warm_cache.cpp" "src/snicit/CMakeFiles/snicit_core.dir/warm_cache.cpp.o" "gcc" "src/snicit/CMakeFiles/snicit_core.dir/warm_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/dnn/CMakeFiles/snicit_dnn.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sparse/CMakeFiles/snicit_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/platform/CMakeFiles/snicit_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

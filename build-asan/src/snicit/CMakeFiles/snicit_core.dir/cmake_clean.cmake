@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "../../lib/libsnicit_core.a"
+  "../../lib/libsnicit_core.pdb"
+  "CMakeFiles/snicit_core.dir/adaptive_prune.cpp.o"
+  "CMakeFiles/snicit_core.dir/adaptive_prune.cpp.o.d"
+  "CMakeFiles/snicit_core.dir/convergence.cpp.o"
+  "CMakeFiles/snicit_core.dir/convergence.cpp.o.d"
+  "CMakeFiles/snicit_core.dir/convert.cpp.o"
+  "CMakeFiles/snicit_core.dir/convert.cpp.o.d"
+  "CMakeFiles/snicit_core.dir/engine.cpp.o"
+  "CMakeFiles/snicit_core.dir/engine.cpp.o.d"
+  "CMakeFiles/snicit_core.dir/parallel_stream.cpp.o"
+  "CMakeFiles/snicit_core.dir/parallel_stream.cpp.o.d"
+  "CMakeFiles/snicit_core.dir/postconv.cpp.o"
+  "CMakeFiles/snicit_core.dir/postconv.cpp.o.d"
+  "CMakeFiles/snicit_core.dir/recovery.cpp.o"
+  "CMakeFiles/snicit_core.dir/recovery.cpp.o.d"
+  "CMakeFiles/snicit_core.dir/reorder.cpp.o"
+  "CMakeFiles/snicit_core.dir/reorder.cpp.o.d"
+  "CMakeFiles/snicit_core.dir/sample_prune.cpp.o"
+  "CMakeFiles/snicit_core.dir/sample_prune.cpp.o.d"
+  "CMakeFiles/snicit_core.dir/sampling.cpp.o"
+  "CMakeFiles/snicit_core.dir/sampling.cpp.o.d"
+  "CMakeFiles/snicit_core.dir/stream.cpp.o"
+  "CMakeFiles/snicit_core.dir/stream.cpp.o.d"
+  "CMakeFiles/snicit_core.dir/warm_cache.cpp.o"
+  "CMakeFiles/snicit_core.dir/warm_cache.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

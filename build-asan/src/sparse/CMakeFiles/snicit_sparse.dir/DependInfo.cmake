@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/coo.cpp" "src/sparse/CMakeFiles/snicit_sparse.dir/coo.cpp.o" "gcc" "src/sparse/CMakeFiles/snicit_sparse.dir/coo.cpp.o.d"
+  "/root/repo/src/sparse/csc.cpp" "src/sparse/CMakeFiles/snicit_sparse.dir/csc.cpp.o" "gcc" "src/sparse/CMakeFiles/snicit_sparse.dir/csc.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/sparse/CMakeFiles/snicit_sparse.dir/csr.cpp.o" "gcc" "src/sparse/CMakeFiles/snicit_sparse.dir/csr.cpp.o.d"
+  "/root/repo/src/sparse/dense_matrix.cpp" "src/sparse/CMakeFiles/snicit_sparse.dir/dense_matrix.cpp.o" "gcc" "src/sparse/CMakeFiles/snicit_sparse.dir/dense_matrix.cpp.o.d"
+  "/root/repo/src/sparse/ell.cpp" "src/sparse/CMakeFiles/snicit_sparse.dir/ell.cpp.o" "gcc" "src/sparse/CMakeFiles/snicit_sparse.dir/ell.cpp.o.d"
+  "/root/repo/src/sparse/quantized.cpp" "src/sparse/CMakeFiles/snicit_sparse.dir/quantized.cpp.o" "gcc" "src/sparse/CMakeFiles/snicit_sparse.dir/quantized.cpp.o.d"
+  "/root/repo/src/sparse/spgemm.cpp" "src/sparse/CMakeFiles/snicit_sparse.dir/spgemm.cpp.o" "gcc" "src/sparse/CMakeFiles/snicit_sparse.dir/spgemm.cpp.o.d"
+  "/root/repo/src/sparse/spmm.cpp" "src/sparse/CMakeFiles/snicit_sparse.dir/spmm.cpp.o" "gcc" "src/sparse/CMakeFiles/snicit_sparse.dir/spmm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/platform/CMakeFiles/snicit_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "../../lib/libsnicit_sparse.a"
+  "../../lib/libsnicit_sparse.pdb"
+  "CMakeFiles/snicit_sparse.dir/coo.cpp.o"
+  "CMakeFiles/snicit_sparse.dir/coo.cpp.o.d"
+  "CMakeFiles/snicit_sparse.dir/csc.cpp.o"
+  "CMakeFiles/snicit_sparse.dir/csc.cpp.o.d"
+  "CMakeFiles/snicit_sparse.dir/csr.cpp.o"
+  "CMakeFiles/snicit_sparse.dir/csr.cpp.o.d"
+  "CMakeFiles/snicit_sparse.dir/dense_matrix.cpp.o"
+  "CMakeFiles/snicit_sparse.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/snicit_sparse.dir/ell.cpp.o"
+  "CMakeFiles/snicit_sparse.dir/ell.cpp.o.d"
+  "CMakeFiles/snicit_sparse.dir/quantized.cpp.o"
+  "CMakeFiles/snicit_sparse.dir/quantized.cpp.o.d"
+  "CMakeFiles/snicit_sparse.dir/spgemm.cpp.o"
+  "CMakeFiles/snicit_sparse.dir/spgemm.cpp.o.d"
+  "CMakeFiles/snicit_sparse.dir/spmm.cpp.o"
+  "CMakeFiles/snicit_sparse.dir/spmm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicit_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

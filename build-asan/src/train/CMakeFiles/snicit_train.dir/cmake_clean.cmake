@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "../../lib/libsnicit_train.a"
+  "../../lib/libsnicit_train.pdb"
+  "CMakeFiles/snicit_train.dir/adam.cpp.o"
+  "CMakeFiles/snicit_train.dir/adam.cpp.o.d"
+  "CMakeFiles/snicit_train.dir/linear.cpp.o"
+  "CMakeFiles/snicit_train.dir/linear.cpp.o.d"
+  "CMakeFiles/snicit_train.dir/loss.cpp.o"
+  "CMakeFiles/snicit_train.dir/loss.cpp.o.d"
+  "CMakeFiles/snicit_train.dir/lr_schedule.cpp.o"
+  "CMakeFiles/snicit_train.dir/lr_schedule.cpp.o.d"
+  "CMakeFiles/snicit_train.dir/metrics.cpp.o"
+  "CMakeFiles/snicit_train.dir/metrics.cpp.o.d"
+  "CMakeFiles/snicit_train.dir/mlp.cpp.o"
+  "CMakeFiles/snicit_train.dir/mlp.cpp.o.d"
+  "CMakeFiles/snicit_train.dir/serialize.cpp.o"
+  "CMakeFiles/snicit_train.dir/serialize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snicit_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_prune.dir/test_adaptive_prune.cpp.o"
+  "CMakeFiles/test_adaptive_prune.dir/test_adaptive_prune.cpp.o.d"
+  "test_adaptive_prune"
+  "test_adaptive_prune.pdb"
+  "test_adaptive_prune[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

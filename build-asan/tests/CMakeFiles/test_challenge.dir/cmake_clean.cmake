@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_challenge.dir/test_challenge.cpp.o"
+  "CMakeFiles/test_challenge.dir/test_challenge.cpp.o.d"
+  "test_challenge"
+  "test_challenge.pdb"
+  "test_challenge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_challenge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ell.dir/test_ell.cpp.o"
+  "CMakeFiles/test_ell.dir/test_ell.cpp.o.d"
+  "test_ell"
+  "test_ell.pdb"
+  "test_ell[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_idx_io.dir/test_idx_io.cpp.o"
+  "CMakeFiles/test_idx_io.dir/test_idx_io.cpp.o.d"
+  "test_idx_io"
+  "test_idx_io.pdb"
+  "test_idx_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_idx_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

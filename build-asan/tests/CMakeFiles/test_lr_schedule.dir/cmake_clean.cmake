@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lr_schedule.dir/test_lr_schedule.cpp.o"
+  "CMakeFiles/test_lr_schedule.dir/test_lr_schedule.cpp.o.d"
+  "test_lr_schedule"
+  "test_lr_schedule.pdb"
+  "test_lr_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lr_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

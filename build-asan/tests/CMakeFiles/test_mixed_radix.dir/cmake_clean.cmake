@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixed_radix.dir/test_mixed_radix.cpp.o"
+  "CMakeFiles/test_mixed_radix.dir/test_mixed_radix.cpp.o.d"
+  "test_mixed_radix"
+  "test_mixed_radix.pdb"
+  "test_mixed_radix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixed_radix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

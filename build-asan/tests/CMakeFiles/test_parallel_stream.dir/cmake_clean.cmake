@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_stream.dir/test_parallel_stream.cpp.o"
+  "CMakeFiles/test_parallel_stream.dir/test_parallel_stream.cpp.o.d"
+  "test_parallel_stream"
+  "test_parallel_stream.pdb"
+  "test_parallel_stream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postconv.dir/test_postconv.cpp.o"
+  "CMakeFiles/test_postconv.dir/test_postconv.cpp.o.d"
+  "test_postconv"
+  "test_postconv.pdb"
+  "test_postconv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postconv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quantized.dir/test_quantized.cpp.o"
+  "CMakeFiles/test_quantized.dir/test_quantized.cpp.o.d"
+  "test_quantized"
+  "test_quantized.pdb"
+  "test_quantized[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quantized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radixnet.dir/test_radixnet.cpp.o"
+  "CMakeFiles/test_radixnet.dir/test_radixnet.cpp.o.d"
+  "test_radixnet"
+  "test_radixnet.pdb"
+  "test_radixnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radixnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reclustering.dir/test_reclustering.cpp.o"
+  "CMakeFiles/test_reclustering.dir/test_reclustering.cpp.o.d"
+  "test_reclustering"
+  "test_reclustering.pdb"
+  "test_reclustering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reclustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

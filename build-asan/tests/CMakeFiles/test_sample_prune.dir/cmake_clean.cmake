@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sample_prune.dir/test_sample_prune.cpp.o"
+  "CMakeFiles/test_sample_prune.dir/test_sample_prune.cpp.o.d"
+  "test_sample_prune"
+  "test_sample_prune.pdb"
+  "test_sample_prune[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sample_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

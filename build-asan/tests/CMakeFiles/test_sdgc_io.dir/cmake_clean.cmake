@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sdgc_io.dir/test_sdgc_io.cpp.o"
+  "CMakeFiles/test_sdgc_io.dir/test_sdgc_io.cpp.o.d"
+  "test_sdgc_io"
+  "test_sdgc_io.pdb"
+  "test_sdgc_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sdgc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serial_baseline.dir/test_serial_baseline.cpp.o"
+  "CMakeFiles/test_serial_baseline.dir/test_serial_baseline.cpp.o.d"
+  "test_serial_baseline"
+  "test_serial_baseline.pdb"
+  "test_serial_baseline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serial_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

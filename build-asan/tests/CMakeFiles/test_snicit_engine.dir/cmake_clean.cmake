@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snicit_engine.dir/test_snicit_engine.cpp.o"
+  "CMakeFiles/test_snicit_engine.dir/test_snicit_engine.cpp.o.d"
+  "test_snicit_engine"
+  "test_snicit_engine.pdb"
+  "test_snicit_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snicit_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

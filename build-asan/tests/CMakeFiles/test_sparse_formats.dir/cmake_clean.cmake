@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_formats.dir/test_sparse_formats.cpp.o"
+  "CMakeFiles/test_sparse_formats.dir/test_sparse_formats.cpp.o.d"
+  "test_sparse_formats"
+  "test_sparse_formats.pdb"
+  "test_sparse_formats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

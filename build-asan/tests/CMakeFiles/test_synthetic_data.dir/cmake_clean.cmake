@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synthetic_data.dir/test_synthetic_data.cpp.o"
+  "CMakeFiles/test_synthetic_data.dir/test_synthetic_data.cpp.o.d"
+  "test_synthetic_data"
+  "test_synthetic_data.pdb"
+  "test_synthetic_data[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synthetic_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

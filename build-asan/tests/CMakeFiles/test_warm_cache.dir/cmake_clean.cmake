@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_warm_cache.dir/test_warm_cache.cpp.o"
+  "CMakeFiles/test_warm_cache.dir/test_warm_cache.cpp.o.d"
+  "test_warm_cache"
+  "test_warm_cache.pdb"
+  "test_warm_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_warm_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radixnet/challenge.cpp" "src/radixnet/CMakeFiles/snicit_radixnet.dir/challenge.cpp.o" "gcc" "src/radixnet/CMakeFiles/snicit_radixnet.dir/challenge.cpp.o.d"
+  "/root/repo/src/radixnet/mixed_radix.cpp" "src/radixnet/CMakeFiles/snicit_radixnet.dir/mixed_radix.cpp.o" "gcc" "src/radixnet/CMakeFiles/snicit_radixnet.dir/mixed_radix.cpp.o.d"
+  "/root/repo/src/radixnet/radixnet.cpp" "src/radixnet/CMakeFiles/snicit_radixnet.dir/radixnet.cpp.o" "gcc" "src/radixnet/CMakeFiles/snicit_radixnet.dir/radixnet.cpp.o.d"
+  "/root/repo/src/radixnet/sdgc_io.cpp" "src/radixnet/CMakeFiles/snicit_radixnet.dir/sdgc_io.cpp.o" "gcc" "src/radixnet/CMakeFiles/snicit_radixnet.dir/sdgc_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/dnn/CMakeFiles/snicit_dnn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sparse/CMakeFiles/snicit_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/platform/CMakeFiles/snicit_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

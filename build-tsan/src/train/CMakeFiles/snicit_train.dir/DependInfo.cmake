@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/adam.cpp" "src/train/CMakeFiles/snicit_train.dir/adam.cpp.o" "gcc" "src/train/CMakeFiles/snicit_train.dir/adam.cpp.o.d"
+  "/root/repo/src/train/linear.cpp" "src/train/CMakeFiles/snicit_train.dir/linear.cpp.o" "gcc" "src/train/CMakeFiles/snicit_train.dir/linear.cpp.o.d"
+  "/root/repo/src/train/loss.cpp" "src/train/CMakeFiles/snicit_train.dir/loss.cpp.o" "gcc" "src/train/CMakeFiles/snicit_train.dir/loss.cpp.o.d"
+  "/root/repo/src/train/lr_schedule.cpp" "src/train/CMakeFiles/snicit_train.dir/lr_schedule.cpp.o" "gcc" "src/train/CMakeFiles/snicit_train.dir/lr_schedule.cpp.o.d"
+  "/root/repo/src/train/metrics.cpp" "src/train/CMakeFiles/snicit_train.dir/metrics.cpp.o" "gcc" "src/train/CMakeFiles/snicit_train.dir/metrics.cpp.o.d"
+  "/root/repo/src/train/mlp.cpp" "src/train/CMakeFiles/snicit_train.dir/mlp.cpp.o" "gcc" "src/train/CMakeFiles/snicit_train.dir/mlp.cpp.o.d"
+  "/root/repo/src/train/serialize.cpp" "src/train/CMakeFiles/snicit_train.dir/serialize.cpp.o" "gcc" "src/train/CMakeFiles/snicit_train.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/dnn/CMakeFiles/snicit_dnn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/snicit_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sparse/CMakeFiles/snicit_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/platform/CMakeFiles/snicit_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
