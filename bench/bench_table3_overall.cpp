@@ -37,6 +37,8 @@ const std::map<std::string, PaperSpeedups> kPaper = {
 
 int main() {
   using namespace snicit;
+  // SNICIT_TRACE_OUT / SNICIT_METRICS_OUT capture the whole grid run.
+  const bench::ObservabilityScope observability;
   bench::print_title(
       "Table 3: overall runtime, SNICIT vs XY-2021 / SNIG-2020 / BF-2019");
   bench::print_note(

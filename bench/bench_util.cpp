@@ -1,6 +1,43 @@
 #include "bench_util.hpp"
 
+#include "platform/metrics.hpp"
+#include "platform/trace.hpp"
+
 namespace snicit::bench {
+
+ObservabilityScope::ObservabilityScope()
+    : trace_out_(platform::env_string("SNICIT_TRACE_OUT", "")),
+      metrics_out_(platform::env_string("SNICIT_METRICS_OUT", "")) {
+  if (!trace_out_.empty()) {
+    platform::trace::clear();
+    platform::trace::set_enabled(true);
+  }
+  if (!metrics_out_.empty()) {
+    platform::metrics::MetricsRegistry::global().reset();
+    platform::metrics::set_enabled(true);
+  }
+}
+
+ObservabilityScope::~ObservabilityScope() {
+  if (!trace_out_.empty()) {
+    if (platform::trace::write_chrome_trace(trace_out_)) {
+      std::printf("wrote %zu trace events to %s\n",
+                  platform::trace::event_count(), trace_out_.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_out_.c_str());
+    }
+  }
+  if (!metrics_out_.empty()) {
+    auto& registry = platform::metrics::MetricsRegistry::global();
+    if (registry.write_json(metrics_out_)) {
+      std::printf("wrote metrics dump to %s\n", metrics_out_.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   metrics_out_.c_str());
+    }
+  }
+}
 
 std::vector<SdgcCase> sdgc_grid() {
   // Scaled stand-ins: each (neurons, layers) pair maps onto a paper row so

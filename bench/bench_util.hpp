@@ -76,4 +76,22 @@ inline void print_note(const std::string& note) {
   std::printf("note: %s\n", note.c_str());
 }
 
+/// Env-driven observability for the benchmark harnesses: construct one at
+/// the top of main(). When SNICIT_TRACE_OUT and/or SNICIT_METRICS_OUT are
+/// set, tracing/metrics switch on for the process lifetime and the capture
+/// is written to those paths at scope exit; with neither set this is a
+/// no-op and the harness runs uninstrumented (the tier-1 timing mode).
+class ObservabilityScope {
+ public:
+  ObservabilityScope();
+  ~ObservabilityScope();
+
+  ObservabilityScope(const ObservabilityScope&) = delete;
+  ObservabilityScope& operator=(const ObservabilityScope&) = delete;
+
+ private:
+  std::string trace_out_;
+  std::string metrics_out_;
+};
+
 }  // namespace snicit::bench

@@ -51,6 +51,8 @@ std::unique_ptr<dnn::InferenceEngine> build_engine(const std::string& name,
 
 int main(int argc, char** argv) {
   const platform::CliArgs args(argc, argv);
+  // SNICIT_TRACE_OUT / SNICIT_METRICS_OUT capture the whole sweep.
+  const bench::ObservabilityScope observability;
   bench::print_title(
       "Serving sweep: stream throughput vs worker count (engine pool)");
 

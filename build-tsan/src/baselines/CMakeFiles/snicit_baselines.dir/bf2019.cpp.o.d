@@ -219,10 +219,11 @@ src/baselines/CMakeFiles/snicit_baselines.dir/bf2019.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/platform/common.hpp \
- /root/repo/src/platform/thread_pool.hpp /usr/include/c++/12/atomic \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /root/repo/src/platform/common.hpp /root/repo/src/platform/metrics.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/platform/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
@@ -233,5 +234,5 @@ src/baselines/CMakeFiles/snicit_baselines.dir/bf2019.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread /root/repo/src/sparse/spmm.hpp
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/thread \
+ /root/repo/src/platform/trace.hpp /root/repo/src/sparse/spmm.hpp

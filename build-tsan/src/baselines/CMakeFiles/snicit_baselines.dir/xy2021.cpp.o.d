@@ -219,4 +219,7 @@ src/baselines/CMakeFiles/snicit_baselines.dir/xy2021.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/platform/common.hpp /root/repo/src/sparse/spmm.hpp
+ /root/repo/src/platform/common.hpp /root/repo/src/platform/metrics.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/platform/trace.hpp \
+ /root/repo/src/sparse/spmm.hpp

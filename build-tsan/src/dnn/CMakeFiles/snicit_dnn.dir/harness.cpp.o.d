@@ -221,4 +221,6 @@ src/dnn/CMakeFiles/snicit_dnn.dir/harness.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/platform/common.hpp \
- /root/repo/src/platform/json.hpp
+ /root/repo/src/platform/json.hpp /root/repo/src/platform/metrics.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -212,4 +212,4 @@ src/dnn/CMakeFiles/snicit_dnn.dir/reference.cpp.o: \
  /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/platform/common.hpp \
- /root/repo/src/sparse/spmm.hpp
+ /root/repo/src/platform/trace.hpp /root/repo/src/sparse/spmm.hpp

@@ -11,9 +11,11 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/platform/cli.cpp" "src/platform/CMakeFiles/snicit_platform.dir/cli.cpp.o" "gcc" "src/platform/CMakeFiles/snicit_platform.dir/cli.cpp.o.d"
   "/root/repo/src/platform/env.cpp" "src/platform/CMakeFiles/snicit_platform.dir/env.cpp.o" "gcc" "src/platform/CMakeFiles/snicit_platform.dir/env.cpp.o.d"
   "/root/repo/src/platform/json.cpp" "src/platform/CMakeFiles/snicit_platform.dir/json.cpp.o" "gcc" "src/platform/CMakeFiles/snicit_platform.dir/json.cpp.o.d"
+  "/root/repo/src/platform/metrics.cpp" "src/platform/CMakeFiles/snicit_platform.dir/metrics.cpp.o" "gcc" "src/platform/CMakeFiles/snicit_platform.dir/metrics.cpp.o.d"
   "/root/repo/src/platform/stats.cpp" "src/platform/CMakeFiles/snicit_platform.dir/stats.cpp.o" "gcc" "src/platform/CMakeFiles/snicit_platform.dir/stats.cpp.o.d"
   "/root/repo/src/platform/task_graph.cpp" "src/platform/CMakeFiles/snicit_platform.dir/task_graph.cpp.o" "gcc" "src/platform/CMakeFiles/snicit_platform.dir/task_graph.cpp.o.d"
   "/root/repo/src/platform/thread_pool.cpp" "src/platform/CMakeFiles/snicit_platform.dir/thread_pool.cpp.o" "gcc" "src/platform/CMakeFiles/snicit_platform.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/platform/trace.cpp" "src/platform/CMakeFiles/snicit_platform.dir/trace.cpp.o" "gcc" "src/platform/CMakeFiles/snicit_platform.dir/trace.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -7,12 +7,16 @@ file(REMOVE_RECURSE
   "CMakeFiles/snicit_platform.dir/env.cpp.o.d"
   "CMakeFiles/snicit_platform.dir/json.cpp.o"
   "CMakeFiles/snicit_platform.dir/json.cpp.o.d"
+  "CMakeFiles/snicit_platform.dir/metrics.cpp.o"
+  "CMakeFiles/snicit_platform.dir/metrics.cpp.o.d"
   "CMakeFiles/snicit_platform.dir/stats.cpp.o"
   "CMakeFiles/snicit_platform.dir/stats.cpp.o.d"
   "CMakeFiles/snicit_platform.dir/task_graph.cpp.o"
   "CMakeFiles/snicit_platform.dir/task_graph.cpp.o.d"
   "CMakeFiles/snicit_platform.dir/thread_pool.cpp.o"
   "CMakeFiles/snicit_platform.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/snicit_platform.dir/trace.cpp.o"
+  "CMakeFiles/snicit_platform.dir/trace.cpp.o.d"
 )
 
 # Per-language clean rules from dependency scanning.

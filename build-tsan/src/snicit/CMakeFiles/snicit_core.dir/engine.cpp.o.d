@@ -221,7 +221,11 @@ src/snicit/CMakeFiles/snicit_core.dir/engine.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/platform/common.hpp \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/platform/common.hpp /root/repo/src/platform/metrics.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/platform/trace.hpp \
  /root/repo/src/snicit/adaptive_prune.hpp \
  /root/repo/src/snicit/convergence.hpp /root/repo/src/snicit/postconv.hpp \
  /root/repo/src/snicit/recovery.hpp \

@@ -255,9 +255,10 @@ src/snicit/CMakeFiles/snicit_core.dir/parallel_stream.cpp.o: \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/platform/common.hpp \
+ /root/repo/src/platform/common.hpp /root/repo/src/platform/metrics.hpp \
  /root/repo/src/platform/thread_pool.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/platform/trace.hpp

@@ -240,4 +240,6 @@ src/snicit/CMakeFiles/snicit_core.dir/stream.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/platform/common.hpp
+ /root/repo/src/platform/common.hpp /root/repo/src/platform/metrics.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/platform/trace.hpp

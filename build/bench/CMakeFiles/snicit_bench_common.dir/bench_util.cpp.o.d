@@ -214,4 +214,7 @@ bench/CMakeFiles/snicit_bench_common.dir/bench_util.cpp.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/dnn/reference.hpp \
- /root/repo/src/platform/env.hpp /root/repo/src/radixnet/radixnet.hpp
+ /root/repo/src/platform/env.hpp /root/repo/src/radixnet/radixnet.hpp \
+ /root/repo/src/platform/metrics.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/platform/trace.hpp

@@ -199,16 +199,16 @@ examples/CMakeFiles/snicit_cli.dir/snicit_cli.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/baselines/bf2019.hpp /root/repo/src/dnn/engine.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/baselines/bf2019.hpp \
+ /root/repo/src/dnn/engine.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/dnn/sparse_dnn.hpp \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/dnn/sparse_dnn.hpp \
  /root/repo/src/sparse/csc.hpp /usr/include/c++/12/span \
  /usr/include/c++/12/array /usr/include/c++/12/cstddef \
  /root/repo/src/sparse/coo.hpp /root/repo/src/sparse/csr.hpp \
@@ -223,6 +223,9 @@ examples/CMakeFiles/snicit_cli.dir/snicit_cli.cpp.o: \
  /root/repo/src/baselines/xy2021.hpp /root/repo/src/data/synthetic.hpp \
  /root/repo/src/data/dataset.hpp /root/repo/src/dnn/analysis.hpp \
  /root/repo/src/dnn/reference.hpp /root/repo/src/platform/cli.hpp \
+ /root/repo/src/platform/metrics.hpp /usr/include/c++/12/atomic \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/platform/trace.hpp \
  /root/repo/src/radixnet/mixed_radix.hpp \
  /root/repo/src/radixnet/radixnet.hpp /root/repo/src/radixnet/sdgc_io.hpp \
  /root/repo/src/snicit/engine.hpp /root/repo/src/snicit/convert.hpp \

@@ -8,15 +8,20 @@
 //              --engine snicit|xy2021|snig2020|bf2019|serial|reference
 //              [--net PREFIX --neurons N --layers L --bias B] [--batch B]
 //              [--threshold T] [--auto-threshold] [--stream CHUNK]
+//              [--trace-out FILE] [--metrics-out FILE]
 //   analyze    print the per-layer convergence trace of a workload
 //              (Figure 1-style: density, saturation, distinct columns)
 //
 // Everything defaults to a generated workload so each subcommand runs out
-// of the box: `snicit_cli run --engine snicit`.
+// of the box: `snicit_cli run --engine snicit`. Unknown flags are hard
+// errors (exit 2), never silently ignored: a typo like "--worker 4" would
+// otherwise run serial and report the wrong numbers.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "baselines/bf2019.hpp"
 #include "baselines/serial.hpp"
@@ -26,6 +31,8 @@
 #include "dnn/analysis.hpp"
 #include "dnn/reference.hpp"
 #include "platform/cli.hpp"
+#include "platform/metrics.hpp"
+#include "platform/trace.hpp"
 #include "radixnet/mixed_radix.hpp"
 #include "radixnet/radixnet.hpp"
 #include "radixnet/sdgc_io.hpp"
@@ -36,6 +43,26 @@
 namespace {
 
 using namespace snicit;
+
+// Flag vocabulary per subcommand (workload flags are shared by all).
+const std::vector<std::string> kWorkloadFlags = {
+    "neurons", "layers", "batch", "seed", "mixed-radix",
+    "net",     "input",  "bias"};
+
+std::vector<std::string> known_flags(const std::string& cmd) {
+  std::vector<std::string> flags = kWorkloadFlags;
+  if (cmd == "generate") {
+    flags.push_back("out");
+  } else if (cmd == "run") {
+    for (const char* f :
+         {"engine", "threshold", "sample-size", "downsample", "prune",
+          "auto-threshold", "stream", "workers", "queue", "trace-out",
+          "metrics-out"}) {
+      flags.push_back(f);
+    }
+  }
+  return flags;
+}
 
 struct Workload {
   dnn::SparseDnn net;
@@ -94,8 +121,9 @@ std::unique_ptr<dnn::InferenceEngine> build_engine(
   if (name == "serial") return std::make_unique<baselines::SerialEngine>();
   if (name == "reference") return std::make_unique<dnn::ReferenceEngine>();
   if (name != "snicit") {
-    std::fprintf(stderr, "unknown engine '%s', using snicit\n",
-                 name.c_str());
+    throw std::invalid_argument(
+        "unknown engine '" + name +
+        "' (expected snicit|xy2021|snig2020|bf2019|serial|reference)");
   }
   core::SnicitParams params;
   const auto layers = static_cast<int>(wl.net.num_layers());
@@ -123,6 +151,40 @@ int cmd_generate(const platform::CliArgs& args) {
 }
 
 int cmd_run(const platform::CliArgs& args) {
+  // Observability: --trace-out / --metrics-out switch the runtime flags on
+  // for this run and dump the capture on exit (chrome://tracing JSON and a
+  // counters/gauges/series document respectively).
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!trace_out.empty()) {
+    platform::trace::clear();
+    platform::trace::set_enabled(true);
+  }
+  if (!metrics_out.empty()) {
+    platform::metrics::MetricsRegistry::global().reset();
+    platform::metrics::set_enabled(true);
+  }
+  const auto write_observability = [&] {
+    if (!trace_out.empty()) {
+      if (platform::trace::write_chrome_trace(trace_out)) {
+        std::printf("wrote %zu trace events to %s\n",
+                    platform::trace::event_count(), trace_out.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write trace to %s\n",
+                     trace_out.c_str());
+      }
+    }
+    if (!metrics_out.empty()) {
+      auto& registry = platform::metrics::MetricsRegistry::global();
+      if (registry.write_json(metrics_out)) {
+        std::printf("wrote metrics dump to %s\n", metrics_out.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write metrics to %s\n",
+                     metrics_out.c_str());
+      }
+    }
+  };
+
   const auto wl = build_workload(args);
   auto engine = build_engine(args, wl);
   wl.net.ensure_csc();
@@ -149,6 +211,7 @@ int cmd_run(const platform::CliArgs& args) {
     std::printf("batch latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
                 streamed.latency.p50(), streamed.latency.p95(),
                 streamed.latency.p99());
+    write_observability();
     return 0;
   }
 
@@ -164,6 +227,7 @@ int cmd_run(const platform::CliArgs& args) {
   std::size_t active = 0;
   for (int c : cats) active += static_cast<std::size_t>(c);
   std::printf("active outputs: %zu / %zu\n", active, cats.size());
+  write_observability();
   return 0;
 }
 
@@ -189,6 +253,8 @@ void usage() {
       "  run:      --engine snicit|xy2021|snig2020|bf2019|serial|reference\n"
       "            --threshold T --sample-size S --downsample N --prune P\n"
       "            --auto-threshold --stream CHUNK --workers N --queue C\n"
+      "            --trace-out FILE (chrome://tracing JSON)\n"
+      "            --metrics-out FILE (workload counters/series JSON)\n"
       "  analyze:  (common options only)\n");
 }
 
@@ -197,6 +263,19 @@ void usage() {
 int main(int argc, char** argv) {
   const platform::CliArgs args(argc, argv);
   const std::string cmd = args.positional(0, "");
+  const bool known_cmd =
+      cmd == "generate" || cmd == "run" || cmd == "analyze";
+  if (known_cmd) {
+    const auto unknown = args.unknown_options(known_flags(cmd));
+    if (!unknown.empty()) {
+      for (const auto& name : unknown) {
+        std::fprintf(stderr, "error: unknown flag '--%s' for '%s'\n",
+                     name.c_str(), cmd.c_str());
+      }
+      usage();
+      return 2;
+    }
+  }
   try {
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "run") return cmd_run(args);

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "platform/common.hpp"
+#include "platform/metrics.hpp"
 #include "platform/thread_pool.hpp"
 #include "platform/timer.hpp"
+#include "platform/trace.hpp"
 #include "sparse/spmm.hpp"
 
 namespace snicit::baselines {
@@ -14,6 +16,7 @@ Bf2019Engine::Bf2019Engine(std::size_t partitions)
 
 dnn::RunResult Bf2019Engine::run(const dnn::SparseDnn& net,
                                  const dnn::DenseMatrix& input) {
+  SNICIT_TRACE_SPAN("bf2019.run", "engine");
   net.ensure_csc();  // model preparation, outside the clock
 
   const std::size_t batch = input.cols();
@@ -26,6 +29,11 @@ dnn::RunResult Bf2019Engine::run(const dnn::SparseDnn& net,
   dnn::RunResult result;
   result.layer_ms.reserve(net.num_layers());
   result.diagnostics["partitions"] = static_cast<double>(parts);
+  if (platform::metrics::enabled()) {
+    platform::metrics::MetricsRegistry::global()
+        .gauge("bf2019.partitions")
+        .set(static_cast<double>(parts));
+  }
 
   platform::Stopwatch total;
   // Double buffers shared by all partitions: partitions own disjoint
@@ -35,6 +43,7 @@ dnn::RunResult Bf2019Engine::run(const dnn::SparseDnn& net,
   const std::size_t chunk = (batch + parts - 1) / parts;
 
   for (std::size_t layer = 0; layer < net.num_layers(); ++layer) {
+    SNICIT_TRACE_SPAN("bf_layer", "bf2019");
     platform::Stopwatch lt;
     const auto& w = net.weight_csc(layer);
     platform::ThreadPool::global().run_chunks(parts, [&](std::size_t p) {

@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "platform/timer.hpp"
+#include "platform/trace.hpp"
 
 namespace snicit::baselines {
 
 dnn::RunResult SerialEngine::run(const dnn::SparseDnn& net,
                                  const dnn::DenseMatrix& input) {
+  SNICIT_TRACE_SPAN("serial.run", "engine");
   dnn::RunResult result;
   result.layer_ms.reserve(net.num_layers());
 
@@ -15,6 +17,7 @@ dnn::RunResult SerialEngine::run(const dnn::SparseDnn& net,
   dnn::DenseMatrix cur = input;
   dnn::DenseMatrix next(input.rows(), input.cols());
   for (std::size_t layer = 0; layer < net.num_layers(); ++layer) {
+    SNICIT_TRACE_SPAN("serial_layer", "serial");
     platform::Stopwatch lt;
     const auto& w = net.weight(layer);
     const auto& bias = net.bias(layer);

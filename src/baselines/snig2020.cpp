@@ -4,9 +4,11 @@
 #include <vector>
 
 #include "platform/common.hpp"
+#include "platform/metrics.hpp"
 #include "platform/task_graph.hpp"
 #include "platform/thread_pool.hpp"
 #include "platform/timer.hpp"
+#include "platform/trace.hpp"
 #include "sparse/spmm.hpp"
 
 namespace snicit::baselines {
@@ -18,6 +20,7 @@ Snig2020Engine::Snig2020Engine(std::size_t partitions,
 
 dnn::RunResult Snig2020Engine::run(const dnn::SparseDnn& net,
                                    const dnn::DenseMatrix& input) {
+  SNICIT_TRACE_SPAN("snig2020.run", "engine");
   net.ensure_csc();
 
   const std::size_t batch = input.cols();
@@ -32,6 +35,12 @@ dnn::RunResult Snig2020Engine::run(const dnn::SparseDnn& net,
   dnn::RunResult result;
   result.diagnostics["partitions"] = static_cast<double>(parts);
   result.diagnostics["graph_nodes"] = static_cast<double>(parts * stages);
+  if (platform::metrics::enabled()) {
+    auto& registry = platform::metrics::MetricsRegistry::global();
+    registry.gauge("snig2020.partitions").set(static_cast<double>(parts));
+    registry.gauge("snig2020.graph_nodes")
+        .set(static_cast<double>(parts * stages));
+  }
 
   platform::Stopwatch total;
   dnn::DenseMatrix cur = input;
@@ -59,6 +68,7 @@ dnn::RunResult Snig2020Engine::run(const dnn::SparseDnn& net,
     for (std::size_t p = 0; p < parts; ++p) {
       if (part_cols[p].empty()) continue;
       const auto id = graph.add([&net, &cur, &next, &part_cols, p, l0, l1] {
+        SNICIT_TRACE_SPAN("snig_stage", "snig2020");
         // Advance this partition through layers [l0, l1). The shared
         // double buffers alternate per layer; all partitions advance in
         // the same stage before buffers swap, so column ranges never

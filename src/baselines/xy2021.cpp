@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "platform/common.hpp"
+#include "platform/metrics.hpp"
 #include "platform/timer.hpp"
+#include "platform/trace.hpp"
 #include "sparse/spmm.hpp"
 
 namespace snicit::baselines {
@@ -13,6 +15,7 @@ Xy2021Engine::Xy2021Engine(Xy2021Options options) : options_(options) {}
 
 dnn::RunResult Xy2021Engine::run(const dnn::SparseDnn& net,
                                  const dnn::DenseMatrix& input) {
+  SNICIT_TRACE_SPAN("xy2021.run", "engine");
   net.ensure_csc();
   // The dense arm runs on the ELL layout when the weight grid is regular
   // enough (fixed fan-in: zero padding).
@@ -34,6 +37,19 @@ dnn::RunResult Xy2021Engine::run(const dnn::SparseDnn& net,
     probe[j] = static_cast<sparse::Index>(j);
   }
 
+  // Which spMM arm the cost model picked, per layer (0 = gather/ELL,
+  // 1 = scatter) — the decision trace the paper's §2.3 discussion is
+  // about; cached so the layer loop does one null check when metrics are
+  // off.
+  namespace metrics = platform::metrics;
+  metrics::Series* variant_series = nullptr;
+  metrics::Series* density_series = nullptr;
+  if (metrics::enabled()) {
+    auto& registry = metrics::MetricsRegistry::global();
+    variant_series = &registry.series("xy2021.kernel_variant");
+    density_series = &registry.series("xy2021.probe_density");
+  }
+
   platform::Stopwatch total;
   dnn::DenseMatrix cur = input;
   dnn::DenseMatrix next(input.rows(), input.cols());
@@ -41,6 +57,7 @@ dnn::RunResult Xy2021Engine::run(const dnn::SparseDnn& net,
   double scatter_picks = 0.0;
 
   for (std::size_t layer = 0; layer < net.num_layers(); ++layer) {
+    SNICIT_TRACE_SPAN("xy_layer", "xy2021");
     platform::Stopwatch lt;
     // Cost model over the optimisation space, per unit weight-nnz:
     //   gather  ~ 1                       (touches every weight row fully)
@@ -66,11 +83,22 @@ dnn::RunResult Xy2021Engine::run(const dnn::SparseDnn& net,
     sparse::apply_bias_activation(next, net.bias(layer), net.ymax());
     std::swap(cur, next);
     result.layer_ms.push_back(lt.elapsed_ms());
+    if (variant_series != nullptr) {
+      variant_series->record(layer, scatter_cost < gather_cost ? 1.0 : 0.0);
+      density_series->record(layer, density);
+    }
   }
 
   result.stages.add("feed-forward", total.elapsed_ms());
   result.diagnostics["gather_layers"] = gather_picks;
   result.diagnostics["scatter_layers"] = scatter_picks;
+  if (metrics::enabled()) {
+    auto& registry = metrics::MetricsRegistry::global();
+    registry.counter("xy2021.gather_layers")
+        .add(static_cast<std::int64_t>(gather_picks));
+    registry.counter("xy2021.scatter_layers")
+        .add(static_cast<std::int64_t>(scatter_picks));
+  }
   result.output = std::move(cur);
   return result;
 }

@@ -4,6 +4,7 @@
 
 #include "platform/common.hpp"
 #include "platform/json.hpp"
+#include "platform/metrics.hpp"
 
 namespace snicit::dnn {
 
@@ -41,6 +42,13 @@ std::string Comparison::to_json() const {
       json.key(key).value(value);
     }
     json.end_object();
+    if (!row.metrics.empty()) {
+      json.key("metrics").begin_object();
+      for (const auto& [key, value] : row.metrics) {
+        json.key(key).value(value);
+      }
+      json.end_object();
+    }
     json.end_object();
   }
   json.end_array();
@@ -62,7 +70,20 @@ Comparison compare_engines(const std::string& workload_name,
   std::vector<int> golden_cats;
   double baseline_ms = 0.0;
 
+  const bool capture_metrics = platform::metrics::enabled();
+  auto& registry = platform::metrics::MetricsRegistry::global();
+
   for (std::size_t e = 0; e < engines.size(); ++e) {
+    // Counter deltas over this engine's runs attribute shared global
+    // counters (pruned residues, kernel picks) to the engine that caused
+    // them; gauges are last-written and read after the runs.
+    const auto counters_before =
+        capture_metrics ? registry.counter_values()
+                        : std::map<std::string, std::int64_t>{};
+    const auto gauges_before = capture_metrics
+                                   ? registry.gauge_values()
+                                   : std::map<std::string, double>{};
+
     RunResult best = engines[e]->run(net, input);
     for (int r = 1; r < repeats; ++r) {
       RunResult again = engines[e]->run(net, input);
@@ -73,6 +94,24 @@ Comparison compare_engines(const std::string& workload_name,
     row.engine = engines[e]->name();
     row.total_ms = best.total_ms();
     row.diagnostics = best.diagnostics;
+    if (capture_metrics) {
+      for (const auto& [name, after] : registry.counter_values()) {
+        const auto it = counters_before.find(name);
+        const std::int64_t before =
+            it == counters_before.end() ? 0 : it->second;
+        if (after != before) {
+          row.metrics[name] = static_cast<double>(after - before);
+        }
+      }
+      // Only gauges this engine's runs (re)wrote: an unchanged gauge is
+      // a stale reading from some earlier row, not this engine's state.
+      for (const auto& [name, value] : registry.gauge_values()) {
+        const auto it = gauges_before.find(name);
+        if (it == gauges_before.end() || it->second != value) {
+          row.metrics[name] = value;
+        }
+      }
+    }
     if (e == 0) {
       baseline_ms = row.total_ms;
       golden = std::move(best.output);

@@ -20,6 +20,10 @@ struct ComparisonRow {
   bool categories_match = true;      // vs the golden output
   float max_abs_diff = 0.0f;
   std::map<std::string, double> diagnostics;
+  /// Workload counters attributed to this engine's runs (counter deltas
+  /// plus gauge values), captured when platform::metrics is enabled;
+  /// empty otherwise.
+  std::map<std::string, double> metrics;
 };
 
 struct Comparison {

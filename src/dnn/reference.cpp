@@ -1,6 +1,7 @@
 #include "dnn/reference.hpp"
 
 #include "platform/common.hpp"
+#include "platform/trace.hpp"
 #include "sparse/spmm.hpp"
 
 namespace snicit::dnn {
@@ -27,6 +28,7 @@ DenseMatrix reference_forward(const SparseDnn& net, const DenseMatrix& input) {
 
 RunResult ReferenceEngine::run(const SparseDnn& net,
                                const DenseMatrix& input) {
+  SNICIT_TRACE_SPAN("reference.run", "engine");
   RunResult result;
   result.layer_ms.reserve(net.num_layers());
   DenseMatrix cur = input;

@@ -1,5 +1,6 @@
 #include "platform/cli.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace snicit::platform {
@@ -97,6 +98,31 @@ std::vector<std::int64_t> CliArgs::get_int_list(
     pos = comma + 1;
   }
   return out.empty() ? fallback : out;
+}
+
+std::vector<std::string> CliArgs::option_names() const {
+  std::vector<std::string> out;
+  out.reserve(options_.size());
+  for (const auto& opt : options_) out.push_back(opt.name);
+  return out;
+}
+
+std::vector<std::string> CliArgs::unknown_options(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& opt : options_) {
+    bool is_known = false;
+    for (const auto& k : known) {
+      if (opt.name == k) {
+        is_known = true;
+        break;
+      }
+    }
+    const bool seen =
+        std::find(out.begin(), out.end(), opt.name) != out.end();
+    if (!is_known && !seen) out.push_back(opt.name);
+  }
+  return out;
 }
 
 std::string CliArgs::positional(std::size_t i,

@@ -28,6 +28,16 @@ class CliArgs {
   std::vector<std::int64_t> get_int_list(
       const std::string& name, const std::vector<std::int64_t>& fallback) const;
 
+  /// Names of every "--option" seen, in order, duplicates included.
+  std::vector<std::string> option_names() const;
+
+  /// Option names that are NOT in `known` (order preserved, deduplicated).
+  /// Tools use this to reject typos — "--worker 4" silently parsing as a
+  /// positional-with-value and defaulting workers to 1 is the failure mode
+  /// this guards against.
+  std::vector<std::string> unknown_options(
+      const std::vector<std::string>& known) const;
+
   /// Arguments that are not "--options" nor their values, in order.
   const std::vector<std::string>& positionals() const { return positionals_; }
 

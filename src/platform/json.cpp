@@ -1,8 +1,11 @@
 #include "platform/json.hpp"
 
+#include <cctype>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 #include "platform/common.hpp"
 
@@ -145,6 +148,250 @@ JsonWriter& JsonWriter::value(bool v) {
 const std::string& JsonWriter::str() const {
   SNICIT_CHECK(stack_.empty(), "unclosed containers in JSON document");
   return out_;
+}
+
+// ---------------------------------------------------------------------------
+// Read-back parser
+// ---------------------------------------------------------------------------
+
+/// Recursive-descent parser over the document string. Error positions are
+/// byte offsets, which is all our round-trip tests need.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.type_ = JsonValue::Type::kString;
+        v.string_ = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      default: return parse_number();
+    }
+  }
+
+  static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      if (v.members_.count(key) != 0) fail("duplicate key '" + key + "'");
+      v.keys_.push_back(key);
+      v.members_.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items_.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      c = text_[pos_++];
+      switch (c) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // The writer only emits \u00xx for control bytes; decode the
+          // Latin-1 range and reject anything wider (we never write it).
+          if (code > 0xFF) fail("unsupported \\u escape beyond U+00FF");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (token.empty() || end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("malformed number '" + token + "'");
+    }
+    JsonValue v;
+    v.type_ = JsonValue::Type::kNumber;
+    v.number_ = d;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(const std::string& text) {
+  return JsonParser(text).parse_document();
+}
+
+bool JsonValue::as_bool() const {
+  SNICIT_CHECK(type_ == Type::kBool, "JSON value is not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  SNICIT_CHECK(type_ == Type::kNumber, "JSON value is not a number");
+  return number_;
+}
+
+const std::string& JsonValue::as_string() const {
+  SNICIT_CHECK(type_ == Type::kString, "JSON value is not a string");
+  return string_;
+}
+
+std::size_t JsonValue::size() const {
+  SNICIT_CHECK(type_ == Type::kArray, "JSON value is not an array");
+  return items_.size();
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  SNICIT_CHECK(type_ == Type::kArray, "JSON value is not an array");
+  SNICIT_CHECK(i < items_.size(), "JSON array index out of range");
+  return items_[i];
+}
+
+bool JsonValue::has(const std::string& key) const {
+  SNICIT_CHECK(type_ == Type::kObject, "JSON value is not an object");
+  return members_.count(key) != 0;
+}
+
+const JsonValue& JsonValue::get(const std::string& key) const {
+  SNICIT_CHECK(type_ == Type::kObject, "JSON value is not an object");
+  auto it = members_.find(key);
+  SNICIT_CHECK(it != members_.end(), "JSON object key '" + key + "' absent");
+  return it->second;
+}
+
+const std::vector<std::string>& JsonValue::keys() const {
+  SNICIT_CHECK(type_ == Type::kObject, "JSON value is not an object");
+  return keys_;
 }
 
 }  // namespace snicit::platform

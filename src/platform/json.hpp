@@ -1,9 +1,14 @@
-// Minimal JSON writer for machine-readable benchmark reports: objects,
-// arrays, strings (escaped), numbers, booleans. Write-only by design — the
-// library never needs to parse JSON.
+// Minimal JSON for machine-readable reports: a streaming writer (objects,
+// arrays, strings (escaped), numbers, booleans) plus a small read-back
+// parser so tests and tools can round-trip documents the library itself
+// emits (trace captures, metrics dumps, harness comparisons). The parser
+// is deliberately strict — it exists to validate our own output, not to
+// consume arbitrary JSON from the wild.
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -46,6 +51,50 @@ class JsonWriter {
   std::string out_;
   std::vector<Frame> stack_;
   bool pending_key_ = false;
+};
+
+/// Parsed JSON document node. Accessors SNICIT_CHECK the node's type, so
+/// a malformed assumption in a test fails loudly instead of reading junk.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses a complete document (one value plus optional whitespace);
+  /// throws std::invalid_argument with position info on malformed input.
+  static JsonValue parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  /// Array access: element count and i-th element.
+  std::size_t size() const;
+  const JsonValue& at(std::size_t i) const;
+
+  /// Object access: membership, lookup (aborts when absent), key list in
+  /// document order.
+  bool has(const std::string& key) const;
+  const JsonValue& get(const std::string& key) const;
+  const std::vector<std::string>& keys() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;            // array elements
+  std::vector<std::string> keys_;           // object keys, document order
+  std::map<std::string, JsonValue> members_;  // object key -> value
+
+  friend class JsonParser;
 };
 
 }  // namespace snicit::platform

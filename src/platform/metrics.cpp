@@ -1,0 +1,104 @@
+#include "platform/metrics.hpp"
+
+#include <cstdio>
+
+#include "platform/json.hpp"
+
+namespace snicit::platform::metrics {
+
+namespace {
+std::atomic<bool> g_enabled{false};
+}  // namespace
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Series& MetricsRegistry::series(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = series_[name];
+  if (!slot) slot = std::make_unique<Series>();
+  return *slot;
+}
+
+std::map<std::string, std::int64_t> MetricsRegistry::counter_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::int64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->get();
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::gauge_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, double> out;
+  for (const auto& [name, g] : gauges_) out[name] = g->get();
+  return out;
+}
+
+std::map<std::string, std::vector<double>> MetricsRegistry::series_values()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::vector<double>> out;
+  for (const auto& [name, s] : series_) out[name] = s->values();
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, s] : series_) s->reset();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("counters").begin_object();
+  for (const auto& [name, v] : counter_values()) {
+    json.key(name).value(v);
+  }
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, v] : gauge_values()) {
+    json.key(name).value(v);
+  }
+  json.end_object();
+  json.key("series").begin_object();
+  for (const auto& [name, vs] : series_values()) {
+    json.key(name).begin_array();
+    for (double v : vs) json.value(v);
+    json.end_array();
+  }
+  json.end_object();
+  json.end_object();
+  return json.str();
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = to_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace snicit::platform::metrics

@@ -1,0 +1,133 @@
+// Workload-counter metrics: a registry of named counters, gauges, and
+// per-layer series that the engines, kernels, and the serving pipeline
+// record into, answering *why* a run was fast — how many columns stayed
+// non-empty per post-convergence layer, how many residue entries the
+// prune threshold removed, which spMM variant a cost model picked, how
+// deep the serving queue ran.
+//
+// Threading: every instrument is safe to record from pool workers.
+// Counters are single atomic adds; gauges are atomic stores; series take
+// a per-series mutex (they record once per *layer*, not per element, so
+// the lock is cold). Instruments are created on first lookup and live for
+// the registry's lifetime, so call sites may cache the returned
+// references across layers/runs.
+//
+// Cost model mirrors platform::trace: recording sites in engine code gate
+// on `metrics::enabled()` (one relaxed load) so disabled runs pay nothing
+// per layer; a registry used directly (tests, local instances) always
+// works regardless of the global flag.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace snicit::platform::metrics {
+
+/// Globally gates the *recording sites* in engines/pipeline code. The
+/// registry itself is always functional.
+void set_enabled(bool on);
+bool enabled();
+
+/// Monotonic event count (nnz touched, residues pruned, batches served).
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t get() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-written scalar (centroid count, worker count, threshold layer).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double get() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Append-only sample sequence, one value per layer (or per batch/event).
+/// record(index, v) writes a specific slot so concurrent recorders (e.g.
+/// engine clones at different layers) never shift each other's samples.
+class Series {
+ public:
+  void push(double v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    values_.push_back(v);
+  }
+
+  /// Writes slot `index`, growing the series with zeros as needed.
+  void record(std::size_t index, double v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (values_.size() <= index) values_.resize(index + 1, 0.0);
+    values_[index] = v;
+  }
+
+  std::vector<double> values() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return values_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return values_.size();
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    values_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> values_;
+};
+
+/// Named instrument store. Lookup is a map find under a mutex (cold: once
+/// per run per instrument when call sites cache the reference).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Series& series(const std::string& name);
+
+  /// Snapshot views for reporting (name -> current value(s)).
+  std::map<std::string, std::int64_t> counter_values() const;
+  std::map<std::string, double> gauge_values() const;
+  std::map<std::string, std::vector<double>> series_values() const;
+
+  /// Zeroes every instrument (names stay registered).
+  void reset();
+
+  /// {"counters":{...},"gauges":{...},"series":{name:[...]}}.
+  std::string to_json() const;
+
+  /// Writes to_json() to `path`; false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+  /// The process-wide registry all instrumentation sites record into.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+}  // namespace snicit::platform::metrics

@@ -1,0 +1,162 @@
+#include "platform/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "platform/json.hpp"
+
+namespace snicit::platform::trace {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_enabled{false};
+
+/// One buffer per recording thread. Appends take the buffer's own mutex —
+/// uncontended in steady state (only snapshot() ever touches another
+/// thread's buffer), so the hot path is a lock/unlock pair on a private
+/// line plus a vector push.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+/// Registry keeps buffers alive (shared_ptr) past thread exit, so spans
+/// recorded by short-lived pool workers survive until export.
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  clock::time_point epoch = clock::now();
+  std::uint32_t next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    b->tid = r.next_tid++;
+    r.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(clock::now() -
+                                                   registry().epoch)
+      .count();
+}
+
+void append(TraceEvent event) {
+  ThreadBuffer& buf = local_buffer();
+  event.tid = buf.tid;
+  std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.events.push_back(event);
+}
+
+}  // namespace
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void clear() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> inner(buf->mutex);
+    buf->events.clear();
+  }
+  r.epoch = clock::now();
+}
+
+void counter(const char* name, double value) {
+  if (!enabled()) return;
+  append({name, "", 'C', now_us(), 0.0, value, 0});
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : name_(name), category_(category), active_(enabled()) {
+  if (active_) start_us_ = now_us();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const double end_us = now_us();
+  append({name_, category_, 'X', start_us_, end_us - start_us_, 0.0, 0});
+}
+
+std::vector<TraceEvent> snapshot() {
+  std::vector<TraceEvent> all;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> inner(buf->mutex);
+    all.insert(all.end(), buf->events.begin(), buf->events.end());
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return all;
+}
+
+std::size_t event_count() {
+  std::size_t n = 0;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (auto& buf : r.buffers) {
+    std::lock_guard<std::mutex> inner(buf->mutex);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+std::string chrome_trace_json() {
+  JsonWriter json;
+  json.begin_object();
+  json.key("displayTimeUnit").value("ms");
+  json.key("traceEvents").begin_array();
+  for (const TraceEvent& e : snapshot()) {
+    json.begin_object();
+    json.key("name").value(e.name);
+    if (e.phase == 'X' && e.category[0] != '\0') {
+      json.key("cat").value(e.category);
+    }
+    json.key("ph").value(std::string(1, e.phase));
+    json.key("ts").value(e.ts_us);
+    if (e.phase == 'X') json.key("dur").value(e.dur_us);
+    json.key("pid").value(std::int64_t{0});
+    json.key("tid").value(static_cast<std::int64_t>(e.tid));
+    if (e.phase == 'C') {
+      json.key("args").begin_object().key("value").value(e.value)
+          .end_object();
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+bool write_chrome_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = chrome_trace_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace snicit::platform::trace

@@ -1,0 +1,92 @@
+// Scoped-span tracing for the whole pipeline: engines open RAII TraceSpans
+// around stages/layers/kernels, workers emit from their own threads into
+// per-thread buffers, and the merged timeline exports as Chrome
+// `trace_event` JSON (loadable in chrome://tracing or Perfetto).
+//
+// Cost model: tracing is compiled in but *runtime-gated*. When disabled
+// (the default) a span is one relaxed atomic load and nothing else — no
+// clock read, no allocation, no lock — so instrumented hot paths stay at
+// benchmark speed. Builds that must prove the point can compile every
+// macro out with -DSNICIT_NO_OBSERVABILITY.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snicit::platform::trace {
+
+/// Globally enables/disables event recording. Spans already open when the
+/// flag flips record nothing (the decision is taken at construction).
+void set_enabled(bool on);
+bool enabled();
+
+/// Discards every recorded event and resets the timebase, so consecutive
+/// captures (tests, repeated CLI runs) start from ts ~ 0.
+void clear();
+
+/// One recorded event. `phase` follows the Chrome trace_event format:
+/// 'X' = complete span (ts + dur), 'C' = counter sample (value).
+struct TraceEvent {
+  const char* name;  // static string supplied by the instrumentation site
+  const char* category;
+  char phase;        // 'X' or 'C'
+  double ts_us;      // microseconds since the capture epoch
+  double dur_us;     // span duration ('X' only)
+  double value;      // counter sample ('C' only)
+  std::uint32_t tid; // dense per-capture thread id (0 = first thread seen)
+};
+
+/// Records an instantaneous counter sample (e.g. queue depth). No-op when
+/// tracing is disabled.
+void counter(const char* name, double value);
+
+/// Merged view of every thread's buffer, sorted by start timestamp.
+std::vector<TraceEvent> snapshot();
+
+/// Number of recorded events across all threads (cheaper than snapshot).
+std::size_t event_count();
+
+/// The full capture as a Chrome trace document:
+/// {"displayTimeUnit":"ms","traceEvents":[...]}.
+std::string chrome_trace_json();
+
+/// Writes chrome_trace_json() to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+/// RAII span: opens at construction, records a complete ('X') event on
+/// destruction. `name` and `category` must outlive the capture (string
+/// literals at every call site).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "");
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return active_; }
+
+ private:
+  const char* name_;
+  const char* category_;
+  double start_us_ = 0.0;
+  bool active_;
+};
+
+}  // namespace snicit::platform::trace
+
+#define SNICIT_TRACE_CONCAT_IMPL(a, b) a##b
+#define SNICIT_TRACE_CONCAT(a, b) SNICIT_TRACE_CONCAT_IMPL(a, b)
+
+#ifdef SNICIT_NO_OBSERVABILITY
+#define SNICIT_TRACE_SPAN(name, category) ((void)0)
+#define SNICIT_TRACE_COUNTER(name, value) ((void)0)
+#else
+/// Opens a span covering the rest of the enclosing scope.
+#define SNICIT_TRACE_SPAN(name, category)               \
+  ::snicit::platform::trace::TraceSpan                  \
+      SNICIT_TRACE_CONCAT(snicit_trace_span_, __LINE__)(name, category)
+#define SNICIT_TRACE_COUNTER(name, value) \
+  ::snicit::platform::trace::counter((name), (value))
+#endif

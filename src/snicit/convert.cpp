@@ -1,10 +1,13 @@
 #include "snicit/convert.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "platform/common.hpp"
+#include "platform/metrics.hpp"
 #include "platform/thread_pool.hpp"
+#include "platform/trace.hpp"
 
 namespace snicit::core {
 
@@ -19,8 +22,13 @@ CompressedBatch convert_to_compressed(const DenseMatrix& y,
                                       const std::vector<Index>& centroid_cols,
                                       float prune_threshold) {
   SNICIT_CHECK(!centroid_cols.empty(), "need at least one centroid");
+  SNICIT_TRACE_SPAN("convert_to_compressed", "snicit");
   const std::size_t n = y.rows();
   const std::size_t b = y.cols();
+  // Conversion-time workload counter (residue entries the prune threshold
+  // zeroed in Algorithm 2); gated so disabled runs skip the bookkeeping.
+  const bool count_pruned = platform::metrics::enabled();
+  std::atomic<std::size_t> pruned_total{0};
 
   CompressedBatch out;
   out.yhat.reset(n, b);
@@ -37,6 +45,7 @@ CompressedBatch convert_to_compressed(const DenseMatrix& y,
   }
 
   platform::parallel_for_ranges(0, b, [&](std::size_t lo, std::size_t hi) {
+    std::size_t pruned = 0;
     for (std::size_t j = lo; j < hi; ++j) {
       const float* src = y.col(j);
       float* dst = out.yhat.col(j);
@@ -68,16 +77,28 @@ CompressedBatch convert_to_compressed(const DenseMatrix& y,
       bool non_empty = false;
       for (std::size_t r = 0; r < n; ++r) {
         float v = src[r] - cent[r];
-        if (std::fabs(v) <= prune_threshold) v = 0.0f;
+        if (std::fabs(v) <= prune_threshold) {
+          if (count_pruned) pruned += (v != 0.0f);
+          v = 0.0f;
+        }
         dst[r] = v;
         non_empty |= (v != 0.0f);
       }
       out.mapper[j] = best;
       out.ne_rec[j] = non_empty ? 1 : 0;
     }
+    if (pruned != 0) {
+      pruned_total.fetch_add(pruned, std::memory_order_relaxed);
+    }
   });
 
   out.refresh_ne_idx();
+  if (count_pruned) {
+    auto& registry = platform::metrics::MetricsRegistry::global();
+    registry.counter("snicit.conversion_pruned")
+        .add(static_cast<std::int64_t>(
+            pruned_total.load(std::memory_order_relaxed)));
+  }
   return out;
 }
 

@@ -1,9 +1,12 @@
 #include "snicit/engine.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "platform/common.hpp"
+#include "platform/metrics.hpp"
 #include "platform/timer.hpp"
+#include "platform/trace.hpp"
 #include "snicit/adaptive_prune.hpp"
 #include "snicit/convergence.hpp"
 #include "snicit/postconv.hpp"
@@ -33,6 +36,12 @@ void pre_convergence_step(const dnn::SparseDnn& net, std::size_t layer,
   sparse::apply_bias_activation(out, net.bias(layer), net.ymax());
 }
 
+std::size_t count_non_empty(const std::vector<std::uint8_t>& ne_rec) {
+  std::size_t n = 0;
+  for (std::uint8_t flag : ne_rec) n += flag;
+  return n;
+}
+
 }  // namespace
 
 SnicitEngine::SnicitEngine(SnicitParams params) : params_(params) {
@@ -47,6 +56,7 @@ SnicitEngine::SnicitEngine(SnicitParams params) : params_(params) {
 
 dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
                                  const dnn::DenseMatrix& input) {
+  SNICIT_TRACE_SPAN("snicit.run", "engine");
   const auto layers = net.num_layers();
   const int t_bound = std::clamp<int>(params_.threshold_layer, 0,
                                       static_cast<int>(layers));
@@ -62,18 +72,48 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
   result.layer_ms.reserve(layers);
   trace_ = Trace{};
 
+  // Per-layer workload instruments (§4's Figs. 6-8 are plots of exactly
+  // these). Looked up once per run; null when metrics are off so the
+  // per-layer hot path pays a single branch.
+  namespace metrics = platform::metrics;
+  metrics::Series* active_series = nullptr;
+  metrics::Series* nnz_series = nullptr;
+  metrics::Series* pruned_series = nullptr;
+  metrics::Series* spmm_cols_series = nullptr;
+  metrics::Counter* pruned_counter = nullptr;
+  if (metrics::enabled()) {
+    auto& registry = metrics::MetricsRegistry::global();
+    active_series = &registry.series("snicit.active_columns");
+    nnz_series = &registry.series("snicit.compressed_nnz");
+    pruned_series = &registry.series("snicit.pruned_residues");
+    spmm_cols_series = &registry.series("snicit.spmm_columns");
+    pruned_counter = &registry.counter("snicit.pruned_residues_total");
+  }
+
   // --- Stage 1: pre-convergence sparse matrix multiplication (§3.1) ---
+  std::optional<platform::trace::TraceSpan> stage_span;
+  stage_span.emplace("pre-convergence", "snicit");
   platform::Stopwatch stage;
   dnn::DenseMatrix cur = input;
   dnn::DenseMatrix next(input.rows(), input.cols());
   ConvergenceDetector detector(params_.auto_level, params_.eta);
   int t = t_bound;
   for (int i = 0; i < t_bound; ++i) {
+    SNICIT_TRACE_SPAN("pre_layer", "snicit");
     platform::Stopwatch layer;
     pre_convergence_step(net, static_cast<std::size_t>(i),
                          params_.pre_kernel, cur, next);
     std::swap(cur, next);
     result.layer_ms.push_back(layer.elapsed_ms());
+    if (active_series != nullptr) {
+      // Pre-convergence carries the batch dense: every column is active
+      // and every column is multiplied.
+      const auto idx = static_cast<std::size_t>(i);
+      active_series->record(idx, static_cast<double>(cur.cols()));
+      spmm_cols_series->record(idx, static_cast<double>(cur.cols()));
+      nnz_series->record(idx, static_cast<double>(cur.count_nonzeros()));
+      pruned_series->record(idx, 0.0);
+    }
     if (params_.auto_threshold) {
       const bool done = detector.observe(cur);
       if (params_.record_trace) {
@@ -86,6 +126,8 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
     }
   }
   result.stages.add("pre-convergence", stage.elapsed_ms());
+
+  stage_span.reset();
 
   if (static_cast<std::size_t>(t) >= layers) {
     // No post-convergence layers remain: pure feed-forward, nothing to
@@ -102,10 +144,16 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
     trace_.threshold_layer = t;
     result.diagnostics["threshold_layer"] = t;
     result.diagnostics["centroids"] = 0.0;
+    if (metrics::enabled()) {
+      auto& registry = metrics::MetricsRegistry::global();
+      registry.gauge("snicit.threshold_layer").set(t);
+      registry.gauge("snicit.centroids").set(0.0);
+    }
     return result;
   }
 
   // --- Stage 2: cluster-based conversion (§3.2) ---
+  stage_span.emplace("conversion", "snicit");
   stage.reset();
   const dnn::DenseMatrix f =
       build_sample_matrix(cur, params_.sample_size, params_.downsample_dim);
@@ -122,10 +170,18 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
     }
   }
   result.stages.add("conversion", stage.elapsed_ms());
+  stage_span.reset();
   trace_.threshold_layer = t;
   trace_.centroid_count = centroid_cols.size();
+  if (metrics::enabled()) {
+    auto& registry = metrics::MetricsRegistry::global();
+    registry.gauge("snicit.threshold_layer").set(t);
+    registry.gauge("snicit.centroids")
+        .set(static_cast<double>(centroid_cols.size()));
+  }
 
   // --- Stage 3: post-convergence update (§3.3) ---
+  stage_span.emplace("post-convergence", "snicit");
   stage.reset();
   dnn::DenseMatrix scratch(input.rows(), input.cols());
   int since_refresh = 0;
@@ -133,12 +189,23 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
   const bool post_scatter = params_.post_kernel == PreKernel::kScatter;
   for (std::size_t i = static_cast<std::size_t>(t); i < layers; ++i) {
     platform::Stopwatch layer;
+    const std::size_t spmm_columns = batch.ne_idx.size();
+    std::size_t pruned;
     if (post_scatter) {
-      post_convergence_layer(net.weight_csc(i), net.bias(i), net.ymax(),
-                             prune, batch, scratch);
+      pruned = post_convergence_layer(net.weight_csc(i), net.bias(i),
+                                      net.ymax(), prune, batch, scratch);
     } else {
-      post_convergence_layer(net.weight(i), net.bias(i), net.ymax(), prune,
-                             batch, scratch);
+      pruned = post_convergence_layer(net.weight(i), net.bias(i), net.ymax(),
+                                      prune, batch, scratch);
+    }
+    if (active_series != nullptr) {
+      active_series->record(i, static_cast<double>(
+                                   count_non_empty(batch.ne_rec)));
+      spmm_cols_series->record(i, static_cast<double>(spmm_columns));
+      nnz_series->record(i,
+                         static_cast<double>(batch.yhat.count_nonzeros()));
+      pruned_series->record(i, static_cast<double>(pruned));
+      pruned_counter->add(static_cast<std::int64_t>(pruned));
     }
     if (++since_refresh >= params_.ne_refresh_interval) {
       batch.refresh_ne_idx();
@@ -164,11 +231,14 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
     }
   }
   result.stages.add("post-convergence", stage.elapsed_ms());
+  stage_span.reset();
 
   // --- Stage 4: final results recovery (§3.4) ---
+  stage_span.emplace("recovery", "snicit");
   stage.reset();
   result.output = recover_results(batch);
   result.stages.add("recovery", stage.elapsed_ms());
+  stage_span.reset();
 
   result.diagnostics["threshold_layer"] = t;
   result.diagnostics["centroids"] =

@@ -10,8 +10,10 @@
 
 #include "platform/bounded_queue.hpp"
 #include "platform/common.hpp"
+#include "platform/metrics.hpp"
 #include "platform/thread_pool.hpp"
 #include "platform/timer.hpp"
+#include "platform/trace.hpp"
 
 namespace snicit::core {
 
@@ -30,11 +32,21 @@ struct BatchJob {
 void serve_batch(dnn::InferenceEngine& engine, const dnn::SparseDnn& net,
                  const BatchJob& job, std::size_t keep,
                  StreamResult& result) {
+  SNICIT_TRACE_SPAN("serve_batch", "stream");
   platform::Stopwatch sw;
   const auto run = engine.run(net, job.batch);
-  result.batch_ms[job.index] = sw.elapsed_ms();
+  const double ms = sw.elapsed_ms();
+  result.batch_ms[job.index] = ms;
   for (std::size_t j = 0; j < job.batch.cols(); ++j) {
     std::copy_n(run.output.col(j), keep, result.outputs.col(job.start + j));
+  }
+  if (platform::metrics::enabled()) {
+    auto& registry = platform::metrics::MetricsRegistry::global();
+    registry.counter("stream.batches_served").add(1);
+    // Occupancy in integer microseconds: Counter is the only atomic-add
+    // instrument, and worker busy time must sum across threads.
+    registry.counter("stream.worker_busy_us")
+        .add(static_cast<std::int64_t>(ms * 1000.0));
   }
 }
 
@@ -70,6 +82,13 @@ StreamResult ParallelStreamExecutor::run(dnn::InferenceEngine& engine,
   const std::size_t keep =
       options_.keep_rows == 0 ? input.rows()
                               : std::min(options_.keep_rows, input.rows());
+
+  SNICIT_TRACE_SPAN("parallel_stream.run", "stream");
+  if (platform::metrics::enabled()) {
+    auto& registry = platform::metrics::MetricsRegistry::global();
+    registry.gauge("stream.workers").set(static_cast<double>(workers));
+    registry.gauge("stream.batch_size").set(static_cast<double>(bs));
+  }
 
   platform::Stopwatch wall;
   StreamResult result;
@@ -128,10 +147,20 @@ StreamResult ParallelStreamExecutor::run(dnn::InferenceEngine& engine,
   // Producer: slice and enqueue the remaining batches. push() blocking on
   // a full queue is the backpressure bound — at most `capacity` sliced
   // batches ever exist beyond the ones being served.
+  platform::metrics::Series* depth_series =
+      platform::metrics::enabled()
+          ? &platform::metrics::MetricsRegistry::global().series(
+                "stream.queue_depth")
+          : nullptr;
   std::size_t index = 1;
   for (std::size_t start = bs; start < total; start += bs, ++index) {
     BatchJob job{index, start, input.columns(start, std::min(total, start + bs))};
     if (!queue.push(std::move(job))) break;  // closed: a worker failed
+    // Post-push depth samples the backpressure the producer actually saw:
+    // pinned at capacity ⇒ workers are the bottleneck; near 0 ⇒ slicing is.
+    const auto depth = static_cast<double>(queue.size());
+    SNICIT_TRACE_COUNTER("queue_depth", depth);
+    if (depth_series != nullptr) depth_series->push(depth);
   }
   queue.close();
   for (auto& t : threads) t.join();

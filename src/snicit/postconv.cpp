@@ -1,10 +1,12 @@
 #include "snicit/postconv.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "platform/common.hpp"
 #include "platform/thread_pool.hpp"
+#include "platform/trace.hpp"
 #include "sparse/spmm.hpp"
 
 namespace snicit::core {
@@ -18,14 +20,17 @@ inline float clip(float x, float ymax) {
 /// The Eq. (5)/Algorithm 3 update shared by both spMM front ends: one
 /// block per non-empty column. Residue updates read the spMM result of
 /// their centroid column; centroids are always non-empty, so their
-/// scratch column is valid in the same pass.
-void update_centroids_and_residues(std::span<const float> bias, float ymax,
-                                   float prune_threshold,
-                                   CompressedBatch& batch,
-                                   const DenseMatrix& scratch) {
+/// scratch column is valid in the same pass. Returns how many residue
+/// entries the prune threshold zeroed (nonzero values within threshold).
+std::size_t update_centroids_and_residues(std::span<const float> bias,
+                                          float ymax, float prune_threshold,
+                                          CompressedBatch& batch,
+                                          const DenseMatrix& scratch) {
   const std::size_t n = batch.yhat.rows();
+  std::atomic<std::size_t> pruned_total{0};
   platform::parallel_for_ranges(
       0, batch.ne_idx.size(), [&](std::size_t lo, std::size_t hi) {
+        std::size_t pruned = 0;
         for (std::size_t k = lo; k < hi; ++k) {
           const auto r = static_cast<std::size_t>(batch.ne_idx[k]);
           const float* SNICIT_RESTRICT mult = scratch.col(r);
@@ -46,13 +51,20 @@ void update_centroids_and_residues(std::span<const float> bias, float ymax,
             const float with_res = clip(cent[j] + mult[j] + bias[j], ymax);
             const float without = clip(cent[j] + bias[j], ymax);
             float v = with_res - without;
-            if (std::fabs(v) <= prune_threshold) v = 0.0f;
+            if (std::fabs(v) <= prune_threshold) {
+              pruned += (v != 0.0f);  // a genuine value fell to the prune
+              v = 0.0f;
+            }
             dst[j] = v;
             non_empty |= (v != 0.0f);
           }
           batch.ne_rec[r] = non_empty ? 1 : 0;
         }
+        if (pruned != 0) {
+          pruned_total.fetch_add(pruned, std::memory_order_relaxed);
+        }
       });
+  return pruned_total.load(std::memory_order_relaxed);
 }
 
 void check_shapes(std::span<const float> bias, const CompressedBatch& batch,
@@ -65,27 +77,34 @@ void check_shapes(std::span<const float> bias, const CompressedBatch& batch,
 
 }  // namespace
 
-void post_convergence_layer(const CsrMatrix& w, std::span<const float> bias,
-                            float ymax, float prune_threshold,
-                            CompressedBatch& batch, DenseMatrix& scratch) {
+std::size_t post_convergence_layer(const CsrMatrix& w,
+                                   std::span<const float> bias, float ymax,
+                                   float prune_threshold,
+                                   CompressedBatch& batch,
+                                   DenseMatrix& scratch) {
   check_shapes(bias, batch, scratch);
+  SNICIT_TRACE_SPAN("postconv_layer", "snicit");
   // Load-reduced spMM (§3.3.1): multiply only non-empty columns. Empty
   // residue columns stay empty under Eq. (5) — σ(c+0+b) − σ(c+b) = 0 — so
   // skipping them is exact, not an approximation.
   sparse::spmm_gather_cols(w, batch.yhat, batch.ne_idx, scratch);
-  update_centroids_and_residues(bias, ymax, prune_threshold, batch, scratch);
+  return update_centroids_and_residues(bias, ymax, prune_threshold, batch,
+                                       scratch);
 }
 
-void post_convergence_layer(const CscMatrix& w_csc,
-                            std::span<const float> bias, float ymax,
-                            float prune_threshold, CompressedBatch& batch,
-                            DenseMatrix& scratch) {
+std::size_t post_convergence_layer(const CscMatrix& w_csc,
+                                   std::span<const float> bias, float ymax,
+                                   float prune_threshold,
+                                   CompressedBatch& batch,
+                                   DenseMatrix& scratch) {
   check_shapes(bias, batch, scratch);
+  SNICIT_TRACE_SPAN("postconv_layer", "snicit");
   // Scatter front end: additionally skips zero entries *inside* residue
   // columns, so the multiply cost tracks the compressed nnz, not the
   // non-empty column count alone.
   sparse::spmm_scatter_cols(w_csc, batch.yhat, batch.ne_idx, scratch);
-  update_centroids_and_residues(bias, ymax, prune_threshold, batch, scratch);
+  return update_centroids_and_residues(bias, ymax, prune_threshold, batch,
+                                       scratch);
 }
 
 }  // namespace snicit::core

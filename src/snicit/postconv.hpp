@@ -23,17 +23,25 @@ using sparse::CsrMatrix;
 /// and residues in place and refreshes batch.ne_rec. batch.ne_idx is NOT
 /// rebuilt here — the engine refreshes it on its own cadence (§3.3.2).
 ///
+/// Returns the number of residue entries this layer whose updated value
+/// was nonzero but within the prune threshold and therefore zeroed —
+/// the per-layer "residues pruned" workload counter (necessarily 0 when
+/// prune_threshold is 0, since only already-zero values satisfy |v| <= 0).
+///
 /// This overload uses the CSR gather kernel for the load-reduced spMM.
-void post_convergence_layer(const CsrMatrix& w, std::span<const float> bias,
-                            float ymax, float prune_threshold,
-                            CompressedBatch& batch, DenseMatrix& scratch);
+std::size_t post_convergence_layer(const CsrMatrix& w,
+                                   std::span<const float> bias, float ymax,
+                                   float prune_threshold,
+                                   CompressedBatch& batch,
+                                   DenseMatrix& scratch);
 
 /// Same, using the CSC scatter kernel, which also skips zero *entries*
 /// inside the residue columns — the configuration the paper runs, where
 /// the off-the-shelf champion kernels exploit activation sparsity.
-void post_convergence_layer(const CscMatrix& w_csc,
-                            std::span<const float> bias, float ymax,
-                            float prune_threshold, CompressedBatch& batch,
-                            DenseMatrix& scratch);
+std::size_t post_convergence_layer(const CscMatrix& w_csc,
+                                   std::span<const float> bias, float ymax,
+                                   float prune_threshold,
+                                   CompressedBatch& batch,
+                                   DenseMatrix& scratch);
 
 }  // namespace snicit::core

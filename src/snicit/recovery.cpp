@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "platform/common.hpp"
+#include "platform/trace.hpp"
 #include "platform/thread_pool.hpp"
 
 namespace snicit::core {
 
 DenseMatrix recover_results(const CompressedBatch& batch) {
+  SNICIT_TRACE_SPAN("recover_results", "snicit");
   const std::size_t n = batch.yhat.rows();
   const std::size_t b = batch.yhat.cols();
   DenseMatrix y(n, b);

@@ -3,12 +3,14 @@
 #include <cmath>
 
 #include "platform/common.hpp"
+#include "platform/trace.hpp"
 #include "platform/thread_pool.hpp"
 
 namespace snicit::core {
 
 std::vector<Index> prune_samples(const DenseMatrix& f, float eta,
                                  float epsilon) {
+  SNICIT_TRACE_SPAN("prune_samples", "snicit");
   const std::size_t n = f.rows();
   const std::size_t s = f.cols();
   SNICIT_CHECK(n > 0 && s > 0, "sample matrix must be non-empty");

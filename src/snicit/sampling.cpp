@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "platform/common.hpp"
+#include "platform/trace.hpp"
 #include "platform/thread_pool.hpp"
 
 namespace snicit::core {
 
 DenseMatrix build_sample_matrix(const DenseMatrix& y, int s, int n) {
+  SNICIT_TRACE_SPAN("build_sample_matrix", "snicit");
   SNICIT_CHECK(s >= 1, "sample size must be >= 1");
   const std::size_t cols = std::min<std::size_t>(y.cols(),
                                                  static_cast<std::size_t>(s));

@@ -3,7 +3,9 @@
 #include <algorithm>
 
 #include "platform/common.hpp"
+#include "platform/metrics.hpp"
 #include "platform/timer.hpp"
+#include "platform/trace.hpp"
 
 namespace snicit::core {
 
@@ -23,6 +25,7 @@ StreamResult stream_inference(dnn::InferenceEngine& engine,
 
   for (std::size_t start = 0; start < total;
        start += options.batch_size) {
+    SNICIT_TRACE_SPAN("serve_batch", "stream");
     const std::size_t end = std::min(total, start + options.batch_size);
     const dnn::DenseMatrix batch = input.columns(start, end);
 
@@ -33,6 +36,11 @@ StreamResult stream_inference(dnn::InferenceEngine& engine,
     result.latency.add(ms);
     result.total_ms += ms;
     ++result.batches;
+    if (platform::metrics::enabled()) {
+      platform::metrics::MetricsRegistry::global()
+          .counter("stream.batches_served")
+          .add(1);
+    }
 
     for (std::size_t j = start; j < end; ++j) {
       std::copy_n(run.output.col(j - start), keep, result.outputs.col(j));

@@ -98,5 +98,43 @@ TEST(Cli, IntListSkipsMalformedElements) {
             (std::vector<std::int64_t>{7}));
 }
 
+TEST(Cli, OptionNamesPreserveOrderAndDuplicates) {
+  const auto args = parse({"--b", "1", "--a", "--b", "2"});
+  EXPECT_EQ(args.option_names(),
+            (std::vector<std::string>{"b", "a", "b"}));
+}
+
+TEST(Cli, UnknownOptionsEmptyWhenAllKnown) {
+  const auto args = parse({"--engine", "snicit", "--batch", "64"});
+  EXPECT_TRUE(args.unknown_options({"engine", "batch", "threshold"}).empty());
+}
+
+TEST(Cli, UnknownOptionsReportsTypos) {
+  // The motivating failure: "--worker 4" (singular) must not silently run
+  // with the default worker count.
+  const auto args = parse({"--worker", "4", "--engine", "snicit"});
+  EXPECT_EQ(args.unknown_options({"engine", "workers"}),
+            (std::vector<std::string>{"worker"}));
+}
+
+TEST(Cli, UnknownOptionsDeduplicatesAndPreservesOrder) {
+  const auto args = parse({"--bogus", "--engine", "x", "--bogus", "--oops"});
+  EXPECT_EQ(args.unknown_options({"engine"}),
+            (std::vector<std::string>{"bogus", "oops"}));
+}
+
+TEST(Cli, UnknownOptionsSeesEqualsFormAndBareFlags) {
+  const auto args = parse({"--batch=64", "--dry-run"});
+  EXPECT_EQ(args.unknown_options({"batch"}),
+            (std::vector<std::string>{"dry-run"}));
+  EXPECT_EQ(args.unknown_options({}),
+            (std::vector<std::string>{"batch", "dry-run"}));
+}
+
+TEST(Cli, UnknownOptionsIgnoresPositionals) {
+  const auto args = parse({"run", "--engine", "snicit", "extra"});
+  EXPECT_TRUE(args.unknown_options({"engine"}).empty());
+}
+
 }  // namespace
 }  // namespace snicit::platform

@@ -94,5 +94,58 @@ TEST(JsonDeathTest, StrWithOpenContainerAborts) {
       "unclosed");
 }
 
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(JsonValue::parse("null").is_null());
+  EXPECT_TRUE(JsonValue::parse("true").as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-42").as_number(), -42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("2.5e2").as_number(), 250.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\\n\\\"there\\\"\"").as_string(),
+            "hi\n\"there\"");
+}
+
+TEST(JsonParse, Containers) {
+  const auto doc =
+      JsonValue::parse(R"({"rows":[{"x":1},{"x":2}],"ok":true})");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.has("rows"));
+  EXPECT_FALSE(doc.has("absent"));
+  EXPECT_EQ(doc.keys(), (std::vector<std::string>{"rows", "ok"}));
+  const auto& rows = doc.get("rows");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows.at(0).get("x").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(rows.at(1).get("x").as_number(), 2.0);
+  EXPECT_TRUE(doc.get("ok").as_bool());
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object()
+      .key("name").value("a \"quoted\"\tname")
+      .key("vals").begin_array().value(1.5).value(std::int64_t{-3})
+      .end_array()
+      .end_object();
+  const auto doc = JsonValue::parse(w.str());
+  EXPECT_EQ(doc.get("name").as_string(), "a \"quoted\"\tname");
+  EXPECT_DOUBLE_EQ(doc.get("vals").at(0).as_number(), 1.5);
+  EXPECT_DOUBLE_EQ(doc.get("vals").at(1).as_number(), -3.0);
+}
+
+TEST(JsonParse, MalformedInputThrowsWithPosition) {
+  EXPECT_THROW(JsonValue::parse(""), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("{"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,}"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("{} extra"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1,\"a\":2}"), std::invalid_argument);
+  EXPECT_THROW(JsonValue::parse("nul"), std::invalid_argument);
+  try {
+    JsonValue::parse("[1, x]");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace snicit::platform

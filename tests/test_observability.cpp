@@ -1,0 +1,227 @@
+// End-to-end observability: runs the SNICIT engine with tracing + metrics
+// enabled on a small Radix-Net and checks that the recorded workload
+// counters obey the paper's invariants — active columns never increase
+// after the threshold layer (empty residues stay empty under Eq. 5), a
+// prune threshold of 0 prunes nothing, and the per-layer series agree
+// with the engine's own ne-bookkeeping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "platform/metrics.hpp"
+#include "platform/trace.hpp"
+#include "radixnet/radixnet.hpp"
+#include "snicit/engine.hpp"
+
+namespace snicit::core {
+namespace {
+
+constexpr int kLayers = 12;
+constexpr int kThreshold = 6;
+constexpr sparse::Index kNeurons = 256;
+constexpr std::size_t kBatch = 64;
+
+struct TestNet {
+  dnn::SparseDnn net;
+  dnn::DenseMatrix input;
+};
+
+TestNet make_test_net() {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = kNeurons;
+  opt.layers = kLayers;
+  opt.fanin = 16;
+  opt.seed = 7;
+  auto net = radixnet::make_radixnet(opt);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = static_cast<std::size_t>(kNeurons);
+  in_opt.batch = kBatch;
+  in_opt.classes = 8;
+  in_opt.seed = 31;
+  auto input = data::make_sdgc_input(in_opt).features;
+  return {std::move(net), std::move(input)};
+}
+
+SnicitParams observed_params() {
+  SnicitParams p;
+  p.threshold_layer = kThreshold;
+  p.sample_size = 16;
+  p.downsample_dim = 0;  // exact column comparison at this scale
+  p.prune_threshold = 0.0f;
+  p.ne_refresh_interval = 1;  // ne_idx tracks ne_rec exactly (cross-check)
+  p.record_trace = true;
+  return p;
+}
+
+// Both stores are process-global: start each test from a clean, enabled
+// capture and switch everything back off afterwards.
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    platform::trace::set_enabled(false);
+    platform::trace::clear();
+    platform::trace::set_enabled(true);
+    platform::metrics::MetricsRegistry::global().reset();
+    platform::metrics::set_enabled(true);
+  }
+  void TearDown() override {
+    platform::trace::set_enabled(false);
+    platform::trace::clear();
+    platform::metrics::set_enabled(false);
+    platform::metrics::MetricsRegistry::global().reset();
+  }
+};
+
+TEST_F(ObservabilityTest, InstrumentedRunStillMatchesReference) {
+  auto [net, input] = make_test_net();
+  SnicitEngine engine(observed_params());
+  const auto result = engine.run(net, input);
+  const auto expected = dnn::reference_forward(net, input);
+  EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, expected), 5e-3f);
+  EXPECT_DOUBLE_EQ(
+      dnn::category_match_rate(dnn::sdgc_categories(result.output, 1e-3f),
+                               dnn::sdgc_categories(expected, 1e-3f)),
+      1.0);
+}
+
+TEST_F(ObservabilityTest, ActiveColumnsNonIncreasingAfterThreshold) {
+  auto [net, input] = make_test_net();
+  SnicitEngine engine(observed_params());
+  engine.run(net, input);
+
+  const auto series =
+      platform::metrics::MetricsRegistry::global().series_values();
+  const auto& active = series.at("snicit.active_columns");
+  ASSERT_EQ(active.size(), static_cast<std::size_t>(kLayers));
+
+  // Pre-convergence carries the whole batch dense.
+  for (int i = 0; i < kThreshold; ++i) {
+    EXPECT_DOUBLE_EQ(active[static_cast<std::size_t>(i)],
+                     static_cast<double>(kBatch))
+        << "pre-convergence layer " << i;
+  }
+  // Post-convergence: columns only ever empty out (Eq. 5 keeps empties
+  // empty), so the count is batch-bounded and non-increasing.
+  EXPECT_LE(active[kThreshold], static_cast<double>(kBatch));
+  for (int i = kThreshold + 1; i < kLayers; ++i) {
+    EXPECT_LE(active[static_cast<std::size_t>(i)],
+              active[static_cast<std::size_t>(i - 1)])
+        << "post-convergence layer " << i;
+  }
+}
+
+TEST_F(ObservabilityTest, ActiveColumnsAgreeWithEngineBookkeeping) {
+  auto [net, input] = make_test_net();
+  SnicitEngine engine(observed_params());
+  engine.run(net, input);
+
+  // With ne_refresh_interval = 1 the engine trace's ne_idx sizes are
+  // rebuilt from ne_rec every layer, so the two bookkeeping paths must
+  // report identical per-layer counts.
+  const auto& trace = engine.last_trace();
+  const auto series =
+      platform::metrics::MetricsRegistry::global().series_values();
+  const auto& active = series.at("snicit.active_columns");
+  ASSERT_EQ(trace.ne_count.size(),
+            static_cast<std::size_t>(kLayers - kThreshold));
+  for (std::size_t k = 0; k < trace.ne_count.size(); ++k) {
+    EXPECT_DOUBLE_EQ(active[static_cast<std::size_t>(kThreshold) + k],
+                     static_cast<double>(trace.ne_count[k]))
+        << "post-convergence layer " << kThreshold + k;
+  }
+  const auto& nnz = series.at("snicit.compressed_nnz");
+  ASSERT_EQ(nnz.size(), static_cast<std::size_t>(kLayers));
+  for (std::size_t k = 0; k < trace.compressed_nnz.size(); ++k) {
+    EXPECT_DOUBLE_EQ(nnz[static_cast<std::size_t>(kThreshold) + k],
+                     static_cast<double>(trace.compressed_nnz[k]));
+  }
+}
+
+TEST_F(ObservabilityTest, ZeroPruneThresholdPrunesNothing) {
+  auto [net, input] = make_test_net();
+  SnicitEngine engine(observed_params());
+  engine.run(net, input);
+
+  auto& registry = platform::metrics::MetricsRegistry::global();
+  const auto series = registry.series_values();
+  const auto& pruned = series.at("snicit.pruned_residues");
+  ASSERT_EQ(pruned.size(), static_cast<std::size_t>(kLayers));
+  for (double v : pruned) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_EQ(registry.counter_values().at("snicit.pruned_residues_total"), 0);
+  EXPECT_EQ(registry.counter_values().at("snicit.conversion_pruned"), 0);
+}
+
+TEST_F(ObservabilityTest, GaugesReportConversionState) {
+  auto [net, input] = make_test_net();
+  SnicitEngine engine(observed_params());
+  engine.run(net, input);
+
+  const auto gauges =
+      platform::metrics::MetricsRegistry::global().gauge_values();
+  EXPECT_DOUBLE_EQ(gauges.at("snicit.threshold_layer"),
+                   static_cast<double>(kThreshold));
+  EXPECT_DOUBLE_EQ(gauges.at("snicit.centroids"),
+                   static_cast<double>(engine.last_trace().centroid_count));
+  EXPECT_GE(gauges.at("snicit.centroids"), 1.0);
+}
+
+TEST_F(ObservabilityTest, TraceCapturesTheFourStages) {
+  auto [net, input] = make_test_net();
+  SnicitEngine engine(observed_params());
+  engine.run(net, input);
+
+  std::vector<std::string> names;
+  double run_ts = -1.0, run_end = -1.0;
+  for (const auto& e : platform::trace::snapshot()) {
+    names.emplace_back(e.name);
+    if (names.back() == "snicit.run") {
+      run_ts = e.ts_us;
+      run_end = e.ts_us + e.dur_us;
+    }
+  }
+  const auto has = [&](const char* name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  EXPECT_TRUE(has("snicit.run"));
+  EXPECT_TRUE(has("pre-convergence"));
+  EXPECT_TRUE(has("conversion"));
+  EXPECT_TRUE(has("post-convergence"));
+  EXPECT_TRUE(has("recovery"));
+  EXPECT_TRUE(has("pre_layer"));
+  EXPECT_TRUE(has("postconv_layer"));
+
+  // Every stage span nests inside the run span.
+  ASSERT_GE(run_ts, 0.0);
+  for (const auto& e : platform::trace::snapshot()) {
+    const std::string name = e.name;
+    if (name == "pre-convergence" || name == "conversion" ||
+        name == "post-convergence" || name == "recovery") {
+      EXPECT_GE(e.ts_us, run_ts) << name;
+      EXPECT_LE(e.ts_us + e.dur_us, run_end) << name;
+    }
+  }
+}
+
+TEST_F(ObservabilityTest, DisabledMetricsRecordNothing) {
+  platform::metrics::set_enabled(false);
+  platform::trace::set_enabled(false);
+  auto [net, input] = make_test_net();
+  SnicitEngine engine(observed_params());
+  engine.run(net, input);
+
+  auto& registry = platform::metrics::MetricsRegistry::global();
+  for (const auto& [name, values] : registry.series_values()) {
+    EXPECT_TRUE(values.empty()) << name;
+  }
+  for (const auto& [name, value] : registry.counter_values()) {
+    EXPECT_EQ(value, 0) << name;
+  }
+  EXPECT_EQ(platform::trace::event_count(), 0u);
+}
+
+}  // namespace
+}  // namespace snicit::core

@@ -1,0 +1,215 @@
+#include "platform/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "platform/json.hpp"
+
+namespace snicit::platform::trace {
+namespace {
+
+// The trace store is process-global, so every test starts from an empty,
+// enabled capture and leaves the flag off for whoever runs next.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    clear();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    clear();
+  }
+};
+
+std::vector<TraceEvent> events_named(const std::vector<TraceEvent>& all,
+                                     const std::string& name) {
+  std::vector<TraceEvent> out;
+  for (const auto& e : all) {
+    if (name == e.name) out.push_back(e);
+  }
+  return out;
+}
+
+TEST_F(TraceTest, SpanRecordsCompleteEvent) {
+  {
+    TraceSpan span("unit_span", "test");
+    EXPECT_TRUE(span.active());
+  }
+  const auto all = snapshot();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_STREQ(all[0].name, "unit_span");
+  EXPECT_STREQ(all[0].category, "test");
+  EXPECT_EQ(all[0].phase, 'X');
+  EXPECT_GE(all[0].ts_us, 0.0);
+  EXPECT_GE(all[0].dur_us, 0.0);
+}
+
+TEST_F(TraceTest, DisabledModeIsNoOp) {
+  set_enabled(false);
+  {
+    TraceSpan span("ignored", "test");
+    EXPECT_FALSE(span.active());
+    counter("ignored_counter", 1.0);
+  }
+  SNICIT_TRACE_SPAN("ignored_macro", "test");
+  SNICIT_TRACE_COUNTER("ignored_macro_counter", 2.0);
+  EXPECT_EQ(event_count(), 0u);
+}
+
+TEST_F(TraceTest, EnableDecisionIsTakenAtSpanConstruction) {
+  set_enabled(false);
+  {
+    TraceSpan span("opened_while_disabled", "test");
+    set_enabled(true);  // flipping mid-span must not retroactively record
+  }
+  EXPECT_EQ(event_count(), 0u);
+}
+
+TEST_F(TraceTest, SequentialSpansSortByStartTimestamp) {
+  { TraceSpan a("span_a", "test"); }
+  { TraceSpan b("span_b", "test"); }
+  { TraceSpan c("span_c", "test"); }
+  const auto all = snapshot();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_STREQ(all[0].name, "span_a");
+  EXPECT_STREQ(all[1].name, "span_b");
+  EXPECT_STREQ(all[2].name, "span_c");
+  EXPECT_LE(all[0].ts_us, all[1].ts_us);
+  EXPECT_LE(all[1].ts_us, all[2].ts_us);
+}
+
+TEST_F(TraceTest, NestedSpansAreContainedInParent) {
+  // Chrome infers hierarchy from ts/dur containment per tid, so nesting
+  // correctness *is* the containment invariant.
+  {
+    TraceSpan outer("outer", "test");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    {
+      TraceSpan inner("inner", "test");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto all = snapshot();
+  const auto outers = events_named(all, "outer");
+  const auto inners = events_named(all, "inner");
+  ASSERT_EQ(outers.size(), 1u);
+  ASSERT_EQ(inners.size(), 1u);
+  EXPECT_EQ(outers[0].tid, inners[0].tid);
+  EXPECT_GE(inners[0].ts_us, outers[0].ts_us);
+  EXPECT_LE(inners[0].ts_us + inners[0].dur_us,
+            outers[0].ts_us + outers[0].dur_us);
+  // Sorted by start: the parent comes first.
+  EXPECT_STREQ(all[0].name, "outer");
+}
+
+TEST_F(TraceTest, CounterRecordsValueSample) {
+  counter("queue_depth", 3.0);
+  counter("queue_depth", 5.0);
+  const auto samples = events_named(snapshot(), "queue_depth");
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].phase, 'C');
+  EXPECT_DOUBLE_EQ(samples[0].value, 3.0);
+  EXPECT_DOUBLE_EQ(samples[1].value, 5.0);
+  EXPECT_LE(samples[0].ts_us, samples[1].ts_us);
+}
+
+TEST_F(TraceTest, ClearDiscardsEverything) {
+  { SNICIT_TRACE_SPAN("pre_clear", "test"); }
+  ASSERT_EQ(event_count(), 1u);
+  clear();
+  EXPECT_EQ(event_count(), 0u);
+  EXPECT_TRUE(snapshot().empty());
+}
+
+TEST_F(TraceTest, MergesPerThreadBuffersWithDistinctTids) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([] {
+      TraceSpan span("worker_span", "test");
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    });
+  }
+  for (auto& th : threads) th.join();
+  { TraceSpan span("main_span", "test"); }
+
+  const auto all = snapshot();
+  const auto workers = events_named(all, "worker_span");
+  const auto mains = events_named(all, "main_span");
+  ASSERT_EQ(workers.size(), static_cast<std::size_t>(kThreads));
+  ASSERT_EQ(mains.size(), 1u);
+  std::set<std::uint32_t> tids;
+  for (const auto& e : workers) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads));
+  EXPECT_EQ(tids.count(mains[0].tid), 0u);
+}
+
+TEST_F(TraceTest, ChromeJsonRoundTripsThroughParser) {
+  {
+    TraceSpan span("json_span", "test");
+    counter("json_counter", 7.5);
+  }
+  const auto doc = JsonValue::parse(chrome_trace_json());
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.get("displayTimeUnit").as_string(), "ms");
+  const auto& events = doc.get("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.size(), 2u);
+
+  // Sorted by ts: the counter fired inside the span, which starts first.
+  const auto& span_event = events.at(0);
+  EXPECT_EQ(span_event.get("name").as_string(), "json_span");
+  EXPECT_EQ(span_event.get("ph").as_string(), "X");
+  EXPECT_EQ(span_event.get("cat").as_string(), "test");
+  EXPECT_GE(span_event.get("dur").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(span_event.get("pid").as_number(), 0.0);
+  EXPECT_GE(span_event.get("tid").as_number(), 0.0);
+
+  const auto& counter_event = events.at(1);
+  EXPECT_EQ(counter_event.get("name").as_string(), "json_counter");
+  EXPECT_EQ(counter_event.get("ph").as_string(), "C");
+  EXPECT_FALSE(counter_event.has("dur"));
+  EXPECT_FALSE(counter_event.has("cat"));
+  EXPECT_DOUBLE_EQ(counter_event.get("args").get("value").as_number(), 7.5);
+}
+
+TEST_F(TraceTest, EmptyCategoryIsOmittedFromJson) {
+  { TraceSpan span("uncategorized"); }
+  const auto doc = JsonValue::parse(chrome_trace_json());
+  const auto& event = doc.get("traceEvents").at(0);
+  EXPECT_EQ(event.get("name").as_string(), "uncategorized");
+  EXPECT_FALSE(event.has("cat"));
+}
+
+TEST_F(TraceTest, WriteChromeTraceProducesLoadableFile) {
+  { SNICIT_TRACE_SPAN("file_span", "test"); }
+  const std::string path = ::testing::TempDir() + "trace_roundtrip.json";
+  ASSERT_TRUE(write_chrome_trace(path));
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  const auto doc = JsonValue::parse(contents);
+  EXPECT_EQ(doc.get("traceEvents").size(), 1u);
+  EXPECT_EQ(doc.get("traceEvents").at(0).get("name").as_string(),
+            "file_span");
+}
+
+}  // namespace
+}  // namespace snicit::platform::trace
