@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "baselines/autotune.hpp"
 #include "baselines/bf2019.hpp"
 #include "baselines/serial.hpp"
 #include "baselines/snig2020.hpp"
@@ -57,7 +58,7 @@ std::vector<std::string> known_flags(const std::string& cmd) {
     for (const char* f :
          {"engine", "threshold", "sample-size", "downsample", "prune",
           "auto-threshold", "stream", "workers", "queue", "trace-out",
-          "metrics-out"}) {
+          "metrics-out", "spmm", "spmm-tile"}) {
       flags.push_back(f);
     }
   }
@@ -110,20 +111,55 @@ Workload build_workload(const platform::CliArgs& args) {
   return {std::move(net), std::move(input)};
 }
 
+// spMM kernel policy from flags on top of the environment: SNICIT_SPMM /
+// SNICIT_SPMM_TILE set the baseline, --spmm / --spmm-tile override it.
+sparse::SpmmPolicy cli_spmm_policy(const platform::CliArgs& args) {
+  sparse::SpmmPolicy policy = sparse::SpmmPolicy::from_env();
+  if (args.has("spmm")) {
+    const std::string name = args.get("spmm", "auto");
+    const auto variant = sparse::parse_spmm_variant(name);
+    if (!variant) {
+      throw std::invalid_argument(
+          "unknown --spmm variant '" + name +
+          "' (expected auto|gather|gather_simd|gather_threaded|tiled|"
+          "scatter|scatter_simd)");
+    }
+    policy.variant = *variant;
+  }
+  if (args.has("spmm-tile")) {
+    policy.tile = static_cast<std::size_t>(
+        std::max<std::int64_t>(args.get_int("spmm-tile", 16), 1));
+  }
+  return policy;
+}
+
 std::unique_ptr<dnn::InferenceEngine> build_engine(
     const platform::CliArgs& args, const Workload& wl) {
   const std::string name = args.get("engine", "snicit");
-  if (name == "xy2021") return std::make_unique<baselines::Xy2021Engine>();
-  if (name == "snig2020") {
-    return std::make_unique<baselines::Snig2020Engine>();
+  const sparse::SpmmPolicy policy = cli_spmm_policy(args);
+  if (name == "xy2021") {
+    baselines::Xy2021Options opt;
+    opt.policy = policy;
+    return std::make_unique<baselines::Xy2021Engine>(opt);
   }
-  if (name == "bf2019") return std::make_unique<baselines::Bf2019Engine>();
+  if (name == "snig2020") {
+    return std::make_unique<baselines::Snig2020Engine>(0, 4, policy);
+  }
+  if (name == "bf2019") {
+    return std::make_unique<baselines::Bf2019Engine>(0, policy);
+  }
+  if (name == "autotune") {
+    baselines::AutotuneOptions opt;
+    opt.policy = policy;
+    return std::make_unique<baselines::AutotuneEngine>(opt);
+  }
   if (name == "serial") return std::make_unique<baselines::SerialEngine>();
   if (name == "reference") return std::make_unique<dnn::ReferenceEngine>();
   if (name != "snicit") {
     throw std::invalid_argument(
         "unknown engine '" + name +
-        "' (expected snicit|xy2021|snig2020|bf2019|serial|reference)");
+        "' (expected snicit|xy2021|snig2020|bf2019|autotune|serial|"
+        "reference)");
   }
   core::SnicitParams params;
   const auto layers = static_cast<int>(wl.net.num_layers());
@@ -135,6 +171,7 @@ std::unique_ptr<dnn::InferenceEngine> build_engine(
   params.prune_threshold =
       static_cast<float>(args.get_double("prune", 0.0));
   params.auto_threshold = args.has("auto-threshold");
+  params.spmm = policy;
   return std::make_unique<core::SnicitEngine>(params);
 }
 
@@ -250,9 +287,13 @@ void usage() {
       "  common:   --neurons N --layers L --batch B --seed S\n"
       "            --mixed-radix | --net PREFIX --input FILE --bias B\n"
       "  generate: --out PREFIX\n"
-      "  run:      --engine snicit|xy2021|snig2020|bf2019|serial|reference\n"
+      "  run:      --engine snicit|xy2021|snig2020|bf2019|autotune|serial|"
+      "reference\n"
       "            --threshold T --sample-size S --downsample N --prune P\n"
       "            --auto-threshold --stream CHUNK --workers N --queue C\n"
+      "            --spmm auto|gather|gather_simd|gather_threaded|tiled|"
+      "scatter|scatter_simd\n"
+      "            --spmm-tile W (batch-tile width of the tiled kernel)\n"
       "            --trace-out FILE (chrome://tracing JSON)\n"
       "            --metrics-out FILE (workload counters/series JSON)\n"
       "  analyze:  (common options only)\n");

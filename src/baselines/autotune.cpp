@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "platform/common.hpp"
+#include "platform/thread_pool.hpp"
 #include "platform/timer.hpp"
 #include "sparse/spmm.hpp"
 
@@ -11,26 +12,20 @@ namespace snicit::baselines {
 
 namespace {
 
-constexpr int kNumArms = 3;  // 0 gather/ELL, 1 scatter, 2 tiled
-
-void run_arm(int arm, const dnn::SparseDnn& net, std::size_t layer,
+void run_arm(sparse::SpmmVariant variant, const sparse::SpmmPolicy& base,
+             const dnn::SparseDnn& net, std::size_t layer,
              const dnn::DenseMatrix& in, dnn::DenseMatrix& out,
-             bool use_ell) {
-  switch (arm) {
-    case 0:
-      if (use_ell) {
-        sparse::spmm_ell(net.weight_ell(layer), in, out);
-      } else {
-        sparse::spmm_gather(net.weight(layer), in, out);
-      }
-      break;
-    case 1:
-      sparse::spmm_scatter(net.weight_csc(layer), in, out);
-      break;
-    default:
-      sparse::spmm_tiled(net.weight(layer), in, out);
-      break;
+             double density, bool use_ell) {
+  if (variant == sparse::SpmmVariant::kGatherScalar && use_ell) {
+    // The scalar-gather arm runs on the regular ELL layout when the
+    // weight grid allows it, matching the analytic engines.
+    sparse::spmm_ell(net.weight_ell(layer), in, out);
+    return;
   }
+  sparse::SpmmPolicy forced = base;
+  forced.variant = variant;
+  sparse::spmm_dispatch(net.weight(layer), &net.weight_csc(layer), in, out,
+                        density, forced);
 }
 
 }  // namespace
@@ -42,23 +37,51 @@ AutotuneEngine::AutotuneEngine(AutotuneOptions options)
                "density buckets must be ordered");
 }
 
+std::vector<sparse::SpmmVariant> AutotuneEngine::arm_list() const {
+  std::vector<sparse::SpmmVariant> arms = {
+      sparse::SpmmVariant::kGatherScalar,
+      sparse::SpmmVariant::kGatherSimd,
+      sparse::SpmmVariant::kTiled,
+      sparse::SpmmVariant::kScatter,
+      sparse::SpmmVariant::kScatterSimd,
+  };
+  // The row-parallel arm is only a distinct point when the pool has more
+  // than one worker; with one it is gather-SIMD plus overhead.
+  if (options_.policy.allow_threads &&
+      platform::ThreadPool::global().size() > 1) {
+    arms.push_back(sparse::SpmmVariant::kGatherThreaded);
+  }
+  return arms;
+}
+
 dnn::RunResult AutotuneEngine::run(const dnn::SparseDnn& net,
                                    const dnn::DenseMatrix& input) {
   net.ensure_csc();
   const bool use_ell = net.weight_ell(0).padding_ratio() <= 0.1;
   if (use_ell) net.ensure_ell();
+
+  const auto arms = arm_list();
+  const int num_arms = static_cast<int>(arms.size());
+  const bool forced =
+      options_.policy.variant != sparse::SpmmVariant::kAuto;
   committed_ = {-1, -1, -1};
+  if (forced) {
+    const int v = static_cast<int>(options_.policy.variant);
+    committed_ = {v, v, v};
+  }
 
   // Per bucket: best time seen per arm during trials, next arm to trial.
   struct BucketState {
-    std::array<double, kNumArms> best_ms{
-        std::numeric_limits<double>::infinity(),
-        std::numeric_limits<double>::infinity(),
-        std::numeric_limits<double>::infinity()};
-    std::array<int, kNumArms> trials{0, 0, 0};
+    std::vector<double> best_ms;
+    std::vector<int> trials;
     int next_arm = 0;
   };
   std::array<BucketState, 3> buckets;
+  for (auto& b : buckets) {
+    b.best_ms.assign(static_cast<std::size_t>(num_arms),
+                     std::numeric_limits<double>::infinity());
+    b.trials.assign(static_cast<std::size_t>(num_arms), 0);
+  }
 
   const std::size_t probe_n =
       std::min(options_.density_probe_columns,
@@ -81,31 +104,36 @@ dnn::RunResult AutotuneEngine::run(const dnn::SparseDnn& net,
                                                          : 2;
     auto& state = buckets[static_cast<std::size_t>(bucket)];
 
-    int arm = committed_[static_cast<std::size_t>(bucket)];
-    const bool trialling = arm < 0;
-    if (trialling) arm = state.next_arm;
+    const int committed = committed_[static_cast<std::size_t>(bucket)];
+    const bool trialling = committed < 0;
+    const int arm_idx = trialling ? state.next_arm : -1;
+    const sparse::SpmmVariant variant =
+        trialling ? arms[static_cast<std::size_t>(arm_idx)]
+                  : static_cast<sparse::SpmmVariant>(committed);
 
     platform::Stopwatch lt;
-    run_arm(arm, net, layer, cur, next, use_ell);
+    run_arm(variant, options_.policy, net, layer, cur, next, density,
+            use_ell);
     const double ms = lt.elapsed_ms();
 
     if (trialling) {
-      state.best_ms[static_cast<std::size_t>(arm)] =
-          std::min(state.best_ms[static_cast<std::size_t>(arm)], ms);
-      if (++state.trials[static_cast<std::size_t>(arm)] >=
+      state.best_ms[static_cast<std::size_t>(arm_idx)] =
+          std::min(state.best_ms[static_cast<std::size_t>(arm_idx)], ms);
+      if (++state.trials[static_cast<std::size_t>(arm_idx)] >=
           options_.trial_rounds) {
-        state.next_arm = arm + 1;
+        state.next_arm = arm_idx + 1;
       }
-      if (state.next_arm >= kNumArms) {
+      if (state.next_arm >= num_arms) {
         // All arms trialled: commit to the fastest.
         int best = 0;
-        for (int a = 1; a < kNumArms; ++a) {
+        for (int a = 1; a < num_arms; ++a) {
           if (state.best_ms[static_cast<std::size_t>(a)] <
               state.best_ms[static_cast<std::size_t>(best)]) {
             best = a;
           }
         }
-        committed_[static_cast<std::size_t>(bucket)] = best;
+        committed_[static_cast<std::size_t>(bucket)] =
+            static_cast<int>(arms[static_cast<std::size_t>(best)]);
       }
     }
 

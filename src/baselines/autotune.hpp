@@ -3,12 +3,17 @@
 // spMM kernels and *predicts* the best point; this engine instead *tries*
 // every kernel arm on the first layers of the run (densities are roughly
 // stationary layer to layer) and then commits to the measured winner per
-// density bucket. Exact engine: every arm computes the same result.
+// density bucket. The arm list is the library's full variant family
+// (scalar / SIMD / row-parallel gather, tiled, scalar / blocked scatter);
+// a forced SpmmPolicy variant skips trialling entirely. Exact engine:
+// every arm computes the same result.
 #pragma once
 
 #include <array>
+#include <vector>
 
 #include "dnn/engine.hpp"
+#include "sparse/spmm_policy.hpp"
 
 namespace snicit::baselines {
 
@@ -22,6 +27,10 @@ struct AutotuneOptions {
   double high_density = 0.6;
   /// Columns probed for the density estimate.
   std::size_t density_probe_columns = 16;
+  /// Kernel policy. variant == kAuto trials the full arm list; a forced
+  /// variant pins every layer to that kernel and skips the trials. The
+  /// tile / threading knobs also shape how each arm executes.
+  sparse::SpmmPolicy policy = {};
 };
 
 class AutotuneEngine final : public dnn::InferenceEngine {
@@ -37,9 +46,14 @@ class AutotuneEngine final : public dnn::InferenceEngine {
     return std::make_unique<AutotuneEngine>(*this);
   }
 
-  /// Kernel arm committed per density bucket after the last run
-  /// (-1 while a bucket is still trialling / was never seen).
+  /// Kernel variant (sparse::SpmmVariant as int) committed per density
+  /// bucket after the last run (-1 while a bucket is still trialling /
+  /// was never seen).
   std::array<int, 3> committed_arms() const { return committed_; }
+
+  /// The arm list a run with this engine's options would trial, in trial
+  /// order. Exposed for tests and diagnostics.
+  std::vector<sparse::SpmmVariant> arm_list() const;
 
  private:
   AutotuneOptions options_;

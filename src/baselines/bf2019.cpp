@@ -11,8 +11,9 @@
 
 namespace snicit::baselines {
 
-Bf2019Engine::Bf2019Engine(std::size_t partitions)
-    : partitions_(partitions) {}
+Bf2019Engine::Bf2019Engine(std::size_t partitions,
+                           sparse::SpmmPolicy policy)
+    : partitions_(partitions), policy_(policy) {}
 
 dnn::RunResult Bf2019Engine::run(const dnn::SparseDnn& net,
                                  const dnn::DenseMatrix& input) {
@@ -42,10 +43,20 @@ dnn::RunResult Bf2019Engine::run(const dnn::SparseDnn& net,
   dnn::DenseMatrix next(input.rows(), input.cols());
   const std::size_t chunk = (batch + parts - 1) / parts;
 
+  // Density probe for the kernel policy, re-estimated per layer on the
+  // first partition's columns (partitions see statistically identical
+  // activations — inputs are shuffled).
+  std::vector<sparse::Index> probe(std::min<std::size_t>(batch, 16));
+  for (std::size_t j = 0; j < probe.size(); ++j) {
+    probe[j] = static_cast<sparse::Index>(j);
+  }
+
   for (std::size_t layer = 0; layer < net.num_layers(); ++layer) {
     SNICIT_TRACE_SPAN("bf_layer", "bf2019");
     platform::Stopwatch lt;
-    const auto& w = net.weight_csc(layer);
+    const auto& w = net.weight(layer);
+    const auto& w_csc = net.weight_csc(layer);
+    const double density = sparse::estimate_column_density(cur, probe);
     platform::ThreadPool::global().run_chunks(parts, [&](std::size_t p) {
       const std::size_t lo = p * chunk;
       const std::size_t hi = std::min(batch, lo + chunk);
@@ -54,7 +65,10 @@ dnn::RunResult Bf2019Engine::run(const dnn::SparseDnn& net,
       for (std::size_t j = lo; j < hi; ++j) {
         cols[j - lo] = static_cast<sparse::Index>(j);
       }
-      sparse::spmm_scatter_cols(w, cur, cols, next);
+      // Inside a pool chunk nested parallelism is inline, so each
+      // partition runs its chosen kernel serially — one "GPU" each.
+      sparse::spmm_dispatch_cols(w, &w_csc, cur, cols, next, density,
+                                 policy_);
     });
     sparse::apply_bias_activation(next, net.bias(layer), net.ymax());
     std::swap(cur, next);

@@ -7,14 +7,18 @@
 #pragma once
 
 #include "dnn/engine.hpp"
+#include "sparse/spmm_policy.hpp"
 
 namespace snicit::baselines {
 
 class Bf2019Engine final : public dnn::InferenceEngine {
  public:
   /// `partitions` — number of batch sections (the paper's GPU count);
-  /// 0 picks one partition per pool thread.
-  explicit Bf2019Engine(std::size_t partitions = 0);
+  /// 0 picks one partition per pool thread. `policy` drives the
+  /// per-partition spMM: auto cost-model selection by default (the
+  /// original's scatter inner loop is one of the arms), or a forced arm.
+  explicit Bf2019Engine(std::size_t partitions = 0,
+                        sparse::SpmmPolicy policy = {});
 
   std::string name() const override { return "BF-2019"; }
   dnn::RunResult run(const dnn::SparseDnn& net,
@@ -25,6 +29,7 @@ class Bf2019Engine final : public dnn::InferenceEngine {
 
  private:
   std::size_t partitions_;
+  sparse::SpmmPolicy policy_;
 };
 
 }  // namespace snicit::baselines

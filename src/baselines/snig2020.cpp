@@ -14,9 +14,11 @@
 namespace snicit::baselines {
 
 Snig2020Engine::Snig2020Engine(std::size_t partitions,
-                               std::size_t layers_per_task)
+                               std::size_t layers_per_task,
+                               sparse::SpmmPolicy policy)
     : partitions_(partitions),
-      layers_per_task_(std::max<std::size_t>(1, layers_per_task)) {}
+      layers_per_task_(std::max<std::size_t>(1, layers_per_task)),
+      policy_(policy) {}
 
 dnn::RunResult Snig2020Engine::run(const dnn::SparseDnn& net,
                                    const dnn::DenseMatrix& input) {
@@ -67,7 +69,8 @@ dnn::RunResult Snig2020Engine::run(const dnn::SparseDnn& net,
     const std::size_t l1 = std::min(layers, l0 + layers_per_task_);
     for (std::size_t p = 0; p < parts; ++p) {
       if (part_cols[p].empty()) continue;
-      const auto id = graph.add([&net, &cur, &next, &part_cols, p, l0, l1] {
+      const auto id = graph.add([&net, &cur, &next, &part_cols, p, l0, l1,
+                                 this] {
         SNICIT_TRACE_SPAN("snig_stage", "snig2020");
         // Advance this partition through layers [l0, l1). The shared
         // double buffers alternate per layer; all partitions advance in
@@ -76,8 +79,16 @@ dnn::RunResult Snig2020Engine::run(const dnn::SparseDnn& net,
         for (std::size_t l = l0; l < l1; ++l) {
           const dnn::DenseMatrix& src = (l % 2 == 0) ? cur : next;
           dnn::DenseMatrix& dst = (l % 2 == 0) ? next : cur;
-          sparse::spmm_scatter_cols(net.weight_csc(l), src, part_cols[p],
-                                    dst);
+          // Probe this partition's own columns: graph nodes run
+          // concurrently, so the estimate must not read other partitions'
+          // half-updated buffers.
+          const std::size_t probe_n =
+              std::min<std::size_t>(part_cols[p].size(), 16);
+          const double density = sparse::estimate_column_density(
+              src, std::span<const sparse::Index>(part_cols[p].data(),
+                                                  probe_n));
+          sparse::spmm_dispatch_cols(net.weight(l), &net.weight_csc(l), src,
+                                     part_cols[p], dst, density, policy_);
           // Bias + activation on this partition's columns only.
           const auto& bias = net.bias(l);
           for (sparse::Index jc : part_cols[p]) {

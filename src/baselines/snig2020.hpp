@@ -6,6 +6,7 @@
 #pragma once
 
 #include "dnn/engine.hpp"
+#include "sparse/spmm_policy.hpp"
 
 namespace snicit::baselines {
 
@@ -13,9 +14,11 @@ class Snig2020Engine final : public dnn::InferenceEngine {
  public:
   /// `partitions` — batch partitions (task-graph rows); 0 = 2x pool size.
   /// `layers_per_task` — layers fused into one task node (reduces graph
-  /// overhead on deep nets, like SNIG's kernel fusion).
+  /// overhead on deep nets, like SNIG's kernel fusion). `policy` — spMM
+  /// kernel policy per partition-stage (auto cost model by default).
   explicit Snig2020Engine(std::size_t partitions = 0,
-                          std::size_t layers_per_task = 4);
+                          std::size_t layers_per_task = 4,
+                          sparse::SpmmPolicy policy = {});
 
   std::string name() const override { return "SNIG-2020"; }
   dnn::RunResult run(const dnn::SparseDnn& net,
@@ -27,6 +30,7 @@ class Snig2020Engine final : public dnn::InferenceEngine {
  private:
   std::size_t partitions_;
   std::size_t layers_per_task_;
+  sparse::SpmmPolicy policy_;
 };
 
 }  // namespace snicit::baselines

@@ -56,35 +56,48 @@ dnn::RunResult Xy2021Engine::run(const dnn::SparseDnn& net,
   double gather_picks = 0.0;
   double scatter_picks = 0.0;
 
+  // The optimisation-space search now runs through the library-wide cost
+  // model (sparse/spmm_policy.hpp): scalar gather, register-blocked SIMD
+  // gather, row-parallel gather, tiled, scatter, blocked scatter — priced
+  // from the measured density, weight nnz/row and batch width. The legacy
+  // option fields feed the policy's knobs.
+  sparse::SpmmPolicy policy = options_.policy;
+  policy.tile = options_.tile;
+  policy.scatter_setup_cost = options_.scatter_setup_cost;
+
   for (std::size_t layer = 0; layer < net.num_layers(); ++layer) {
     SNICIT_TRACE_SPAN("xy_layer", "xy2021");
     platform::Stopwatch lt;
-    // Cost model over the optimisation space, per unit weight-nnz:
-    //   gather  ~ 1                       (touches every weight row fully)
-    //   scatter ~ density + setup        (skips zero activations but pays
-    //                                      an accumulator-zeroing setup)
-    // The tiled arm only beats gather with many batch columns per cache
-    // line of weights; on this substrate gather == tiled(1), so the model
-    // reduces to a density threshold.
     const double density = sparse::estimate_column_density(cur, probe);
-    const double gather_cost = 1.0;
-    const double scatter_cost = density + options_.scatter_setup_cost;
-    if (scatter_cost < gather_cost) {
-      sparse::spmm_scatter(net.weight_csc(layer), cur, next);
+    sparse::SpmmProblem problem;
+    problem.rows = static_cast<std::size_t>(net.weight(layer).rows());
+    problem.nnz = static_cast<std::size_t>(net.weight(layer).nnz());
+    problem.batch_cols = cur.cols();
+    problem.density = density;
+    problem.has_csc = true;
+    const auto variant = sparse::select_spmm_variant(problem, policy);
+    const bool is_scatter = variant == sparse::SpmmVariant::kScatter ||
+                            variant == sparse::SpmmVariant::kScatterSimd;
+    if (variant == sparse::SpmmVariant::kGatherScalar && use_ell) {
+      // The dense scalar arm runs on the regular ELL layout when the
+      // weight grid allows it — the champions' preferred dense format.
+      sparse::spmm_ell(net.weight_ell(layer), cur, next);
+    } else {
+      sparse::SpmmPolicy forced = policy;
+      forced.variant = variant;
+      sparse::spmm_dispatch(net.weight(layer), &net.weight_csc(layer), cur,
+                            next, density, forced);
+    }
+    if (is_scatter) {
       scatter_picks += 1.0;
     } else {
-      if (use_ell) {
-        sparse::spmm_ell(net.weight_ell(layer), cur, next);
-      } else {
-        sparse::spmm_gather(net.weight(layer), cur, next);
-      }
       gather_picks += 1.0;
     }
     sparse::apply_bias_activation(next, net.bias(layer), net.ymax());
     std::swap(cur, next);
     result.layer_ms.push_back(lt.elapsed_ms());
     if (variant_series != nullptr) {
-      variant_series->record(layer, scatter_cost < gather_cost ? 1.0 : 0.0);
+      variant_series->record(layer, static_cast<double>(variant));
       density_series->record(layer, density);
     }
   }

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "dnn/engine.hpp"
+#include "sparse/spmm_policy.hpp"
 
 namespace snicit::baselines {
 
@@ -18,6 +19,11 @@ struct Xy2021Options {
   /// Fixed per-input-column overhead of the scatter kernel (zeroing the
   /// accumulator), in units of weight-nnz work; part of the cost model.
   double scatter_setup_cost = 0.15;
+  /// Kernel-space policy: kAuto explores the library's full optimisation
+  /// space (scalar/SIMD/threaded/tiled/scatter) with the analytic cost
+  /// model in sparse/spmm_policy.hpp; a forced variant pins one arm.
+  /// The tile and scatter_setup_cost fields above are copied in.
+  sparse::SpmmPolicy policy = {};
   /// Use the regular ELLPACK layout for the dense arm when the weights
   /// have (near-)uniform fan-in — the champions' preferred layout on the
   /// fixed-32-fan-in SDGC nets.

@@ -14,26 +14,34 @@
 #include "snicit/sample_prune.hpp"
 #include "snicit/sampling.hpp"
 #include "sparse/spmm.hpp"
+#include "sparse/spmm_policy.hpp"
 
 namespace snicit::core {
 
 namespace {
 
-void pre_convergence_step(const dnn::SparseDnn& net, std::size_t layer,
-                          PreKernel kernel, const dnn::DenseMatrix& in,
-                          dnn::DenseMatrix& out) {
-  switch (kernel) {
-    case PreKernel::kGather:
-      sparse::spmm_gather(net.weight(layer), in, out);
-      break;
-    case PreKernel::kScatter:
-      sparse::spmm_scatter(net.weight_csc(layer), in, out);
-      break;
-    case PreKernel::kTiled:
-      sparse::spmm_tiled(net.weight(layer), in, out);
-      break;
+/// Activation density over a fixed 16-column probe prefix (inputs are
+/// shuffled, so a prefix is an unbiased sample) — the cost-model input.
+double probe_density(const dnn::DenseMatrix& y) {
+  sparse::Index probe[16];
+  const std::size_t n = std::min<std::size_t>(y.cols(), 16);
+  for (std::size_t j = 0; j < n; ++j) {
+    probe[j] = static_cast<sparse::Index>(j);
   }
+  return sparse::estimate_column_density(
+      y, std::span<const sparse::Index>(probe, n));
+}
+
+sparse::SpmmVariant pre_convergence_step(const dnn::SparseDnn& net,
+                                         std::size_t layer,
+                                         const sparse::SpmmPolicy& policy,
+                                         const dnn::DenseMatrix& in,
+                                         dnn::DenseMatrix& out) {
+  const auto variant =
+      sparse::spmm_dispatch(net.weight(layer), &net.weight_csc(layer), in,
+                            out, probe_density(in), policy);
   sparse::apply_bias_activation(out, net.bias(layer), net.ymax());
+  return variant;
 }
 
 std::size_t count_non_empty(const std::vector<std::uint8_t>& ne_rec) {
@@ -62,11 +70,14 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
                                       static_cast<int>(layers));
 
   // Model preparation (format mirrors) happens before the clock starts,
-  // like the paper's device-side model upload.
-  if (params_.pre_kernel == PreKernel::kScatter ||
-      params_.post_kernel == PreKernel::kScatter) {
-    net.ensure_csc();
-  }
+  // like the paper's device-side model upload. The CSC mirror is always
+  // built: the auto-selecting kernel policy may pick a scatter arm on any
+  // layer once activations go sparse.
+  net.ensure_csc();
+  const sparse::SpmmPolicy pre_policy =
+      effective_spmm_policy(params_.pre_kernel, params_.spmm);
+  const sparse::SpmmPolicy post_policy =
+      effective_spmm_policy(params_.post_kernel, params_.spmm);
 
   dnn::RunResult result;
   result.layer_ms.reserve(layers);
@@ -101,8 +112,8 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
   for (int i = 0; i < t_bound; ++i) {
     SNICIT_TRACE_SPAN("pre_layer", "snicit");
     platform::Stopwatch layer;
-    pre_convergence_step(net, static_cast<std::size_t>(i),
-                         params_.pre_kernel, cur, next);
+    pre_convergence_step(net, static_cast<std::size_t>(i), pre_policy, cur,
+                         next);
     std::swap(cur, next);
     result.layer_ms.push_back(layer.elapsed_ms());
     if (active_series != nullptr) {
@@ -134,7 +145,7 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
     // compress (the t = l corner of the Figure 8 sweep).
     stage.reset();
     for (std::size_t i = static_cast<std::size_t>(t); i < layers; ++i) {
-      pre_convergence_step(net, i, params_.pre_kernel, cur, next);
+      pre_convergence_step(net, i, pre_policy, cur, next);
       std::swap(cur, next);
     }
     result.stages.add("conversion", 0.0);
@@ -186,18 +197,13 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
   dnn::DenseMatrix scratch(input.rows(), input.cols());
   int since_refresh = 0;
   int since_reconvert = 0;
-  const bool post_scatter = params_.post_kernel == PreKernel::kScatter;
   for (std::size_t i = static_cast<std::size_t>(t); i < layers; ++i) {
     platform::Stopwatch layer;
     const std::size_t spmm_columns = batch.ne_idx.size();
-    std::size_t pruned;
-    if (post_scatter) {
-      pruned = post_convergence_layer(net.weight_csc(i), net.bias(i),
-                                      net.ymax(), prune, batch, scratch);
-    } else {
-      pruned = post_convergence_layer(net.weight(i), net.bias(i), net.ymax(),
-                                      prune, batch, scratch);
-    }
+    const std::size_t pruned =
+        post_convergence_layer(net.weight(i), &net.weight_csc(i),
+                               net.bias(i), net.ymax(), prune, batch,
+                               scratch, post_policy);
     if (active_series != nullptr) {
       active_series->record(i, static_cast<double>(
                                    count_non_empty(batch.ne_rec)));

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "sparse/spmm_policy.hpp"
+
 namespace snicit::core {
 
 /// Which spMM kernel drives the pre-convergence phase (§3.1: SNICIT does
@@ -10,10 +12,34 @@ namespace snicit::core {
 /// in). These mirror the library's kernel family in sparse/spmm.hpp.
 enum class PreKernel {
   kGather,   // CSR gather, dense input
-  kScatter,  // CSC scatter, skips zero activations (default: the fastest
-             // on SDGC-style workloads, where activations go sparse)
+  kScatter,  // CSC scatter, skips zero activations (the fastest on
+             // SDGC-style workloads, where activations go sparse)
   kTiled,    // cache-blocked CSR gather
+  kAuto,     // defer to SnicitParams::spmm — cost-model selection over the
+             // full kernel tier (default)
 };
+
+/// The SpmmPolicy a PreKernel choice stands for: the legacy enum values
+/// pin their scalar arm; kAuto hands the decision to `base` (which may
+/// itself force any arm of the optimized tier via its variant field).
+inline sparse::SpmmPolicy effective_spmm_policy(
+    PreKernel kernel, const sparse::SpmmPolicy& base) {
+  sparse::SpmmPolicy policy = base;
+  switch (kernel) {
+    case PreKernel::kGather:
+      policy.variant = sparse::SpmmVariant::kGatherScalar;
+      break;
+    case PreKernel::kScatter:
+      policy.variant = sparse::SpmmVariant::kScatter;
+      break;
+    case PreKernel::kTiled:
+      policy.variant = sparse::SpmmVariant::kTiled;
+      break;
+    case PreKernel::kAuto:
+      break;
+  }
+  return policy;
+}
 
 struct SnicitParams {
   /// t — index of the threshold layer where conversion happens. The paper
@@ -55,13 +81,20 @@ struct SnicitParams {
   /// or below this level for two consecutive layers.
   float auto_level = 0.05f;
 
-  PreKernel pre_kernel = PreKernel::kScatter;
+  PreKernel pre_kernel = PreKernel::kAuto;
 
   /// Kernel for the load-reduced spMM in post-convergence update. kScatter
-  /// (default) skips zero entries inside residue columns, matching the
-  /// paper's use of sparsity-exploiting champion kernels; kGather touches
-  /// full weight rows per non-empty column. kTiled falls back to kGather.
-  PreKernel post_kernel = PreKernel::kScatter;
+  /// skips zero entries inside residue columns, matching the paper's use
+  /// of sparsity-exploiting champion kernels; kGather touches full weight
+  /// rows per non-empty column; kTiled runs as blocked gather over the
+  /// active-column subset; kAuto (default) picks per layer from measured
+  /// residue density.
+  PreKernel post_kernel = PreKernel::kAuto;
+
+  /// Kernel-tier policy behind kAuto: cost-model selection over scalar /
+  /// SIMD / threaded / tiled / scatter arms, or a forced arm when
+  /// spmm.variant != kAuto (the regression suites sweep arms this way).
+  sparse::SpmmPolicy spmm = {};
 
   /// Adaptive pruning (extension of §3.3.1): when > 0, the engine derives
   /// prune_threshold from the data right after conversion — the residue

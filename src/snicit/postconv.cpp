@@ -8,6 +8,7 @@
 #include "platform/thread_pool.hpp"
 #include "platform/trace.hpp"
 #include "sparse/spmm.hpp"
+#include "sparse/spmm_policy.hpp"
 
 namespace snicit::core {
 
@@ -103,6 +104,28 @@ std::size_t post_convergence_layer(const CscMatrix& w_csc,
   // columns, so the multiply cost tracks the compressed nnz, not the
   // non-empty column count alone.
   sparse::spmm_scatter_cols(w_csc, batch.yhat, batch.ne_idx, scratch);
+  return update_centroids_and_residues(bias, ymax, prune_threshold, batch,
+                                       scratch);
+}
+
+std::size_t post_convergence_layer(const CsrMatrix& w,
+                                   const CscMatrix* w_csc,
+                                   std::span<const float> bias, float ymax,
+                                   float prune_threshold,
+                                   CompressedBatch& batch,
+                                   DenseMatrix& scratch,
+                                   const sparse::SpmmPolicy& policy) {
+  check_shapes(bias, batch, scratch);
+  SNICIT_TRACE_SPAN("postconv_layer", "snicit");
+  // Residue density drives the scatter-vs-gather arms; probe a prefix of
+  // the non-empty columns (they are the only ones multiplied).
+  const std::size_t probe_n =
+      std::min<std::size_t>(batch.ne_idx.size(), 16);
+  const double density = sparse::estimate_column_density(
+      batch.yhat, std::span<const sparse::Index>(batch.ne_idx.data(),
+                                                 probe_n));
+  sparse::spmm_dispatch_cols(w, w_csc, batch.yhat, batch.ne_idx, scratch,
+                             density, policy);
   return update_centroids_and_residues(bias, ymax, prune_threshold, batch,
                                        scratch);
 }

@@ -9,6 +9,7 @@
 #include "snicit/convert.hpp"
 #include "sparse/csc.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/spmm_policy.hpp"
 
 namespace snicit::core {
 
@@ -43,5 +44,17 @@ std::size_t post_convergence_layer(const CscMatrix& w_csc,
                                    float prune_threshold,
                                    CompressedBatch& batch,
                                    DenseMatrix& scratch);
+
+/// Policy-driven front end: the load-reduced spMM runs whatever kernel the
+/// cost model (or a forced policy.variant) picks from the measured residue
+/// density — including the SIMD-blocked and row-parallel tiers. `w_csc`
+/// may be null when no CSC mirror exists (excludes the scatter arms).
+std::size_t post_convergence_layer(const CsrMatrix& w,
+                                   const CscMatrix* w_csc,
+                                   std::span<const float> bias, float ymax,
+                                   float prune_threshold,
+                                   CompressedBatch& batch,
+                                   DenseMatrix& scratch,
+                                   const sparse::SpmmPolicy& policy);
 
 }  // namespace snicit::core

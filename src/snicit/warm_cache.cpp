@@ -73,27 +73,25 @@ dnn::RunResult WarmSnicitEngine::run(const dnn::SparseDnn& net,
   }
 
   // Warm run: pre-convergence, then map straight onto cached centroids.
-  if (params_.pre_kernel == PreKernel::kScatter ||
-      params_.post_kernel == PreKernel::kScatter) {
-    net.ensure_csc();
-  }
+  // CSC is always mirrored — the auto policy may pick a scatter arm.
+  net.ensure_csc();
+  const sparse::SpmmPolicy pre_policy =
+      effective_spmm_policy(params_.pre_kernel, params_.spmm);
   dnn::RunResult result;
   platform::Stopwatch stage;
   dnn::DenseMatrix cur = input;
   dnn::DenseMatrix next(input.rows(), input.cols());
   for (std::size_t i = 0; i < t; ++i) {
     platform::Stopwatch layer;
-    switch (params_.pre_kernel) {
-      case PreKernel::kGather:
-        sparse::spmm_gather(net.weight(i), cur, next);
-        break;
-      case PreKernel::kScatter:
-        sparse::spmm_scatter(net.weight_csc(i), cur, next);
-        break;
-      case PreKernel::kTiled:
-        sparse::spmm_tiled(net.weight(i), cur, next);
-        break;
+    sparse::Index probe[16];
+    const std::size_t probe_n = std::min<std::size_t>(cur.cols(), 16);
+    for (std::size_t j = 0; j < probe_n; ++j) {
+      probe[j] = static_cast<sparse::Index>(j);
     }
+    const double density = sparse::estimate_column_density(
+        cur, std::span<const sparse::Index>(probe, probe_n));
+    sparse::spmm_dispatch(net.weight(i), &net.weight_csc(i), cur, next,
+                          density, pre_policy);
     sparse::apply_bias_activation(next, net.bias(i), net.ymax());
     std::swap(cur, next);
     result.layer_ms.push_back(layer.elapsed_ms());
@@ -107,17 +105,14 @@ dnn::RunResult WarmSnicitEngine::run(const dnn::SparseDnn& net,
 
   stage.reset();
   dnn::DenseMatrix scratch(batch.yhat.rows(), batch.yhat.cols());
-  const bool post_scatter = params_.post_kernel == PreKernel::kScatter;
+  const sparse::SpmmPolicy post_policy =
+      effective_spmm_policy(params_.post_kernel, params_.spmm);
   int since_refresh = 0;
   for (std::size_t i = t; i < layers; ++i) {
     platform::Stopwatch layer;
-    if (post_scatter) {
-      post_convergence_layer(net.weight_csc(i), net.bias(i), net.ymax(),
-                             params_.prune_threshold, batch, scratch);
-    } else {
-      post_convergence_layer(net.weight(i), net.bias(i), net.ymax(),
-                             params_.prune_threshold, batch, scratch);
-    }
+    post_convergence_layer(net.weight(i), &net.weight_csc(i), net.bias(i),
+                           net.ymax(), params_.prune_threshold, batch,
+                           scratch, post_policy);
     if (++since_refresh >= params_.ne_refresh_interval) {
       batch.refresh_ne_idx();
       since_refresh = 0;

@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 #include "platform/common.hpp"
 #include "platform/thread_pool.hpp"
+
+// SNICIT_SIMD (set by the CMake toggle of the same name) turns the lane
+// loops of the blocked kernels into `#pragma omp simd` regions. The pragma
+// never licenses reassociation across a single lane's accumulator chain —
+// vectorization happens *across* lanes — so the blocked kernels stay
+// element-for-element equal to their scalar counterparts either way.
+#if defined(SNICIT_SIMD)
+#define SNICIT_SIMD_LOOP _Pragma("omp simd")
+#else
+#define SNICIT_SIMD_LOOP
+#endif
 
 namespace snicit::sparse {
 
@@ -53,7 +65,215 @@ void scatter_column(const CscMatrix& w, const float* SNICIT_RESTRICT y_col,
   }
 }
 
+// --- Blocked kernel cores ---------------------------------------------------
+//
+// The register-blocked tier processes batch columns in groups of
+// kLaneBlock: each weight row (gather) or weight column (scatter) is
+// streamed from memory once per *group* instead of once per column, and
+// the per-lane accumulate is a fixed-trip-count loop the compiler can keep
+// in registers and vectorize. Groups narrower than kLaneBlock (batch tail,
+// small subsets) fall through 4/2/1-wide instantiations of the same core.
+
+constexpr std::size_t kLaneBlock = 8;
+
+/// Gather over rows [r0, r1) for B column lanes. Lane b accumulates
+/// out_cols[b][i] over the row's nnz in ascending-k order — the exact
+/// float sequence of gather_column.
+///
+/// `y_panel` holds the group's activations transposed row-major
+/// (y_panel[c * B + b] == y_cols[b][c]): in the column-major matrix the B
+/// lanes of input row c sit whole columns apart, so the lane loop would be
+/// B scattered loads per nnz; in the panel they are contiguous and the
+/// loop is one B-wide vector FMA.
+template <int B>
+void gather_rows_block(const CsrMatrix& w, Index r0, Index r1,
+                       const float* SNICIT_RESTRICT y_panel,
+                       float* const* SNICIT_RESTRICT out_cols) {
+  const Offset* SNICIT_RESTRICT rp = w.row_ptr().data();
+  const Index* SNICIT_RESTRICT ci = w.col_idx().data();
+  const float* SNICIT_RESTRICT vs = w.values().data();
+  for (Index i = r0; i < r1; ++i) {
+    float acc[B] = {};
+    for (Offset k = rp[i]; k < rp[i + 1]; ++k) {
+      const float wv = vs[k];
+      const float* SNICIT_RESTRICT yr =
+          y_panel + static_cast<std::size_t>(ci[k]) * static_cast<std::size_t>(B);
+      SNICIT_SIMD_LOOP
+      for (int b = 0; b < B; ++b) acc[b] += wv * yr[b];
+    }
+    for (int b = 0; b < B; ++b) out_cols[b][i] = acc[b];
+  }
+}
+
+/// Runs the widest gather cores that fit `width` lanes over rows [r0, r1).
+/// `cols == nullptr` means the identity column list (j0, j0+1, ...).
+/// Each sub-block transposes its lanes into a per-thread panel first; with
+/// fan-in f every panel element is reused ~f times by the core, so the one
+/// strided pass pays for itself whenever r1 - r0 covers a decent share of
+/// the rows (the row-parallel driver uses a coarse grain for this reason).
+void gather_group(const CsrMatrix& w, const DenseMatrix& y, const Index* cols,
+                  std::size_t j0, std::size_t width, Index r0, Index r1,
+                  DenseMatrix& out) {
+  const float* yc[kLaneBlock];
+  float* oc[kLaneBlock];
+  for (std::size_t b = 0; b < width; ++b) {
+    const std::size_t j =
+        cols != nullptr ? static_cast<std::size_t>(cols[j0 + b]) : j0 + b;
+    yc[b] = y.col(j);
+    oc[b] = out.col(j);
+  }
+  static thread_local std::vector<float> scratch;
+  scratch.resize(y.rows() * kLaneBlock);
+  float* panel = scratch.data();
+  const std::size_t in_dim = y.rows();
+  std::size_t done = 0;
+  while (done < width) {
+    const std::size_t left = width - done;
+    const std::size_t B = left >= 8 ? 8 : left >= 4 ? 4 : left >= 2 ? 2 : 1;
+    for (std::size_t c = 0; c < in_dim; ++c) {
+      for (std::size_t b = 0; b < B; ++b) {
+        panel[c * B + b] = yc[done + b][c];
+      }
+    }
+    switch (B) {
+      case 8: gather_rows_block<8>(w, r0, r1, panel, oc + done); break;
+      case 4: gather_rows_block<4>(w, r0, r1, panel, oc + done); break;
+      case 2: gather_rows_block<2>(w, r0, r1, panel, oc + done); break;
+      default: gather_rows_block<1>(w, r0, r1, panel, oc + done); break;
+    }
+    done += B;
+  }
+}
+
+/// Column-group-parallel driver shared by spmm_gather_simd and its
+/// column-subset form.
+void gather_blocked(const CsrMatrix& w, const DenseMatrix& y,
+                    const Index* cols, std::size_t n, DenseMatrix& out) {
+  const std::size_t groups = (n + kLaneBlock - 1) / kLaneBlock;
+  platform::parallel_for(0, groups, [&](std::size_t g) {
+    const std::size_t j0 = g * kLaneBlock;
+    gather_group(w, y, cols, j0, std::min(kLaneBlock, n - j0), 0, w.rows(),
+                 out);
+  });
+}
+
+/// Row-range-parallel driver: splits output rows across the pool; every
+/// range walks all column groups.
+void gather_row_parallel(const CsrMatrix& w, const DenseMatrix& y,
+                         const Index* cols, std::size_t n, DenseMatrix& out) {
+  platform::parallel_for_ranges(
+      0, static_cast<std::size_t>(w.rows()),
+      [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t j0 = 0; j0 < n; j0 += kLaneBlock) {
+          gather_group(w, y, cols, j0, std::min(kLaneBlock, n - j0),
+                       static_cast<Index>(lo), static_cast<Index>(hi), out);
+        }
+      },
+      // Coarse grain: each range re-transposes the y panel, so row chunks
+      // must be large enough to amortise that pass.
+      /*grain=*/256);
+}
+
+/// Scatter for B column lanes. An input row is skipped only when *every*
+/// lane is zero; a zero lane inside a live group contributes wv * 0.0f,
+/// which leaves its accumulator numerically unchanged, so each lane still
+/// matches scatter_column element-for-element (finite weights assumed,
+/// as everywhere in the library).
+///
+/// Accumulation runs in a caller-provided row-major panel `buf` of
+/// rows x B floats: the column-major output would put the B lanes of one
+/// output row whole columns (kilobytes) apart, turning the per-nnz update
+/// into B scattered read-modify-writes; in the panel they are contiguous,
+/// so the lane loop is one B-wide vector FMA. The panel is transposed into
+/// the real output columns once at the end.
+template <int B>
+void scatter_rows_block(const CscMatrix& w,
+                        const float* const* SNICIT_RESTRICT y_cols,
+                        float* const* SNICIT_RESTRICT out_cols,
+                        float* SNICIT_RESTRICT buf) {
+  const std::size_t rows = static_cast<std::size_t>(w.rows());
+  std::memset(buf, 0, sizeof(float) * rows * static_cast<std::size_t>(B));
+  const Offset* SNICIT_RESTRICT cp = w.col_ptr().data();
+  const Index* SNICIT_RESTRICT ri = w.row_idx().data();
+  const float* SNICIT_RESTRICT vs = w.values().data();
+  const Index in_dim = w.cols();
+  for (Index k = 0; k < in_dim; ++k) {
+    float x[B];
+    bool any = false;
+    for (int b = 0; b < B; ++b) {
+      x[b] = y_cols[b][k];
+      any |= (x[b] != 0.0f);
+    }
+    if (!any) continue;
+    for (Offset p = cp[k]; p < cp[k + 1]; ++p) {
+      const float wv = vs[p];
+      float* SNICIT_RESTRICT row =
+          buf + static_cast<std::size_t>(ri[p]) * static_cast<std::size_t>(B);
+      SNICIT_SIMD_LOOP
+      for (int b = 0; b < B; ++b) row[b] += wv * x[b];
+    }
+  }
+  for (int b = 0; b < B; ++b) {
+    float* SNICIT_RESTRICT oc = out_cols[b];
+    for (std::size_t r = 0; r < rows; ++r) {
+      oc[r] = buf[r * static_cast<std::size_t>(B) + static_cast<std::size_t>(b)];
+    }
+  }
+}
+
+void scatter_group(const CscMatrix& w, const DenseMatrix& y,
+                   const Index* cols, std::size_t j0, std::size_t width,
+                   DenseMatrix& out) {
+  const float* yc[kLaneBlock];
+  float* oc[kLaneBlock];
+  for (std::size_t b = 0; b < width; ++b) {
+    const std::size_t j =
+        cols != nullptr ? static_cast<std::size_t>(cols[j0 + b]) : j0 + b;
+    yc[b] = y.col(j);
+    oc[b] = out.col(j);
+  }
+  // Per-thread accumulation panel; resize() only grows it, so steady-state
+  // calls reuse the same allocation.
+  static thread_local std::vector<float> scratch;
+  scratch.resize(static_cast<std::size_t>(w.rows()) * kLaneBlock);
+  float* buf = scratch.data();
+  std::size_t done = 0;
+  while (done < width) {
+    const std::size_t left = width - done;
+    if (left >= 8) {
+      scatter_rows_block<8>(w, yc + done, oc + done, buf);
+      done += 8;
+    } else if (left >= 4) {
+      scatter_rows_block<4>(w, yc + done, oc + done, buf);
+      done += 4;
+    } else if (left >= 2) {
+      scatter_rows_block<2>(w, yc + done, oc + done, buf);
+      done += 2;
+    } else {
+      scatter_rows_block<1>(w, yc + done, oc + done, buf);
+      done += 1;
+    }
+  }
+}
+
+void scatter_blocked(const CscMatrix& w, const DenseMatrix& y,
+                     const Index* cols, std::size_t n, DenseMatrix& out) {
+  const std::size_t groups = (n + kLaneBlock - 1) / kLaneBlock;
+  platform::parallel_for(0, groups, [&](std::size_t g) {
+    const std::size_t j0 = g * kLaneBlock;
+    scatter_group(w, y, cols, j0, std::min(kLaneBlock, n - j0), out);
+  });
+}
+
 }  // namespace
+
+bool simd_compiled() {
+#if defined(SNICIT_SIMD)
+  return true;
+#else
+  return false;
+#endif
+}
 
 void spmm_gather(const CsrMatrix& w, const DenseMatrix& y, DenseMatrix& out) {
   check_shapes(w.rows(), w.cols(), y, out);
@@ -95,6 +315,7 @@ void spmm_tiled(const CsrMatrix& w, const DenseMatrix& y, DenseMatrix& out,
       for (Offset k = rp[i]; k < rp[i + 1]; ++k) {
         const float wv = vs[k];
         const float* SNICIT_RESTRICT yrow = y.data() + ci[k];
+        SNICIT_SIMD_LOOP
         for (std::size_t j = 0; j < width; ++j) {
           acc[j] += wv * yrow[(j0 + j) * y.rows()];
         }
@@ -126,6 +347,44 @@ void spmm_scatter_cols(const CscMatrix& w, const DenseMatrix& y,
       scatter_column(w, y.col(j), out.col(j));
     }
   });
+}
+
+void spmm_gather_simd(const CsrMatrix& w, const DenseMatrix& y,
+                      DenseMatrix& out) {
+  check_shapes(w.rows(), w.cols(), y, out);
+  gather_blocked(w, y, nullptr, y.cols(), out);
+}
+
+void spmm_gather_cols_simd(const CsrMatrix& w, const DenseMatrix& y,
+                           std::span<const Index> columns, DenseMatrix& out) {
+  check_shapes(w.rows(), w.cols(), y, out);
+  gather_blocked(w, y, columns.data(), columns.size(), out);
+}
+
+void spmm_gather_threaded(const CsrMatrix& w, const DenseMatrix& y,
+                          DenseMatrix& out) {
+  check_shapes(w.rows(), w.cols(), y, out);
+  gather_row_parallel(w, y, nullptr, y.cols(), out);
+}
+
+void spmm_gather_cols_threaded(const CsrMatrix& w, const DenseMatrix& y,
+                               std::span<const Index> columns,
+                               DenseMatrix& out) {
+  check_shapes(w.rows(), w.cols(), y, out);
+  gather_row_parallel(w, y, columns.data(), columns.size(), out);
+}
+
+void spmm_scatter_simd(const CscMatrix& w, const DenseMatrix& y,
+                       DenseMatrix& out) {
+  check_shapes(w.rows(), w.cols(), y, out);
+  scatter_blocked(w, y, nullptr, y.cols(), out);
+}
+
+void spmm_scatter_cols_simd(const CscMatrix& w, const DenseMatrix& y,
+                            std::span<const Index> columns,
+                            DenseMatrix& out) {
+  check_shapes(w.rows(), w.cols(), y, out);
+  scatter_blocked(w, y, columns.data(), columns.size(), out);
 }
 
 void apply_bias_activation(DenseMatrix& y, std::span<const float> bias,

@@ -1,13 +1,24 @@
 // The spMM kernel family: sparse weight (N_out x N_in) times dense,
 // column-major activation batch (N_in x B).
 //
-// The four strategies span the optimisation space XY-2021 explores on GPU:
+// The scalar strategies span the optimisation space XY-2021 explores on GPU:
 //   * gather   — CSR, per output column, per output row (dense-input case)
 //   * tiled    — CSR, amortises each weight-row traversal over a tile of
 //                batch columns (cache blocking)
 //   * scatter  — CSC, skips zero input activations entirely (the
 //                activation-sparsity trick; wins when Y is sparse)
 //   * gather over a column subset — SNICIT's load-reduced spMM, §3.3.1
+//
+// On top of those sits the optimized tier (the `_simd` / `_threaded`
+// variants): register-blocked kernels that stream each weight row once per
+// group of 8 batch columns with a `#pragma omp simd` lane loop (enabled by
+// the SNICIT_SIMD build toggle; without it the same code compiles to
+// portable scalar and stays correct), plus row-parallel drivers that split
+// *output rows* across the thread pool for workloads with too few batch
+// columns to fill it. Every optimized variant accumulates each output
+// element in the exact nnz order of its scalar counterpart, so results are
+// equal element-for-element — the property the differential equivalence
+// suite (test_spmm_equivalence) locks down.
 //
 // All kernels compute *multiplication only*; bias and activation are a
 // separate fused pass (the paper's post-convergence kernels also split
@@ -44,6 +55,46 @@ void spmm_scatter(const CscMatrix& w, const DenseMatrix& y, DenseMatrix& out);
 /// Scatter kernel restricted to the listed batch columns.
 void spmm_scatter_cols(const CscMatrix& w, const DenseMatrix& y,
                        std::span<const Index> columns, DenseMatrix& out);
+
+// --- Optimized kernel tier -------------------------------------------------
+
+/// True when the library was compiled with SNICIT_SIMD (the blocked kernels
+/// carry vectorization pragmas). The variants below exist either way.
+bool simd_compiled();
+
+/// Register-blocked gather: each weight row is streamed once per group of
+/// 8 batch columns, lanes accumulate independently (same nnz order as
+/// spmm_gather per element). Parallel over column groups.
+void spmm_gather_simd(const CsrMatrix& w, const DenseMatrix& y,
+                      DenseMatrix& out);
+
+/// Blocked gather over a column subset; untouched columns are not written.
+void spmm_gather_cols_simd(const CsrMatrix& w, const DenseMatrix& y,
+                           std::span<const Index> columns, DenseMatrix& out);
+
+/// Row-parallel blocked gather: output rows are split across the thread
+/// pool, each range processing every column group. Wins over the
+/// column-parallel variants when the (possibly load-reduced) batch has
+/// fewer column groups than the pool has threads.
+void spmm_gather_threaded(const CsrMatrix& w, const DenseMatrix& y,
+                          DenseMatrix& out);
+
+/// Row-parallel blocked gather over a column subset — the load-reduced
+/// spMM front end used by snicit::postconv when few columns stay active.
+void spmm_gather_cols_threaded(const CsrMatrix& w, const DenseMatrix& y,
+                               std::span<const Index> columns,
+                               DenseMatrix& out);
+
+/// Register-blocked scatter: input rows whose activation is zero in every
+/// lane of the group are skipped; nonzero groups scatter to 8 output
+/// columns per weight-column traversal. Per-element accumulation order
+/// matches spmm_scatter (zero lanes contribute exact zeros).
+void spmm_scatter_simd(const CscMatrix& w, const DenseMatrix& y,
+                       DenseMatrix& out);
+
+/// Blocked scatter over a column subset.
+void spmm_scatter_cols_simd(const CscMatrix& w, const DenseMatrix& y,
+                            std::span<const Index> columns, DenseMatrix& out);
 
 /// In place: y = clamp(y + bias, 0, ymax), the SDGC activation
 /// σ(x) = min(max(x, 0), ymax) with per-row bias.

@@ -1,0 +1,226 @@
+#include "sparse/spmm_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "platform/common.hpp"
+#include "platform/env.hpp"
+#include "platform/thread_pool.hpp"
+#include "sparse/spmm.hpp"
+
+namespace snicit::sparse {
+
+const char* to_string(SpmmVariant v) {
+  switch (v) {
+    case SpmmVariant::kAuto: return "auto";
+    case SpmmVariant::kGatherScalar: return "gather";
+    case SpmmVariant::kGatherSimd: return "gather_simd";
+    case SpmmVariant::kGatherThreaded: return "gather_threaded";
+    case SpmmVariant::kTiled: return "tiled";
+    case SpmmVariant::kScatter: return "scatter";
+    case SpmmVariant::kScatterSimd: return "scatter_simd";
+  }
+  return "unknown";
+}
+
+std::optional<SpmmVariant> parse_spmm_variant(std::string_view name) {
+  for (int i = -1; i < kNumSpmmVariants; ++i) {
+    const auto v = static_cast<SpmmVariant>(i);
+    if (name == to_string(v)) return v;
+  }
+  return std::nullopt;
+}
+
+SpmmPolicy SpmmPolicy::from_env() {
+  SpmmPolicy policy;
+  const std::string name = platform::env_string("SNICIT_SPMM", "");
+  if (!name.empty()) {
+    if (const auto v = parse_spmm_variant(name)) {
+      policy.variant = *v;
+    }
+  }
+  const auto tile = platform::env_int("SNICIT_SPMM_TILE", 0);
+  if (tile >= 1 && tile <= 64) {
+    policy.tile = static_cast<std::size_t>(tile);
+  }
+  return policy;
+}
+
+namespace {
+
+/// Lanes a blocked kernel actually fills for this batch width.
+std::size_t lane_width(std::size_t batch_cols) {
+  return std::min<std::size_t>(8, std::max<std::size_t>(1, batch_cols));
+}
+
+/// Weight-stream amortisation of a bw-lane blocked kernel: the row
+/// pointers/indices/values are read once per group instead of once per
+/// column and the lane loop runs as one bw-wide vector FMA against the
+/// transposed activation panel, leaving a small per-lane floor. The curve
+/// is fitted to the bench_spmm_kernels grid (8 lanes measure ~0.12-0.23x
+/// scalar gather on the SDGC-shaped workloads).
+double amortised(std::size_t bw) {
+  return 0.12 + 0.88 / static_cast<double>(bw);
+}
+
+std::size_t pool_size(const SpmmPolicy& policy) {
+  if (!policy.allow_threads || platform::in_serial_region()) return 1;
+  return platform::ThreadPool::global().size();
+}
+
+}  // namespace
+
+double spmm_variant_cost(SpmmVariant v, const SpmmProblem& p,
+                         const SpmmPolicy& policy) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (p.batch_cols == 0) return 0.0;
+  const std::size_t pool = pool_size(policy);
+  const std::size_t bw = lane_width(p.batch_cols);
+  const bool blockable = p.batch_cols >= policy.min_cols_for_blocking;
+  // Parallel slots each driver can actually occupy.
+  const auto slots = [&](std::size_t work_items) {
+    return static_cast<double>(
+        std::min<std::size_t>(pool, std::max<std::size_t>(1, work_items)));
+  };
+  const std::size_t groups = (p.batch_cols + 7) / 8;
+  // Scatter zeroes its output column before accumulating: rows writes per
+  // column, i.e. rows/nnz per unit of gather work, plus the constant
+  // zero-test overhead from the policy.
+  const double scatter_setup =
+      policy.scatter_setup_cost +
+      static_cast<double>(p.rows) /
+          static_cast<double>(std::max<std::size_t>(1, p.nnz));
+  switch (v) {
+    case SpmmVariant::kGatherScalar:
+      return 1.0 / slots(p.batch_cols);
+    case SpmmVariant::kGatherSimd:
+      return (blockable ? amortised(bw) : 1.0) / slots(groups);
+    case SpmmVariant::kGatherThreaded: {
+      // Row split keeps every thread busy regardless of batch width, but
+      // re-reads the column-group pointers per row range; only worth it
+      // for tall-enough weights.
+      if (p.rows < policy.row_parallel_min_rows && pool > 1) return kInf;
+      return (blockable ? amortised(bw) : 1.0) / static_cast<double>(pool) +
+             0.02;
+    }
+    case SpmmVariant::kTiled: {
+      const double tw = static_cast<double>(
+          std::min<std::size_t>(policy.tile, p.batch_cols));
+      const std::size_t tiles =
+          (p.batch_cols + policy.tile - 1) / std::max<std::size_t>(1, policy.tile);
+      // Runtime-width inner loop: same amortisation idea as the blocked
+      // kernels but with a variable trip count the compiler cannot keep
+      // fully register-resident (measures ~0.65x scalar gather at the
+      // default tile on the bench grid).
+      return (0.60 + 0.40 / tw) / slots(tiles);
+    }
+    case SpmmVariant::kScatter:
+      if (!p.has_csc) return kInf;
+      return (p.density + scatter_setup) / slots(p.batch_cols);
+    case SpmmVariant::kScatterSimd: {
+      if (!p.has_csc || !blockable) return kInf;
+      // Group-level zero skip: an input row is processed when *any* of the
+      // bw lanes is nonzero. The setup (accumulator memset + panel
+      // transpose-out) scales per lane-column just like scalar scatter's,
+      // so it is not amortised by the group.
+      const double group_density =
+          1.0 - std::pow(1.0 - std::clamp(p.density, 0.0, 1.0),
+                         static_cast<double>(bw));
+      return (group_density * amortised(bw) + scatter_setup) / slots(groups);
+    }
+    case SpmmVariant::kAuto: break;
+  }
+  return kInf;
+}
+
+SpmmVariant select_spmm_variant(const SpmmProblem& p,
+                                const SpmmPolicy& policy) {
+  if (policy.variant != SpmmVariant::kAuto) return policy.variant;
+  SpmmVariant best = SpmmVariant::kGatherScalar;
+  double best_cost = spmm_variant_cost(best, p, policy);
+  for (int i = 1; i < kNumSpmmVariants; ++i) {
+    const auto v = static_cast<SpmmVariant>(i);
+    const double cost = spmm_variant_cost(v, p, policy);
+    if (cost < best_cost) {
+      best = v;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+SpmmProblem make_problem(const CsrMatrix& w, const CscMatrix* w_csc,
+                         std::size_t batch_cols, double density) {
+  SpmmProblem p;
+  p.rows = static_cast<std::size_t>(w.rows());
+  p.nnz = static_cast<std::size_t>(w.nnz());
+  p.batch_cols = batch_cols;
+  p.density = density;
+  p.has_csc = (w_csc != nullptr);
+  return p;
+}
+
+const CscMatrix& require_csc(const CscMatrix* w_csc) {
+  SNICIT_CHECK(w_csc != nullptr,
+               "scatter spMM variant forced without a CSC weight mirror");
+  return *w_csc;
+}
+
+}  // namespace
+
+SpmmVariant spmm_dispatch(const CsrMatrix& w, const CscMatrix* w_csc,
+                          const DenseMatrix& y, DenseMatrix& out,
+                          double density, const SpmmPolicy& policy) {
+  const auto v = select_spmm_variant(
+      make_problem(w, w_csc, y.cols(), density), policy);
+  switch (v) {
+    case SpmmVariant::kGatherScalar: spmm_gather(w, y, out); break;
+    case SpmmVariant::kGatherSimd: spmm_gather_simd(w, y, out); break;
+    case SpmmVariant::kGatherThreaded: spmm_gather_threaded(w, y, out); break;
+    case SpmmVariant::kTiled: spmm_tiled(w, y, out, policy.tile); break;
+    case SpmmVariant::kScatter: spmm_scatter(require_csc(w_csc), y, out); break;
+    case SpmmVariant::kScatterSimd:
+      spmm_scatter_simd(require_csc(w_csc), y, out);
+      break;
+    case SpmmVariant::kAuto:
+      platform::fatal(__FILE__, __LINE__, "selector returned kAuto");
+  }
+  return v;
+}
+
+SpmmVariant spmm_dispatch_cols(const CsrMatrix& w, const CscMatrix* w_csc,
+                               const DenseMatrix& y,
+                               std::span<const Index> columns,
+                               DenseMatrix& out, double density,
+                               const SpmmPolicy& policy) {
+  const auto v = select_spmm_variant(
+      make_problem(w, w_csc, columns.size(), density), policy);
+  switch (v) {
+    case SpmmVariant::kGatherScalar: spmm_gather_cols(w, y, columns, out); break;
+    case SpmmVariant::kGatherSimd:
+      spmm_gather_cols_simd(w, y, columns, out);
+      break;
+    case SpmmVariant::kGatherThreaded:
+      spmm_gather_cols_threaded(w, y, columns, out);
+      break;
+    case SpmmVariant::kTiled:
+      // No subset form of the tiled kernel: the 8-wide blocked gather is
+      // the same cache-blocking idea with a fixed tile.
+      spmm_gather_cols_simd(w, y, columns, out);
+      break;
+    case SpmmVariant::kScatter:
+      spmm_scatter_cols(require_csc(w_csc), y, columns, out);
+      break;
+    case SpmmVariant::kScatterSimd:
+      spmm_scatter_cols_simd(require_csc(w_csc), y, columns, out);
+      break;
+    case SpmmVariant::kAuto:
+      platform::fatal(__FILE__, __LINE__, "selector returned kAuto");
+  }
+  return v;
+}
+
+}  // namespace snicit::sparse

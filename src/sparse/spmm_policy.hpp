@@ -1,0 +1,108 @@
+// Cost-model kernel selection for the spMM family — the library-level
+// generalisation of XY-2021's optimisation-space search.
+//
+// XY-2021 predicts the best kernel per layer from a measured activation
+// density; baselines/autotune measures instead of predicting. Both engines
+// previously hard-coded a two-or-three-arm space. This header owns the
+// *full* space — scalar gather, register-blocked SIMD gather, row-parallel
+// threaded gather, cache-tiled gather, scatter, blocked scatter — plus the
+// analytic cost model that picks among them from the facts every engine
+// already has on hand: measured activation density, weight nnz/row, batch
+// width, and thread-pool size. A forced `SpmmPolicy::variant` pins one arm
+// for the whole run (the regression suites sweep every arm this way), and
+// SNICIT_SPMM / SNICIT_SPMM_TILE give the same control from the
+// environment for serving deployments.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::sparse {
+
+enum class SpmmVariant : int {
+  kAuto = -1,          // let the cost model decide per call
+  kGatherScalar = 0,   // CSR gather, column-parallel (the scalar reference)
+  kGatherSimd = 1,     // register-blocked gather, column-group-parallel
+  kGatherThreaded = 2, // register-blocked gather, row-range-parallel
+  kTiled = 3,          // cache-tiled gather (runtime tile width)
+  kScatter = 4,        // CSC scatter, skips zero activations per column
+  kScatterSimd = 5,    // register-blocked scatter, group-level zero skip
+};
+
+/// Number of concrete (non-auto) variants.
+inline constexpr int kNumSpmmVariants = 6;
+
+/// Stable lowercase name ("gather_simd", ...), used by flags/env/JSON.
+const char* to_string(SpmmVariant v);
+
+/// Inverse of to_string; also accepts "auto". Returns nullopt on junk.
+std::optional<SpmmVariant> parse_spmm_variant(std::string_view name);
+
+struct SpmmPolicy {
+  /// kAuto defers to the cost model; anything else forces that kernel.
+  SpmmVariant variant = SpmmVariant::kAuto;
+  /// Batch-tile width of the kTiled arm (clamped to [1, 64] by the kernel).
+  std::size_t tile = 16;
+  /// Fixed per-(nnz x column) overhead of the scatter arms relative to
+  /// gather: branch/zero-test cost on top of the accumulator zeroing the
+  /// model derives from rows/nnz.
+  double scatter_setup_cost = 0.15;
+  /// Below this many active columns the blocked arms stop paying for
+  /// themselves (lane underfill) and the model treats them as scalar.
+  std::size_t min_cols_for_blocking = 4;
+  /// Row-parallel arm needs at least this many output rows per the model
+  /// before splitting rows across the pool beats column parallelism.
+  std::size_t row_parallel_min_rows = 256;
+  /// When false the model prices every arm at pool size 1 (forced arms
+  /// still run; their inner parallel loops degrade to serial inline).
+  bool allow_threads = true;
+
+  /// Policy from SNICIT_SPMM (variant name) and SNICIT_SPMM_TILE (int);
+  /// unset/invalid fields keep the defaults above.
+  static SpmmPolicy from_env();
+};
+
+/// The facts the cost model consumes, all O(1) to produce at a call site.
+struct SpmmProblem {
+  std::size_t rows = 0;        // weight rows (output dimension)
+  std::size_t nnz = 0;         // weight nonzeros
+  std::size_t batch_cols = 0;  // columns actually multiplied (load-reduced)
+  double density = 1.0;        // estimated activation density in [0, 1]
+  bool has_csc = true;         // scatter arms selectable?
+};
+
+/// Relative cost of running `v` on `p` (scalar gather == 1.0 per
+/// nnz x column; lower is better). Exposed for tests and the bench grid.
+double spmm_variant_cost(SpmmVariant v, const SpmmProblem& p,
+                         const SpmmPolicy& policy);
+
+/// The selector: the forced variant when policy.variant != kAuto (always —
+/// a forced arm is never second-guessed), otherwise the cheapest arm under
+/// spmm_variant_cost. Never returns a scatter arm when !p.has_csc.
+SpmmVariant select_spmm_variant(const SpmmProblem& p,
+                                const SpmmPolicy& policy);
+
+/// Selects and runs in one step: out = W * y over all batch columns.
+/// `w_csc` may be null when no CSC mirror exists (scatter arms are then
+/// excluded from auto selection; forcing one is a hard error). `density`
+/// is the caller's activation-density estimate (estimate_column_density).
+/// Returns the variant that actually ran.
+SpmmVariant spmm_dispatch(const CsrMatrix& w, const CscMatrix* w_csc,
+                          const DenseMatrix& y, DenseMatrix& out,
+                          double density, const SpmmPolicy& policy = {});
+
+/// Column-subset dispatch (SNICIT's load-reduced spMM, partition engines).
+/// kTiled has no subset form and runs as blocked gather over the subset.
+SpmmVariant spmm_dispatch_cols(const CsrMatrix& w, const CscMatrix* w_csc,
+                               const DenseMatrix& y,
+                               std::span<const Index> columns,
+                               DenseMatrix& out, double density,
+                               const SpmmPolicy& policy = {});
+
+}  // namespace snicit::sparse

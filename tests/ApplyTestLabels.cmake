@@ -1,0 +1,19 @@
+# Re-applies multi-label sets to gtest-discovered tests at ctest time.
+#
+# gtest_discover_tests' POST_BUILD discovery flattens list-valued
+# properties, so a suite registered with more than one ctest label keeps
+# only the first.  snicit_add_test appends a tiny shim (which sets
+# SNICIT_LABEL_SOURCE and SNICIT_LABELS, then includes this file) to the
+# directory's TEST_INCLUDE_FILES *after* the discovery include, so this
+# runs once the generated add_test() calls exist and can restore the
+# full label set on every discovered test.
+if(NOT EXISTS "${SNICIT_LABEL_SOURCE}")
+  return()
+endif()
+file(STRINGS "${SNICIT_LABEL_SOURCE}" _snicit_label_lines REGEX "^add_test")
+foreach(_snicit_label_line IN LISTS _snicit_label_lines)
+  if(_snicit_label_line MATCHES "^add_test\\( *\\[=*\\[([^]]+)\\]")
+    set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES
+                         LABELS "${SNICIT_LABELS}")
+  endif()
+endforeach()

@@ -43,16 +43,41 @@ TEST(Autotune, CommitsAfterTriallingAllArms) {
   AutotuneEngine engine;
   engine.run(wl.net, wl.input);
   // With 20 layers and 1 trial round per arm, at least the bucket the
-  // steady-state density falls into must have committed (arm in [0, 3)).
+  // steady-state density falls into must have committed to a valid
+  // kernel variant.
   const auto arms = engine.committed_arms();
   bool any_committed = false;
   for (int arm : arms) {
     if (arm >= 0) {
-      EXPECT_LT(arm, 3);
+      EXPECT_LT(arm, sparse::kNumSpmmVariants);
       any_committed = true;
     }
   }
   EXPECT_TRUE(any_committed);
+}
+
+TEST(Autotune, ForcedVariantSkipsTrials) {
+  auto wl = make_workload(8);
+  AutotuneOptions opt;
+  opt.policy.variant = sparse::SpmmVariant::kGatherSimd;
+  AutotuneEngine engine(opt);
+  const auto result = engine.run(wl.net, wl.input);
+  const auto golden = dnn::reference_forward(wl.net, wl.input);
+  EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, golden), 1e-3f);
+  // Every bucket reports the forced variant, even ones never visited.
+  for (int arm : engine.committed_arms()) {
+    EXPECT_EQ(arm, static_cast<int>(sparse::SpmmVariant::kGatherSimd));
+  }
+}
+
+TEST(Autotune, ArmListCoversKernelFamily) {
+  AutotuneEngine engine;
+  const auto arms = engine.arm_list();
+  EXPECT_GE(arms.size(), 5u);  // scalar/SIMD gather, tiled, 2x scatter
+  for (auto v : arms) {
+    EXPECT_GE(static_cast<int>(v), 0);
+    EXPECT_LT(static_cast<int>(v), sparse::kNumSpmmVariants);
+  }
 }
 
 TEST(Autotune, ShortNetMayStayInTrialsButIsStillExact) {

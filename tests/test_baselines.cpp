@@ -5,6 +5,7 @@
 #include "baselines/xy2021.hpp"
 #include "data/synthetic.hpp"
 #include "dnn/reference.hpp"
+#include "platform/thread_pool.hpp"
 #include "radixnet/radixnet.hpp"
 
 namespace snicit::baselines {
@@ -96,17 +97,32 @@ TEST(Xy2021, MatchesReference) {
   EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, tc.expected), kTol);
 }
 
-TEST(Xy2021, CostModelUsesBothKernels) {
-  // Dense input at layer 0 should pick gather; saturation-sparse later
-  // layers should pick scatter. On an SDGC-style net with negative bias
-  // both arms are typically exercised.
+TEST(Xy2021, CostModelIsDensitySensitive) {
+  // Engine level: every layer is attributed to exactly one kernel family.
   auto tc = make_case(128, 16, 32, 9);
   Xy2021Engine engine;
   const auto result = engine.run(tc.net, tc.input);
   const double gather = result.diagnostics.at("gather_layers");
   const double scatter = result.diagnostics.at("scatter_layers");
   EXPECT_EQ(gather + scatter, 16.0);
-  EXPECT_GT(scatter, 0.0);  // sparse activations must trigger scatter
+
+  // Selector level: the cost model must route near-empty activations to a
+  // zero-skipping scatter arm and dense activations to a gather arm (the
+  // property the old two-arm threshold encoded).
+  sparse::SpmmProblem problem;
+  problem.rows = 1024;
+  problem.nnz = 32 * 1024;
+  problem.batch_cols = 32;
+  problem.has_csc = true;
+  sparse::SpmmPolicy policy;
+  problem.density = 0.005;
+  const auto sparse_pick = sparse::select_spmm_variant(problem, policy);
+  EXPECT_TRUE(sparse_pick == sparse::SpmmVariant::kScatter ||
+              sparse_pick == sparse::SpmmVariant::kScatterSimd);
+  problem.density = 1.0;
+  const auto dense_pick = sparse::select_spmm_variant(problem, policy);
+  EXPECT_TRUE(dense_pick != sparse::SpmmVariant::kScatter &&
+              dense_pick != sparse::SpmmVariant::kScatterSimd);
 }
 
 TEST(Xy2021, PerLayerTimesRecorded) {
@@ -145,6 +161,46 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(32, 1, 1), std::make_tuple(32, 2, 5),
                       std::make_tuple(64, 9, 17),
                       std::make_tuple(128, 6, 64)));
+
+// Kernel-policy regression guard: the engines' results must not depend on
+// which spMM variant the autotuner picks — force every arm in turn.
+TEST(BaselineKernelPolicy, EveryForcedVariantMatchesReference) {
+  auto tc = make_case(96, 8, 24, 12);
+  for (int i = -1; i < sparse::kNumSpmmVariants; ++i) {
+    sparse::SpmmPolicy policy;
+    policy.variant = static_cast<sparse::SpmmVariant>(i);
+    Bf2019Engine bf(2, policy);
+    Snig2020Engine snig(2, 2, policy);
+    Xy2021Options xopt;
+    xopt.policy = policy;
+    Xy2021Engine xy(xopt);
+    for (dnn::InferenceEngine* engine :
+         std::initializer_list<dnn::InferenceEngine*>{&bf, &snig, &xy}) {
+      const auto result = engine->run(tc.net, tc.input);
+      EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, tc.expected),
+                kTol)
+          << engine->name() << " forced "
+          << sparse::to_string(policy.variant);
+    }
+  }
+}
+
+// Thread-count regression guard: one pool worker (serial region) and the
+// full pool must produce the same results.
+TEST(BaselineKernelPolicy, SerialRegionMatchesPooled) {
+  auto tc = make_case(96, 8, 24, 13);
+  platform::ScopedSerialRegion serial;
+  Bf2019Engine bf(2);
+  Snig2020Engine snig(2, 2);
+  Xy2021Engine xy;
+  for (dnn::InferenceEngine* engine :
+       std::initializer_list<dnn::InferenceEngine*>{&bf, &snig, &xy}) {
+    const auto result = engine->run(tc.net, tc.input);
+    EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, tc.expected),
+              kTol)
+        << engine->name() << " (serial region)";
+  }
+}
 
 }  // namespace
 }  // namespace snicit::baselines

@@ -5,6 +5,9 @@
 // extreme values).
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "baselines/bf2019.hpp"
 #include "baselines/serial.hpp"
 #include "baselines/snig2020.hpp"
@@ -15,6 +18,7 @@
 #include "platform/rng.hpp"
 #include "radixnet/radixnet.hpp"
 #include "snicit/engine.hpp"
+#include "sparse/coo.hpp"
 #include "sparse/spmm.hpp"
 
 namespace snicit {
@@ -74,6 +78,83 @@ TEST_P(EngineFuzz, AllEnginesAgreeOnRandomWorkloads) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzz, ::testing::Range(1, 25));
+
+// Column-subset kernel property: for random (W, Y, subset) triples every
+// *_cols variant must (a) leave untouched columns bit-identical and
+// (b) produce, on the touched columns, exactly the full kernel's values
+// for those columns (same per-column accumulation order, so the match is
+// bitwise, not approximate).
+class ColsKernelFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColsKernelFuzz, SubsetVariantsTouchOnlyTheirColumns) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  platform::Rng rng(seed * 48271 + 5);
+  const auto rows = static_cast<sparse::Index>(8 + rng.next_below(72));
+  const auto cols = static_cast<sparse::Index>(8 + rng.next_below(72));
+  sparse::CooMatrix coo(rows, cols);
+  for (sparse::Index r = 0; r < rows; ++r) {
+    for (sparse::Index c = 0; c < cols; ++c) {
+      if (rng.next_bool(0.2)) coo.add(r, c, rng.uniform(-1.0f, 1.0f));
+    }
+  }
+  const auto w = sparse::CsrMatrix::from_coo(coo);
+  const auto w_csc = sparse::CscMatrix::from_csr(w);
+
+  const std::size_t batch = 1 + rng.next_below(40);
+  dnn::DenseMatrix y(static_cast<std::size_t>(cols), batch);
+  for (std::size_t i = 0; i < y.rows() * y.cols(); ++i) {
+    if (rng.next_bool(0.5)) y.data()[i] = rng.uniform(0.0f, 2.0f);
+  }
+  std::vector<sparse::Index> subset;
+  for (std::size_t j = 0; j < batch; ++j) {
+    if (rng.next_bool(0.5)) subset.push_back(static_cast<sparse::Index>(j));
+  }
+
+  dnn::DenseMatrix full_gather(static_cast<std::size_t>(rows), batch);
+  sparse::spmm_gather(w, y, full_gather);
+  dnn::DenseMatrix full_scatter(static_cast<std::size_t>(rows), batch);
+  sparse::spmm_scatter(w_csc, y, full_scatter);
+
+  constexpr float kSentinel = 123.25f;
+  const auto check = [&](const dnn::DenseMatrix& out,
+                         const dnn::DenseMatrix& full, const char* name) {
+    std::vector<bool> touched(batch, false);
+    for (sparse::Index jc : subset) {
+      touched[static_cast<std::size_t>(jc)] = true;
+    }
+    for (std::size_t j = 0; j < batch; ++j) {
+      const float* oc = out.col(j);
+      const float* fc = full.col(j);
+      for (std::size_t r = 0; r < out.rows(); ++r) {
+        if (touched[j]) {
+          ASSERT_EQ(std::memcmp(&oc[r], &fc[r], sizeof(float)), 0)
+              << name << " seed=" << seed << " col " << j << " row " << r;
+        } else {
+          ASSERT_EQ(oc[r], kSentinel)
+              << name << " seed=" << seed << " clobbered col " << j;
+        }
+      }
+    }
+  };
+
+  dnn::DenseMatrix out(static_cast<std::size_t>(rows), batch, kSentinel);
+  sparse::spmm_gather_cols(w, y, subset, out);
+  check(out, full_gather, "gather_cols");
+  out = dnn::DenseMatrix(static_cast<std::size_t>(rows), batch, kSentinel);
+  sparse::spmm_gather_cols_simd(w, y, subset, out);
+  check(out, full_gather, "gather_cols_simd");
+  out = dnn::DenseMatrix(static_cast<std::size_t>(rows), batch, kSentinel);
+  sparse::spmm_gather_cols_threaded(w, y, subset, out);
+  check(out, full_gather, "gather_cols_threaded");
+  out = dnn::DenseMatrix(static_cast<std::size_t>(rows), batch, kSentinel);
+  sparse::spmm_scatter_cols(w_csc, y, subset, out);
+  check(out, full_scatter, "scatter_cols");
+  out = dnn::DenseMatrix(static_cast<std::size_t>(rows), batch, kSentinel);
+  sparse::spmm_scatter_cols_simd(w_csc, y, subset, out);
+  check(out, full_scatter, "scatter_cols_simd");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColsKernelFuzz, ::testing::Range(1, 21));
 
 TEST(KernelEdge, SingleNeuronNetwork) {
   dnn::DnnBuilder builder(1, 4.0f);

@@ -4,6 +4,7 @@
 
 #include "data/synthetic.hpp"
 #include "dnn/reference.hpp"
+#include "platform/thread_pool.hpp"
 #include "radixnet/radixnet.hpp"
 
 namespace snicit::core {
@@ -104,6 +105,40 @@ TEST(SnicitEngine, AllPreKernelsProduceSameCategories) {
     EXPECT_LE(dnn::DenseMatrix::max_abs_diff(result.output, expected), 5e-3f)
         << "kernel " << static_cast<int>(kernel);
   }
+}
+
+TEST(SnicitEngine, TopCategoriesInvariantUnderEverySpmmVariant) {
+  // The SDGC scoring criterion must not depend on which kernel the
+  // autotuner picks: force every variant (plus auto) through both phases.
+  auto [net, input] = make_test_net();
+  const auto expected = dnn::reference_forward(net, input);
+  const auto golden_cats = dnn::sdgc_categories(expected, 1e-3f);
+  for (int i = -1; i < sparse::kNumSpmmVariants; ++i) {
+    auto params = default_params(8);
+    params.spmm.variant = static_cast<sparse::SpmmVariant>(i);
+    SnicitEngine engine(params);
+    const auto result = engine.run(net, input);
+    EXPECT_DOUBLE_EQ(
+        dnn::category_match_rate(dnn::sdgc_categories(result.output, 1e-3f),
+                                 golden_cats),
+        1.0)
+        << "variant " << sparse::to_string(params.spmm.variant);
+  }
+}
+
+TEST(SnicitEngine, TopCategoriesInvariantUnderSerialRegion) {
+  // One pool worker vs the full pool must score identically (kernels are
+  // order-deterministic; only the arm selection may legitimately differ).
+  auto [net, input] = make_test_net();
+  const auto expected = dnn::reference_forward(net, input);
+  const auto golden_cats = dnn::sdgc_categories(expected, 1e-3f);
+  platform::ScopedSerialRegion serial;
+  SnicitEngine engine(default_params(8));
+  const auto result = engine.run(net, input);
+  EXPECT_DOUBLE_EQ(
+      dnn::category_match_rate(dnn::sdgc_categories(result.output, 1e-3f),
+                               golden_cats),
+      1.0);
 }
 
 TEST(SnicitEngine, TraceRecordsPostConvergenceCompression) {
