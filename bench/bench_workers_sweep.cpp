@@ -7,10 +7,16 @@
 //
 //   bench_workers_sweep [--workers 1,2,4,8] [--samples N] [--batch-size B]
 //                       [--engine snicit|warm|reference]
+//                       [--faults SPEC] [--faults-seed S]
 //
 // Expected shape: throughput scales with workers up to the core count
 // (≥ 2x at 4 workers on a ≥ 4-core host); on a single-core box the curve
 // is flat — batch overlap cannot beat the hardware.
+//
+// --faults arms the deterministic fault registry for the sweep (e.g.
+// --faults worker_throw:0.05) and reports retries/degraded/lost per row;
+// the clean sweep first measures the disarmed-path overhead, which must
+// stay < 2% (one relaxed atomic load per injection site).
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -21,6 +27,7 @@
 #include "data/synthetic.hpp"
 #include "dnn/reference.hpp"
 #include "platform/cli.hpp"
+#include "platform/fault_injection.hpp"
 #include "platform/thread_pool.hpp"
 #include "radixnet/radixnet.hpp"
 #include "snicit/engine.hpp"
@@ -90,9 +97,29 @@ int main(int argc, char** argv) {
   const auto serial =
       core::stream_inference(*serial_engine, net, input, serial_opt);
   const double serial_thr = serial.throughput(samples);
-  std::printf("\n%8s | %12s | %8s | %9s %9s %9s | %s\n", "workers",
+
+  // The serial baseline above always runs disarmed; the sweep below runs
+  // under whatever --faults arms, so every row's recovery cost (retries,
+  // degraded fallbacks) shows up directly as lost speedup while the
+  // outputs column proves recovery stayed exact.
+  auto& faults = platform::fault::FaultRegistry::global();
+  if (args.has("faults")) {
+    const auto armed = faults.configure(
+        args.get("faults", ""),
+        static_cast<std::uint64_t>(args.get_int("faults-seed", 42)));
+    if (!armed.ok()) {
+      std::fprintf(stderr, "error: --faults: %s\n",
+                   armed.error().message.c_str());
+      return 2;
+    }
+    std::printf("armed faults: %s (seed %llu)\n", faults.spec().c_str(),
+                static_cast<unsigned long long>(faults.seed()));
+  }
+  const bool drilled = faults.armed();
+
+  std::printf("\n%8s | %12s | %8s | %9s %9s %9s | %s%s\n", "workers",
               "samples/s", "speedup", "p50 ms", "p95 ms", "p99 ms",
-              "outputs");
+              "outputs", drilled ? " | retry/degr/lost" : "");
   std::printf("%8s | %12.0f | %8s | %9.2f %9.2f %9.2f | %s\n", "serial",
               serial_thr, "1.00x", serial.latency.p50(),
               serial.latency.p95(), serial.latency.p99(), "golden");
@@ -107,12 +134,17 @@ int main(int argc, char** argv) {
     const auto streamed = executor.run(*engine, net, input);
     const bool exact = dnn::DenseMatrix::max_abs_diff(streamed.outputs,
                                                       serial.outputs) == 0.0f;
-    std::printf("%8lld | %12.0f | %7.2fx | %9.2f %9.2f %9.2f | %s\n",
+    std::printf("%8lld | %12.0f | %7.2fx | %9.2f %9.2f %9.2f | %s",
                 static_cast<long long>(w), streamed.throughput(samples),
                 streamed.throughput(samples) / serial_thr,
                 streamed.latency.p50(), streamed.latency.p95(),
                 streamed.latency.p99(),
                 exact ? "bit-exact" : "MISMATCH");
+    if (drilled) {
+      std::printf(" | %zu/%zu/%zu", streamed.retries,
+                  streamed.degraded_batches, streamed.lost_batches());
+    }
+    std::printf("\n");
   }
 
   bench::print_note(

@@ -32,6 +32,7 @@
 #include "dnn/analysis.hpp"
 #include "dnn/reference.hpp"
 #include "platform/cli.hpp"
+#include "platform/fault_injection.hpp"
 #include "platform/metrics.hpp"
 #include "platform/trace.hpp"
 #include "radixnet/mixed_radix.hpp"
@@ -58,7 +59,8 @@ std::vector<std::string> known_flags(const std::string& cmd) {
     for (const char* f :
          {"engine", "threshold", "sample-size", "downsample", "prune",
           "auto-threshold", "stream", "workers", "queue", "trace-out",
-          "metrics-out", "spmm", "spmm-tile"}) {
+          "metrics-out", "spmm", "spmm-tile", "faults", "faults-seed",
+          "max-attempts", "deadline-ms"}) {
       flags.push_back(f);
     }
   }
@@ -222,6 +224,20 @@ int cmd_run(const platform::CliArgs& args) {
     }
   };
 
+  // --faults arms the deterministic fault-injection registry for this
+  // run (same spec grammar as SNICIT_FAULTS); a malformed spec is a
+  // usage error, not a silently fault-free drill.
+  if (args.has("faults")) {
+    const auto armed = platform::fault::FaultRegistry::global().configure(
+        args.get("faults", ""),
+        static_cast<std::uint64_t>(args.get_int("faults-seed", 42)));
+    if (!armed.ok()) {
+      std::fprintf(stderr, "error: --faults: %s\n",
+                   armed.error().message.c_str());
+      return 2;
+    }
+  }
+
   const auto wl = build_workload(args);
   auto engine = build_engine(args, wl);
   wl.net.ensure_csc();
@@ -237,6 +253,9 @@ int cmd_run(const platform::CliArgs& args) {
         std::max<std::int64_t>(args.get_int("workers", 1), 0));
     opt.queue_capacity = static_cast<std::size_t>(
         std::max<std::int64_t>(args.get_int("queue", 0), 0));
+    opt.max_attempts = static_cast<std::size_t>(
+        std::max<std::int64_t>(args.get_int("max-attempts", 5), 1));
+    opt.batch_deadline_ms = args.get_double("deadline-ms", 0.0);
     const core::ParallelStreamExecutor executor(opt);
     const auto streamed = executor.run(*engine, wl.net, wl.input);
     std::printf("%zu batches of <= %zu on %zu worker(s): total %.2f ms, "
@@ -248,8 +267,31 @@ int cmd_run(const platform::CliArgs& args) {
     std::printf("batch latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
                 streamed.latency.p50(), streamed.latency.p95(),
                 streamed.latency.p99());
+    // Fault-tolerance ledger: what was retried, degraded, or lost. Lost
+    // batches (zeroed output columns) make the run exit nonzero so fault
+    // drills in scripts cannot silently pass.
+    auto& fault_registry = platform::fault::FaultRegistry::global();
+    if (streamed.retries > 0 || streamed.degraded_batches > 0 ||
+        !streamed.failures.empty() || fault_registry.armed()) {
+      std::printf(
+          "fault tolerance: %zu retr%s, %zu degraded batch(es), "
+          "%zu lost batch(es)\n",
+          streamed.retries, streamed.retries == 1 ? "y" : "ies",
+          streamed.degraded_batches, streamed.lost_batches());
+      for (const auto& failure : streamed.failures) {
+        std::printf("  batch %zu lost after %zu attempt(s): [%s] %s\n",
+                    failure.batch, failure.attempts,
+                    platform::to_string(failure.code),
+                    failure.message.c_str());
+      }
+      if (fault_registry.armed()) {
+        std::printf("  armed faults: %s (seed %llu)\n",
+                    fault_registry.spec().c_str(),
+                    static_cast<unsigned long long>(fault_registry.seed()));
+      }
+    }
     write_observability();
-    return 0;
+    return streamed.complete() ? 0 : 3;
   }
 
   const auto result = engine->run(wl.net, wl.input);
@@ -296,7 +338,14 @@ void usage() {
       "            --spmm-tile W (batch-tile width of the tiled kernel)\n"
       "            --trace-out FILE (chrome://tracing JSON)\n"
       "            --metrics-out FILE (workload counters/series JSON)\n"
-      "  analyze:  (common options only)\n");
+      "            --faults SPEC (deterministic fault drill, e.g.\n"
+      "              worker_throw:0.05,nan_tile:0.01 — same grammar as\n"
+      "              SNICIT_FAULTS) --faults-seed S (default 42)\n"
+      "            --max-attempts N (per-batch retry budget, default 5)\n"
+      "            --deadline-ms D (per-batch deadline, 0 = none)\n"
+      "  analyze:  (common options only)\n"
+      "exit codes: 0 ok, 1 runtime error, 2 usage error, 3 stream lost "
+      "batches\n");
 }
 
 }  // namespace

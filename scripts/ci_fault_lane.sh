@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# CI fault lane: run every fault-injection drill and degradation suite
+# (`ctest -L fault`) in a build instrumented with ASan+UBSan, so the
+# recovery paths — worker retries, queue close/drain, the SNICIT dense
+# fallback — are exercised with memory and UB checking on.
+#
+#   scripts/ci_fault_lane.sh [build-dir]     (default: build-fault)
+#
+# The lane uses its own tree: sanitized and plain objects don't mix.
+# Exits nonzero if configure, build, or any fault-labelled test fails.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-fault"}
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSNICIT_SANITIZE=address,undefined \
+  -DSNICIT_BUILD_BENCH=OFF \
+  -DSNICIT_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+# halt_on_error: a UB report must fail the lane, not scroll past it.
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+  ctest --test-dir "$build_dir" -L fault --output-on-failure
+
+echo "fault lane clean: all fault-labelled tests passed under ASan+UBSan"

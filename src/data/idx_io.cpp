@@ -10,8 +10,16 @@ namespace snicit::data {
 
 namespace {
 
+using platform::ErrorCode;
+using platform::ErrorException;
+using platform::Result;
+
 constexpr std::uint32_t kImageMagic = 0x00000803;  // idx3-ubyte
 constexpr std::uint32_t kLabelMagic = 0x00000801;  // idx1-ubyte
+
+/// Sanity cap on a declared payload: a hostile header can claim up to
+/// 2^96 bytes; refuse anything past 4 GiB before allocating for it.
+constexpr std::uint64_t kMaxPayload = 1ULL << 32;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -22,14 +30,15 @@ using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 FilePtr open_or_throw(const std::string& path, const char* mode) {
   FilePtr f(std::fopen(path.c_str(), mode));
-  if (!f) throw std::runtime_error("cannot open: " + path);
+  if (!f) throw ErrorException(ErrorCode::kBadInput, "cannot open: " + path);
   return f;
 }
 
 std::uint32_t read_be32(std::FILE* f, const std::string& path) {
   std::uint8_t b[4];
   if (std::fread(b, 1, 4, f) != 4) {
-    throw std::runtime_error("truncated IDX header in " + path);
+    throw ErrorException(ErrorCode::kBadInput,
+                         "truncated IDX header in " + path);
   }
   return (static_cast<std::uint32_t>(b[0]) << 24) |
          (static_cast<std::uint32_t>(b[1]) << 16) |
@@ -43,40 +52,88 @@ void write_be32(std::FILE* f, std::uint32_t v) {
                              static_cast<std::uint8_t>(v >> 8),
                              static_cast<std::uint8_t>(v)};
   if (std::fwrite(b, 1, 4, f) != 4) {
-    throw std::runtime_error("short write in IDX header");
+    throw ErrorException(ErrorCode::kBadInput, "short write in IDX header");
+  }
+}
+
+void require_eof(std::FILE* f, const std::string& path) {
+  if (std::fgetc(f) != EOF) {
+    throw ErrorException(ErrorCode::kBadInput,
+                         "trailing bytes after IDX payload in " + path);
+  }
+}
+
+template <typename T, typename Fn>
+Result<T> as_result(Fn&& fn) {
+  try {
+    return Result<T>(fn());
+  } catch (const ErrorException& e) {
+    return Result<T>(e.error());
   }
 }
 
 }  // namespace
 
+platform::Result<IdxImages> try_load_idx_images(const std::string& path) {
+  return as_result<IdxImages>([&] {
+    auto f = open_or_throw(path, "rb");
+    if (read_be32(f.get(), path) != kImageMagic) {
+      throw ErrorException(ErrorCode::kBadInput,
+                           "not an idx3-ubyte image file: " + path);
+    }
+    IdxImages images;
+    images.count = read_be32(f.get(), path);
+    images.rows = read_be32(f.get(), path);
+    images.cols = read_be32(f.get(), path);
+    // Each dimension is < 2^32, so count*rows < 2^64 is exact; guard the
+    // final multiply and the overall size before allocating.
+    const std::uint64_t cr = static_cast<std::uint64_t>(images.count) *
+                             static_cast<std::uint64_t>(images.rows);
+    if (images.cols != 0 && cr > kMaxPayload / images.cols) {
+      throw ErrorException(ErrorCode::kBadInput,
+                           "implausible IDX image dimensions in " + path);
+    }
+    const std::uint64_t payload = cr * images.cols;
+    if (payload > kMaxPayload) {
+      throw ErrorException(ErrorCode::kBadInput,
+                           "implausible IDX image dimensions in " + path);
+    }
+    images.pixels.resize(static_cast<std::size_t>(payload));
+    if (std::fread(images.pixels.data(), 1, images.pixels.size(), f.get()) !=
+        images.pixels.size()) {
+      throw ErrorException(ErrorCode::kBadInput,
+                           "truncated IDX image payload in " + path);
+    }
+    require_eof(f.get(), path);
+    return images;
+  });
+}
+
 IdxImages load_idx_images(const std::string& path) {
-  auto f = open_or_throw(path, "rb");
-  if (read_be32(f.get(), path) != kImageMagic) {
-    throw std::runtime_error("not an idx3-ubyte image file: " + path);
-  }
-  IdxImages images;
-  images.count = read_be32(f.get(), path);
-  images.rows = read_be32(f.get(), path);
-  images.cols = read_be32(f.get(), path);
-  const std::size_t payload = images.count * images.rows * images.cols;
-  images.pixels.resize(payload);
-  if (std::fread(images.pixels.data(), 1, payload, f.get()) != payload) {
-    throw std::runtime_error("truncated IDX image payload in " + path);
-  }
-  return images;
+  return try_load_idx_images(path).value_or_throw();
+}
+
+platform::Result<std::vector<std::uint8_t>> try_load_idx_labels(
+    const std::string& path) {
+  return as_result<std::vector<std::uint8_t>>([&] {
+    auto f = open_or_throw(path, "rb");
+    if (read_be32(f.get(), path) != kLabelMagic) {
+      throw ErrorException(ErrorCode::kBadInput,
+                           "not an idx1-ubyte label file: " + path);
+    }
+    const std::uint32_t count = read_be32(f.get(), path);
+    std::vector<std::uint8_t> labels(count);
+    if (std::fread(labels.data(), 1, count, f.get()) != count) {
+      throw ErrorException(ErrorCode::kBadInput,
+                           "truncated IDX label payload in " + path);
+    }
+    require_eof(f.get(), path);
+    return labels;
+  });
 }
 
 std::vector<std::uint8_t> load_idx_labels(const std::string& path) {
-  auto f = open_or_throw(path, "rb");
-  if (read_be32(f.get(), path) != kLabelMagic) {
-    throw std::runtime_error("not an idx1-ubyte label file: " + path);
-  }
-  const std::uint32_t count = read_be32(f.get(), path);
-  std::vector<std::uint8_t> labels(count);
-  if (std::fread(labels.data(), 1, count, f.get()) != count) {
-    throw std::runtime_error("truncated IDX label payload in " + path);
-  }
-  return labels;
+  return try_load_idx_labels(path).value_or_throw();
 }
 
 void save_idx_images(const IdxImages& images, const std::string& path) {
@@ -90,7 +147,8 @@ void save_idx_images(const IdxImages& images, const std::string& path) {
   write_be32(f.get(), static_cast<std::uint32_t>(images.cols));
   if (std::fwrite(images.pixels.data(), 1, images.pixels.size(), f.get()) !=
       images.pixels.size()) {
-    throw std::runtime_error("short write in IDX image payload");
+    throw ErrorException(ErrorCode::kBadInput,
+                         "short write in IDX image payload");
   }
 }
 
@@ -101,7 +159,8 @@ void save_idx_labels(const std::vector<std::uint8_t>& labels,
   write_be32(f.get(), static_cast<std::uint32_t>(labels.size()));
   if (std::fwrite(labels.data(), 1, labels.size(), f.get()) !=
       labels.size()) {
-    throw std::runtime_error("short write in IDX label payload");
+    throw ErrorException(ErrorCode::kBadInput,
+                         "short write in IDX label payload");
   }
 }
 

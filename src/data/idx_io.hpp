@@ -2,6 +2,11 @@
 // (http://yann.lecun.com/exdb/mnist/). When the real dataset files are
 // available offline the library can consume them directly; the test suite
 // exercises the codec with synthetic files, so no download is required.
+//
+// Readers come in two flavours: `try_*` returns platform::Result with
+// ErrorCode::kBadInput on unreadable, malformed, truncated, implausibly
+// sized, or trailing-junk files; the legacy-signature functions wrap them
+// and throw platform::ErrorException (a std::runtime_error).
 #pragma once
 
 #include <cstdint>
@@ -9,6 +14,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "platform/error.hpp"
 
 namespace snicit::data {
 
@@ -20,11 +26,19 @@ struct IdxImages {
   std::vector<std::uint8_t> pixels;  // count * rows * cols, row-major
 };
 
-/// Reads an idx3-ubyte image file. Throws std::runtime_error on I/O or
-/// format errors (bad magic, truncated payload).
+/// Reads an idx3-ubyte image file. Rejects bad magic, truncated headers
+/// or payloads, headers whose dimensions multiply past the sanity cap,
+/// and files with trailing bytes after the payload.
+platform::Result<IdxImages> try_load_idx_images(const std::string& path);
+
+/// Throwing wrapper around try_load_idx_images.
 IdxImages load_idx_images(const std::string& path);
 
-/// Reads an idx1-ubyte label file.
+/// Reads an idx1-ubyte label file (same failure contract as images).
+platform::Result<std::vector<std::uint8_t>> try_load_idx_labels(
+    const std::string& path);
+
+/// Throwing wrapper around try_load_idx_labels.
 std::vector<std::uint8_t> load_idx_labels(const std::string& path);
 
 /// Writers (used by tests and for exporting synthetic corpora in a

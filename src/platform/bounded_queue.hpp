@@ -2,7 +2,10 @@
 // between a stream producer slicing batches and the worker pool serving
 // them. `push` blocks while the queue is at capacity, so a fast producer
 // can never hold more than `capacity` undispatched batches in memory;
-// `close` releases every blocked producer and consumer for shutdown.
+// `close` releases every blocked producer and consumer for shutdown: a
+// producer parked in `push` wakes and gets ErrorCode::kQueueClosed (it is
+// never left blocked, even when close() races the capacity wait), and
+// consumers drain what is queued before seeing exhaustion.
 #pragma once
 
 #include <condition_variable>
@@ -13,6 +16,7 @@
 #include <utility>
 
 #include "platform/common.hpp"
+#include "platform/error.hpp"
 
 namespace snicit::platform {
 
@@ -26,16 +30,18 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Blocks while full; returns false (dropping `value`) once closed.
-  bool push(T value) {
+  /// Blocks while full. kOk once enqueued; kQueueClosed (dropping
+  /// `value`) when the queue is — or becomes, while this call is parked
+  /// waiting for room — closed.
+  ErrorCode push(T value) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock,
                    [this] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return false;
+    if (closed_) return ErrorCode::kQueueClosed;
     items_.push_back(std::move(value));
     lock.unlock();
     not_empty_.notify_one();
-    return true;
+    return ErrorCode::kOk;
   }
 
   /// Non-blocking push; false when full or closed.
@@ -62,8 +68,8 @@ class BoundedQueue {
     return value;
   }
 
-  /// Irreversible: wakes every blocked push (which fails) and pop (which
-  /// drains what is left, then reports exhaustion).
+  /// Irreversible: wakes every blocked push (which returns kQueueClosed)
+  /// and pop (which drains what is left, then reports exhaustion).
   void close() {
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -1,0 +1,215 @@
+#include "platform/fault_injection.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "platform/env.hpp"
+#include "platform/metrics.hpp"
+#include "platform/rng.hpp"
+
+namespace snicit::platform::fault {
+
+namespace {
+
+// FNV-1a over the site name: folds the site identity into the seed so
+// distinct sites armed together draw independent fault patterns.
+std::uint64_t hash_name(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// One SplitMix64 round over (seed ^ site ^ key): a pure stateless mix,
+// so a trial's outcome never depends on other trials or threads.
+double keyed_uniform(std::uint64_t seed, std::uint64_t site_hash,
+                     std::uint64_t key) {
+  SplitMix64 mix(seed ^ site_hash ^ (key * 0x9e3779b97f4a7c15ULL));
+  return static_cast<double>(mix.next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const std::vector<std::string>& known_sites() {
+  static const std::vector<std::string> sites = {
+      "worker_throw", "queue_stall", "nan_tile", "spmm_nan", "convert_nan",
+  };
+  return sites;
+}
+
+Result<void> FaultRegistry::configure(const std::string& spec,
+                                      std::uint64_t seed) {
+  std::vector<std::unique_ptr<Site>> parsed;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      return Error{ErrorCode::kBadInput,
+                   "fault spec entry '" + entry +
+                       "' is not of the form site:probability[:param]"};
+    }
+    const std::string name = entry.substr(0, colon);
+    bool valid_name = false;
+    for (const auto& site : known_sites()) valid_name |= (site == name);
+    if (!valid_name) {
+      std::string expected;
+      for (const auto& site : known_sites()) {
+        if (!expected.empty()) expected += "|";
+        expected += site;
+      }
+      return Error{ErrorCode::kBadInput, "unknown fault site '" + name +
+                                             "' (expected " + expected + ")"};
+    }
+
+    SiteConfig config;
+    const std::string rest = entry.substr(colon + 1);
+    const std::size_t colon2 = rest.find(':');
+    const std::string prob_str =
+        colon2 == std::string::npos ? rest : rest.substr(0, colon2);
+    char* parse_end = nullptr;
+    config.probability = std::strtod(prob_str.c_str(), &parse_end);
+    if (parse_end == prob_str.c_str() || *parse_end != '\0' ||
+        config.probability < 0.0 || config.probability > 1.0) {
+      return Error{ErrorCode::kBadInput,
+                   "fault probability '" + prob_str + "' for site '" + name +
+                       "' is not a number in [0, 1]"};
+    }
+    if (colon2 != std::string::npos) {
+      const std::string param_str = rest.substr(colon2 + 1);
+      config.param = std::strtod(param_str.c_str(), &parse_end);
+      if (parse_end == param_str.c_str() || *parse_end != '\0' ||
+          config.param < 0.0) {
+        return Error{ErrorCode::kBadInput,
+                     "fault param '" + param_str + "' for site '" + name +
+                         "' is not a non-negative number"};
+      }
+    }
+
+    for (const auto& existing : parsed) {
+      if (existing->name == name) {
+        return Error{ErrorCode::kBadInput,
+                     "fault site '" + name + "' configured twice"};
+      }
+    }
+    auto site = std::make_unique<Site>();
+    site->name = name;
+    site->config = config;
+    parsed.push_back(std::move(site));
+  }
+
+  bool any_armed = false;
+  for (const auto& site : parsed) any_armed |= (site->config.probability > 0);
+  sites_ = std::move(parsed);
+  seed_ = seed;
+  armed_.store(any_armed, std::memory_order_relaxed);
+  return {};
+}
+
+void FaultRegistry::configure_from_env() {
+  const std::string spec = env_string("SNICIT_FAULTS", "");
+  const auto seed =
+      static_cast<std::uint64_t>(env_int("SNICIT_FAULTS_SEED", 42));
+  auto result = configure(spec, seed);
+  if (!result.ok()) {
+    // A drill whose spec silently failed to arm would report vacuous
+    // success — treat a malformed environment as unrecoverable.
+    platform::fatal(__FILE__, __LINE__,
+                    "SNICIT_FAULTS: " + result.error().to_string());
+  }
+}
+
+void FaultRegistry::clear() {
+  sites_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+FaultRegistry::Site* FaultRegistry::find(std::string_view site) {
+  for (const auto& s : sites_) {
+    if (s->name == site) return s.get();
+  }
+  return nullptr;
+}
+
+const FaultRegistry::Site* FaultRegistry::find(std::string_view site) const {
+  for (const auto& s : sites_) {
+    if (s->name == site) return s.get();
+  }
+  return nullptr;
+}
+
+bool FaultRegistry::should_fire(std::string_view site, std::uint64_t key) {
+  Site* s = find(site);
+  if (s == nullptr) return false;
+  // A configured site counts its trials even at probability 0, so drills
+  // can verify a site was actually visited without arming it.
+  s->trials.fetch_add(1, std::memory_order_relaxed);
+  if (s->config.probability <= 0.0) return false;
+  const bool fire =
+      keyed_uniform(seed_, hash_name(site), key) < s->config.probability;
+  if (fire) {
+    s->fired.fetch_add(1, std::memory_order_relaxed);
+    if (metrics::enabled()) {
+      metrics::MetricsRegistry::global()
+          .counter("fault.fired." + s->name)
+          .add(1);
+    }
+  }
+  return fire;
+}
+
+bool FaultRegistry::should_fire(std::string_view site) {
+  Site* s = find(site);
+  if (s == nullptr) return false;
+  return should_fire(site, s->sequence.fetch_add(1, std::memory_order_relaxed));
+}
+
+double FaultRegistry::param(std::string_view site, double fallback) const {
+  const Site* s = find(site);
+  return (s == nullptr || s->config.param <= 0.0) ? fallback : s->config.param;
+}
+
+std::uint64_t FaultRegistry::trials(std::string_view site) const {
+  const Site* s = find(site);
+  return s == nullptr ? 0 : s->trials.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultRegistry::fired(std::string_view site) const {
+  const Site* s = find(site);
+  return s == nullptr ? 0 : s->fired.load(std::memory_order_relaxed);
+}
+
+std::string FaultRegistry::spec() const {
+  // %g round-trips the usual spec literals ("0.5", not "0.500000").
+  const auto number = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return std::string(buf);
+  };
+  std::string out;
+  for (const auto& s : sites_) {
+    if (s->config.probability <= 0.0) continue;
+    if (!out.empty()) out += ",";
+    out += s->name + ":" + number(s->config.probability);
+    if (s->config.param > 0.0) out += ":" + number(s->config.param);
+  }
+  return out;
+}
+
+FaultRegistry& FaultRegistry::global() {
+  static FaultRegistry* registry = [] {
+    auto* r = new FaultRegistry();
+    r->configure_from_env();
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace snicit::platform::fault

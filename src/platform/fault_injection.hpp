@@ -1,0 +1,137 @@
+// Deterministic fault injection: named sites in the serving pipeline and
+// the kernels consult a process-wide registry to decide whether to
+// misbehave on purpose, so every recovery path in the system can be
+// driven by tests and drills instead of waiting for production to
+// exercise it.
+//
+// Determinism is the load-bearing property. A site fires iff
+//
+//     mix(seed, hash(site), key) < probability
+//
+// — a pure function of (seed, site, key), independent of thread
+// interleaving, retry timing, or how many other sites are armed. Call
+// sites pass a stable key (batch index, attempt number, per-site
+// sequence) so a drill under `SNICIT_FAULTS=worker_throw:0.05` faults
+// the *same* batches on every run with the same seed, and a retried
+// batch (whose key includes the attempt) is not doomed to re-fault
+// forever.
+//
+// Arming: the spec string "site:prob[:param],site:prob..." comes from
+// the SNICIT_FAULTS environment variable (seed from SNICIT_FAULTS_SEED,
+// default 42) or the --faults/--faults-seed CLI flags. Unknown site
+// names are a typed BadInput error — a typo must not silently arm
+// nothing. The clean-path cost when no fault is armed is one relaxed
+// atomic load per site visit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "platform/error.hpp"
+
+namespace snicit::platform::fault {
+
+/// The sites wired into the codebase. Probabilities are per *trial*
+/// (one visit of the site with one key).
+///
+///   worker_throw  serving worker throws WorkerFault before running a
+///                 batch attempt (key: batch index and attempt)
+///   queue_stall   stream producer sleeps `param` ms (default 5) before
+///                 enqueueing a batch (key: batch index)
+///   nan_tile      load-reduced (post-convergence) spMM dispatch poisons
+///                 one output entry with NaN (key: per-site sequence)
+///   spmm_nan      full-batch spMM dispatch poisons one output entry
+///                 with NaN (key: per-site sequence)
+///   convert_nan   cluster conversion poisons one residue entry with
+///                 NaN (key: per-site sequence)
+const std::vector<std::string>& known_sites();
+
+struct SiteConfig {
+  double probability = 0.0;  // in [0, 1]
+  double param = 0.0;        // site-specific knob (stall ms); 0 = default
+};
+
+class FaultRegistry {
+ public:
+  FaultRegistry() = default;
+  FaultRegistry(const FaultRegistry&) = delete;
+  FaultRegistry& operator=(const FaultRegistry&) = delete;
+
+  /// Parses and arms `spec` ("worker_throw:0.01,nan_tile:0.005" —
+  /// optionally "site:prob:param"). An empty spec disarms everything.
+  /// Unknown sites, bad numbers, or probabilities outside [0, 1] return
+  /// kBadInput and leave the registry unchanged.
+  Result<void> configure(const std::string& spec, std::uint64_t seed);
+
+  /// Arms from SNICIT_FAULTS / SNICIT_FAULTS_SEED. A malformed spec in
+  /// the environment is fatal (aborts with the parse error): a drill
+  /// that silently runs fault-free would report vacuous success.
+  void configure_from_env();
+
+  /// Disarms every site and zeroes counters.
+  void clear();
+
+  /// True when any site has probability > 0 (one relaxed load).
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Deterministic trial: fires iff `site` is armed and the keyed hash
+  /// lands below its probability. Counts the trial (and the fire) for
+  /// diagnostics.
+  bool should_fire(std::string_view site, std::uint64_t key);
+
+  /// Sequence-keyed convenience for sites without a natural key: uses a
+  /// per-site atomic counter as the key (the fire *count* along one
+  /// thread's visit order is deterministic; the assignment to visits is
+  /// only deterministic single-threaded).
+  bool should_fire(std::string_view site);
+
+  /// Site knob (e.g. stall milliseconds); `fallback` when unset/zero.
+  double param(std::string_view site, double fallback) const;
+
+  std::uint64_t trials(std::string_view site) const;
+  std::uint64_t fired(std::string_view site) const;
+  std::uint64_t seed() const { return seed_; }
+
+  /// "site:prob[:param],..." of the armed sites (empty when disarmed).
+  std::string spec() const;
+
+  /// The process-wide registry every injection site consults. First use
+  /// arms it from the environment.
+  static FaultRegistry& global();
+
+ private:
+  struct Site {
+    std::string name;
+    SiteConfig config;
+    std::atomic<std::uint64_t> sequence{0};
+    std::atomic<std::uint64_t> trials{0};
+    std::atomic<std::uint64_t> fired{0};
+  };
+
+  Site* find(std::string_view site);
+  const Site* find(std::string_view site) const;
+
+  std::atomic<bool> armed_{false};
+  std::uint64_t seed_ = 0;
+  // Stable storage, mutated only by configure/clear (callers arm before
+  // serving starts); should_fire only reads the vector and bumps the
+  // per-site atomics.
+  std::vector<std::unique_ptr<Site>> sites_;
+};
+
+/// Free-function front end used at injection sites: false immediately
+/// when nothing is armed.
+inline bool should_fire(std::string_view site, std::uint64_t key) {
+  auto& registry = FaultRegistry::global();
+  return registry.armed() && registry.should_fire(site, key);
+}
+inline bool should_fire(std::string_view site) {
+  auto& registry = FaultRegistry::global();
+  return registry.armed() && registry.should_fire(site);
+}
+
+}  // namespace snicit::platform::fault

@@ -1,6 +1,7 @@
 #include "radixnet/sdgc_io.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
@@ -12,6 +13,11 @@ namespace snicit::radixnet {
 
 namespace {
 
+using platform::Error;
+using platform::ErrorCode;
+using platform::ErrorException;
+using platform::Result;
+
 struct FileCloser {
   void operator()(std::FILE* f) const {
     if (f != nullptr) std::fclose(f);
@@ -19,16 +25,46 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-FilePtr open_or_throw(const std::string& path, const char* mode) {
+FilePtr open_or_throw(const std::string& path, const char* mode,
+                      ErrorCode code = ErrorCode::kBadInput) {
   FilePtr f(std::fopen(path.c_str(), mode));
   if (!f) {
-    throw std::runtime_error("cannot open file: " + path);
+    throw ErrorException(code, "cannot open file: " + path);
   }
   return f;
 }
 
 std::string layer_path(const std::string& prefix, int layer_1based) {
   return prefix + "-l" + std::to_string(layer_1based) + ".tsv";
+}
+
+/// A scanf parse loop stops on EOF (clean) or on bytes it cannot match /
+/// a partially matched record (both malformed). `last_matched` is the
+/// final fscanf return value.
+void require_clean_eof(std::FILE* f, int last_matched,
+                       const std::string& path, ErrorCode code) {
+  if (last_matched > 0) {
+    throw ErrorException(code, "truncated record in " + path);
+  }
+  // Consume trailing whitespace so a final newline does not read as junk.
+  int ch = 0;
+  while ((ch = std::fgetc(f)) != EOF) {
+    if (ch != ' ' && ch != '\t' && ch != '\n' && ch != '\r') {
+      throw ErrorException(code, "trailing junk in " + path);
+    }
+  }
+}
+
+/// Exception -> Result bridge for the try_* entry points: loader
+/// internals throw ErrorException at the failure site (which keeps the
+/// parse code linear), the boundary converts it back into a typed value.
+template <typename T, typename Fn>
+Result<T> as_result(Fn&& fn) {
+  try {
+    return Result<T>(fn());
+  } catch (const ErrorException& e) {
+    return Result<T>(e.error());
+  }
 }
 
 }  // namespace
@@ -48,30 +84,55 @@ void save_network_tsv(const dnn::SparseDnn& net, const std::string& prefix) {
   }
 }
 
+platform::Result<dnn::SparseDnn> try_load_network_tsv(
+    const std::string& prefix, Index neurons, int layers, float bias,
+    float ymax) {
+  return as_result<dnn::SparseDnn>([&] {
+    if (neurons < 1) {
+      throw ErrorException(ErrorCode::kBadInput,
+                           "load_network_tsv: neurons must be >= 1");
+    }
+    if (layers < 1) {
+      throw ErrorException(ErrorCode::kBadInput,
+                           "load_network_tsv: layers must be >= 1");
+    }
+    std::vector<sparse::CsrMatrix> weights;
+    weights.reserve(static_cast<std::size_t>(layers));
+    for (int layer = 1; layer <= layers; ++layer) {
+      const std::string path = layer_path(prefix, layer);
+      auto f = open_or_throw(path, "r", ErrorCode::kBadModelFile);
+      sparse::CooMatrix coo(neurons, neurons);
+      int r = 0;
+      int c = 0;
+      float v = 0.0f;
+      int matched = 0;
+      while ((matched = std::fscanf(f.get(), "%d\t%d\t%f", &r, &c, &v)) ==
+             3) {
+        if (r < 1 || r > neurons || c < 1 || c > neurons) {
+          throw ErrorException(ErrorCode::kBadModelFile,
+                               "TSV index out of range in " + path);
+        }
+        if (!std::isfinite(v)) {
+          throw ErrorException(ErrorCode::kBadModelFile,
+                               "non-finite weight in " + path);
+        }
+        coo.add(r - 1, c - 1, v);
+      }
+      require_clean_eof(f.get(), matched, path, ErrorCode::kBadModelFile);
+      weights.push_back(sparse::CsrMatrix::from_coo(coo));
+    }
+    std::vector<std::vector<float>> biases(
+        static_cast<std::size_t>(layers),
+        std::vector<float>(static_cast<std::size_t>(neurons), bias));
+    return dnn::SparseDnn(neurons, std::move(weights), std::move(biases),
+                          ymax, prefix);
+  });
+}
+
 dnn::SparseDnn load_network_tsv(const std::string& prefix, Index neurons,
                                 int layers, float bias, float ymax) {
-  std::vector<sparse::CsrMatrix> weights;
-  weights.reserve(static_cast<std::size_t>(layers));
-  for (int layer = 1; layer <= layers; ++layer) {
-    auto f = open_or_throw(layer_path(prefix, layer), "r");
-    sparse::CooMatrix coo(neurons, neurons);
-    int r = 0;
-    int c = 0;
-    float v = 0.0f;
-    while (std::fscanf(f.get(), "%d\t%d\t%f", &r, &c, &v) == 3) {
-      if (r < 1 || r > neurons || c < 1 || c > neurons) {
-        throw std::runtime_error("TSV index out of range in " +
-                                 layer_path(prefix, layer));
-      }
-      coo.add(r - 1, c - 1, v);
-    }
-    weights.push_back(sparse::CsrMatrix::from_coo(coo));
-  }
-  std::vector<std::vector<float>> biases(
-      static_cast<std::size_t>(layers),
-      std::vector<float>(static_cast<std::size_t>(neurons), bias));
-  return dnn::SparseDnn(neurons, std::move(weights), std::move(biases), ymax,
-                        prefix);
+  return try_load_network_tsv(prefix, neurons, layers, bias, ymax)
+      .value_or_throw();
 }
 
 void save_matrix_tsv(const sparse::DenseMatrix& m, const std::string& path) {
@@ -86,21 +147,36 @@ void save_matrix_tsv(const sparse::DenseMatrix& m, const std::string& path) {
   }
 }
 
+platform::Result<sparse::DenseMatrix> try_load_matrix_tsv(
+    const std::string& path, std::size_t rows, std::size_t cols) {
+  return as_result<sparse::DenseMatrix>([&] {
+    auto f = open_or_throw(path, "r", ErrorCode::kBadInput);
+    sparse::DenseMatrix m(rows, cols);
+    std::uint64_t r = 0;
+    std::uint64_t c = 0;
+    float v = 0.0f;
+    int matched = 0;
+    while ((matched = std::fscanf(f.get(), "%" SCNu64 "\t%" SCNu64 "\t%f",
+                                  &r, &c, &v)) == 3) {
+      if (r < 1 || r > rows || c < 1 || c > cols) {
+        throw ErrorException(ErrorCode::kBadInput,
+                             "TSV index out of range in " + path);
+      }
+      if (!std::isfinite(v)) {
+        throw ErrorException(ErrorCode::kBadInput,
+                             "non-finite value in " + path);
+      }
+      m.at(static_cast<std::size_t>(r) - 1,
+           static_cast<std::size_t>(c) - 1) = v;
+    }
+    require_clean_eof(f.get(), matched, path, ErrorCode::kBadInput);
+    return m;
+  });
+}
+
 sparse::DenseMatrix load_matrix_tsv(const std::string& path,
                                     std::size_t rows, std::size_t cols) {
-  auto f = open_or_throw(path, "r");
-  sparse::DenseMatrix m(rows, cols);
-  std::uint64_t r = 0;
-  std::uint64_t c = 0;
-  float v = 0.0f;
-  while (std::fscanf(f.get(), "%" SCNu64 "\t%" SCNu64 "\t%f", &r, &c, &v) ==
-         3) {
-    if (r < 1 || r > rows || c < 1 || c > cols) {
-      throw std::runtime_error("TSV index out of range in " + path);
-    }
-    m.at(r - 1, c - 1) = v;
-  }
-  return m;
+  return try_load_matrix_tsv(path, rows, cols).value_or_throw();
 }
 
 void save_categories_tsv(const std::vector<int>& categories,
@@ -113,18 +189,28 @@ void save_categories_tsv(const std::vector<int>& categories,
   }
 }
 
+platform::Result<std::vector<int>> try_load_categories_tsv(
+    const std::string& path, std::size_t batch) {
+  return as_result<std::vector<int>>([&] {
+    auto f = open_or_throw(path, "r", ErrorCode::kBadInput);
+    std::vector<int> categories(batch, 0);
+    unsigned long long id = 0;
+    int matched = 0;
+    while ((matched = std::fscanf(f.get(), "%llu", &id)) == 1) {
+      if (id < 1 || id > batch) {
+        throw ErrorException(ErrorCode::kBadInput,
+                             "category id out of range in " + path);
+      }
+      categories[static_cast<std::size_t>(id) - 1] = 1;
+    }
+    require_clean_eof(f.get(), matched, path, ErrorCode::kBadInput);
+    return categories;
+  });
+}
+
 std::vector<int> load_categories_tsv(const std::string& path,
                                      std::size_t batch) {
-  auto f = open_or_throw(path, "r");
-  std::vector<int> categories(batch, 0);
-  unsigned long long id = 0;
-  while (std::fscanf(f.get(), "%llu", &id) == 1) {
-    if (id < 1 || id > batch) {
-      throw std::runtime_error("category id out of range in " + path);
-    }
-    categories[static_cast<std::size_t>(id) - 1] = 1;
-  }
-  return categories;
+  return try_load_categories_tsv(path, batch).value_or_throw();
 }
 
 }  // namespace snicit::radixnet

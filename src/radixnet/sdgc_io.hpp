@@ -2,12 +2,22 @@
 // 1-indexed "row<TAB>col<TAB>weight" lines, and the same layout for the
 // input matrix. This lets the library interoperate with the official
 // challenge files when they are available.
+//
+// Loaders come in two flavours: `try_*` returns platform::Result with a
+// typed ErrorCode (kBadModelFile for weight files, kBadInput for
+// data/category files and bad arguments) so servers can treat a malformed
+// upload as control flow; the legacy-signature functions wrap them and
+// throw platform::ErrorException (a std::runtime_error) on failure.
+// Malformed inputs a loader rejects: unopenable files, out-of-range
+// 1-indexed coordinates, non-finite weights, and trailing junk after the
+// last parseable record (truncated or corrupted lines).
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "dnn/sparse_dnn.hpp"
+#include "platform/error.hpp"
 #include "sparse/dense_matrix.hpp"
 
 namespace snicit::radixnet {
@@ -19,14 +29,26 @@ using dnn::Index;
 void save_network_tsv(const dnn::SparseDnn& net, const std::string& prefix);
 
 /// Reads `layers` TSV files "<prefix>-l<k>.tsv" (k = 1..layers) into a
-/// SparseDnn with constant bias `bias` and clip `ymax`.
+/// SparseDnn with constant bias `bias` and clip `ymax`. Fails with
+/// kBadModelFile on unreadable/malformed weight files and kBadInput on
+/// nonsensical arguments (neurons/layers < 1).
+platform::Result<dnn::SparseDnn> try_load_network_tsv(
+    const std::string& prefix, Index neurons, int layers, float bias,
+    float ymax);
+
+/// Throwing wrapper around try_load_network_tsv.
 dnn::SparseDnn load_network_tsv(const std::string& prefix, Index neurons,
                                 int layers, float bias, float ymax);
 
 /// Writes a dense matrix as sparse TSV (only nonzero entries, 1-indexed).
 void save_matrix_tsv(const sparse::DenseMatrix& m, const std::string& path);
 
-/// Reads a sparse TSV file into a dense rows x cols matrix.
+/// Reads a sparse TSV file into a dense rows x cols matrix. Fails with
+/// kBadInput on unreadable/malformed files or out-of-range coordinates.
+platform::Result<sparse::DenseMatrix> try_load_matrix_tsv(
+    const std::string& path, std::size_t rows, std::size_t cols);
+
+/// Throwing wrapper around try_load_matrix_tsv.
 sparse::DenseMatrix load_matrix_tsv(const std::string& path,
                                     std::size_t rows, std::size_t cols);
 
@@ -36,6 +58,12 @@ void save_categories_tsv(const std::vector<int>& categories,
                          const std::string& path);
 
 /// Reads a categories file back into a 0/1 vector of length `batch`.
+/// Fails with kBadInput on unreadable/malformed files or ids outside
+/// [1, batch].
+platform::Result<std::vector<int>> try_load_categories_tsv(
+    const std::string& path, std::size_t batch);
+
+/// Throwing wrapper around try_load_categories_tsv.
 std::vector<int> load_categories_tsv(const std::string& path,
                                      std::size_t batch);
 

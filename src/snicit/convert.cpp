@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "platform/common.hpp"
+#include "platform/fault_injection.hpp"
 #include "platform/metrics.hpp"
 #include "platform/thread_pool.hpp"
 #include "platform/trace.hpp"
@@ -93,6 +94,16 @@ CompressedBatch convert_to_compressed(const DenseMatrix& y,
   });
 
   out.refresh_ne_idx();
+  // Injected conversion corruption (drills): poison the first residue
+  // column so the engine's post-conversion sanity scan must catch it.
+  if (platform::fault::should_fire("convert_nan")) {
+    for (std::size_t j = 0; j < b; ++j) {
+      if (out.mapper[j] != -1) {
+        out.yhat.col(j)[0] = std::numeric_limits<float>::quiet_NaN();
+        break;
+      }
+    }
+  }
   if (count_pruned) {
     auto& registry = platform::metrics::MetricsRegistry::global();
     registry.counter("snicit.conversion_pruned")

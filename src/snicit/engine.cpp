@@ -1,9 +1,11 @@
 #include "snicit/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <optional>
 
 #include "platform/common.hpp"
+#include "platform/error.hpp"
 #include "platform/metrics.hpp"
 #include "platform/timer.hpp"
 #include "platform/trace.hpp"
@@ -50,16 +52,41 @@ std::size_t count_non_empty(const std::vector<std::uint8_t>& ne_rec) {
   return n;
 }
 
+/// One-time sanity scan of a freshly converted batch: residues are
+/// differences of clipped values and centroids are clipped values, so
+/// every entry satisfies |v| <= ymax; NaN fails the comparison. Scans all
+/// columns (not just ne_idx) because a corrupt entry in a column the
+/// load-reduced spMM skips would otherwise surface only at recovery.
+bool batch_within_bounds(const CompressedBatch& batch, float ymax) {
+  const std::size_t n = batch.yhat.rows();
+  for (std::size_t j = 0; j < batch.yhat.cols(); ++j) {
+    const float* col = batch.yhat.col(j);
+    for (std::size_t r = 0; r < n; ++r) {
+      if (!(std::fabs(col[r]) <= ymax)) return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 SnicitEngine::SnicitEngine(SnicitParams params) : params_(params) {
-  SNICIT_CHECK(params_.sample_size >= 1, "sample_size must be >= 1");
-  SNICIT_CHECK(params_.ne_refresh_interval >= 1,
-               "ne_refresh_interval must be >= 1");
-  SNICIT_CHECK(params_.prune_threshold >= 0.0f,
-               "prune_threshold must be non-negative");
-  SNICIT_CHECK(params_.reconvert_interval >= 0,
-               "reconvert_interval must be non-negative");
+  // Params come from callers/CLI flags the process does not control, so
+  // violations are typed kBadInput errors, not invariant aborts.
+  const auto reject = [](const char* message) {
+    throw platform::ErrorException(platform::ErrorCode::kBadInput,
+                                   std::string("SnicitEngine: ") + message);
+  };
+  if (params_.sample_size < 1) reject("sample_size must be >= 1");
+  if (params_.ne_refresh_interval < 1) {
+    reject("ne_refresh_interval must be >= 1");
+  }
+  if (!(params_.prune_threshold >= 0.0f)) {
+    reject("prune_threshold must be non-negative");
+  }
+  if (params_.reconvert_interval < 0) {
+    reject("reconvert_interval must be non-negative");
+  }
 }
 
 dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
@@ -192,18 +219,33 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
   }
 
   // --- Stage 3: post-convergence update (§3.3) ---
+  // `cur` still holds the dense Y(t) the batch was converted from; nothing
+  // below writes it, so it doubles as the divergence-guard checkpoint: a
+  // fallback recomputes layers t..l-1 from it on the dense baseline path,
+  // bit-identical to the serial reference.
   stage_span.emplace("post-convergence", "snicit");
   stage.reset();
   dnn::DenseMatrix scratch(input.rows(), input.cols());
   int since_refresh = 0;
   int since_reconvert = 0;
-  for (std::size_t i = static_cast<std::size_t>(t); i < layers; ++i) {
+  int fallback_from = -1;  // layer where the divergence guard fired
+  if (params_.divergence_guard && !batch_within_bounds(batch, net.ymax())) {
+    // Conversion itself produced a corrupt compressed batch.
+    fallback_from = t;
+  }
+  for (std::size_t i = static_cast<std::size_t>(t);
+       fallback_from < 0 && i < layers; ++i) {
     platform::Stopwatch layer;
     const std::size_t spmm_columns = batch.ne_idx.size();
-    const std::size_t pruned =
-        post_convergence_layer(net.weight(i), &net.weight_csc(i),
-                               net.bias(i), net.ymax(), prune, batch,
-                               scratch, post_policy);
+    bool diverged = false;
+    const std::size_t pruned = post_convergence_layer(
+        net.weight(i), &net.weight_csc(i), net.bias(i), net.ymax(), prune,
+        batch, scratch, post_policy,
+        params_.divergence_guard ? &diverged : nullptr);
+    if (diverged) {
+      fallback_from = static_cast<int>(i);
+      break;
+    }
     if (active_series != nullptr) {
       active_series->record(i, static_cast<double>(
                                    count_non_empty(batch.ne_rec)));
@@ -238,6 +280,48 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
   }
   result.stages.add("post-convergence", stage.elapsed_ms());
   stage_span.reset();
+
+  if (fallback_from >= 0) {
+    // --- Graceful degradation: exact dense fallback ---
+    // The compressed state is corrupt (NaN/inf/out-of-bound, e.g. from a
+    // faulty kernel); discard it and recompute layers t..l-1 from the
+    // checkpointed Y(t) on the dense baseline path. The result is
+    // bit-identical to the serial reference — slower, never wrong.
+    stage_span.emplace("fallback", "snicit");
+    stage.reset();
+    result.layer_ms.resize(static_cast<std::size_t>(t));
+    trace_.ne_count.clear();
+    trace_.compressed_nnz.clear();
+    for (std::size_t i = static_cast<std::size_t>(t); i < layers; ++i) {
+      platform::Stopwatch layer;
+      pre_convergence_step(net, i, pre_policy, cur, next);
+      std::swap(cur, next);
+      result.layer_ms.push_back(layer.elapsed_ms());
+      if (active_series != nullptr) {
+        // Dense again: every column active and multiplied.
+        active_series->record(i, static_cast<double>(cur.cols()));
+        spmm_cols_series->record(i, static_cast<double>(cur.cols()));
+        nnz_series->record(i, static_cast<double>(cur.count_nonzeros()));
+        pruned_series->record(i, 0.0);
+      }
+    }
+    result.stages.add("fallback", stage.elapsed_ms());
+    stage_span.reset();
+    result.stages.add("recovery", 0.0);  // output is already dense
+    result.output = std::move(cur);
+    trace_.fallback_layer = fallback_from;
+    result.diagnostics["threshold_layer"] = t;
+    result.diagnostics["centroids"] =
+        static_cast<double>(centroid_cols.size());
+    result.diagnostics["fallback_layer"] = fallback_from;
+    result.diagnostics["prune_threshold"] = static_cast<double>(prune);
+    if (metrics::enabled()) {
+      auto& registry = metrics::MetricsRegistry::global();
+      registry.counter("snicit.fallbacks").add(1);
+      registry.gauge("snicit.fallback_layer").set(fallback_from);
+    }
+    return result;
+  }
 
   // --- Stage 4: final results recovery (§3.4) ---
   stage_span.emplace("recovery", "snicit");

@@ -37,6 +37,9 @@ class SnicitEngine final : public dnn::InferenceEngine {
     std::vector<std::size_t> compressed_nnz;  // nnz(Ŷ) per post-layer
     std::vector<double> change_fraction;      // detector distance trace,
                                               // per pre-convergence layer
+    /// Layer at which the divergence guard fired and the run degraded to
+    /// the dense baseline path (-1 = stayed on the compressed path).
+    int fallback_layer = -1;
   };
   const Trace& last_trace() const { return trace_; }
 

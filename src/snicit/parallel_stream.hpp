@@ -36,6 +36,24 @@ struct ParallelStreamOptions {
   /// Bound on sliced-but-undispatched batches (the producer blocks once
   /// this many are queued). 0 picks 2x workers.
   std::size_t queue_capacity = 0;
+
+  // --- fault tolerance (the pooled path only; the serial path has no
+  // retry machinery and propagates engine exceptions unchanged) ---
+
+  /// Total tries per batch before it is recorded in
+  /// StreamResult::failures and its output columns stay zero. 1 disables
+  /// retry. A retried batch is re-enqueued, so it normally lands on a
+  /// different worker (and a fresh engine clone) than the one that
+  /// faulted.
+  std::size_t max_attempts = 5;
+  /// First-retry backoff; doubles per subsequent attempt of the same
+  /// batch, capped at max_backoff_ms.
+  double retry_backoff_ms = 1.0;
+  double max_backoff_ms = 50.0;
+  /// Per-batch deadline measured from when the batch is sliced (so queue
+  /// wait counts). An attempt is not started past the deadline; the batch
+  /// fails with ErrorCode::kTimeout. 0 disables deadlines.
+  double batch_deadline_ms = 0.0;
 };
 
 class ParallelStreamExecutor {
@@ -56,6 +74,16 @@ class ParallelStreamExecutor {
   /// StreamResult::total_ms is the wall time of the whole run (so
   /// throughput() measures the overlapped serving rate); batch_ms[j] and
   /// the latency percentiles still record per-batch engine latency.
+  ///
+  /// Fault tolerance: a worker exception fails only its batch attempt —
+  /// the batch is retried (capped exponential backoff, normally on
+  /// another worker) up to max_attempts, then recorded in
+  /// StreamResult::failures with its output columns zeroed; the rest of
+  /// the stream is unaffected and the pool drains cleanly. Only
+  /// non-transient typed errors (BadInput / BadModelFile — the whole
+  /// stream would fail identically) abort the run: the queue is closed,
+  /// in-flight batches are marked failed, workers join, and the error is
+  /// rethrown.
   StreamResult run(dnn::InferenceEngine& engine, const dnn::SparseDnn& net,
                    const dnn::DenseMatrix& input) const;
 

@@ -108,6 +108,15 @@ struct SnicitParams {
   /// that claim — see bench_ablation).
   int reconvert_interval = 0;
 
+  /// Graceful degradation (robustness extension): after conversion every
+  /// Eq. (5) update checks its outputs against the clipped bound — any
+  /// NaN/inf/blowup (|v| > ymax, impossible in exact arithmetic) triggers
+  /// an exact fallback that recomputes the remaining layers on the dense
+  /// baseline path from the checkpointed Y(t). The per-layer check reuses
+  /// the fabs the prune test already computes, so the clean-path cost is
+  /// one compare per element.
+  bool divergence_guard = true;
+
   /// When true the engine records per-layer diagnostics (non-empty column
   /// counts, compressed nnz) into RunResult::diagnostics / layer traces.
   bool record_trace = false;

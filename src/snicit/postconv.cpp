@@ -26,12 +26,15 @@ inline float clip(float x, float ymax) {
 std::size_t update_centroids_and_residues(std::span<const float> bias,
                                           float ymax, float prune_threshold,
                                           CompressedBatch& batch,
-                                          const DenseMatrix& scratch) {
+                                          const DenseMatrix& scratch,
+                                          bool* diverged) {
   const std::size_t n = batch.yhat.rows();
   std::atomic<std::size_t> pruned_total{0};
+  std::atomic<bool> bad_any{false};
   platform::parallel_for_ranges(
       0, batch.ne_idx.size(), [&](std::size_t lo, std::size_t hi) {
         std::size_t pruned = 0;
+        bool bad = false;
         for (std::size_t k = lo; k < hi; ++k) {
           const auto r = static_cast<std::size_t>(batch.ne_idx[k]);
           const float* SNICIT_RESTRICT mult = scratch.col(r);
@@ -40,6 +43,9 @@ std::size_t update_centroids_and_residues(std::span<const float> bias,
             // Centroid: plain feed-forward (first case of Eq. (5)).
             for (std::size_t j = 0; j < n; ++j) {
               dst[j] = clip(mult[j] + bias[j], ymax);
+              // clip() maps every finite/inf input into [0, ymax] but
+              // passes NaN through, so one comparison flags corruption.
+              bad |= !(dst[j] <= ymax);
             }
             batch.ne_rec[r] = 1;
             continue;
@@ -52,7 +58,12 @@ std::size_t update_centroids_and_residues(std::span<const float> bias,
             const float with_res = clip(cent[j] + mult[j] + bias[j], ymax);
             const float without = clip(cent[j] + bias[j], ymax);
             float v = with_res - without;
-            if (std::fabs(v) <= prune_threshold) {
+            // Both terms are clipped to [0, ymax], so |v| <= ymax in exact
+            // arithmetic; NaN fails the comparison. Reuses the fabs the
+            // prune test needs anyway, so the guard costs one compare.
+            const float av = std::fabs(v);
+            bad |= !(av <= ymax);
+            if (av <= prune_threshold) {
               pruned += (v != 0.0f);  // a genuine value fell to the prune
               v = 0.0f;
             }
@@ -64,7 +75,11 @@ std::size_t update_centroids_and_residues(std::span<const float> bias,
         if (pruned != 0) {
           pruned_total.fetch_add(pruned, std::memory_order_relaxed);
         }
+        if (bad) bad_any.store(true, std::memory_order_relaxed);
       });
+  if (diverged != nullptr) {
+    *diverged = bad_any.load(std::memory_order_relaxed);
+  }
   return pruned_total.load(std::memory_order_relaxed);
 }
 
@@ -90,7 +105,7 @@ std::size_t post_convergence_layer(const CsrMatrix& w,
   // skipping them is exact, not an approximation.
   sparse::spmm_gather_cols(w, batch.yhat, batch.ne_idx, scratch);
   return update_centroids_and_residues(bias, ymax, prune_threshold, batch,
-                                       scratch);
+                                       scratch, nullptr);
 }
 
 std::size_t post_convergence_layer(const CscMatrix& w_csc,
@@ -105,7 +120,7 @@ std::size_t post_convergence_layer(const CscMatrix& w_csc,
   // non-empty column count alone.
   sparse::spmm_scatter_cols(w_csc, batch.yhat, batch.ne_idx, scratch);
   return update_centroids_and_residues(bias, ymax, prune_threshold, batch,
-                                       scratch);
+                                       scratch, nullptr);
 }
 
 std::size_t post_convergence_layer(const CsrMatrix& w,
@@ -114,7 +129,8 @@ std::size_t post_convergence_layer(const CsrMatrix& w,
                                    float prune_threshold,
                                    CompressedBatch& batch,
                                    DenseMatrix& scratch,
-                                   const sparse::SpmmPolicy& policy) {
+                                   const sparse::SpmmPolicy& policy,
+                                   bool* diverged) {
   check_shapes(bias, batch, scratch);
   SNICIT_TRACE_SPAN("postconv_layer", "snicit");
   // Residue density drives the scatter-vs-gather arms; probe a prefix of
@@ -127,7 +143,7 @@ std::size_t post_convergence_layer(const CsrMatrix& w,
   sparse::spmm_dispatch_cols(w, w_csc, batch.yhat, batch.ne_idx, scratch,
                              density, policy);
   return update_centroids_and_residues(bias, ymax, prune_threshold, batch,
-                                       scratch);
+                                       scratch, diverged);
 }
 
 }  // namespace snicit::core

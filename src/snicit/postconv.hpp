@@ -49,12 +49,18 @@ std::size_t post_convergence_layer(const CscMatrix& w_csc,
 /// cost model (or a forced policy.variant) picks from the measured residue
 /// density — including the SIMD-blocked and row-parallel tiers. `w_csc`
 /// may be null when no CSC mirror exists (excludes the scatter arms).
+///
+/// When `diverged` is non-null it is set to true if any updated centroid
+/// or residue value is NaN or outside its clipped bound (|v| <= ymax) —
+/// the SNICIT divergence guard's per-layer signal, computed by reusing the
+/// fabs/compare the update already performs (near-zero clean-path cost).
 std::size_t post_convergence_layer(const CsrMatrix& w,
                                    const CscMatrix* w_csc,
                                    std::span<const float> bias, float ymax,
                                    float prune_threshold,
                                    CompressedBatch& batch,
                                    DenseMatrix& scratch,
-                                   const sparse::SpmmPolicy& policy);
+                                   const sparse::SpmmPolicy& policy,
+                                   bool* diverged = nullptr);
 
 }  // namespace snicit::core

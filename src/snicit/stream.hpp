@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "dnn/engine.hpp"
+#include "platform/error.hpp"
 #include "platform/stats.hpp"
 
 namespace snicit::core {
@@ -20,6 +22,16 @@ struct StreamOptions {
   std::size_t keep_rows = 0;
 };
 
+/// A batch the resilient executor gave up on after exhausting its retry
+/// budget (or its deadline): the batch's output columns stay zero, the
+/// rest of the stream is unaffected.
+struct BatchFailure {
+  std::size_t batch = 0;             // batch index (output column slot)
+  platform::ErrorCode code = platform::ErrorCode::kWorkerFault;
+  std::string message;
+  std::size_t attempts = 0;          // tries consumed before giving up
+};
+
 struct StreamResult {
   dnn::DenseMatrix outputs;        // keep_rows(or N) x total_samples
   std::vector<double> batch_ms;    // per-batch engine latency, by batch index
@@ -29,6 +41,18 @@ struct StreamResult {
   /// run, so throughput() reflects real overlapped serving rate.
   double total_ms = 0.0;
   std::size_t batches = 0;
+
+  /// Fault-tolerance ledger (parallel executor only; always empty/zero on
+  /// the serial path, which has no retry machinery).
+  std::size_t retries = 0;              // re-dispatches after a worker fault
+  std::vector<BatchFailure> failures;   // permanently failed batches
+  /// Batches whose engine run degraded mid-network to the dense baseline
+  /// path (SNICIT divergence guard; see SnicitEngine fallback_layer).
+  std::size_t degraded_batches = 0;
+
+  std::size_t lost_batches() const { return failures.size(); }
+  /// True when every sample's output columns were produced.
+  bool complete() const { return failures.empty(); }
 
   double mean_batch_ms() const {
     if (batches == 0) return 0.0;

@@ -6,6 +6,7 @@
 
 #include "platform/common.hpp"
 #include "platform/env.hpp"
+#include "platform/fault_injection.hpp"
 #include "platform/thread_pool.hpp"
 #include "sparse/spmm.hpp"
 
@@ -188,6 +189,12 @@ SpmmVariant spmm_dispatch(const CsrMatrix& w, const CscMatrix* w_csc,
     case SpmmVariant::kAuto:
       platform::fatal(__FILE__, __LINE__, "selector returned kAuto");
   }
+  // Injected kernel corruption (drills): one NaN in the output tile, the
+  // signature of a bad reduction/race a production kernel could produce.
+  if (platform::fault::should_fire("spmm_nan") && out.rows() > 0 &&
+      out.cols() > 0) {
+    out.col(0)[0] = std::numeric_limits<float>::quiet_NaN();
+  }
   return v;
 }
 
@@ -219,6 +226,14 @@ SpmmVariant spmm_dispatch_cols(const CsrMatrix& w, const CscMatrix* w_csc,
       break;
     case SpmmVariant::kAuto:
       platform::fatal(__FILE__, __LINE__, "selector returned kAuto");
+  }
+  // Injected corruption of the load-reduced (post-convergence) multiply:
+  // poisons the first column actually dispatched, which the Eq. (5)
+  // update reads — the SNICIT divergence guard must detect it.
+  if (platform::fault::should_fire("nan_tile") && !columns.empty() &&
+      out.rows() > 0) {
+    out.col(static_cast<std::size_t>(columns.front()))[0] =
+        std::numeric_limits<float>::quiet_NaN();
   }
   return v;
 }

@@ -5,16 +5,24 @@
 
 #include <string>
 
+#include "platform/error.hpp"
 #include "train/mlp.hpp"
 
 namespace snicit::train {
 
 /// Writes the full model (options + every layer's weights/mask/bias) to
-/// `path`. Throws std::runtime_error on I/O failure.
+/// `path`. Throws platform::ErrorException (a std::runtime_error) on I/O
+/// failure.
 void save_mlp(const SparseMlp& mlp, const std::string& path);
 
-/// Reads a model written by save_mlp. Throws std::runtime_error on I/O or
-/// format errors.
+/// Reads a model written by save_mlp. Fails with kBadModelFile on I/O or
+/// format errors: bad magic, implausible dimensions, truncated or
+/// size-inconsistent layer payloads, trailing bytes after the last layer.
+/// Every check runs before the bytes reach SparseLinear::restore, whose
+/// size contract is an internal invariant (SNICIT_CHECK aborts).
+platform::Result<SparseMlp> try_load_mlp(const std::string& path);
+
+/// Throwing wrapper around try_load_mlp.
 SparseMlp load_mlp(const std::string& path);
 
 /// Access to layer internals needed by save/load (kept out of the public

@@ -20,7 +20,7 @@ namespace {
 TEST(BoundedQueue, FifoOrderSingleThreaded) {
   BoundedQueue<int> q(4);
   EXPECT_EQ(q.capacity(), 4u);
-  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(q.push(i), ErrorCode::kOk);
   EXPECT_EQ(q.size(), 4u);
   EXPECT_FALSE(q.try_push(99));  // full
   for (int i = 0; i < 4; ++i) {
@@ -33,12 +33,12 @@ TEST(BoundedQueue, FifoOrderSingleThreaded) {
 
 TEST(BoundedQueue, PushBlocksUntilConsumerMakesRoom) {
   BoundedQueue<int> q(2);
-  ASSERT_TRUE(q.push(1));
-  ASSERT_TRUE(q.push(2));
+  ASSERT_EQ(q.push(1), ErrorCode::kOk);
+  ASSERT_EQ(q.push(2), ErrorCode::kOk);
 
   std::atomic<bool> pushed{false};
   std::thread producer([&] {
-    EXPECT_TRUE(q.push(3));  // blocks until the pop below
+    EXPECT_EQ(q.push(3), ErrorCode::kOk);  // blocks until the pop below
     pushed.store(true);
   });
 
@@ -56,11 +56,11 @@ TEST(BoundedQueue, PushBlocksUntilConsumerMakesRoom) {
 
 TEST(BoundedQueue, CloseDrainsThenReportsExhaustion) {
   BoundedQueue<int> q(4);
-  q.push(7);
-  q.push(8);
+  EXPECT_EQ(q.push(7), ErrorCode::kOk);
+  EXPECT_EQ(q.push(8), ErrorCode::kOk);
   q.close();
   EXPECT_TRUE(q.closed());
-  EXPECT_FALSE(q.push(9));  // closed: rejected
+  EXPECT_EQ(q.push(9), ErrorCode::kQueueClosed);  // closed: rejected
   EXPECT_EQ(q.pop().value(), 7);  // remaining items still drain
   EXPECT_EQ(q.pop().value(), 8);
   EXPECT_FALSE(q.pop().has_value());
@@ -83,15 +83,39 @@ TEST(BoundedQueue, CloseWakesBlockedConsumer) {
 
 TEST(BoundedQueue, CloseWakesBlockedProducer) {
   BoundedQueue<int> q(1);
-  ASSERT_TRUE(q.push(1));
+  ASSERT_EQ(q.push(1), ErrorCode::kOk);
   std::atomic<bool> rejected{false};
   std::thread producer([&] {
-    rejected.store(!q.push(2));  // blocks on full queue until close
+    rejected.store(q.push(2) == ErrorCode::kQueueClosed);  // blocks
+                                                            // until close
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   q.close();
   producer.join();
   EXPECT_TRUE(rejected.load());
+}
+
+TEST(BoundedQueue, CloseWakesEveryBlockedProducerWithQueueClosed) {
+  // Regression: close() must wake *all* producers parked on a full queue
+  // (notify_all on not_full_), each observing kQueueClosed — a lost
+  // wakeup here deadlocks the serving pipeline's shutdown drain.
+  BoundedQueue<int> q(1);
+  ASSERT_EQ(q.push(0), ErrorCode::kOk);
+  constexpr int kProducers = 4;
+  std::atomic<int> closed_count{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      if (q.push(p + 1) == ErrorCode::kQueueClosed) {
+        closed_count.fetch_add(1);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(closed_count.load(), 0);  // all parked: queue is full
+  q.close();
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(closed_count.load(), kProducers);
 }
 
 TEST(BoundedQueue, MpmcDeliversEveryItemExactlyOnce) {
@@ -112,7 +136,7 @@ TEST(BoundedQueue, MpmcDeliversEveryItemExactlyOnce) {
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&, p] {
       for (int i = 0; i < kPerProducer; ++i) {
-        ASSERT_TRUE(q.push(p * kPerProducer + i));
+        ASSERT_EQ(q.push(p * kPerProducer + i), ErrorCode::kOk);
       }
     });
   }
@@ -137,7 +161,7 @@ TEST(BoundedQueue, CapacityOnePingPong) {
   std::thread consumer([&] {
     while (auto v = q.pop()) out.push_back(*v);
   });
-  for (int i = 0; i < kItems; ++i) ASSERT_TRUE(q.push(i));
+  for (int i = 0; i < kItems; ++i) ASSERT_EQ(q.push(i), ErrorCode::kOk);
   q.close();
   consumer.join();
   ASSERT_EQ(out.size(), static_cast<std::size_t>(kItems));
@@ -146,7 +170,7 @@ TEST(BoundedQueue, CapacityOnePingPong) {
 
 TEST(BoundedQueue, MoveOnlyPayload) {
   BoundedQueue<std::unique_ptr<int>> q(2);
-  EXPECT_TRUE(q.push(std::make_unique<int>(5)));
+  EXPECT_EQ(q.push(std::make_unique<int>(5)), ErrorCode::kOk);
   auto v = q.pop();
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(**v, 5);

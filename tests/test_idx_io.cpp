@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
+#include <string>
 
 namespace snicit::data {
 namespace {
@@ -80,6 +81,71 @@ TEST_F(IdxIoTest, TruncatedPayloadThrows) {
 
 TEST_F(IdxIoTest, MissingFileThrows) {
   EXPECT_THROW(load_idx_images(path("missing")), std::runtime_error);
+}
+
+// --- Malformed-file corpus for the hardened try_* readers ---
+
+TEST_F(IdxIoTest, TypedCodesForEveryRejectPath) {
+  // Missing file.
+  EXPECT_EQ(try_load_idx_images(path("missing")).code(),
+            platform::ErrorCode::kBadInput);
+  EXPECT_EQ(try_load_idx_labels(path("missing")).code(),
+            platform::ErrorCode::kBadInput);
+  // Wrong magic (a label file fed to the image reader and vice versa).
+  save_idx_labels({1}, path("l.idx1-ubyte"));
+  EXPECT_EQ(try_load_idx_images(path("l.idx1-ubyte")).code(),
+            platform::ErrorCode::kBadInput);
+  save_idx_images(tiny_images(), path("i.idx3-ubyte"));
+  EXPECT_EQ(try_load_idx_labels(path("i.idx3-ubyte")).code(),
+            platform::ErrorCode::kBadInput);
+}
+
+TEST_F(IdxIoTest, TruncatedHeaderRejected) {
+  save_idx_images(tiny_images(), path("hdr.idx3-ubyte"));
+  std::filesystem::resize_file(path("hdr.idx3-ubyte"), 10);  // mid-header
+  const auto result = try_load_idx_images(path("hdr.idx3-ubyte"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.error().message.find("truncated IDX header"),
+            std::string::npos);
+}
+
+TEST_F(IdxIoTest, TrailingBytesRejected) {
+  save_idx_images(tiny_images(), path("extra.idx3-ubyte"));
+  {
+    std::FILE* f = std::fopen(path("extra.idx3-ubyte").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputc('x', f);
+    std::fclose(f);
+  }
+  const auto result = try_load_idx_images(path("extra.idx3-ubyte"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), platform::ErrorCode::kBadInput);
+  EXPECT_NE(result.error().message.find("trailing bytes"),
+            std::string::npos);
+}
+
+TEST_F(IdxIoTest, HostileDimensionsRejectedBeforeAllocation) {
+  // Header claiming 2^32-1 images of 2^32-1 x 2^32-1 pixels: must be
+  // rejected by the payload cap, not by attempting the allocation.
+  std::FILE* f = std::fopen(path("huge.idx3-ubyte").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const unsigned char header[16] = {0, 0, 8, 3,                  // magic
+                                    0xFF, 0xFF, 0xFF, 0xFF,      // count
+                                    0xFF, 0xFF, 0xFF, 0xFF,      // rows
+                                    0xFF, 0xFF, 0xFF, 0xFF};     // cols
+  ASSERT_EQ(std::fwrite(header, 1, sizeof(header), f), sizeof(header));
+  std::fclose(f);
+  const auto result = try_load_idx_images(path("huge.idx3-ubyte"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), platform::ErrorCode::kBadInput);
+  EXPECT_NE(result.error().message.find("implausible"), std::string::npos);
+}
+
+TEST_F(IdxIoTest, CleanFilesStillLoadThroughTryApi) {
+  save_idx_images(tiny_images(), path("ok.idx3-ubyte"));
+  const auto result = try_load_idx_images(path("ok.idx3-ubyte"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().pixels, tiny_images().pixels);
 }
 
 TEST(IdxToDataset, ScalesAndFlattens) {

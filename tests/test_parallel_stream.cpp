@@ -11,11 +11,13 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <string>
 #include <thread>
 #include <tuple>
 
 #include "data/synthetic.hpp"
 #include "dnn/reference.hpp"
+#include "platform/error.hpp"
 #include "platform/rng.hpp"
 #include "radixnet/radixnet.hpp"
 #include "snicit/engine.hpp"
@@ -233,8 +235,14 @@ TEST(ParallelStream, UncloneableEngineThrowsForPools) {
   ParallelStreamOptions opt;
   opt.batch_size = 10;
   opt.workers = 4;
-  EXPECT_THROW(ParallelStreamExecutor(opt).run(engine, wl.net, wl.input),
-               std::invalid_argument);
+  // Clone failure is a typed kBadInput error (still a std::runtime_error
+  // for legacy catch sites).
+  try {
+    ParallelStreamExecutor(opt).run(engine, wl.net, wl.input);
+    FAIL() << "expected ErrorException";
+  } catch (const platform::ErrorException& e) {
+    EXPECT_EQ(e.code(), platform::ErrorCode::kBadInput);
+  }
 
   opt.workers = 1;  // serial path needs no clone
   const auto serial = ParallelStreamExecutor(opt).run(engine, wl.net, wl.input);
@@ -243,7 +251,12 @@ TEST(ParallelStream, UncloneableEngineThrowsForPools) {
       dnn::DenseMatrix::max_abs_diff(serial.outputs, expected), 0.0f);
 }
 
-TEST(ParallelStream, WorkerExceptionPropagates) {
+TEST(ParallelStream, WorkerExceptionIsolatedToItsBatches) {
+  // An engine whose clones always throw: under the resilient executor a
+  // worker fault no longer aborts the stream — every worker-served batch
+  // exhausts its retries and lands in StreamResult::failures, while the
+  // warm-up batch (run on the caller's engine) still succeeds and the
+  // pool drains cleanly.
   class FailingEngine final : public dnn::InferenceEngine {
    public:
     std::string name() const override { return "failing"; }
@@ -269,8 +282,33 @@ TEST(ParallelStream, WorkerExceptionPropagates) {
   ParallelStreamOptions opt;
   opt.batch_size = 5;
   opt.workers = 4;
-  EXPECT_THROW(ParallelStreamExecutor(opt).run(engine, wl.net, wl.input),
-               std::runtime_error);
+  opt.max_attempts = 2;
+  opt.retry_backoff_ms = 0.0;
+  const auto result = ParallelStreamExecutor(opt).run(engine, wl.net, wl.input);
+  EXPECT_EQ(result.batches, 10u);
+  // Batch 0 ran on the caller's engine and succeeded; all 9 worker-served
+  // batches failed after their retry budget.
+  EXPECT_EQ(result.lost_batches(), 9u);
+  EXPECT_FALSE(result.complete());
+  EXPECT_GE(result.retries, 9u);  // every failed batch got a second try
+  for (const auto& failure : result.failures) {
+    EXPECT_NE(failure.batch, 0u);
+    EXPECT_EQ(failure.code, platform::ErrorCode::kWorkerFault);
+    EXPECT_EQ(failure.attempts, 2u);
+    EXPECT_NE(failure.message.find("engine blew up"), std::string::npos);
+  }
+  // Failed batches keep zeroed output columns; batch 0's are intact.
+  const auto expected = dnn::reference_forward(wl.net, wl.input);
+  for (std::size_t j = 0; j < 5; ++j) {
+    for (std::size_t r = 0; r < expected.rows(); ++r) {
+      EXPECT_EQ(result.outputs.at(r, j), expected.at(r, j));
+    }
+  }
+  for (std::size_t j = 5; j < 50; ++j) {
+    for (std::size_t r = 0; r < result.outputs.rows(); ++r) {
+      EXPECT_EQ(result.outputs.at(r, j), 0.0f);
+    }
+  }
 }
 
 // --- Seeded scheduler-jitter stress harness -------------------------------

@@ -2,7 +2,10 @@
 // alternative §3.2.2 discusses and rejects — implemented to quantify it).
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "data/synthetic.hpp"
+#include "platform/error.hpp"
 #include "dnn/reference.hpp"
 #include "radixnet/radixnet.hpp"
 #include "snicit/engine.hpp"
@@ -84,15 +87,19 @@ TEST(Reclustering, CentroidsRefreshWithPruning) {
       1.0);
 }
 
-TEST(RechusteringDeathTest, NegativeIntervalAborts) {
-  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  EXPECT_DEATH(
-      {
-        SnicitParams params;
-        params.reconvert_interval = -1;
-        SnicitEngine engine(params);
-      },
-      "reconvert_interval");
+TEST(RechusteringDeathTest, NegativeIntervalRejected) {
+  // Engine construction validates caller-supplied params with typed
+  // errors (kBadInput) rather than invariant aborts.
+  try {
+    SnicitParams params;
+    params.reconvert_interval = -1;
+    SnicitEngine engine(params);
+    FAIL() << "expected ErrorException";
+  } catch (const platform::ErrorException& e) {
+    EXPECT_EQ(e.code(), platform::ErrorCode::kBadInput);
+    EXPECT_NE(std::string(e.what()).find("reconvert_interval"),
+              std::string::npos);
+  }
 }
 
 }  // namespace

@@ -121,5 +121,107 @@ TEST_F(SdgcIoTest, CategoriesOutOfRangeThrows) {
                std::runtime_error);
 }
 
+// --- Malformed-file corpus: every reject path of the hardened loaders
+// returns its typed code through the try_* API (and the legacy wrappers
+// throw the matching ErrorException). ---
+
+class SdgcIoCorpusTest : public SdgcIoTest {
+ protected:
+  void write_file(const std::string& name, const std::string& content) {
+    std::FILE* f = std::fopen(prefix(name).c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+  }
+};
+
+TEST_F(SdgcIoCorpusTest, MissingFilesReportTypedCodes) {
+  EXPECT_EQ(try_load_matrix_tsv(prefix("nope.tsv"), 4, 4).code(),
+            platform::ErrorCode::kBadInput);
+  EXPECT_EQ(try_load_network_tsv(prefix("nope"), 4, 1, 0.0f, 1.0f).code(),
+            platform::ErrorCode::kBadModelFile);
+  EXPECT_EQ(try_load_categories_tsv(prefix("nope.tsv"), 4).code(),
+            platform::ErrorCode::kBadInput);
+}
+
+TEST_F(SdgcIoCorpusTest, NetworkBadArgumentsAreBadInput) {
+  EXPECT_EQ(try_load_network_tsv(prefix("x"), 0, 1, 0.0f, 1.0f).code(),
+            platform::ErrorCode::kBadInput);
+  EXPECT_EQ(try_load_network_tsv(prefix("x"), 4, 0, 0.0f, 1.0f).code(),
+            platform::ErrorCode::kBadInput);
+}
+
+TEST_F(SdgcIoCorpusTest, NetworkTrailingJunkRejected) {
+  write_file("junk-l1.tsv", "1\t1\t0.5\n2\t2\t0.25\ngarbage here\n");
+  const auto result =
+      try_load_network_tsv(prefix("junk"), 4, 1, 0.0f, 1.0f);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), platform::ErrorCode::kBadModelFile);
+  EXPECT_NE(result.error().message.find("trailing junk"),
+            std::string::npos);
+}
+
+TEST_F(SdgcIoCorpusTest, NetworkTruncatedRecordRejected) {
+  write_file("trunc-l1.tsv", "1\t1\t0.5\n2\t2\n");  // missing weight field
+  const auto result =
+      try_load_network_tsv(prefix("trunc"), 4, 1, 0.0f, 1.0f);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), platform::ErrorCode::kBadModelFile);
+  EXPECT_NE(result.error().message.find("truncated"), std::string::npos);
+}
+
+TEST_F(SdgcIoCorpusTest, NetworkNonFiniteWeightRejected) {
+  write_file("nan-l1.tsv", "1\t1\tnan\n");
+  EXPECT_EQ(try_load_network_tsv(prefix("nan"), 4, 1, 0.0f, 1.0f).code(),
+            platform::ErrorCode::kBadModelFile);
+  write_file("inf-l1.tsv", "1\t1\tinf\n");
+  EXPECT_EQ(try_load_network_tsv(prefix("inf"), 4, 1, 0.0f, 1.0f).code(),
+            platform::ErrorCode::kBadModelFile);
+}
+
+TEST_F(SdgcIoCorpusTest, NetworkOutOfRangeIndexRejected) {
+  write_file("oor-l1.tsv", "5\t1\t1.0\n");  // row 5 > neurons=4
+  EXPECT_EQ(try_load_network_tsv(prefix("oor"), 4, 1, 0.0f, 1.0f).code(),
+            platform::ErrorCode::kBadModelFile);
+}
+
+TEST_F(SdgcIoCorpusTest, MatrixMalformedVariantsRejected) {
+  write_file("mjunk.tsv", "1\t1\t0.5\nxyz\n");
+  EXPECT_EQ(try_load_matrix_tsv(prefix("mjunk.tsv"), 4, 4).code(),
+            platform::ErrorCode::kBadInput);
+  write_file("mnan.tsv", "1\t1\tnan\n");
+  EXPECT_EQ(try_load_matrix_tsv(prefix("mnan.tsv"), 4, 4).code(),
+            platform::ErrorCode::kBadInput);
+  write_file("mzero.tsv", "0\t1\t1.0\n");  // 1-indexed: 0 out of range
+  EXPECT_EQ(try_load_matrix_tsv(prefix("mzero.tsv"), 4, 4).code(),
+            platform::ErrorCode::kBadInput);
+}
+
+TEST_F(SdgcIoCorpusTest, CategoriesMalformedVariantsRejected) {
+  write_file("cjunk.tsv", "1\ntwo\n");
+  EXPECT_EQ(try_load_categories_tsv(prefix("cjunk.tsv"), 4).code(),
+            platform::ErrorCode::kBadInput);
+  write_file("czero.tsv", "0\n");
+  EXPECT_EQ(try_load_categories_tsv(prefix("czero.tsv"), 4).code(),
+            platform::ErrorCode::kBadInput);
+}
+
+TEST_F(SdgcIoCorpusTest, CleanFilesWithTrailingNewlineStillLoad) {
+  write_file("ok-l1.tsv", "1\t2\t0.5\n3\t4\t-1.25\n\n");
+  const auto result = try_load_network_tsv(prefix("ok"), 4, 1, 0.0f, 1.0f);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_layers(), 1u);
+}
+
+TEST_F(SdgcIoCorpusTest, LegacyWrapperThrowsTypedException) {
+  write_file("wjunk.tsv", "1\t1\t0.5\njunk\n");
+  try {
+    load_matrix_tsv(prefix("wjunk.tsv"), 4, 4);
+    FAIL() << "expected ErrorException";
+  } catch (const platform::ErrorException& e) {
+    EXPECT_EQ(e.code(), platform::ErrorCode::kBadInput);
+  }
+}
+
 }  // namespace
 }  // namespace snicit::radixnet
