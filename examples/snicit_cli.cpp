@@ -38,6 +38,7 @@
 #include "radixnet/mixed_radix.hpp"
 #include "radixnet/radixnet.hpp"
 #include "radixnet/sdgc_io.hpp"
+#include "serve/dynamic_batcher.hpp"
 #include "snicit/engine.hpp"
 #include "snicit/parallel_stream.hpp"
 #include "snicit/stream.hpp"
@@ -60,7 +61,8 @@ std::vector<std::string> known_flags(const std::string& cmd) {
          {"engine", "threshold", "sample-size", "downsample", "prune",
           "auto-threshold", "stream", "workers", "queue", "trace-out",
           "metrics-out", "spmm", "spmm-tile", "faults", "faults-seed",
-          "max-attempts", "deadline-ms"}) {
+          "max-attempts", "deadline-ms", "serve-requests", "batch-timeout",
+          "packer"}) {
       flags.push_back(f);
     }
   }
@@ -189,6 +191,8 @@ int cmd_generate(const platform::CliArgs& args) {
   return 0;
 }
 
+void usage();
+
 int cmd_run(const platform::CliArgs& args) {
   // Observability: --trace-out / --metrics-out switch the runtime flags on
   // for this run and dump the capture on exit (chrome://tracing JSON and a
@@ -244,6 +248,88 @@ int cmd_run(const platform::CliArgs& args) {
 
   std::printf("running %s on %s, batch %zu\n", engine->name().c_str(),
               wl.net.name().c_str(), wl.input.cols());
+
+  if (args.has("serve-requests")) {
+    // Request-level serving: every input column is submitted as an
+    // individual request and the dynamic batcher re-forms engine batches
+    // under the max-batch / batch-timeout policy with the chosen packer.
+    serve::ServeOptions opt;
+    opt.max_batch = static_cast<std::size_t>(
+        std::max<std::int64_t>(args.get_int("serve-requests", 64), 1));
+    opt.batch_timeout_ms =
+        std::max(args.get_double("batch-timeout", 2.0), 0.0);
+    opt.packer = args.get("packer", "similarity");
+    opt.workers = static_cast<std::size_t>(
+        std::max<std::int64_t>(args.get_int("workers", 1), 0));
+    opt.queue_capacity = static_cast<std::size_t>(
+        std::max<std::int64_t>(args.get_int("queue", 0), 0));
+    opt.max_attempts = static_cast<std::size_t>(
+        std::max<std::int64_t>(args.get_int("max-attempts", 5), 1));
+    const auto packers = serve::known_packers();
+    if (std::find(packers.begin(), packers.end(), opt.packer) ==
+        packers.end()) {
+      std::fprintf(stderr, "error: unknown --packer '%s'\n",
+                   opt.packer.c_str());
+      usage();
+      return 2;
+    }
+    // In serve mode --deadline-ms is the per-request latency budget.
+    const double deadline_ms =
+        std::max(args.get_double("deadline-ms", 0.0), 0.0);
+
+    serve::DynamicBatcher batcher(*engine, wl.net, opt);
+    for (std::size_t j = 0; j < wl.input.cols(); ++j) {
+      std::vector<float> features(wl.input.col(j),
+                                  wl.input.col(j) + wl.input.rows());
+      const auto id = batcher.submit(std::move(features), deadline_ms);
+      if (!id.ok()) {
+        std::fprintf(stderr, "error: submit failed: %s\n",
+                     id.error().message.c_str());
+        break;
+      }
+    }
+    const auto report = batcher.finish();
+    std::printf(
+        "served %zu request(s) as %zu round(s) / %zu engine batch(es) "
+        "(max batch %zu, timeout %.2f ms, packer %s, %zu worker(s))\n",
+        report.requests, report.rounds, report.batches, opt.max_batch,
+        opt.batch_timeout_ms, opt.packer.c_str(),
+        std::max<std::size_t>(opt.workers, 1));
+    std::printf(
+        "batch fill %.2f, packing similarity %.3f, throughput %.0f "
+        "requests/s\n",
+        report.mean_fill(), report.mean_similarity(), report.throughput());
+    std::printf("queue wait: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+                report.queue_wait.p50(), report.queue_wait.p95(),
+                report.queue_wait.p99());
+    std::printf("request latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+                report.latency.p50(), report.latency.p95(),
+                report.latency.p99());
+    auto& fault_registry = platform::fault::FaultRegistry::global();
+    if (report.retries > 0 || report.degraded_batches > 0 ||
+        !report.complete() || fault_registry.armed()) {
+      std::printf(
+          "fault tolerance: %zu retr%s, %zu degraded batch(es), "
+          "%zu failed request(s), %zu timed-out request(s)\n",
+          report.retries, report.retries == 1 ? "y" : "ies",
+          report.degraded_batches, report.failed_requests,
+          report.timed_out_requests);
+      for (const auto& result : report.results) {
+        if (!result.ok()) {
+          std::printf("  request %zu failed: [%s] %s\n", result.id,
+                      platform::to_string(result.code),
+                      result.message.c_str());
+        }
+      }
+      if (fault_registry.armed()) {
+        std::printf("  armed faults: %s (seed %llu)\n",
+                    fault_registry.spec().c_str(),
+                    static_cast<unsigned long long>(fault_registry.seed()));
+      }
+    }
+    write_observability();
+    return report.complete() ? 0 : 3;
+  }
 
   if (args.has("stream")) {
     core::ParallelStreamOptions opt;
@@ -342,10 +428,19 @@ void usage() {
       "              worker_throw:0.05,nan_tile:0.01 — same grammar as\n"
       "              SNICIT_FAULTS) --faults-seed S (default 42)\n"
       "            --max-attempts N (per-batch retry budget, default 5)\n"
-      "            --deadline-ms D (per-batch deadline, 0 = none)\n"
+      "            --deadline-ms D (per-batch deadline, 0 = none;\n"
+      "              in serve mode: per-request latency budget)\n"
+      "            --serve-requests [B] (request-level serving: submit\n"
+      "              every input column as an individual request; B is the\n"
+      "              max engine batch the dynamic batcher packs, default "
+      "64)\n"
+      "            --batch-timeout MS (serve round fill window, default "
+      "2.0)\n"
+      "            --packer fifo|similarity (serve batch packing "
+      "strategy)\n"
       "  analyze:  (common options only)\n"
       "exit codes: 0 ok, 1 runtime error, 2 usage error, 3 stream lost "
-      "batches\n");
+      "batches / failed requests\n");
 }
 
 }  // namespace

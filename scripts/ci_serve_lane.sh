@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# CI serve lane: run the request-level serving suites (`ctest -L serve`)
+# plus the fault drills they share machinery with (`-L fault`) in a
+# build instrumented with TSan, so the concurrency surface — client
+# threads in submit(), the server thread's collect/pack/execute loop,
+# the engine-pool handoff, close/drain shutdown — is exercised with
+# data-race checking on.
+#
+#   scripts/ci_serve_lane.sh [build-dir]     (default: build-serve)
+#
+# The lane uses its own tree: sanitized and plain objects don't mix.
+# Exits nonzero if configure, build, or any serve/fault test fails.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-serve"}
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSNICIT_SANITIZE=thread \
+  -DSNICIT_BUILD_BENCH=OFF \
+  -DSNICIT_BUILD_EXAMPLES=OFF
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+# halt_on_error: a race report must fail the lane, not scroll past it.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --test-dir "$build_dir" -L "serve|fault" --output-on-failure
+
+echo "serve lane clean: all serve/fault-labelled tests passed under TSan"

@@ -70,13 +70,18 @@ class BoundedQueue {
 
   /// Irreversible: wakes every blocked push (which returns kQueueClosed)
   /// and pop (which drains what is left, then reports exhaustion).
-  void close() {
+  /// Idempotent and safe to race: exactly one caller observes the
+  /// transition (returns true) and pays the wakeup broadcast; later or
+  /// concurrent duplicate closes are no-ops (returns false).
+  bool close() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
       closed_ = true;
     }
     not_full_.notify_all();
     not_empty_.notify_all();
+    return true;
   }
 
   bool closed() const {

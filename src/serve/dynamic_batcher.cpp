@@ -1,0 +1,298 @@
+#include "serve/dynamic_batcher.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <utility>
+
+#include "platform/common.hpp"
+#include "platform/metrics.hpp"
+#include "platform/thread_pool.hpp"
+#include "platform/trace.hpp"
+#include "snicit/parallel_stream.hpp"
+
+namespace snicit::serve {
+
+namespace {
+
+using platform::ErrorCode;
+
+std::size_t default_round_limit(const ServeOptions& options) {
+  if (options.round_limit != 0) return options.round_limit;
+  const std::size_t workers = options.workers != 0
+                                  ? options.workers
+                                  : platform::ThreadPool::global().size();
+  return options.max_batch * std::max<std::size_t>(2 * workers, 2);
+}
+
+void reject(bool ok, const char* message) {
+  if (!ok) {
+    throw platform::ErrorException(
+        ErrorCode::kBadInput, std::string("DynamicBatcher: ") + message);
+  }
+}
+
+}  // namespace
+
+DynamicBatcher::DynamicBatcher(dnn::InferenceEngine& engine,
+                               const dnn::SparseDnn& net,
+                               ServeOptions options)
+    : engine_(engine),
+      net_(net),
+      options_(std::move(options)),
+      round_limit_(default_round_limit(options_)),
+      packer_(make_packer(options_.packer, options_.similarity_threshold)),
+      queue_(options_.queue_capacity != 0 ? options_.queue_capacity
+                                          : 4 * round_limit_) {
+  reject(options_.max_batch >= 1, "max_batch must be >= 1");
+  reject(options_.batch_timeout_ms >= 0.0,
+         "batch_timeout_ms must be non-negative");
+  reject(options_.max_attempts >= 1, "max_attempts must be >= 1");
+  reject(options_.retry_backoff_ms >= 0.0 && options_.max_backoff_ms >= 0.0,
+         "retry backoff times must be non-negative");
+  if (platform::metrics::enabled()) {
+    auto& registry = platform::metrics::MetricsRegistry::global();
+    registry.gauge("serve.max_batch")
+        .set(static_cast<double>(options_.max_batch));
+    registry.gauge("serve.workers")
+        .set(static_cast<double>(options_.workers));
+  }
+  server_ = std::thread([this] { serve_loop(); });
+}
+
+DynamicBatcher::~DynamicBatcher() {
+  queue_.close();
+  if (server_.joinable()) server_.join();
+}
+
+platform::Result<std::size_t> DynamicBatcher::submit(
+    std::vector<float> features, double deadline_ms) {
+  if (features.size() != static_cast<std::size_t>(net_.neurons())) {
+    return platform::Error{
+        ErrorCode::kBadInput,
+        "request has " + std::to_string(features.size()) +
+            " features; the network expects " +
+            std::to_string(net_.neurons())};
+  }
+  if (!(deadline_ms >= 0.0)) {
+    return platform::Error{ErrorCode::kBadInput,
+                           "request deadline must be non-negative"};
+  }
+  if (platform::metrics::enabled()) {
+    platform::metrics::MetricsRegistry::global()
+        .counter("serve.requests")
+        .add(1);
+  }
+  return queue_.submit(std::move(features), deadline_ms);
+}
+
+ServeReport DynamicBatcher::finish() {
+  queue_.close();
+  if (server_.joinable()) server_.join();
+  if (finished_) return {};
+  finished_ = true;
+  report_.requests = queue_.issued();
+  report_.total_ms = wall_.elapsed_ms();
+  return std::move(report_);
+}
+
+RequestResult& DynamicBatcher::result_slot(std::size_t id) {
+  if (report_.results.size() <= id) report_.results.resize(id + 1);
+  report_.results[id].id = id;
+  return report_.results[id];
+}
+
+void DynamicBatcher::serve_loop() {
+  while (true) {
+    std::vector<ServeRequest> requests =
+        queue_.collect(round_limit_, options_.batch_timeout_ms);
+    if (requests.empty()) break;  // closed and drained
+    serve_round(std::move(requests));
+  }
+}
+
+void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
+  SNICIT_TRACE_SPAN("serve.round", "serve");
+  namespace metrics = platform::metrics;
+  const bool instrumented = metrics::enabled();
+  const std::size_t round = report_.rounds++;
+
+  // Deadline triage: a request whose budget expired while queued fails
+  // with kTimeout instead of burning engine time it can no longer use.
+  std::vector<ServeRequest> live;
+  std::vector<double> waited;
+  live.reserve(requests.size());
+  waited.reserve(requests.size());
+  for (auto& request : requests) {
+    const double queue_ms = request.age.elapsed_ms();
+    if (request.deadline_ms > 0.0 && queue_ms > request.deadline_ms) {
+      RequestResult& slot = result_slot(request.id);
+      slot.code = ErrorCode::kTimeout;
+      slot.message = "deadline of " + std::to_string(request.deadline_ms) +
+                     " ms expired after " + std::to_string(queue_ms) +
+                     " ms in queue";
+      slot.queue_ms = queue_ms;
+      slot.latency_ms = queue_ms;
+      slot.round = round;
+      report_.timed_out_requests += 1;
+      report_.queue_wait.add(queue_ms);
+      report_.latency.add(queue_ms);
+      if (instrumented) {
+        metrics::MetricsRegistry::global().counter("serve.timeouts").add(1);
+      }
+      continue;
+    }
+    waited.push_back(queue_ms);
+    live.push_back(std::move(request));
+  }
+  if (live.empty()) return;
+  const std::size_t n = live.size();
+
+  // Signatures + packed order. The permutation is validated — a packer
+  // that drops or duplicates a position would silently misroute outputs.
+  std::vector<Signature> signatures(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    signatures[i] = input_signature(live[i].features);
+  }
+  std::vector<std::size_t> order;
+  {
+    SNICIT_TRACE_SPAN("serve.pack", "serve");
+    order = packer_->pack(signatures, options_.max_batch);
+  }
+  SNICIT_CHECK(order.size() == n, "packer must emit one slot per request");
+  {
+    std::vector<std::uint8_t> seen(n, 0);
+    for (const std::size_t p : order) {
+      SNICIT_CHECK(p < n && !seen[p], "packer order must be a permutation");
+      seen[p] = 1;
+    }
+  }
+
+  const std::size_t rows = static_cast<std::size_t>(net_.neurons());
+  dnn::DenseMatrix input(rows, n);
+  for (std::size_t p = 0; p < n; ++p) {
+    std::copy_n(live[order[p]].features.data(), rows, input.col(p));
+  }
+
+  core::ParallelStreamOptions popt;
+  popt.batch_size = options_.max_batch;
+  popt.keep_rows = options_.keep_rows;
+  popt.workers = options_.workers;
+  popt.max_attempts = options_.max_attempts;
+  popt.retry_backoff_ms = options_.retry_backoff_ms;
+  popt.max_backoff_ms = options_.max_backoff_ms;
+  const core::ParallelStreamExecutor executor(popt);
+
+  const std::size_t num_batches =
+      (n + options_.max_batch - 1) / options_.max_batch;
+  core::StreamResult streamed;
+  bool round_failed = false;
+  platform::Error round_error;
+  try {
+    streamed = executor.run(engine_, net_, input);
+  } catch (const platform::ErrorException& e) {
+    round_failed = true;
+    round_error = e.error();
+  } catch (const std::exception& e) {
+    // Serial-path engine exceptions (one worker / few batches) have no
+    // retry machinery; they cost this round, never the server thread.
+    round_failed = true;
+    round_error = {ErrorCode::kWorkerFault, e.what()};
+  }
+
+  metrics::Series* fill_series = nullptr;
+  metrics::Series* similarity_series = nullptr;
+  metrics::Series* wait_series = nullptr;
+  if (instrumented) {
+    auto& registry = metrics::MetricsRegistry::global();
+    registry.counter("serve.rounds").add(1);
+    registry.counter("serve.batches")
+        .add(static_cast<std::int64_t>(num_batches));
+    fill_series = &registry.series("serve.batch_fill");
+    similarity_series = &registry.series("serve.batch_similarity");
+    wait_series = &registry.series("serve.queue_wait_ms");
+  }
+
+  // Per-batch ledger + per-request results, routed back through the
+  // packed order (column p of the round matrix is live[order[p]]).
+  std::vector<const core::BatchFailure*> failure_of(num_batches, nullptr);
+  if (!round_failed) {
+    for (const auto& failure : streamed.failures) {
+      failure_of[failure.batch] = &failure;
+    }
+    report_.retries += streamed.retries;
+    report_.degraded_batches += streamed.degraded_batches;
+  }
+  for (std::size_t j = 0; j < num_batches; ++j) {
+    const std::size_t begin = j * options_.max_batch;
+    const std::size_t end = std::min(n, begin + options_.max_batch);
+    ServeBatchRecord record;
+    record.round = round;
+    record.batch = report_.batches + j;
+    record.request_ids.reserve(end - begin);
+    std::vector<Signature> batch_sigs;
+    batch_sigs.reserve(end - begin);
+    for (std::size_t p = begin; p < end; ++p) {
+      record.request_ids.push_back(live[order[p]].id);
+      batch_sigs.push_back(signatures[order[p]]);
+    }
+    record.fill = static_cast<double>(end - begin) /
+                  static_cast<double>(options_.max_batch);
+    record.similarity = mean_pairwise_similarity(batch_sigs);
+    if (round_failed) {
+      record.failed = true;
+      record.code = round_error.code;
+    } else {
+      record.engine_ms = streamed.batch_ms[j];
+      if (failure_of[j] != nullptr) {
+        record.failed = true;
+        record.code = failure_of[j]->code;
+      }
+    }
+    if (fill_series != nullptr) {
+      fill_series->push(record.fill);
+      similarity_series->push(record.similarity);
+    }
+
+    for (std::size_t p = begin; p < end; ++p) {
+      const ServeRequest& request = live[order[p]];
+      RequestResult& slot = result_slot(request.id);
+      slot.round = round;
+      slot.batch = record.batch;
+      slot.batch_cols = end - begin;
+      slot.queue_ms = waited[order[p]];
+      slot.latency_ms = request.age.elapsed_ms();
+      report_.queue_wait.add(slot.queue_ms);
+      report_.latency.add(slot.latency_ms);
+      if (wait_series != nullptr) wait_series->push(slot.queue_ms);
+      if (round_failed) {
+        slot.code = round_error.code;
+        slot.message = round_error.message;
+        report_.failed_requests += 1;
+      } else if (failure_of[j] != nullptr) {
+        slot.code = failure_of[j]->code;
+        slot.message = failure_of[j]->message;
+        slot.attempts = failure_of[j]->attempts;
+        slot.batch_ms = streamed.batch_ms[j];
+        report_.failed_requests += 1;
+      } else {
+        slot.code = ErrorCode::kOk;
+        // Per-batch retries are not attributed on success; the session
+        // total lives in ServeReport::retries.
+        slot.attempts = 1;
+        slot.batch_ms = streamed.batch_ms[j];
+        slot.output.assign(streamed.outputs.col(p),
+                           streamed.outputs.col(p) + streamed.outputs.rows());
+      }
+    }
+    if (instrumented && record.failed) {
+      metrics::MetricsRegistry::global()
+          .counter("serve.failed_requests")
+          .add(static_cast<std::int64_t>(end - begin));
+    }
+    report_.batch_log.push_back(std::move(record));
+  }
+  report_.batches += num_batches;
+}
+
+}  // namespace snicit::serve

@@ -1,0 +1,118 @@
+// Request-level serving front end: an async RequestQueue accepting
+// individual samples, a serving thread that coalesces them into engine
+// batches under a max-batch-size / max-wait-timeout policy, and a
+// pluggable BatchPacker that orders each round so look-alike samples
+// share a batch (raising SNICIT's centroid hit rate and shrinking the
+// residues its conversion carries — the paper's intra-batch clustering
+// win, applied at the serving layer).
+//
+// Execution plugs into the existing ParallelStreamExecutor worker pool:
+// every serving round assembles its packed requests into one
+// column-matrix and streams it through the executor, inheriting the
+// engine-pool overlap, per-batch retry with capped backoff, the SNICIT
+// dense-fallback degradation ledger, the worker_throw / queue_stall
+// fault-injection sites, and the deterministic reassembly contract —
+// a request's output is bit-identical to serial stream_inference on the
+// same packed samples, whatever the arrival order, worker count, or
+// fault drill.
+//
+// Threading: submit() is safe from any number of client threads; one
+// internal server thread runs the collect -> pack -> execute loop; the
+// per-round engine pool is the executor's. finish() closes the intake,
+// drains, joins, and returns the session report. The engine and network
+// passed at construction must outlive the batcher and must not be used
+// concurrently elsewhere while it is serving.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dnn/engine.hpp"
+#include "platform/error.hpp"
+#include "serve/packer.hpp"
+#include "serve/request.hpp"
+#include "serve/request_queue.hpp"
+
+namespace snicit::serve {
+
+struct ServeOptions {
+  /// Engine batch size the packer slices rounds into (the paper's B).
+  std::size_t max_batch = 64;
+  /// Max time collect() waits to fill a round once a request is pending;
+  /// requests with deadlines can shorten the wait (see RequestQueue).
+  double batch_timeout_ms = 2.0;
+  /// Packing strategy: "fifo" or "similarity".
+  std::string packer = "similarity";
+  /// SimilarityPacker leader-match threshold (bit-agreement fraction).
+  double similarity_threshold = 0.75;
+  /// Rows of the output kept per request (0 = full activation column).
+  std::size_t keep_rows = 0;
+  /// Engine-pool workers per round (ParallelStreamOptions::workers
+  /// semantics: 0 sizes from the global pool, 1 serves serially).
+  std::size_t workers = 1;
+  /// Bound on queued-but-uncollected requests (submit blocks beyond it).
+  /// 0 picks 4 * round_limit.
+  std::size_t queue_capacity = 0;
+  /// Max requests collected per serving round. 0 picks
+  /// max_batch * max(2 * effective workers, 2), so a busy intake gives
+  /// the round enough batches to overlap across the pool.
+  std::size_t round_limit = 0;
+
+  // Fault tolerance, forwarded to the executor per round.
+  std::size_t max_attempts = 5;
+  double retry_backoff_ms = 1.0;
+  double max_backoff_ms = 50.0;
+};
+
+class DynamicBatcher {
+ public:
+  /// Starts the server thread immediately; requests submitted from this
+  /// point on are served as rounds fill (or time out).
+  DynamicBatcher(dnn::InferenceEngine& engine, const dnn::SparseDnn& net,
+                 ServeOptions options = {});
+
+  /// Closes the intake and joins the server (the report is discarded —
+  /// call finish() to keep it).
+  ~DynamicBatcher();
+
+  DynamicBatcher(const DynamicBatcher&) = delete;
+  DynamicBatcher& operator=(const DynamicBatcher&) = delete;
+
+  /// Enqueues one sample (length must equal the network's neuron count —
+  /// kBadInput otherwise). Blocks while the intake is full; kQueueClosed
+  /// after finish(). `deadline_ms` is the request's total latency budget
+  /// (0 = none).
+  platform::Result<std::size_t> submit(std::vector<float> features,
+                                       double deadline_ms = 0.0);
+
+  /// Closes the intake, serves every request already accepted, joins the
+  /// server thread, and returns the session ledger: exactly one
+  /// RequestResult per accepted submit, sorted by id. Idempotent — later
+  /// calls return an empty report.
+  ServeReport finish();
+
+  const ServeOptions& options() const { return options_; }
+  /// Requests accepted so far.
+  std::size_t submitted() const { return queue_.issued(); }
+
+ private:
+  void serve_loop();
+  void serve_round(std::vector<ServeRequest> requests);
+  RequestResult& result_slot(std::size_t id);
+
+  dnn::InferenceEngine& engine_;
+  const dnn::SparseDnn& net_;
+  ServeOptions options_;
+  std::size_t round_limit_ = 0;
+  std::unique_ptr<BatchPacker> packer_;
+  RequestQueue queue_;
+  ServeReport report_;  // touched only by the server thread until joined
+  platform::Stopwatch wall_;
+  std::thread server_;
+  bool finished_ = false;
+};
+
+}  // namespace snicit::serve

@@ -1,0 +1,102 @@
+// Request-level serving types: one inference request (a single input
+// column with an optional latency deadline) and its per-request outcome,
+// plus the per-batch and whole-session reports the dynamic batcher
+// assembles. These are the units the serving front end deals in — the
+// engine layer below it only ever sees packed batches.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "platform/error.hpp"
+#include "platform/stats.hpp"
+#include "platform/timer.hpp"
+#include "serve/packer.hpp"
+
+namespace snicit::serve {
+
+/// One pending request: a single sample (length = network neurons) with
+/// the wall-clock age used for queue-wait accounting and deadlines.
+struct ServeRequest {
+  std::size_t id = 0;
+  std::vector<float> features;
+  /// Total latency budget measured from submit; a request still queued
+  /// (or collected but not yet dispatched) past its deadline fails with
+  /// kTimeout instead of riding a batch. 0 disables the deadline.
+  double deadline_ms = 0.0;
+  platform::Stopwatch age{};  // started at submit
+};
+
+/// Terminal outcome of one request. Exactly one is produced per accepted
+/// submit — a request is never dropped or duplicated, whatever the
+/// arrival order, packer, worker count, or fault drill.
+struct RequestResult {
+  std::size_t id = 0;
+  /// keep_rows (or all) rows of the request's output column; empty when
+  /// the request failed (code != kOk).
+  std::vector<float> output;
+  platform::ErrorCode code = platform::ErrorCode::kOk;
+  std::string message;
+  std::size_t attempts = 0;   // engine-batch tries consumed (0: never ran)
+  double queue_ms = 0.0;      // submit -> collected by the batcher
+  double batch_ms = 0.0;      // engine latency of the batch it rode
+  double latency_ms = 0.0;    // submit -> result available (wall)
+  std::size_t round = 0;      // serving round the request rode
+  std::size_t batch = 0;      // engine batch index within the session
+  std::size_t batch_cols = 0; // how many requests shared that batch
+
+  bool ok() const { return code == platform::ErrorCode::kOk; }
+};
+
+/// One engine batch as the batcher formed it: which requests rode it (in
+/// packed column order), how full it was, and how alike its members were.
+struct ServeBatchRecord {
+  std::size_t round = 0;
+  std::size_t batch = 0;                 // session-wide batch index
+  std::vector<std::size_t> request_ids;  // packed column order
+  double fill = 0.0;                     // request_ids.size() / max_batch
+  double similarity = 1.0;               // mean pairwise signature sim.
+  double engine_ms = 0.0;
+  bool failed = false;
+  platform::ErrorCode code = platform::ErrorCode::kOk;
+};
+
+/// Whole-session ledger returned by DynamicBatcher::finish().
+struct ServeReport {
+  std::vector<RequestResult> results;      // sorted by request id
+  std::vector<ServeBatchRecord> batch_log; // every engine batch formed
+  std::size_t requests = 0;
+  std::size_t rounds = 0;
+  std::size_t batches = 0;
+  std::size_t retries = 0;            // engine-batch retries (worker faults)
+  std::size_t degraded_batches = 0;   // SNICIT dense-fallback batches
+  std::size_t failed_requests = 0;    // terminal non-timeout failures
+  std::size_t timed_out_requests = 0; // deadline expiries
+  double total_ms = 0.0;              // server start -> drained
+  platform::QuantileTracker latency;    // per-request latency_ms
+  platform::QuantileTracker queue_wait; // per-request queue_ms
+
+  bool complete() const {
+    return failed_requests == 0 && timed_out_requests == 0;
+  }
+  double throughput() const {
+    return total_ms <= 0.0
+               ? 0.0
+               : 1000.0 * static_cast<double>(requests) / total_ms;
+  }
+  double mean_fill() const {
+    if (batch_log.empty()) return 0.0;
+    double sum = 0.0;
+    for (const auto& b : batch_log) sum += b.fill;
+    return sum / static_cast<double>(batch_log.size());
+  }
+  double mean_similarity() const {
+    if (batch_log.empty()) return 1.0;
+    double sum = 0.0;
+    for (const auto& b : batch_log) sum += b.similarity;
+    return sum / static_cast<double>(batch_log.size());
+  }
+};
+
+}  // namespace snicit::serve

@@ -1,0 +1,102 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "platform/common.hpp"
+
+namespace snicit::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+Clock::duration from_ms(double ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+}
+}  // namespace
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  SNICIT_CHECK(capacity >= 1, "request queue capacity must be >= 1");
+}
+
+platform::Result<std::size_t> RequestQueue::submit(
+    std::vector<float> features, double deadline_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock,
+                 [this] { return closed_ || pending_.size() < capacity_; });
+  if (closed_) {
+    return platform::Error{platform::ErrorCode::kQueueClosed,
+                           "request queue is closed"};
+  }
+  const std::size_t id = next_id_++;
+  pending_.push_back(
+      ServeRequest{id, std::move(features), deadline_ms, {}});
+  lock.unlock();
+  not_empty_.notify_one();
+  return id;
+}
+
+std::vector<ServeRequest> RequestQueue::collect(std::size_t limit,
+                                                double wait_ms) {
+  std::vector<ServeRequest> out;
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return closed_ || !pending_.empty(); });
+  if (pending_.empty()) return out;  // closed and drained
+
+  // Fill window: wait for more arrivals, but never let the wait eat the
+  // deadline budget of a request already pending.
+  if (pending_.size() < limit && !closed_ && wait_ms > 0.0) {
+    const auto fill_deadline = Clock::now() + from_ms(wait_ms);
+    while (pending_.size() < limit && !closed_) {
+      auto until = fill_deadline;
+      for (const auto& request : pending_) {
+        if (request.deadline_ms <= 0.0) continue;
+        const double slack_ms =
+            request.deadline_ms - request.age.elapsed_ms();
+        const auto urgent = Clock::now() + from_ms(std::max(slack_ms, 0.0));
+        until = std::min(until, urgent);
+      }
+      if (until <= Clock::now()) break;
+      not_empty_.wait_until(lock, until);
+      if (Clock::now() >= until && until == fill_deadline) break;
+    }
+  }
+
+  const std::size_t n = std::min(limit, pending_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+  lock.unlock();
+  not_full_.notify_all();
+  return out;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+std::size_t RequestQueue::issued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_id_;
+}
+
+}  // namespace snicit::serve

@@ -1,0 +1,68 @@
+// The async intake of the serving front end: client threads submit
+// individual samples (with optional deadlines) and the dynamic batcher
+// collects them in coalesced groups. Bounded like the engine-side work
+// queue — a submit on a full queue blocks, so an arrival burst can never
+// hold more than `capacity` undispatched requests in memory.
+//
+// collect() implements the dynamic-batching wait policy: block until at
+// least one request is pending, then keep gathering up to `limit`
+// requests for at most `wait_ms` — returning *early* when the most
+// urgent pending request's deadline budget would otherwise be spent
+// waiting instead of computing (deadline-aware coalescing).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "platform/error.hpp"
+#include "serve/request.hpp"
+
+namespace snicit::serve {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Blocks while the queue is full. Returns the assigned request id
+  /// (sequential from 0, also the index of the request's slot in the
+  /// final report), or kQueueClosed once close() has been called — a
+  /// submit is never silently dropped.
+  platform::Result<std::size_t> submit(std::vector<float> features,
+                                       double deadline_ms = 0.0);
+
+  /// Takes up to `limit` pending requests in arrival order. Blocks until
+  /// at least one request is pending (or the queue is closed and drained,
+  /// returning empty — the batcher's shutdown signal). Once the first
+  /// request is visible, waits at most `wait_ms` for the group to fill,
+  /// capped by the smallest remaining deadline slack among the pending
+  /// requests.
+  std::vector<ServeRequest> collect(std::size_t limit, double wait_ms);
+
+  /// Irreversible: submits fail with kQueueClosed; collect drains what is
+  /// pending, then returns empty forever. Safe to call concurrently and
+  /// repeatedly.
+  void close();
+
+  bool closed() const;
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Total requests ever accepted (== the id the next submit would get).
+  std::size_t issued() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<ServeRequest> pending_;
+  const std::size_t capacity_;
+  std::size_t next_id_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace snicit::serve

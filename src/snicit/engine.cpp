@@ -211,11 +211,23 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
   stage_span.reset();
   trace_.threshold_layer = t;
   trace_.centroid_count = centroid_cols.size();
+  // Residue mass right after conversion: nonzeros across the non-centroid
+  // columns of Ŷ. This is the quantity intra-batch similarity shrinks —
+  // look-alike columns land near their centroid, so batch packing quality
+  // shows up here before it shows up in layer timings.
+  std::size_t residue_nnz = 0;
+  for (std::size_t j = 0; j < batch.batch(); ++j) {
+    if (!batch.is_centroid(j)) residue_nnz += batch.yhat.column_nonzeros(j);
+  }
+  result.diagnostics["conversion_residue_nnz"] =
+      static_cast<double>(residue_nnz);
   if (metrics::enabled()) {
     auto& registry = metrics::MetricsRegistry::global();
     registry.gauge("snicit.threshold_layer").set(t);
     registry.gauge("snicit.centroids")
         .set(static_cast<double>(centroid_cols.size()));
+    registry.gauge("snicit.conversion_residue_nnz")
+        .set(static_cast<double>(residue_nnz));
   }
 
   // --- Stage 3: post-convergence update (§3.3) ---

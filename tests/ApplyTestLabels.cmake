@@ -2,7 +2,8 @@
 #
 # gtest_discover_tests' POST_BUILD discovery flattens list-valued
 # properties, so a suite registered with more than one ctest label keeps
-# only the first.  snicit_add_test appends a tiny shim (which sets
+# only the first (e.g. the serving suites carry "tier1;serve", the fault
+# drills "tier1;fault").  snicit_add_test appends a tiny shim (which sets
 # SNICIT_LABEL_SOURCE and SNICIT_LABELS, then includes this file) to the
 # directory's TEST_INCLUDE_FILES *after* the discovery include, so this
 # runs once the generated add_test() calls exist and can restore the

@@ -176,5 +176,53 @@ TEST(BoundedQueue, MoveOnlyPayload) {
   EXPECT_EQ(**v, 5);
 }
 
+TEST(BoundedQueue, CloseIsIdempotent) {
+  BoundedQueue<int> q(2);
+  ASSERT_EQ(q.push(1), ErrorCode::kOk);
+  EXPECT_TRUE(q.close());    // first close observes the transition
+  EXPECT_FALSE(q.close());   // later closes are no-ops
+  EXPECT_TRUE(q.closed());
+  EXPECT_EQ(q.push(2), ErrorCode::kQueueClosed);
+  auto v = q.pop();           // close still drains what was queued
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+// Regression: concurrent double-close raced on the closed_ transition —
+// every closer paid the wakeup broadcast and none could tell whether it
+// closed the queue. Exactly one concurrent closer must observe the
+// transition, and producers/consumers parked on the CVs must all wake.
+TEST(BoundedQueue, ConcurrentDoubleCloseHasOneWinner) {
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    BoundedQueue<int> q(1);
+    ASSERT_EQ(q.push(0), ErrorCode::kOk);  // full: producers will park
+    std::atomic<int> winners{0};
+    std::atomic<int> rejected{0};
+    std::vector<std::thread> threads;
+    threads.reserve(6);
+    for (int t = 0; t < 2; ++t) {
+      threads.emplace_back([&] {
+        if (q.push(1) == ErrorCode::kQueueClosed) rejected.fetch_add(1);
+      });
+    }
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&] {
+        if (q.close()) winners.fetch_add(1);
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    EXPECT_EQ(winners.load(), 1) << "round " << round;
+    EXPECT_EQ(rejected.load(), 2) << "round " << round;
+    EXPECT_TRUE(q.closed());
+    // The pre-close item still drains.
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 0);
+    EXPECT_FALSE(q.pop().has_value());
+  }
+}
+
 }  // namespace
 }  // namespace snicit::platform

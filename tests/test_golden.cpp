@@ -1,0 +1,234 @@
+// Golden-output regression suite: every engine's full-precision output
+// on seeded synthetic workloads is digested (FNV-1a over the raw float
+// bit patterns plus the output shape) and compared against checked-in
+// golden digests. Any change to kernel order-of-operations, conversion
+// arithmetic, or engine plumbing that perturbs even one output bit
+// fails here — before it can masquerade as a performance win.
+//
+// The spMM policy is pinned to the scalar gather kernel so digests are a
+// pure function of (workload seed, engine algorithm), not of the host's
+// core count or SIMD width.
+//
+// Refreshing after an *intentional* numerical change:
+//
+//   ./tests/test_golden --update-golden        # or SNICIT_UPDATE_GOLDEN=1
+//
+// rewrites tests/golden/engine_digests.txt with the digests of the
+// current build (merging over any entries whose tests were filtered
+// out); commit the diff alongside the change that explains it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/bf2019.hpp"
+#include "baselines/serial.hpp"
+#include "baselines/snig2020.hpp"
+#include "baselines/xy2021.hpp"
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "radixnet/radixnet.hpp"
+#include "snicit/engine.hpp"
+
+namespace snicit {
+namespace {
+
+bool g_update_golden = false;
+
+const char* golden_path() {
+  return SNICIT_GOLDEN_DIR "/engine_digests.txt";
+}
+
+/// FNV-1a over raw bytes; seeded with the basis offset.
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t hash = 1469598103934665603ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t digest_output(const dnn::DenseMatrix& output) {
+  const std::uint64_t rows = output.rows();
+  const std::uint64_t cols = output.cols();
+  std::uint64_t hash = fnv1a(&rows, sizeof(rows));
+  hash = fnv1a(&cols, sizeof(cols), hash);
+  // Column-major float bits; bit-identity is the contract, so the digest
+  // covers the exact IEEE representation including signed zeros.
+  for (std::uint64_t j = 0; j < cols; ++j) {
+    hash = fnv1a(output.col(j), rows * sizeof(float), hash);
+  }
+  return hash;
+}
+
+struct GoldenConfig {
+  std::string name;
+  sparse::Index neurons;
+  int layers;
+  std::size_t batch;
+  std::uint64_t seed;
+};
+
+const std::vector<GoldenConfig>& configs() {
+  static const std::vector<GoldenConfig> kConfigs = {
+      {"sdgc-256x24-b64", 256, 24, 64, 7},
+      {"sdgc-256x48-b32", 256, 48, 32, 11},
+      {"sdgc-512x24-b48", 512, 24, 48, 13},
+  };
+  return kConfigs;
+}
+
+/// Digests computed by the tests of this process run; flushed to the
+/// golden file by main() when --update-golden is set.
+std::map<std::string, std::uint64_t>& computed() {
+  static std::map<std::string, std::uint64_t> map;
+  return map;
+}
+
+std::map<std::string, std::uint64_t> load_golden() {
+  std::map<std::string, std::uint64_t> golden;
+  std::ifstream in(golden_path());
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string key, hex;
+    if (fields >> key >> hex) {
+      golden[key] = std::strtoull(hex.c_str(), nullptr, 16);
+    }
+  }
+  return golden;
+}
+
+bool store_golden(const std::map<std::string, std::uint64_t>& golden) {
+  std::ofstream out(golden_path());
+  out << "# Golden engine-output digests (FNV-1a over shape + float "
+         "bits).\n"
+      << "# Regenerate with: test_golden --update-golden (see file "
+         "header comment).\n";
+  char hex[32];
+  for (const auto& [key, value] : golden) {
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(value));
+    out << key << " " << hex << "\n";
+  }
+  return out.good();
+}
+
+std::unique_ptr<dnn::InferenceEngine> make_engine(const std::string& name,
+                                                  int layers) {
+  // Pinned scalar kernel: digests must not depend on the host machine.
+  sparse::SpmmPolicy policy;
+  policy.variant = sparse::SpmmVariant::kGatherScalar;
+  if (name == "reference") return std::make_unique<dnn::ReferenceEngine>();
+  if (name == "bf2019") {
+    return std::make_unique<baselines::Bf2019Engine>(0, policy);
+  }
+  if (name == "snig2020") {
+    return std::make_unique<baselines::Snig2020Engine>(0, 4, policy);
+  }
+  if (name == "xy2021") {
+    baselines::Xy2021Options opt;
+    opt.policy = policy;
+    return std::make_unique<baselines::Xy2021Engine>(opt);
+  }
+  if (name == "snicit") {
+    core::SnicitParams params;
+    params.threshold_layer = layers / 2;
+    params.sample_size = 16;
+    params.downsample_dim = 16;
+    params.spmm = policy;
+    return std::make_unique<core::SnicitEngine>(params);
+  }
+  return nullptr;
+}
+
+void check_engine(const std::string& engine_name) {
+  const auto golden = load_golden();
+  for (const auto& config : configs()) {
+    radixnet::RadixNetOptions net_opt;
+    net_opt.neurons = config.neurons;
+    net_opt.layers = config.layers;
+    net_opt.fanin = 16;
+    net_opt.seed = config.seed;
+    const auto net = radixnet::make_radixnet(net_opt);
+    net.ensure_csc();
+    data::SdgcInputOptions in_opt;
+    in_opt.neurons = static_cast<std::size_t>(config.neurons);
+    in_opt.batch = config.batch;
+    in_opt.seed = config.seed + 1;
+    const auto input = data::make_sdgc_input(in_opt).features;
+
+    auto engine = make_engine(engine_name, config.layers);
+    ASSERT_NE(engine, nullptr) << engine_name;
+    const auto result = engine->run(net, input);
+    const std::uint64_t digest = digest_output(result.output);
+
+    const std::string key = config.name + "/" + engine_name;
+    computed()[key] = digest;
+    if (g_update_golden) continue;  // comparison deferred to the refresh
+    const auto expected = golden.find(key);
+    ASSERT_NE(expected, golden.end())
+        << "no golden digest for " << key
+        << " — run test_golden --update-golden and commit "
+        << golden_path();
+    char got[32];
+    std::snprintf(got, sizeof(got), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    char want[32];
+    std::snprintf(want, sizeof(want), "%016llx",
+                  static_cast<unsigned long long>(expected->second));
+    EXPECT_EQ(digest, expected->second)
+        << key << ": output digest " << got << " != golden " << want
+        << " — engine outputs changed bit-for-bit; if intentional, "
+        << "refresh with test_golden --update-golden";
+  }
+}
+
+TEST(GoldenOutputs, Reference) { check_engine("reference"); }
+TEST(GoldenOutputs, Bf2019) { check_engine("bf2019"); }
+TEST(GoldenOutputs, Snig2020) { check_engine("snig2020"); }
+TEST(GoldenOutputs, Xy2021) { check_engine("xy2021"); }
+TEST(GoldenOutputs, Snicit) { check_engine("snicit"); }
+
+}  // namespace
+}  // namespace snicit
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--update-golden") {
+      snicit::g_update_golden = true;
+    }
+  }
+  const char* env = std::getenv("SNICIT_UPDATE_GOLDEN");
+  if (env != nullptr && std::string(env) == "1") {
+    snicit::g_update_golden = true;
+  }
+  const int rc = RUN_ALL_TESTS();
+  if (snicit::g_update_golden && rc == 0) {
+    // Merge over existing entries so a filtered refresh (--gtest_filter)
+    // does not drop digests it never recomputed.
+    auto merged = snicit::load_golden();
+    for (const auto& [key, value] : snicit::computed()) {
+      merged[key] = value;
+    }
+    if (!snicit::store_golden(merged)) {
+      std::fprintf(stderr, "failed to write %s\n", snicit::golden_path());
+      return 1;
+    }
+    std::printf("wrote %zu golden digest(s) to %s\n", merged.size(),
+                snicit::golden_path());
+  }
+  return rc;
+}
