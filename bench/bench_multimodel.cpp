@@ -1,0 +1,299 @@
+// bench_multimodel — tenant-count x arrival-mix sweep for the multi-model
+// router: N tenants (one registry model each, SNICIT engines over
+// distinct Radix-Net seeds) share one router and one worker budget, and a
+// merged request timeline is replayed against it. Two arrival mixes:
+//
+//   uniform  every tenant submits Poisson arrivals at the same mean rate
+//   burst1   tenant 0 dumps its whole stream at t=0 (an abusive
+//            neighbour); the other tenants keep the uniform Poisson
+//            schedule — the isolation scenario
+//
+// Each (mix, tenants, tenant) row reports serving shape (rounds, engine
+// batches, fill) and request latency percentiles from the tenant's own
+// ServeReport. The isolation summary compares the victims' (non-bursting
+// tenants') p95 between mixes: round-robin driving bounds how late a
+// burster can make anyone else, so the ratio should stay small even
+// though the burster saturates the shared budget.
+//
+//   bench_multimodel [--tenants 1,2,4] [--requests N] [--neurons N]
+//                    [--layers L] [--max-batch B] [--rate R] [--workers W]
+//                    [--timeout MS] [--seed S] [--json FILE] [--check]
+//
+// --check exits nonzero unless every tenant's ledger is complete (no
+// failed or lost requests) in every cell — the burst drill must degrade
+// latency at worst, never correctness.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "data/synthetic.hpp"
+#include "platform/cli.hpp"
+#include "platform/json.hpp"
+#include "platform/rng.hpp"
+#include "serve/router.hpp"
+
+namespace {
+
+using namespace snicit;
+
+struct Row {
+  std::string mix;
+  std::size_t tenants = 0;
+  std::string tenant;
+  bool burster = false;
+  std::size_t requests = 0;
+  std::size_t rounds = 0;
+  std::size_t batches = 0;
+  double mean_fill = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  bool complete = true;
+};
+
+/// One submission event of the merged timeline.
+struct Arrival {
+  double offset_ms = 0.0;
+  std::size_t tenant = 0;
+  std::size_t col = 0;
+};
+
+std::string tenant_id(std::size_t i) { return "tenant" + std::to_string(i); }
+
+/// Merged per-tenant arrival timeline. Uniform: independent Poisson
+/// processes at `per_ms` each. burst1: tenant 0's requests all land at
+/// t=0, the rest keep Poisson.
+std::vector<Arrival> make_timeline(const std::string& mix,
+                                   std::size_t tenants, std::size_t requests,
+                                   double per_ms, std::uint64_t seed) {
+  std::vector<Arrival> timeline;
+  timeline.reserve(tenants * requests);
+  for (std::size_t m = 0; m < tenants; ++m) {
+    platform::Rng rng(seed + 17 * m);
+    const bool burst = mix == "burst1" && m == 0;
+    double t = 0.0;
+    for (std::size_t j = 0; j < requests; ++j) {
+      if (!burst) t += -std::log(1.0 - rng.next_double()) / per_ms;
+      timeline.push_back({burst ? 0.0 : t, m, j});
+    }
+  }
+  std::stable_sort(timeline.begin(), timeline.end(),
+                   [](const Arrival& a, const Arrival& b) {
+                     return a.offset_ms < b.offset_ms;
+                   });
+  return timeline;
+}
+
+std::vector<Row> run_cell(const std::string& mix, std::size_t tenants,
+                          std::size_t requests,
+                          const std::vector<dnn::DenseMatrix>& inputs,
+                          serve::ModelRegistry& registry,
+                          const serve::ServeOptions& serve_opt,
+                          double per_ms, std::uint64_t seed) {
+  serve::RouterOptions opt;
+  opt.serve = serve_opt;
+  serve::Router router(registry, opt);
+
+  const auto timeline = make_timeline(mix, tenants, requests, per_ms, seed);
+  const platform::Stopwatch clock;
+  for (const Arrival& a : timeline) {
+    const double lag = a.offset_ms - clock.elapsed_ms();
+    if (lag > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(lag));
+    }
+    const auto& input = inputs[a.tenant];
+    std::vector<float> features(input.col(a.col),
+                                input.col(a.col) + input.rows());
+    (void)router.submit(tenant_id(a.tenant), std::move(features));
+  }
+  const auto report = router.finish();
+
+  std::vector<Row> rows;
+  for (std::size_t m = 0; m < tenants; ++m) {
+    Row row;
+    row.mix = mix;
+    row.tenants = tenants;
+    row.tenant = tenant_id(m);
+    row.burster = mix == "burst1" && m == 0;
+    const serve::ServeReport* tenant = report.find(row.tenant);
+    if (tenant != nullptr) {
+      row.requests = tenant->requests;
+      row.rounds = tenant->rounds;
+      row.batches = tenant->batches;
+      row.mean_fill = tenant->mean_fill();
+      row.p50_ms = tenant->latency.p50();
+      row.p95_ms = tenant->latency.p95();
+      row.p99_ms = tenant->latency.p99();
+      row.complete =
+          tenant->complete() && tenant->requests == requests;
+    } else {
+      row.complete = false;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void print_row(const Row& row) {
+  std::printf("%7s %7zu %9s%s | %5zu %5zu %5zu %5.2f | %7.2f %7.2f %7.2f%s\n",
+              row.mix.c_str(), row.tenants, row.tenant.c_str(),
+              row.burster ? "*" : " ", row.requests, row.rounds, row.batches,
+              row.mean_fill, row.p50_ms, row.p95_ms, row.p99_ms,
+              row.complete ? "" : "  [INCOMPLETE]");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const platform::CliArgs args(argc, argv);
+  const bench::ObservabilityScope observability;
+  bench::print_title(
+      "Multi-model serving sweep: tenant count x arrival mix");
+
+  const bool check = args.has("check");
+  const auto requests = static_cast<std::size_t>(
+      args.get_int("requests", bench::large_scale() ? 256 : 96));
+  const auto neurons = static_cast<sparse::Index>(
+      args.get_int("neurons", bench::large_scale() ? 1024 : 256));
+  const auto layers = static_cast<int>(
+      args.get_int("layers", bench::large_scale() ? 120 : 24));
+  const auto tenant_list = args.get_int_list("tenants", {1, 2, 4});
+  const auto max_batch = static_cast<std::size_t>(
+      std::max<std::int64_t>(args.get_int("max-batch", 16), 1));
+  const double per_ms = std::max(args.get_double("rate", 4.0), 0.001);
+  const auto workers = static_cast<std::size_t>(
+      std::max<std::int64_t>(args.get_int("workers", 1), 0));
+  const double timeout_ms = std::max(args.get_double("timeout", 2.0), 0.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string json_out = args.get("json", "");
+
+  const std::size_t max_tenants = static_cast<std::size_t>(
+      std::max<std::int64_t>(
+          *std::max_element(tenant_list.begin(), tenant_list.end()), 1));
+
+  serve::ServeOptions serve_opt;
+  serve_opt.max_batch = max_batch;
+  serve_opt.batch_timeout_ms = timeout_ms;
+  serve_opt.workers = workers;
+
+  // One registry model + clustered input batch per potential tenant;
+  // distinct seeds so the tenants are genuinely different models.
+  serve::ModelRegistry registry;
+  std::vector<dnn::DenseMatrix> inputs;
+  for (std::size_t m = 0; m < max_tenants; ++m) {
+    serve::ModelSpec spec;
+    spec.id = tenant_id(m);
+    spec.engine = "snicit";
+    spec.neurons = neurons;
+    spec.layers = layers;
+    spec.seed = seed + m;
+    const auto added = registry.add(spec);
+    if (!added.ok()) {
+      std::fprintf(stderr, "error: %s\n", added.error().message.c_str());
+      return 1;
+    }
+    data::SdgcInputOptions in_opt;
+    in_opt.neurons = static_cast<std::size_t>(neurons);
+    in_opt.batch = requests;
+    in_opt.classes = 10;
+    in_opt.seed = seed + 100 + m;
+    inputs.push_back(data::make_sdgc_input(in_opt).features);
+  }
+
+  std::printf("%d neurons x %d layers per model, %zu requests/tenant, "
+              "rate %.1f req/ms/tenant, max batch %zu, timeout %.1f ms, "
+              "%zu shared worker(s)\n",
+              neurons, layers, requests, per_ms, max_batch, timeout_ms,
+              std::max<std::size_t>(workers, 1));
+  std::printf("\n%7s %7s %10s | %5s %5s %5s %5s | %7s %7s %7s   "
+              "(* = bursting tenant)\n",
+              "mix", "tenants", "tenant", "reqs", "rnds", "batch", "fill",
+              "p50 ms", "p95 ms", "p99 ms");
+
+  std::vector<Row> rows;
+  bool all_complete = true;
+  // victim p95 by tenant count, per mix, for the isolation summary.
+  std::vector<double> uniform_victim_p95, burst_victim_p95;
+  for (const auto t : tenant_list) {
+    if (t < 1) continue;
+    const auto tenants = static_cast<std::size_t>(t);
+    for (const std::string mix : {"uniform", "burst1"}) {
+      if (mix == "burst1" && tenants < 2) continue;  // no victims to watch
+      const auto cell = run_cell(mix, tenants, requests, inputs, registry,
+                                 serve_opt, per_ms, seed);
+      double victim_p95 = 0.0;
+      std::size_t victims = 0;
+      for (const Row& row : cell) {
+        print_row(row);
+        rows.push_back(row);
+        all_complete = all_complete && row.complete;
+        if (!row.burster && tenants >= 2) {
+          victim_p95 += row.p95_ms;
+          ++victims;
+        }
+      }
+      if (victims > 0) {
+        (mix == "uniform" ? uniform_victim_p95 : burst_victim_p95)
+            .push_back(victim_p95 / static_cast<double>(victims));
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < burst_victim_p95.size() &&
+                          i < uniform_victim_p95.size();
+       ++i) {
+    const double base = std::max(uniform_victim_p95[i], 1e-9);
+    std::printf("\nisolation: victim mean p95 %.2f ms uniform -> %.2f ms "
+                "under burst (x%.2f)\n",
+                uniform_victim_p95[i], burst_victim_p95[i],
+                burst_victim_p95[i] / base);
+  }
+  bench::print_note(
+      "round-robin lane driving shares the worker budget: a bursting "
+      "tenant can fill idle capacity but cannot delay a victim by more "
+      "than one serving round per sweep");
+
+  if (!json_out.empty()) {
+    platform::JsonWriter json;
+    json.begin_array();
+    for (const auto& row : rows) {
+      json.begin_object();
+      json.key("mix").value(row.mix);
+      json.key("tenants").value(row.tenants);
+      json.key("tenant").value(row.tenant);
+      json.key("burster").value(row.burster);
+      json.key("requests").value(row.requests);
+      json.key("rounds").value(row.rounds);
+      json.key("batches").value(row.batches);
+      json.key("mean_fill").value(row.mean_fill);
+      json.key("p50_ms").value(row.p50_ms);
+      json.key("p95_ms").value(row.p95_ms);
+      json.key("p99_ms").value(row.p99_ms);
+      json.key("complete").value(row.complete);
+      json.end_object();
+    }
+    json.end_array();
+    std::ofstream out(json_out);
+    out << json.str() << "\n";
+    if (out.good()) {
+      std::printf("wrote %zu rows to %s\n", rows.size(), json_out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_out.c_str());
+    }
+  }
+
+  if (check && !all_complete) {
+    std::fprintf(stderr,
+                 "check failed: every tenant must complete every request "
+                 "in every cell\n");
+    return 1;
+  }
+  return 0;
+}

@@ -39,6 +39,7 @@
 #include "radixnet/radixnet.hpp"
 #include "radixnet/sdgc_io.hpp"
 #include "serve/dynamic_batcher.hpp"
+#include "serve/router.hpp"
 #include "snicit/engine.hpp"
 #include "snicit/parallel_stream.hpp"
 #include "snicit/stream.hpp"
@@ -62,7 +63,7 @@ std::vector<std::string> known_flags(const std::string& cmd) {
           "auto-threshold", "stream", "workers", "queue", "trace-out",
           "metrics-out", "spmm", "spmm-tile", "faults", "faults-seed",
           "max-attempts", "deadline-ms", "serve-requests", "batch-timeout",
-          "packer"}) {
+          "packer", "models"}) {
       flags.push_back(f);
     }
   }
@@ -179,6 +180,35 @@ std::unique_ptr<dnn::InferenceEngine> build_engine(
   return std::make_unique<core::SnicitEngine>(params);
 }
 
+void usage();
+
+// Serve policy shared by the single-model (--serve-requests) and
+// multi-model (--models) paths. Returns false after printing a usage
+// error when the packer name is unknown.
+bool parse_serve_options(const platform::CliArgs& args,
+                         serve::ServeOptions& opt) {
+  opt.max_batch = static_cast<std::size_t>(
+      std::max<std::int64_t>(args.get_int("serve-requests", 64), 1));
+  opt.batch_timeout_ms =
+      std::max(args.get_double("batch-timeout", 2.0), 0.0);
+  opt.packer = args.get("packer", "similarity");
+  opt.workers = static_cast<std::size_t>(
+      std::max<std::int64_t>(args.get_int("workers", 1), 0));
+  opt.queue_capacity = static_cast<std::size_t>(
+      std::max<std::int64_t>(args.get_int("queue", 0), 0));
+  opt.max_attempts = static_cast<std::size_t>(
+      std::max<std::int64_t>(args.get_int("max-attempts", 5), 1));
+  const auto packers = serve::known_packers();
+  if (std::find(packers.begin(), packers.end(), opt.packer) ==
+      packers.end()) {
+    std::fprintf(stderr, "error: unknown --packer '%s'\n",
+                 opt.packer.c_str());
+    usage();
+    return false;
+  }
+  return true;
+}
+
 int cmd_generate(const platform::CliArgs& args) {
   const auto wl = build_workload(args);
   const std::string prefix = args.get("out", "snicit-workload");
@@ -242,6 +272,94 @@ int cmd_run(const platform::CliArgs& args) {
     }
   }
 
+  if (args.has("models")) {
+    // Multi-model serving: load every model of the manifest into a
+    // registry and route an interleaved request stream through per-tenant
+    // lanes sharing one worker budget.
+    if (!args.has("serve-requests")) {
+      std::fprintf(stderr,
+                   "error: --models requires --serve-requests "
+                   "(multi-model serving is request-level)\n");
+      usage();
+      return 2;
+    }
+    serve::ServeOptions opt;
+    if (!parse_serve_options(args, opt)) return 2;
+    const double deadline_ms =
+        std::max(args.get_double("deadline-ms", 0.0), 0.0);
+
+    serve::ModelRegistry registry;
+    const auto loaded = registry.load_manifest(args.get("models", ""));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.error().message.c_str());
+      return 2;
+    }
+    const auto ids = registry.ids();
+    std::printf("serving %zu model(s):", ids.size());
+    for (const auto& id : ids) {
+      const auto model = registry.find(id);
+      std::printf(" %s(%s)", id.c_str(), model->prototype->name().c_str());
+    }
+    std::printf("\n");
+
+    // One synthetic input batch per model, --batch requests each,
+    // submitted round-robin so tenants genuinely interleave.
+    const auto batch = static_cast<std::size_t>(
+        std::max<std::int64_t>(args.get_int("batch", 256), 1));
+    std::vector<dnn::DenseMatrix> inputs;
+    for (const auto& id : ids) {
+      const auto model = registry.find(id);
+      data::SdgcInputOptions in_opt;
+      in_opt.neurons = static_cast<std::size_t>(model->net->neurons());
+      in_opt.batch = batch;
+      in_opt.seed = model->spec.seed + 1;
+      inputs.push_back(data::make_sdgc_input(in_opt).features);
+    }
+
+    serve::RouterOptions ropt;
+    ropt.serve = opt;
+    serve::Router router(registry, ropt);
+    bool submit_failed = false;
+    for (std::size_t j = 0; j < batch && !submit_failed; ++j) {
+      for (std::size_t m = 0; m < ids.size(); ++m) {
+        const auto& input = inputs[m];
+        std::vector<float> features(input.col(j),
+                                    input.col(j) + input.rows());
+        const auto sub =
+            router.submit(ids[m], std::move(features), deadline_ms);
+        if (!sub.ok()) {
+          std::fprintf(stderr, "error: submit to '%s' failed: %s\n",
+                       ids[m].c_str(), sub.error().message.c_str());
+          submit_failed = true;
+          break;
+        }
+      }
+    }
+    const auto report = router.finish();
+    std::printf(
+        "served %zu tenant(s) in %.2f ms (%zu shared worker(s), max batch "
+        "%zu, packer %s)\n",
+        report.tenants.size(), report.wall_ms,
+        std::max<std::size_t>(opt.workers, 1), opt.max_batch,
+        opt.packer.c_str());
+    bool complete = !submit_failed;
+    for (const auto& [id, tenant] : report.tenants) {
+      std::printf(
+          "  %-16s %5zu req / %4zu round(s) / %4zu batch(es)  fill %.2f  "
+          "latency p50 %.2f ms p95 %.2f ms%s\n",
+          id.c_str(), tenant.requests, tenant.rounds, tenant.batches,
+          tenant.mean_fill(), tenant.latency.p50(), tenant.latency.p95(),
+          tenant.complete() ? "" : "  [INCOMPLETE]");
+      if (!tenant.complete()) {
+        complete = false;
+        std::printf("    %zu failed request(s), %zu timed out\n",
+                    tenant.failed_requests, tenant.timed_out_requests);
+      }
+    }
+    write_observability();
+    return complete ? 0 : 3;
+  }
+
   const auto wl = build_workload(args);
   auto engine = build_engine(args, wl);
   wl.net.ensure_csc();
@@ -254,25 +372,7 @@ int cmd_run(const platform::CliArgs& args) {
     // individual request and the dynamic batcher re-forms engine batches
     // under the max-batch / batch-timeout policy with the chosen packer.
     serve::ServeOptions opt;
-    opt.max_batch = static_cast<std::size_t>(
-        std::max<std::int64_t>(args.get_int("serve-requests", 64), 1));
-    opt.batch_timeout_ms =
-        std::max(args.get_double("batch-timeout", 2.0), 0.0);
-    opt.packer = args.get("packer", "similarity");
-    opt.workers = static_cast<std::size_t>(
-        std::max<std::int64_t>(args.get_int("workers", 1), 0));
-    opt.queue_capacity = static_cast<std::size_t>(
-        std::max<std::int64_t>(args.get_int("queue", 0), 0));
-    opt.max_attempts = static_cast<std::size_t>(
-        std::max<std::int64_t>(args.get_int("max-attempts", 5), 1));
-    const auto packers = serve::known_packers();
-    if (std::find(packers.begin(), packers.end(), opt.packer) ==
-        packers.end()) {
-      std::fprintf(stderr, "error: unknown --packer '%s'\n",
-                   opt.packer.c_str());
-      usage();
-      return 2;
-    }
+    if (!parse_serve_options(args, opt)) return 2;
     // In serve mode --deadline-ms is the per-request latency budget.
     const double deadline_ms =
         std::max(args.get_double("deadline-ms", 0.0), 0.0);
@@ -438,6 +538,10 @@ void usage() {
       "2.0)\n"
       "            --packer fifo|similarity (serve batch packing "
       "strategy)\n"
+      "            --models FILE (multi-model serving: JSON manifest\n"
+      "              {\"models\":[{\"id\":...,\"engine\":...,...}]}; routes\n"
+      "              --batch requests per model through per-tenant lanes\n"
+      "              sharing the --workers budget; needs --serve-requests)\n"
       "  analyze:  (common options only)\n"
       "exit codes: 0 ok, 1 runtime error, 2 usage error, 3 stream lost "
       "batches / failed requests\n");

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <set>
 
 #include "platform/json.hpp"
 
@@ -85,6 +86,16 @@ void clear() {
 void counter(const char* name, double value) {
   if (!enabled()) return;
   append({name, "", 'C', now_us(), 0.0, value, 0});
+}
+
+const char* intern(const std::string& name) {
+  // node-based set: pointers stay stable as the set grows, and entries
+  // live for the process lifetime (the interner is never cleared — span
+  // names must survive any capture that references them).
+  static std::mutex mutex;
+  static std::set<std::string> names;
+  std::lock_guard<std::mutex> lock(mutex);
+  return names.insert(name).first->c_str();
 }
 
 TraceSpan::TraceSpan(const char* name, const char* category)

@@ -41,6 +41,14 @@ struct TraceEvent {
 /// tracing is disabled.
 void counter(const char* name, double value);
 
+/// Interns `name` into process-lifetime storage and returns a pointer that
+/// satisfies TraceSpan's "must outlive the capture" contract. For span
+/// names composed at runtime (e.g. the serving layer's per-model
+/// "serve.<model>.round"). Repeated calls with the same string return the
+/// same pointer; the set only grows, so call it once per distinct name
+/// (construction time), not per span.
+const char* intern(const std::string& name);
+
 /// Merged view of every thread's buffer, sorted by start timestamp.
 std::vector<TraceEvent> snapshot();
 

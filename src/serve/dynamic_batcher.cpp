@@ -36,27 +36,48 @@ void reject(bool ok, const char* message) {
 
 DynamicBatcher::DynamicBatcher(dnn::InferenceEngine& engine,
                                const dnn::SparseDnn& net,
-                               ServeOptions options)
-    : engine_(engine),
-      net_(net),
+                               ServeOptions options, bool manual)
+    : engine_(&engine),
+      net_(&net),
       options_(std::move(options)),
       round_limit_(default_round_limit(options_)),
       packer_(make_packer(options_.packer, options_.similarity_threshold)),
       queue_(options_.queue_capacity != 0 ? options_.queue_capacity
-                                          : 4 * round_limit_) {
+                                          : 4 * round_limit_),
+      manual_(manual) {
   reject(options_.max_batch >= 1, "max_batch must be >= 1");
   reject(options_.batch_timeout_ms >= 0.0,
          "batch_timeout_ms must be non-negative");
   reject(options_.max_attempts >= 1, "max_attempts must be >= 1");
   reject(options_.retry_backoff_ms >= 0.0 && options_.max_backoff_ms >= 0.0,
          "retry backoff times must be non-negative");
+  if (options_.tenant.empty()) {
+    metric_prefix_ = "serve.";
+    span_round_ = "serve.round";
+    span_pack_ = "serve.pack";
+  } else {
+    metric_prefix_ = "serve." + options_.tenant + ".";
+    span_round_ = platform::trace::intern(metric_prefix_ + "round");
+    span_pack_ = platform::trace::intern(metric_prefix_ + "pack");
+  }
   if (platform::metrics::enabled()) {
     auto& registry = platform::metrics::MetricsRegistry::global();
-    registry.gauge("serve.max_batch")
+    registry.gauge(metric_prefix_ + "max_batch")
         .set(static_cast<double>(options_.max_batch));
-    registry.gauge("serve.workers")
+    registry.gauge(metric_prefix_ + "workers")
         .set(static_cast<double>(options_.workers));
   }
+}
+
+DynamicBatcher::DynamicBatcher(dnn::InferenceEngine& engine,
+                               const dnn::SparseDnn& net,
+                               ServeOptions options, ManualDrive)
+    : DynamicBatcher(engine, net, std::move(options), /*manual=*/true) {}
+
+DynamicBatcher::DynamicBatcher(dnn::InferenceEngine& engine,
+                               const dnn::SparseDnn& net,
+                               ServeOptions options)
+    : DynamicBatcher(engine, net, std::move(options), /*manual=*/false) {
   server_ = std::thread([this] { serve_loop(); });
 }
 
@@ -67,12 +88,12 @@ DynamicBatcher::~DynamicBatcher() {
 
 platform::Result<std::size_t> DynamicBatcher::submit(
     std::vector<float> features, double deadline_ms) {
-  if (features.size() != static_cast<std::size_t>(net_.neurons())) {
+  if (features.size() != static_cast<std::size_t>(net_->neurons())) {
     return platform::Error{
         ErrorCode::kBadInput,
         "request has " + std::to_string(features.size()) +
             " features; the network expects " +
-            std::to_string(net_.neurons())};
+            std::to_string(net_->neurons())};
   }
   if (!(deadline_ms >= 0.0)) {
     return platform::Error{ErrorCode::kBadInput,
@@ -80,15 +101,43 @@ platform::Result<std::size_t> DynamicBatcher::submit(
   }
   if (platform::metrics::enabled()) {
     platform::metrics::MetricsRegistry::global()
-        .counter("serve.requests")
+        .counter(metric_prefix_ + "requests")
         .add(1);
   }
   return queue_.submit(std::move(features), deadline_ms);
 }
 
+bool DynamicBatcher::drive(double wait_ms) {
+  SNICIT_CHECK(manual_, "drive() requires the manual-drive batcher mode");
+  // Never block on an idle intake: collect() waits indefinitely for a
+  // first arrival, which would wedge a round-robin driver on one quiet
+  // lane while its other lanes have work (and blind it to hot swaps).
+  if (queue_.size() == 0) return false;
+  std::vector<ServeRequest> requests = queue_.collect(round_limit_, wait_ms);
+  if (requests.empty()) return false;
+  serve_round(std::move(requests));
+  return true;
+}
+
+void DynamicBatcher::rebind(dnn::InferenceEngine& engine,
+                            const dnn::SparseDnn& net) {
+  SNICIT_CHECK(manual_, "rebind() requires the manual-drive batcher mode");
+  SNICIT_CHECK(net.neurons() == net_->neurons(),
+               "rebind() must keep the neuron count (queued requests have "
+               "fixed-length features)");
+  engine_ = &engine;
+  net_ = &net;
+}
+
 ServeReport DynamicBatcher::finish() {
   queue_.close();
   if (server_.joinable()) server_.join();
+  if (manual_) {
+    // Drain on the caller's thread (the Router joins its driver before
+    // finishing lanes, so this is the only driver left).
+    while (drive(0.0)) {
+    }
+  }
   if (finished_) return {};
   finished_ = true;
   report_.requests = queue_.issued();
@@ -112,9 +161,10 @@ void DynamicBatcher::serve_loop() {
 }
 
 void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
-  SNICIT_TRACE_SPAN("serve.round", "serve");
+  SNICIT_TRACE_SPAN(span_round_, "serve");
   namespace metrics = platform::metrics;
   const bool instrumented = metrics::enabled();
+  const std::size_t collected = requests.size();
   const std::size_t round = report_.rounds++;
 
   // Deadline triage: a request whose budget expired while queued fails
@@ -138,14 +188,19 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
       report_.queue_wait.add(queue_ms);
       report_.latency.add(queue_ms);
       if (instrumented) {
-        metrics::MetricsRegistry::global().counter("serve.timeouts").add(1);
+        metrics::MetricsRegistry::global()
+            .counter(metric_prefix_ + "timeouts")
+            .add(1);
       }
       continue;
     }
     waited.push_back(queue_ms);
     live.push_back(std::move(request));
   }
-  if (live.empty()) return;
+  if (live.empty()) {
+    completed_.fetch_add(collected, std::memory_order_release);
+    return;
+  }
   const std::size_t n = live.size();
 
   // Signatures + packed order. The permutation is validated — a packer
@@ -156,7 +211,7 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
   }
   std::vector<std::size_t> order;
   {
-    SNICIT_TRACE_SPAN("serve.pack", "serve");
+    SNICIT_TRACE_SPAN(span_pack_, "serve");
     order = packer_->pack(signatures, options_.max_batch);
   }
   SNICIT_CHECK(order.size() == n, "packer must emit one slot per request");
@@ -168,7 +223,7 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
     }
   }
 
-  const std::size_t rows = static_cast<std::size_t>(net_.neurons());
+  const std::size_t rows = static_cast<std::size_t>(net_->neurons());
   dnn::DenseMatrix input(rows, n);
   for (std::size_t p = 0; p < n; ++p) {
     std::copy_n(live[order[p]].features.data(), rows, input.col(p));
@@ -185,11 +240,25 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
 
   const std::size_t num_batches =
       (n + options_.max_batch - 1) / options_.max_batch;
+
+  // Engine-side attribution baseline: SNICIT's fallback counter and
+  // post-conversion residue gauge are recorded globally by the engine;
+  // sampling them around the round pins their deltas on this batcher's
+  // tenant (exact whenever rounds are serialized process-wide — the
+  // single-batcher case and the Router's round-robin driver both are).
+  metrics::Counter* engine_fallbacks = nullptr;
+  std::int64_t fallbacks_before = 0;
+  if (instrumented) {
+    engine_fallbacks =
+        &metrics::MetricsRegistry::global().counter("snicit.fallbacks");
+    fallbacks_before = engine_fallbacks->get();
+  }
+
   core::StreamResult streamed;
   bool round_failed = false;
   platform::Error round_error;
   try {
-    streamed = executor.run(engine_, net_, input);
+    streamed = executor.run(*engine_, *net_, input);
   } catch (const platform::ErrorException& e) {
     round_failed = true;
     round_error = e.error();
@@ -205,12 +274,32 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
   metrics::Series* wait_series = nullptr;
   if (instrumented) {
     auto& registry = metrics::MetricsRegistry::global();
-    registry.counter("serve.rounds").add(1);
-    registry.counter("serve.batches")
+    registry.counter(metric_prefix_ + "rounds").add(1);
+    registry.counter(metric_prefix_ + "batches")
         .add(static_cast<std::int64_t>(num_batches));
-    fill_series = &registry.series("serve.batch_fill");
-    similarity_series = &registry.series("serve.batch_similarity");
-    wait_series = &registry.series("serve.queue_wait_ms");
+    fill_series = &registry.series(metric_prefix_ + "batch_fill");
+    similarity_series =
+        &registry.series(metric_prefix_ + "batch_similarity");
+    wait_series = &registry.series(metric_prefix_ + "queue_wait_ms");
+    const std::int64_t fallback_delta =
+        engine_fallbacks->get() - fallbacks_before;
+    if (fallback_delta > 0) {
+      registry.counter(metric_prefix_ + "fallbacks").add(fallback_delta);
+    }
+    if (engine_->name().rfind("SNICIT", 0) == 0) {
+      registry.gauge(metric_prefix_ + "conversion_residue_nnz")
+          .set(registry.gauge("snicit.conversion_residue_nnz").get());
+    }
+    if (!round_failed) {
+      if (streamed.retries > 0) {
+        registry.counter(metric_prefix_ + "retries")
+            .add(static_cast<std::int64_t>(streamed.retries));
+      }
+      if (streamed.degraded_batches > 0) {
+        registry.counter(metric_prefix_ + "degraded_batches")
+            .add(static_cast<std::int64_t>(streamed.degraded_batches));
+      }
+    }
   }
 
   // Per-batch ledger + per-request results, routed back through the
@@ -287,12 +376,13 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
     }
     if (instrumented && record.failed) {
       metrics::MetricsRegistry::global()
-          .counter("serve.failed_requests")
+          .counter(metric_prefix_ + "failed_requests")
           .add(static_cast<std::int64_t>(end - begin));
     }
     report_.batch_log.push_back(std::move(record));
   }
   report_.batches += num_batches;
+  completed_.fetch_add(collected, std::memory_order_release);
 }
 
 }  // namespace snicit::serve

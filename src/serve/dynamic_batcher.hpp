@@ -24,6 +24,7 @@
 // concurrently elsewhere while it is serving.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <string>
@@ -41,6 +42,14 @@ namespace snicit::serve {
 struct ServeOptions {
   /// Engine batch size the packer slices rounds into (the paper's B).
   std::size_t max_batch = 64;
+  /// Attribution label for multi-tenant serving. Empty (the default)
+  /// keeps the classic single-model names: `serve.*` metrics and
+  /// serve.round/serve.pack trace spans. Non-empty switches every metric
+  /// and span to `serve.<tenant>.*`, and additionally attributes the
+  /// engine-side `snicit.fallbacks` / `snicit.conversion_residue_nnz`
+  /// instruments to the tenant by per-round delta sampling (valid when
+  /// rounds are serialized process-wide, as the Router guarantees).
+  std::string tenant;
   /// Max time collect() waits to fill a round once a request is pending;
   /// requests with deadlines can shorten the wait (see RequestQueue).
   double batch_timeout_ms = 2.0;
@@ -67,12 +76,23 @@ struct ServeOptions {
   double max_backoff_ms = 50.0;
 };
 
+/// Tag selecting the externally-driven batcher mode (no internal server
+/// thread; some caller — the multi-model Router — calls drive()).
+struct ManualDrive {};
+
 class DynamicBatcher {
  public:
   /// Starts the server thread immediately; requests submitted from this
   /// point on are served as rounds fill (or time out).
   DynamicBatcher(dnn::InferenceEngine& engine, const dnn::SparseDnn& net,
                  ServeOptions options = {});
+
+  /// Manual-drive mode: no server thread is spawned. The owner calls
+  /// drive() to serve rounds (single driver at a time — the Router's
+  /// round-robin loop), may rebind() the engine between rounds (hot
+  /// swap), and finish() drains whatever is still queued.
+  DynamicBatcher(dnn::InferenceEngine& engine, const dnn::SparseDnn& net,
+                 ServeOptions options, ManualDrive);
 
   /// Closes the intake and joins the server (the report is discarded —
   /// call finish() to keep it).
@@ -94,22 +114,62 @@ class DynamicBatcher {
   /// calls return an empty report.
   ServeReport finish();
 
+  // --- manual-drive API (valid only after the ManualDrive ctor; the
+  // driver thread is the de-facto server thread, one at a time) ---
+
+  /// Serves one round from what is already queued (waiting at most
+  /// `wait_ms` for the round to fill further; 0 takes only what is
+  /// pending). Returns immediately with false when nothing is pending —
+  /// an idle lane never blocks its driver — including after
+  /// close_intake() once the queue is drained. Returns true when any
+  /// request reached a terminal result.
+  bool drive(double wait_ms);
+
+  /// Rebinds future rounds to a different engine (and its net) — the hot
+  /// swap primitive. Rounds already served are untouched; requests still
+  /// queued ride the new engine from the next drive(). The new net must
+  /// have the same neuron count (queued features stay valid).
+  void rebind(dnn::InferenceEngine& engine, const dnn::SparseDnn& net);
+
+  /// Closes the intake without draining (finish() or further drive()
+  /// calls serve what was already accepted).
+  void close_intake() { queue_.close(); }
+
+  /// Requests accepted but not yet collected into a round.
+  std::size_t pending() const { return queue_.size(); }
+  /// True once the intake is closed and every accepted request has been
+  /// collected (the manual driver can retire this batcher).
+  bool drained() const { return queue_.closed() && queue_.size() == 0; }
+  /// Requests that have reached a terminal result (served, failed, or
+  /// timed out). Monotonic; readable from any thread.
+  std::size_t completed() const {
+    return completed_.load(std::memory_order_acquire);
+  }
+
   const ServeOptions& options() const { return options_; }
   /// Requests accepted so far.
   std::size_t submitted() const { return queue_.issued(); }
 
  private:
+  DynamicBatcher(dnn::InferenceEngine& engine, const dnn::SparseDnn& net,
+                 ServeOptions options, bool manual);
+
   void serve_loop();
   void serve_round(std::vector<ServeRequest> requests);
   RequestResult& result_slot(std::size_t id);
 
-  dnn::InferenceEngine& engine_;
-  const dnn::SparseDnn& net_;
+  dnn::InferenceEngine* engine_;
+  const dnn::SparseDnn* net_;
   ServeOptions options_;
   std::size_t round_limit_ = 0;
   std::unique_ptr<BatchPacker> packer_;
   RequestQueue queue_;
-  ServeReport report_;  // touched only by the server thread until joined
+  bool manual_ = false;
+  std::string metric_prefix_;        // "serve." or "serve.<tenant>."
+  const char* span_round_ = nullptr; // interned when tenant is set
+  const char* span_pack_ = nullptr;
+  std::atomic<std::size_t> completed_{0};
+  ServeReport report_;  // touched only by the (de-facto) server thread
   platform::Stopwatch wall_;
   std::thread server_;
   bool finished_ = false;

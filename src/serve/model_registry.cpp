@@ -1,0 +1,487 @@
+#include "serve/model_registry.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/bf2019.hpp"
+#include "baselines/serial.hpp"
+#include "baselines/snig2020.hpp"
+#include "baselines/xy2021.hpp"
+#include "dnn/reference.hpp"
+#include "platform/json.hpp"
+#include "radixnet/radixnet.hpp"
+#include "radixnet/sdgc_io.hpp"
+#include "snicit/engine.hpp"
+#include "snicit/warm_cache.hpp"
+
+namespace snicit::serve {
+
+namespace {
+
+using platform::Error;
+using platform::ErrorCode;
+using platform::JsonValue;
+using platform::Result;
+
+Error manifest_error(const std::string& message) {
+  return Error{ErrorCode::kBadModelFile, "model manifest: " + message};
+}
+
+/// "models[3].neurons"-style location for error messages.
+std::string at(std::size_t index, const std::string& key) {
+  return "models[" + std::to_string(index) + "]." + key;
+}
+
+Result<double> number_field(const JsonValue& entry, std::size_t index,
+                            const std::string& key) {
+  const JsonValue& v = entry.get(key);
+  if (!v.is_number()) {
+    return manifest_error(at(index, key) + " must be a number");
+  }
+  return v.as_number();
+}
+
+Result<std::int64_t> int_field(const JsonValue& entry, std::size_t index,
+                               const std::string& key, std::int64_t lo,
+                               std::int64_t hi) {
+  auto number = number_field(entry, index, key);
+  if (!number.ok()) return number.error();
+  const double x = number.value();
+  if (std::floor(x) != x) {
+    return manifest_error(at(index, key) + " must be an integer");
+  }
+  if (x < static_cast<double>(lo) || x > static_cast<double>(hi)) {
+    return manifest_error(at(index, key) + " out of range [" +
+                          std::to_string(lo) + ", " + std::to_string(hi) +
+                          "]");
+  }
+  return static_cast<std::int64_t>(x);
+}
+
+Result<std::string> string_field(const JsonValue& entry, std::size_t index,
+                                 const std::string& key) {
+  const JsonValue& v = entry.get(key);
+  if (!v.is_string()) {
+    return manifest_error(at(index, key) + " must be a string");
+  }
+  return v.as_string();
+}
+
+Result<ModelSpec> parse_entry(const JsonValue& entry, std::size_t index) {
+  if (!entry.is_object()) {
+    return manifest_error("models[" + std::to_string(index) +
+                          "] must be an object");
+  }
+  static const std::set<std::string> kKnownKeys = {
+      "id",   "engine", "neurons",   "layers",      "fanin",      "seed",
+      "net",  "bias",   "threshold", "sample_size", "downsample", "prune"};
+  for (const auto& key : entry.keys()) {
+    if (kKnownKeys.count(key) == 0) {
+      return manifest_error("unknown key '" + key + "' in models[" +
+                            std::to_string(index) + "]");
+    }
+  }
+  if (!entry.has("id")) {
+    return manifest_error("models[" + std::to_string(index) +
+                          "] is missing required key 'id'");
+  }
+  ModelSpec spec;
+  {
+    auto id = string_field(entry, index, "id");
+    if (!id.ok()) return id.error();
+    spec.id = id.value();
+    if (spec.id.empty()) {
+      return manifest_error(at(index, "id") + " must be non-empty");
+    }
+  }
+  if (entry.has("engine")) {
+    auto engine = string_field(entry, index, "engine");
+    if (!engine.ok()) return engine.error();
+    spec.engine = engine.value();
+    const auto& known = ModelRegistry::known_engines();
+    if (std::find(known.begin(), known.end(), spec.engine) == known.end()) {
+      return manifest_error("unknown engine '" + spec.engine + "' in " +
+                            at(index, "engine"));
+    }
+  }
+  if (entry.has("neurons")) {
+    auto v = int_field(entry, index, "neurons", 1, 1 << 24);
+    if (!v.ok()) return v.error();
+    spec.neurons = v.value();
+  }
+  if (entry.has("layers")) {
+    auto v = int_field(entry, index, "layers", 1, 1 << 20);
+    if (!v.ok()) return v.error();
+    spec.layers = static_cast<int>(v.value());
+  }
+  if (entry.has("fanin")) {
+    auto v = int_field(entry, index, "fanin", 1, 1 << 24);
+    if (!v.ok()) return v.error();
+    spec.fanin = static_cast<int>(v.value());
+  }
+  if (entry.has("seed")) {
+    auto v = int_field(entry, index, "seed", 0,
+                       std::numeric_limits<std::int64_t>::max());
+    if (!v.ok()) return v.error();
+    spec.seed = static_cast<std::uint64_t>(v.value());
+  }
+  if (entry.has("net")) {
+    auto v = string_field(entry, index, "net");
+    if (!v.ok()) return v.error();
+    spec.net_prefix = v.value();
+  }
+  if (entry.has("bias")) {
+    auto v = number_field(entry, index, "bias");
+    if (!v.ok()) return v.error();
+    spec.bias = static_cast<float>(v.value());
+  }
+  if (entry.has("threshold")) {
+    auto v = int_field(entry, index, "threshold", 0, 1 << 20);
+    if (!v.ok()) return v.error();
+    spec.threshold = static_cast<int>(v.value());
+  }
+  if (entry.has("sample_size")) {
+    auto v = int_field(entry, index, "sample_size", 1, 1 << 20);
+    if (!v.ok()) return v.error();
+    spec.sample_size = static_cast<int>(v.value());
+  }
+  if (entry.has("downsample")) {
+    auto v = int_field(entry, index, "downsample", 0, 1 << 20);
+    if (!v.ok()) return v.error();
+    spec.downsample = static_cast<int>(v.value());
+  }
+  if (entry.has("prune")) {
+    auto v = number_field(entry, index, "prune");
+    if (!v.ok()) return v.error();
+    if (!(v.value() >= 0.0)) {
+      return manifest_error(at(index, "prune") + " must be non-negative");
+    }
+    spec.prune = static_cast<float>(v.value());
+  }
+  if (spec.fanin > spec.neurons) {
+    return manifest_error("models[" + std::to_string(index) +
+                          "]: fanin exceeds neurons");
+  }
+  return spec;
+}
+
+core::SnicitParams snicit_params(const ModelSpec& spec) {
+  core::SnicitParams params;
+  params.threshold_layer =
+      spec.threshold != 0 ? spec.threshold
+                          : (spec.layers >= 120 ? 30 : spec.layers / 2);
+  params.sample_size = spec.sample_size;
+  params.downsample_dim = spec.downsample;
+  params.prune_threshold = spec.prune;
+  return params;
+}
+
+Result<std::shared_ptr<const dnn::InferenceEngine>> build_prototype(
+    const ModelSpec& spec) {
+  try {
+    if (spec.engine == "snicit") {
+      return {std::make_shared<core::SnicitEngine>(snicit_params(spec))};
+    }
+    if (spec.engine == "snicit-warm") {
+      return {
+          std::make_shared<core::WarmSnicitEngine>(snicit_params(spec))};
+    }
+    if (spec.engine == "reference") {
+      return {std::make_shared<dnn::ReferenceEngine>()};
+    }
+    if (spec.engine == "serial") {
+      return {std::make_shared<baselines::SerialEngine>()};
+    }
+    if (spec.engine == "bf2019") {
+      return {std::make_shared<baselines::Bf2019Engine>()};
+    }
+    if (spec.engine == "snig2020") {
+      return {std::make_shared<baselines::Snig2020Engine>()};
+    }
+    if (spec.engine == "xy2021") {
+      return {std::make_shared<baselines::Xy2021Engine>()};
+    }
+  } catch (const platform::ErrorException& e) {
+    return Error{e.error().code,
+                 "model '" + spec.id + "': " + e.error().message};
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kBadInput,
+                 "model '" + spec.id + "': " + std::string(e.what())};
+  }
+  return Error{ErrorCode::kBadInput,
+               "model '" + spec.id + "': unknown engine '" + spec.engine +
+                   "'"};
+}
+
+}  // namespace
+
+const std::vector<std::string>& ModelRegistry::known_engines() {
+  static const std::vector<std::string> kEngines = {
+      "snicit", "snicit-warm", "reference", "serial",
+      "bf2019", "snig2020",    "xy2021"};
+  return kEngines;
+}
+
+Result<std::vector<ModelSpec>> ModelRegistry::parse_manifest_text(
+    const std::string& text) {
+  JsonValue doc;
+  try {
+    doc = JsonValue::parse(text);
+  } catch (const std::exception& e) {
+    return manifest_error(std::string("malformed JSON: ") + e.what());
+  }
+  if (!doc.is_object()) {
+    return manifest_error("top level must be an object");
+  }
+  for (const auto& key : doc.keys()) {
+    if (key != "models") {
+      return manifest_error("unknown top-level key '" + key + "'");
+    }
+  }
+  if (!doc.has("models")) {
+    return manifest_error("missing required key 'models'");
+  }
+  const JsonValue& models = doc.get("models");
+  if (!models.is_array()) {
+    return manifest_error("'models' must be an array");
+  }
+  if (models.size() == 0) {
+    return manifest_error("'models' must name at least one model");
+  }
+  std::vector<ModelSpec> specs;
+  std::set<std::string> seen;
+  specs.reserve(models.size());
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    auto spec = parse_entry(models.at(i), i);
+    if (!spec.ok()) return spec.error();
+    if (!seen.insert(spec.value().id).second) {
+      return manifest_error("duplicate model id '" + spec.value().id +
+                            "'");
+    }
+    specs.push_back(std::move(spec).value());
+  }
+  return specs;
+}
+
+Result<std::size_t> ModelRegistry::load_manifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Error{ErrorCode::kBadModelFile,
+                 "cannot open model manifest '" + path + "'"};
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) {
+    return Error{ErrorCode::kBadModelFile,
+                 "error reading model manifest '" + path + "'"};
+  }
+  return load_manifest_text(text.str());
+}
+
+Result<std::size_t> ModelRegistry::load_manifest_text(
+    const std::string& text) {
+  auto specs = parse_manifest_text(text);
+  if (!specs.ok()) return specs.error();
+
+  // Prepare everything before registering anything: a manifest with one
+  // bad weight file must not leave a half-loaded registry behind.
+  std::vector<std::shared_ptr<const PreparedModel>> prepared;
+  prepared.reserve(specs.value().size());
+  for (const auto& spec : specs.value()) {
+    auto model = prepare(spec);
+    if (!model.ok()) return model.error();
+    prepared.push_back(std::move(model).value());
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& model : prepared) {
+    if (models_.count(model->spec.id) != 0) {
+      return Error{ErrorCode::kBadInput,
+                   "model id '" + model->spec.id +
+                       "' is already registered"};
+    }
+  }
+  for (auto& model : prepared) {
+    auto stamped = std::make_shared<PreparedModel>(*model);
+    stamped->generation = next_generation_++;
+    models_[stamped->spec.id] = std::move(stamped);
+  }
+  return prepared.size();
+}
+
+Result<std::shared_ptr<const PreparedModel>> ModelRegistry::prepare(
+    const ModelSpec& spec) {
+  if (spec.id.empty()) {
+    return Error{ErrorCode::kBadInput, "model id must be non-empty"};
+  }
+  if (spec.neurons < 1 || spec.layers < 1 || spec.fanin < 1 ||
+      spec.fanin > spec.neurons) {
+    return Error{ErrorCode::kBadInput,
+                 "model '" + spec.id +
+                     "': neurons/layers/fanin out of range"};
+  }
+
+  auto model = std::make_shared<PreparedModel>();
+  model->spec = spec;
+
+  const auto neurons = static_cast<sparse::Index>(spec.neurons);
+  if (!spec.net_prefix.empty()) {
+    const float bias = std::isnan(spec.bias)
+                           ? radixnet::table1_bias(neurons)
+                           : spec.bias;
+    auto net = radixnet::try_load_network_tsv(spec.net_prefix, neurons,
+                                              spec.layers, bias, 32.0f);
+    if (!net.ok()) {
+      return Error{net.error().code,
+                   "model '" + spec.id + "': " + net.error().message};
+    }
+    model->net = std::make_shared<const dnn::SparseDnn>(
+        std::move(net).value());
+  } else {
+    radixnet::RadixNetOptions opt;
+    opt.neurons = neurons;
+    opt.layers = spec.layers;
+    opt.fanin = spec.fanin;
+    opt.seed = spec.seed;
+    if (!std::isnan(spec.bias)) opt.bias = spec.bias;
+    model->net = std::make_shared<const dnn::SparseDnn>(
+        radixnet::make_radixnet(opt));
+  }
+  model->net->ensure_csc();
+
+  auto prototype = build_prototype(spec);
+  if (!prototype.ok()) return prototype.error();
+  model->prototype = std::move(prototype).value();
+  if (model->prototype->clone() == nullptr) {
+    return Error{ErrorCode::kBadInput,
+                 "model '" + spec.id + "': engine '" + spec.engine +
+                     "' does not support clone() (serving lanes pool "
+                     "engine clones)"};
+  }
+  return {std::const_pointer_cast<const PreparedModel>(
+      std::move(model))};
+}
+
+Result<std::uint64_t> ModelRegistry::add(const ModelSpec& spec) {
+  auto model = prepare(spec);
+  if (!model.ok()) return model.error();
+  return add_model(spec.id, model.value()->net,
+                   model.value()->prototype);
+}
+
+Result<std::uint64_t> ModelRegistry::add_model(
+    const std::string& id, std::shared_ptr<const dnn::SparseDnn> net,
+    std::shared_ptr<const dnn::InferenceEngine> prototype) {
+  if (id.empty()) {
+    return Error{ErrorCode::kBadInput, "model id must be non-empty"};
+  }
+  if (net == nullptr || prototype == nullptr) {
+    return Error{ErrorCode::kBadInput,
+                 "model '" + id + "': net and prototype must be non-null"};
+  }
+  if (prototype->clone() == nullptr) {
+    return Error{ErrorCode::kBadInput,
+                 "model '" + id + "': engine does not support clone()"};
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (models_.count(id) != 0) {
+    return Error{ErrorCode::kBadInput,
+                 "model id '" + id + "' is already registered"};
+  }
+  auto model = std::make_shared<PreparedModel>();
+  model->spec.id = id;
+  model->spec.engine = prototype->name();
+  model->spec.neurons = net->neurons();
+  model->spec.layers = static_cast<int>(net->num_layers());
+  model->generation = next_generation_++;
+  model->net = std::move(net);
+  model->prototype = std::move(prototype);
+  const std::uint64_t generation = model->generation;
+  models_[id] = std::move(model);
+  return generation;
+}
+
+Result<std::uint64_t> ModelRegistry::swap(const ModelSpec& spec) {
+  auto model = prepare(spec);
+  if (!model.ok()) return model.error();
+  return swap_model(spec.id, model.value()->net,
+                    model.value()->prototype);
+}
+
+Result<std::uint64_t> ModelRegistry::swap_model(
+    const std::string& id, std::shared_ptr<const dnn::SparseDnn> net,
+    std::shared_ptr<const dnn::InferenceEngine> prototype) {
+  if (net == nullptr || prototype == nullptr) {
+    return Error{ErrorCode::kBadInput,
+                 "model '" + id + "': net and prototype must be non-null"};
+  }
+  if (prototype->clone() == nullptr) {
+    return Error{ErrorCode::kBadInput,
+                 "model '" + id + "': engine does not support clone()"};
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(id);
+  if (it == models_.end()) {
+    return Error{ErrorCode::kBadInput,
+                 "cannot swap unknown model '" + id + "'"};
+  }
+  if (net->neurons() != it->second->net->neurons()) {
+    return Error{ErrorCode::kBadInput,
+                 "cannot swap model '" + id + "': neuron count changes " +
+                     std::to_string(it->second->net->neurons()) + " -> " +
+                     std::to_string(net->neurons()) +
+                     " (in-flight requests would be misshapen)"};
+  }
+  auto model = std::make_shared<PreparedModel>();
+  model->spec = it->second->spec;
+  model->spec.engine = prototype->name();
+  model->spec.layers = static_cast<int>(net->num_layers());
+  model->generation = next_generation_++;
+  model->net = std::move(net);
+  model->prototype = std::move(prototype);
+  const std::uint64_t generation = model->generation;
+  it->second = std::move(model);  // old snapshot stays alive via lanes
+  return generation;
+}
+
+Result<void> ModelRegistry::remove(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto erased = models_.erase(id);
+  if (erased == 0) {
+    return Error{ErrorCode::kBadInput,
+                 "cannot remove unknown model '" + id + "'"};
+  }
+  return {};
+}
+
+std::shared_ptr<const PreparedModel> ModelRegistry::find(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(id);
+  return it == models_.end() ? nullptr : it->second;
+}
+
+std::uint64_t ModelRegistry::generation(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = models_.find(id);
+  return it == models_.end() ? 0 : it->second->generation;
+}
+
+std::vector<std::string> ModelRegistry::ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(models_.size());
+  for (const auto& [id, model] : models_) out.push_back(id);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return models_.size();
+}
+
+}  // namespace snicit::serve

@@ -1,0 +1,155 @@
+// Multi-tenant model registry: the serving layer's catalogue of prepared
+// models. Each entry owns an inference-ready pair — a SparseDnn (CSC
+// mirrors built) plus a prototype InferenceEngine carrying its tuned
+// SnicitParams — under a stable string id, and every mutation (add, hot
+// swap, remove) is typed: a malformed manifest or a bad weight file is an
+// Error the server branches on, never a crash.
+//
+// Models arrive two ways:
+//
+//   * a JSON manifest (`load_manifest`) parsed with the strict
+//     platform::json parser — the deployment path. Synthetic Radix-Net
+//     workloads are described inline (neurons/layers/seed); real weights
+//     point at SDGC TSV prefixes and ride the typed try_* loaders.
+//   * programmatic registration (`add_model`) with a caller-built net and
+//     engine prototype — the path for custom engines and tests.
+//
+// Generations: every successful add/swap stamps the entry with a fresh
+// registry-wide generation counter. Serving lanes compare their bound
+// generation against generation(id) to detect a hot swap and rebind
+// between rounds — batches already dispatched finish on the engine they
+// started on (the registry never destroys a PreparedModel out from under
+// a reader; entries are shared_ptr and live while any lane holds them).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dnn/engine.hpp"
+#include "dnn/sparse_dnn.hpp"
+#include "platform/error.hpp"
+
+namespace snicit::serve {
+
+/// One manifest entry: where the model's weights come from and how its
+/// engine is tuned. Defaults mirror snicit_cli's.
+struct ModelSpec {
+  std::string id;
+  /// snicit | snicit-warm | reference | serial | bf2019 | snig2020 |
+  /// xy2021 (snicit-warm = WarmSnicitEngine, centroid cache established
+  /// on the first served batch and reused after).
+  std::string engine = "snicit";
+
+  // Workload shape (and the synthetic generator's knobs when no TSV
+  // prefix is given).
+  std::int64_t neurons = 1024;
+  int layers = 48;
+  int fanin = 32;
+  std::uint64_t seed = 42;
+
+  /// When non-empty: load "<net>-l<k>.tsv" weight files instead of
+  /// generating a Radix-Net (typed kBadModelFile on bad paths/bytes).
+  std::string net_prefix;
+  /// Constant per-layer bias for TSV loads; NaN picks the Table 1 value
+  /// for `neurons`.
+  float bias = std::numeric_limits<float>::quiet_NaN();
+
+  // SNICIT tuning (ignored by non-SNICIT engines). threshold 0 derives
+  // the CLI default: 30 for deep (>= 120 layer) nets, layers/2 otherwise.
+  int threshold = 0;
+  int sample_size = 32;
+  int downsample = 16;
+  float prune = 0.0f;
+};
+
+/// A registered model, ready to serve. Immutable once published (hot swap
+/// publishes a *new* PreparedModel under the same id).
+struct PreparedModel {
+  ModelSpec spec;
+  std::uint64_t generation = 0;
+  std::shared_ptr<const dnn::SparseDnn> net;
+  std::shared_ptr<const dnn::InferenceEngine> prototype;
+
+  /// Fresh engine instance for a serving lane (prototype->clone()).
+  std::unique_ptr<dnn::InferenceEngine> make_engine() const {
+    return prototype->clone();
+  }
+};
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// The engine names load_manifest/add accept.
+  static const std::vector<std::string>& known_engines();
+
+  /// Parses a manifest document into specs without preparing anything.
+  /// Manifest shape (strict — unknown keys are typed errors):
+  ///   {"models": [{"id": "...", "engine": "snicit", "neurons": 256,
+  ///                "layers": 24, "seed": 7, ...}, ...]}
+  /// Fails with kBadModelFile on malformed JSON, schema violations,
+  /// missing/empty/duplicate ids, or unknown engines.
+  static platform::Result<std::vector<ModelSpec>> parse_manifest_text(
+      const std::string& text);
+
+  /// Reads, parses, prepares, and registers every model of the manifest
+  /// file. All-or-nothing: on any failure (unreadable file, malformed
+  /// entry, bad weight file, id already registered) nothing is added.
+  /// Returns the number of models registered.
+  platform::Result<std::size_t> load_manifest(const std::string& path);
+  platform::Result<std::size_t> load_manifest_text(const std::string& text);
+
+  /// Prepares `spec` (builds/loads the net, constructs the engine) and
+  /// registers it. kBadInput when the id is empty or already taken;
+  /// loader/engine errors propagate typed. Returns the new generation.
+  platform::Result<std::uint64_t> add(const ModelSpec& spec);
+
+  /// Programmatic registration: caller-built net + engine prototype. The
+  /// prototype must support clone() (serving lanes pool clones of it).
+  platform::Result<std::uint64_t> add_model(
+      const std::string& id, std::shared_ptr<const dnn::SparseDnn> net,
+      std::shared_ptr<const dnn::InferenceEngine> prototype);
+
+  /// Hot swap: replaces the model registered under spec.id with a freshly
+  /// prepared one and bumps the generation. The neuron count must not
+  /// change (in-flight requests carry fixed-length features). kBadInput
+  /// when the id is unknown. The old PreparedModel stays alive for lanes
+  /// still holding it — their batches finish on the old engine.
+  platform::Result<std::uint64_t> swap(const ModelSpec& spec);
+  platform::Result<std::uint64_t> swap_model(
+      const std::string& id, std::shared_ptr<const dnn::SparseDnn> net,
+      std::shared_ptr<const dnn::InferenceEngine> prototype);
+
+  /// Unregisters `id`: future lookups/submits fail, lanes still serving
+  /// it drain what they already accepted. kBadInput when unknown.
+  platform::Result<void> remove(const std::string& id);
+
+  /// The registered model, or nullptr. The returned snapshot is immune to
+  /// later swap/remove.
+  std::shared_ptr<const PreparedModel> find(const std::string& id) const;
+
+  /// Current generation of `id`, 0 when not registered. Lanes poll this
+  /// to detect hot swaps cheaply.
+  std::uint64_t generation(const std::string& id) const;
+
+  std::vector<std::string> ids() const;  // sorted
+  std::size_t size() const;
+
+ private:
+  static platform::Result<std::shared_ptr<const PreparedModel>> prepare(
+      const ModelSpec& spec);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<const PreparedModel>> models_;
+  std::uint64_t next_generation_ = 1;
+};
+
+}  // namespace snicit::serve

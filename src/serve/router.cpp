@@ -1,0 +1,184 @@
+#include "serve/router.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "platform/metrics.hpp"
+
+namespace snicit::serve {
+
+using platform::Error;
+using platform::ErrorCode;
+
+Router::Router(ModelRegistry& registry, RouterOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  if (options_.lone_wait_ms < 0.0) {
+    options_.lone_wait_ms = options_.serve.batch_timeout_ms;
+  }
+  server_ = std::thread([this] { route_loop(); });
+}
+
+Router::~Router() { finish(); }
+
+platform::Result<std::size_t> Router::submit(const std::string& model_id,
+                                             std::vector<float> features,
+                                             double deadline_ms) {
+  Lane* lane = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_) {
+      return Error{ErrorCode::kQueueClosed, "router is finished"};
+    }
+    auto it = lanes_.find(model_id);
+    if (it == lanes_.end()) {
+      auto model = registry_.find(model_id);
+      if (model == nullptr) {
+        return Error{ErrorCode::kBadInput,
+                     "no model '" + model_id + "' is registered"};
+      }
+      auto fresh = std::make_unique<Lane>();
+      fresh->id = model_id;
+      fresh->model = model;
+      fresh->generation = model->generation;
+      fresh->engine = model->make_engine();
+      ServeOptions serve = options_.serve;
+      serve.tenant = model_id;
+      fresh->batcher = std::make_unique<DynamicBatcher>(
+          *fresh->engine, *model->net, std::move(serve), ManualDrive{});
+      it = lanes_.emplace(model_id, std::move(fresh)).first;
+    }
+    lane = it->second.get();
+    if (lane->removed) {
+      return Error{ErrorCode::kBadInput,
+                   "model '" + model_id +
+                       "' was removed; its lane is draining"};
+    }
+  }
+  // Outside the lock: a full intake may block, and the queue's own
+  // synchronization covers concurrent submitters. Lanes are never
+  // destroyed before the router thread is joined, so `lane` stays valid.
+  return lane->batcher->submit(std::move(features), deadline_ms);
+}
+
+std::vector<Router::Lane*> Router::snapshot_lanes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Lane*> lanes;
+  lanes.reserve(lanes_.size());
+  for (const auto& [id, lane] : lanes_) lanes.push_back(lane.get());
+  return lanes;
+}
+
+void Router::sync_lane(Lane& lane) {
+  if (lane.removed) return;
+  const std::uint64_t current = registry_.generation(lane.id);
+  if (current == lane.generation) return;
+  if (current == 0) {
+    // Removed from the registry: stop accepting, drain what we have.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      lane.removed = true;
+    }
+    lane.batcher->close_intake();
+    return;
+  }
+  auto model = registry_.find(lane.id);
+  if (model == nullptr) {  // raced with a remove; next sweep sees gen 0
+    return;
+  }
+  // Hot swap. rebind() only redirects *future* rounds; the previous round
+  // already completed (rounds are serialized on this thread), so the old
+  // engine can be dropped as soon as the new one is bound.
+  auto engine = model->make_engine();
+  lane.batcher->rebind(*engine, *model->net);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lane.engine = std::move(engine);
+    lane.model = std::move(model);
+    lane.generation = lane.model->generation;
+  }
+  if (platform::metrics::enabled()) {
+    platform::metrics::MetricsRegistry::global()
+        .counter("serve." + lane.id + ".rebinds")
+        .add(1);
+  }
+}
+
+void Router::route_loop() {
+  for (;;) {
+    bool worked = false;
+    std::size_t pending_lanes = 0;
+    std::vector<Lane*> lanes = snapshot_lanes();
+    for (Lane* lane : lanes) {
+      if (!lane->retired && lane->batcher->pending() > 0) ++pending_lanes;
+    }
+    for (Lane* lane : lanes) {
+      if (lane->retired) continue;
+      sync_lane(*lane);
+      // Zero wait whenever another tenant is pending: fairness beats
+      // batch fill. A lone pending tenant gets the configured wait so
+      // its rounds can fill.
+      const bool stopping = stopping_.load(std::memory_order_acquire);
+      const double wait =
+          (!stopping && pending_lanes <= 1) ? options_.lone_wait_ms : 0.0;
+      worked = lane->batcher->drive(wait) || worked;
+      if (lane->removed && lane->batcher->drained()) {
+        lane->retired = true;
+      }
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      bool all_drained = true;
+      for (Lane* lane : lanes) {
+        if (!lane->batcher->drained()) all_drained = false;
+      }
+      if (all_drained && !worked) return;
+      continue;
+    }
+    if (!worked) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          options_.idle_sleep_ms));
+    }
+  }
+}
+
+RouterReport Router::finish() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_) return {};
+    finished_ = true;
+  }
+  for (Lane* lane : snapshot_lanes()) lane->batcher->close_intake();
+  stopping_.store(true, std::memory_order_release);
+  if (server_.joinable()) server_.join();
+
+  RouterReport report;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, lane] : lanes_) {
+      ServeReport tenant = lane->batcher->finish();
+      if (tenant.requests > 0) {
+        report.tenants.emplace(id, std::move(tenant));
+      }
+    }
+  }
+  report.wall_ms = wall_.elapsed_ms();
+  return report;
+}
+
+std::size_t Router::lanes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lanes_.size();
+}
+
+std::uint64_t Router::lane_generation(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = lanes_.find(id);
+  return it == lanes_.end() ? 0 : it->second->generation;
+}
+
+std::size_t Router::completed(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = lanes_.find(id);
+  return it == lanes_.end() ? 0 : it->second->batcher->completed();
+}
+
+}  // namespace snicit::serve

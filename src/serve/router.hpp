@@ -1,0 +1,136 @@
+// Multi-model request router: the front door of multi-tenant serving.
+// Clients submit (model id, features, deadline) from any thread; the
+// router partitions the stream per model into tenant lanes — each lane a
+// manual-drive DynamicBatcher bound to a clone of the registry's engine
+// prototype — and one router thread drives the lanes round-robin.
+//
+// Shared worker budget: exactly one lane serves a round at any moment, so
+// ServeOptions::workers is a process-wide budget rather than a per-tenant
+// reservation — when a tenant is idle its capacity flows to whoever is
+// busy, and a bursting tenant cannot run another tenant's rounds late by
+// more than one round (the sweep always returns to every pending lane).
+//
+// Serialized rounds also keep the determinism contract exactly as strong
+// as single-model serving: each round is one ParallelStreamExecutor pass,
+// bit-identical to serial stream_inference on the same packed samples, so
+// a tenant's outputs cannot depend on what other tenants were doing. They
+// additionally make per-round delta-sampling of the global engine
+// instruments (snicit.fallbacks, snicit.conversion_residue_nnz) exactly
+// attributable to the tenant whose round ran — surfaced per model as
+// serve.<id>.* counters/gauges and serve.<id>.round / serve.<id>.pack
+// trace spans.
+//
+// Hot swap / remove: between rounds each lane compares its bound
+// generation against the registry. A bumped generation rebinds the lane
+// to a fresh clone of the new prototype (in-flight rounds finished on the
+// old engine — nothing is ever rebound mid-round); a removed id closes
+// the lane's intake, drains what was accepted, and retires the lane.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "platform/error.hpp"
+#include "platform/timer.hpp"
+#include "serve/dynamic_batcher.hpp"
+#include "serve/model_registry.hpp"
+
+namespace snicit::serve {
+
+struct RouterOptions {
+  /// Per-lane serving policy template. `serve.tenant` is overwritten with
+  /// the model id lane by lane; `serve.workers` is the shared budget.
+  ServeOptions serve;
+  /// collect() wait used when a lane is the only one with pending work
+  /// (lets a lone tenant fill batches). Negative picks
+  /// serve.batch_timeout_ms. When several lanes are pending the sweep
+  /// always drives with zero wait so no tenant stalls another.
+  double lone_wait_ms = -1.0;
+  /// Router-thread sleep between sweeps that found no work.
+  double idle_sleep_ms = 0.2;
+};
+
+/// Session ledger: one ServeReport per tenant lane that ever accepted a
+/// request, keyed by model id.
+struct RouterReport {
+  std::map<std::string, ServeReport> tenants;
+  double wall_ms = 0.0;
+
+  const ServeReport* find(const std::string& id) const {
+    auto it = tenants.find(id);
+    return it == tenants.end() ? nullptr : &it->second;
+  }
+};
+
+class Router {
+ public:
+  /// Starts the router thread. The registry must outlive the router;
+  /// models may be added/swapped/removed while serving.
+  explicit Router(ModelRegistry& registry, RouterOptions options = {});
+
+  /// Closes every lane and joins (reports discarded — call finish() to
+  /// keep them).
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Enqueues one sample for `model_id`. The lane is created on first
+  /// use from the registry's current entry. kBadInput when the id is not
+  /// registered (or its lane was retired by a remove); kQueueClosed after
+  /// finish(); feature-length errors are typed per the lane's network.
+  platform::Result<std::size_t> submit(const std::string& model_id,
+                                       std::vector<float> features,
+                                       double deadline_ms = 0.0);
+
+  /// Closes every intake, drains every lane, joins the router thread, and
+  /// returns the per-tenant ledgers. Idempotent — later calls return an
+  /// empty report.
+  RouterReport finish();
+
+  /// Lanes created so far (including retired ones).
+  std::size_t lanes() const;
+  /// Registry generation the lane for `id` is currently bound to (0 when
+  /// the lane does not exist). Tests poll this to observe a hot swap.
+  std::uint64_t lane_generation(const std::string& id) const;
+  /// Terminal results produced so far for `id`'s lane (0 when absent).
+  std::size_t completed(const std::string& id) const;
+
+  const RouterOptions& options() const { return options_; }
+
+ private:
+  struct Lane {
+    std::string id;
+    std::shared_ptr<const PreparedModel> model;
+    std::uint64_t generation = 0;
+    std::unique_ptr<dnn::InferenceEngine> engine;
+    std::unique_ptr<DynamicBatcher> batcher;
+    bool removed = false;  // registry dropped the id; draining
+    bool retired = false;  // drained after removal; no longer driven
+  };
+
+  void route_loop();
+  /// Registry generation check + rebind/close. Router thread only.
+  void sync_lane(Lane& lane);
+  std::vector<Lane*> snapshot_lanes() const;
+
+  ModelRegistry& registry_;
+  RouterOptions options_;
+
+  mutable std::mutex mutex_;  // guards lanes_ map shape and finished_
+  std::map<std::string, std::unique_ptr<Lane>> lanes_;
+  bool finished_ = false;
+
+  std::atomic<bool> stopping_{false};
+  platform::Stopwatch wall_;
+  std::thread server_;
+};
+
+}  // namespace snicit::serve

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <limits>
 #include <numeric>
 #include <string>
 #include <tuple>
@@ -24,6 +25,7 @@
 #include "platform/error.hpp"
 #include "platform/fault_injection.hpp"
 #include "platform/rng.hpp"
+#include "platform/timer.hpp"
 #include "radixnet/radixnet.hpp"
 #include "serve/request_queue.hpp"
 #include "snicit/engine.hpp"
@@ -296,6 +298,35 @@ TEST(BatcherDeadlines, ExpiredBudgetTimesOutInsteadOfServing) {
   EXPECT_FALSE(report.complete());
 }
 
+TEST(BatcherDeadlines, DeadlineExpiredExactlyAtSubmitIsTypedTimeout) {
+  // Boundary regression: a deadline that has already expired by the time
+  // the submit call returns (the smallest positive budget — any nonzero
+  // queue age beats it) must produce the typed kTimeout result. It must
+  // never ride an engine batch, and collecting it must not hang the
+  // round's fill-wait loop on a zero-slack request.
+  auto wl = make_workload(4);
+  wl.net.ensure_csc();
+  dnn::ReferenceEngine engine;
+  ServeOptions opt;
+  opt.max_batch = 4;
+  DynamicBatcher batcher(engine, wl.net, opt, ManualDrive{});
+  const auto id = batcher.submit(
+      column_of(wl.input, 0),
+      /*deadline_ms=*/std::numeric_limits<double>::min());
+  ASSERT_TRUE(id.ok());
+  // Manual drive with a generous fill window: the expired request must
+  // come back immediately (zero slack caps the wait), as a result.
+  EXPECT_TRUE(batcher.drive(/*wait_ms=*/50.0));
+  EXPECT_EQ(batcher.completed(), 1u);
+  const auto report = batcher.finish();
+  ASSERT_EQ(report.results.size(), 1u);
+  EXPECT_EQ(report.results[0].code, ErrorCode::kTimeout);
+  EXPECT_TRUE(report.results[0].output.empty())
+      << "expired request was served an engine slot";
+  EXPECT_EQ(report.timed_out_requests, 1u);
+  EXPECT_EQ(report.batches, 0u) << "expired request formed an engine batch";
+}
+
 TEST(BatcherLifecycle, SubmitAfterFinishIsQueueClosed) {
   auto wl = make_workload(4);
   wl.net.ensure_csc();
@@ -359,6 +390,24 @@ TEST(RequestQueue, CloseIsIdempotentAndDrains) {
   EXPECT_EQ(rejected.code(), ErrorCode::kQueueClosed);
   EXPECT_EQ(queue.collect(4, 0.0).size(), 1u);  // drains the accepted one
   EXPECT_TRUE(queue.collect(4, 0.0).empty());   // exhausted forever
+}
+
+TEST(RequestQueue, ZeroSlackRequestDoesNotStallCollect) {
+  // Boundary: a request whose deadline expired the instant it was
+  // submitted has zero slack, which must cap the fill-wait at nothing —
+  // collect returns it promptly for its typed timeout instead of
+  // sleeping out the whole fill window (or hanging on a wait_until of
+  // the past).
+  RequestQueue queue(4);
+  ASSERT_TRUE(queue
+                  .submit(std::vector<float>(1, 1.0f),
+                          std::numeric_limits<double>::min())
+                  .ok());
+  const platform::Stopwatch clock;
+  const auto collected = queue.collect(4, /*wait_ms=*/250.0);
+  EXPECT_LT(clock.elapsed_ms(), 200.0) << "zero-slack fill-wait stalled";
+  ASSERT_EQ(collected.size(), 1u);
+  EXPECT_EQ(collected[0].id, 0u);
 }
 
 }  // namespace

@@ -37,6 +37,7 @@
 #include "dnn/reference.hpp"
 #include "radixnet/radixnet.hpp"
 #include "snicit/engine.hpp"
+#include "snicit/warm_cache.hpp"
 
 namespace snicit {
 namespace {
@@ -142,18 +143,27 @@ std::unique_ptr<dnn::InferenceEngine> make_engine(const std::string& name,
     opt.policy = policy;
     return std::make_unique<baselines::Xy2021Engine>(opt);
   }
+  core::SnicitParams params;
+  params.threshold_layer = layers / 2;
+  params.sample_size = 16;
+  params.downsample_dim = 16;
+  params.spmm = policy;
   if (name == "snicit") {
-    core::SnicitParams params;
-    params.threshold_layer = layers / 2;
-    params.sample_size = 16;
-    params.downsample_dim = 16;
-    params.spmm = policy;
     return std::make_unique<core::SnicitEngine>(params);
+  }
+  if (name == "snicit-warm") {
+    return std::make_unique<core::WarmSnicitEngine>(params);
   }
   return nullptr;
 }
 
-void check_engine(const std::string& engine_name) {
+/// Runs `engine_name` `runs` times on each config and digests the output
+/// of the LAST run. With runs = 1 this is the classic cold digest; with
+/// runs = 2 it pins the warm path of cache-carrying engines
+/// (WarmSnicitEngine's first run establishes the centroid cache, the
+/// second serves from it — the serving steady state), so a regression
+/// that only corrupts cache reuse cannot hide behind a clean cold run.
+void check_engine(const std::string& engine_name, int runs = 1) {
   const auto golden = load_golden();
   for (const auto& config : configs()) {
     radixnet::RadixNetOptions net_opt;
@@ -171,10 +181,14 @@ void check_engine(const std::string& engine_name) {
 
     auto engine = make_engine(engine_name, config.layers);
     ASSERT_NE(engine, nullptr) << engine_name;
-    const auto result = engine->run(net, input);
+    auto result = engine->run(net, input);
+    for (int r = 1; r < runs; ++r) result = engine->run(net, input);
     const std::uint64_t digest = digest_output(result.output);
 
-    const std::string key = config.name + "/" + engine_name;
+    const std::string key =
+        runs > 1 ? config.name + "/" + engine_name + "@run" +
+                       std::to_string(runs)
+                 : config.name + "/" + engine_name;
     computed()[key] = digest;
     if (g_update_golden) continue;  // comparison deferred to the refresh
     const auto expected = golden.find(key);
@@ -200,6 +214,12 @@ TEST(GoldenOutputs, Bf2019) { check_engine("bf2019"); }
 TEST(GoldenOutputs, Snig2020) { check_engine("snig2020"); }
 TEST(GoldenOutputs, Xy2021) { check_engine("xy2021"); }
 TEST(GoldenOutputs, Snicit) { check_engine("snicit"); }
+// Warm engine, cold first run: digest must match the run-1 contract.
+TEST(GoldenOutputs, SnicitWarmFirstRun) { check_engine("snicit-warm"); }
+// Warm engine, second run served from the centroid cache.
+TEST(GoldenOutputs, SnicitWarmSecondRun) {
+  check_engine("snicit-warm", /*runs=*/2);
+}
 
 }  // namespace
 }  // namespace snicit

@@ -1,0 +1,331 @@
+// Lockdown suite for the multi-model registry: manifest parsing is
+// strict and every failure is a typed Error (malformed JSON, schema
+// violations, missing/duplicate ids, bad weight paths — never a crash or
+// a half-loaded registry), and the mutation API (add / hot swap / remove)
+// keeps the generation counter honest while old snapshots stay alive for
+// readers that captured them.
+#include "serve/model_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "platform/error.hpp"
+#include "radixnet/radixnet.hpp"
+#include "radixnet/sdgc_io.hpp"
+
+namespace snicit::serve {
+namespace {
+
+using platform::ErrorCode;
+
+std::string small_model_json(const std::string& id,
+                             const std::string& engine = "reference") {
+  return "{\"id\": \"" + id + "\", \"engine\": \"" + engine +
+         "\", \"neurons\": 64, \"layers\": 4, \"fanin\": 8}";
+}
+
+std::string manifest_of(const std::vector<std::string>& entries) {
+  std::string text = "{\"models\": [";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) text += ", ";
+    text += entries[i];
+  }
+  return text + "]}";
+}
+
+// --- parse_manifest_text: strict schema, typed failures ---------------
+
+TEST(ManifestParse, ValidManifestRoundTripsEveryField) {
+  const std::string text =
+      "{\"models\": [{\"id\": \"prod\", \"engine\": \"snicit-warm\", "
+      "\"neurons\": 128, \"layers\": 12, \"fanin\": 16, \"seed\": 9, "
+      "\"bias\": -0.35, \"threshold\": 5, \"sample_size\": 8, "
+      "\"downsample\": 4, \"prune\": 0.5}]}";
+  const auto specs = ModelRegistry::parse_manifest_text(text);
+  ASSERT_TRUE(specs.ok()) << specs.error().message;
+  ASSERT_EQ(specs.value().size(), 1u);
+  const ModelSpec& spec = specs.value()[0];
+  EXPECT_EQ(spec.id, "prod");
+  EXPECT_EQ(spec.engine, "snicit-warm");
+  EXPECT_EQ(spec.neurons, 128);
+  EXPECT_EQ(spec.layers, 12);
+  EXPECT_EQ(spec.fanin, 16);
+  EXPECT_EQ(spec.seed, 9u);
+  EXPECT_FLOAT_EQ(spec.bias, -0.35f);
+  EXPECT_EQ(spec.threshold, 5);
+  EXPECT_EQ(spec.sample_size, 8);
+  EXPECT_EQ(spec.downsample, 4);
+  EXPECT_FLOAT_EQ(spec.prune, 0.5f);
+}
+
+TEST(ManifestParse, DefaultsApplyWhenOnlyIdIsGiven) {
+  const auto specs =
+      ModelRegistry::parse_manifest_text("{\"models\": [{\"id\": \"m\"}]}");
+  ASSERT_TRUE(specs.ok());
+  const ModelSpec& spec = specs.value()[0];
+  EXPECT_EQ(spec.engine, "snicit");
+  EXPECT_EQ(spec.neurons, 1024);
+  EXPECT_EQ(spec.layers, 48);
+  EXPECT_TRUE(std::isnan(spec.bias));  // Table 1 bias by default
+}
+
+TEST(ManifestParse, EveryKnownEngineIsAccepted) {
+  for (const auto& engine : ModelRegistry::known_engines()) {
+    const auto specs = ModelRegistry::parse_manifest_text(
+        manifest_of({small_model_json("m", engine)}));
+    EXPECT_TRUE(specs.ok()) << engine << ": " << specs.error().message;
+  }
+}
+
+TEST(ManifestParse, MalformedJsonIsTypedNotFatal) {
+  for (const std::string text :
+       {"", "not json", "{\"models\": [", "{\"models\": [{]}",
+        "{\"models\": [{\"id\": \"a\"}]} trailing"}) {
+    const auto specs = ModelRegistry::parse_manifest_text(text);
+    ASSERT_FALSE(specs.ok()) << "accepted: " << text;
+    EXPECT_EQ(specs.error().code, ErrorCode::kBadModelFile);
+  }
+}
+
+TEST(ManifestParse, SchemaViolationsAreTyped) {
+  const std::vector<std::string> bad = {
+      "[]",                                     // top level not an object
+      "{}",                                     // missing 'models'
+      "{\"modls\": []}",                        // misspelt top-level key
+      "{\"models\": {}}",                       // models not an array
+      "{\"models\": []}",                       // no models at all
+      "{\"models\": [42]}",                     // entry not an object
+      "{\"models\": [{}]}",                     // missing id
+      "{\"models\": [{\"id\": \"\"}]}",         // empty id
+      "{\"models\": [{\"id\": 3}]}",            // id not a string
+      "{\"models\": [{\"id\": \"a\", \"enginee\": \"snicit\"}]}",
+      "{\"models\": [{\"id\": \"a\", \"engine\": \"gpt\"}]}",
+      "{\"models\": [{\"id\": \"a\", \"neurons\": 2.5}]}",
+      "{\"models\": [{\"id\": \"a\", \"neurons\": 0}]}",
+      "{\"models\": [{\"id\": \"a\", \"layers\": \"ten\"}]}",
+      "{\"models\": [{\"id\": \"a\", \"prune\": -1}]}",
+      "{\"models\": [{\"id\": \"a\", \"neurons\": 8, \"fanin\": 9}]}",
+  };
+  for (const auto& text : bad) {
+    const auto specs = ModelRegistry::parse_manifest_text(text);
+    ASSERT_FALSE(specs.ok()) << "accepted: " << text;
+    EXPECT_EQ(specs.error().code, ErrorCode::kBadModelFile) << text;
+  }
+}
+
+TEST(ManifestParse, DuplicateIdsAreRejected) {
+  const auto specs = ModelRegistry::parse_manifest_text(
+      manifest_of({small_model_json("twin"), small_model_json("twin")}));
+  ASSERT_FALSE(specs.ok());
+  EXPECT_EQ(specs.error().code, ErrorCode::kBadModelFile);
+  EXPECT_NE(specs.error().message.find("duplicate"), std::string::npos);
+}
+
+// --- load_manifest: all-or-nothing registration -----------------------
+
+TEST(RegistryLoad, MissingManifestFileIsTyped) {
+  ModelRegistry registry;
+  const auto loaded =
+      registry.load_manifest("/nonexistent/models.json");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kBadModelFile);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(RegistryLoad, BadWeightPathLeavesRegistryEmpty) {
+  // First model is fine, second points at weight files that do not
+  // exist: nothing may be registered.
+  ModelRegistry registry;
+  const auto loaded = registry.load_manifest_text(manifest_of(
+      {small_model_json("good"),
+       "{\"id\": \"bad\", \"neurons\": 64, \"layers\": 4, "
+       "\"net\": \"/nonexistent/weights\"}"}));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kBadModelFile);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(RegistryLoad, ManifestRegistersEveryModelWithFreshGenerations) {
+  ModelRegistry registry;
+  const auto loaded = registry.load_manifest_text(manifest_of(
+      {small_model_json("beta"), small_model_json("alpha", "snicit")}));
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value(), 2u);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.ids(), (std::vector<std::string>{"alpha", "beta"}));
+
+  const auto alpha = registry.find("alpha");
+  const auto beta = registry.find("beta");
+  ASSERT_NE(alpha, nullptr);
+  ASSERT_NE(beta, nullptr);
+  EXPECT_EQ(alpha->net->neurons(), 64);
+  EXPECT_EQ(alpha->prototype->name().rfind("SNICIT", 0), 0u);
+  EXPECT_NE(alpha->generation, 0u);
+  EXPECT_NE(alpha->generation, beta->generation);
+  EXPECT_EQ(registry.generation("alpha"), alpha->generation);
+  EXPECT_EQ(registry.generation("unknown"), 0u);
+}
+
+TEST(RegistryLoad, TsvBackedModelLoadsThroughTypedLoader) {
+  // Round-trip: generate a tiny net, save as SDGC TSV, load via manifest.
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 32;
+  opt.layers = 3;
+  opt.fanin = 4;
+  const auto net = radixnet::make_radixnet(opt);
+  const std::string prefix = ::testing::TempDir() + "registry_tsv";
+  radixnet::save_network_tsv(net, prefix);
+
+  ModelRegistry registry;
+  const auto loaded = registry.load_manifest_text(
+      "{\"models\": [{\"id\": \"tsv\", \"engine\": \"reference\", "
+      "\"neurons\": 32, \"layers\": 3, \"net\": \"" + prefix + "\"}]}");
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  const auto model = registry.find("tsv");
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->net->neurons(), 32);
+  EXPECT_EQ(model->net->num_layers(), 3u);
+}
+
+// --- add / swap / remove lifecycle ------------------------------------
+
+ModelSpec tiny_spec(const std::string& id,
+                    const std::string& engine = "reference") {
+  ModelSpec spec;
+  spec.id = id;
+  spec.engine = engine;
+  spec.neurons = 64;
+  spec.layers = 4;
+  spec.fanin = 8;
+  return spec;
+}
+
+TEST(RegistryLifecycle, AddDuplicateIdIsBadInput) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.add(tiny_spec("m")).ok());
+  const auto dup = registry.add(tiny_spec("m"));
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, ErrorCode::kBadInput);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(RegistryLifecycle, SwapBumpsGenerationAndPreservesOldSnapshot) {
+  ModelRegistry registry;
+  auto spec = tiny_spec("m");
+  spec.seed = 1;
+  ASSERT_TRUE(registry.add(spec).ok());
+  const auto before = registry.find("m");
+  ASSERT_NE(before, nullptr);
+
+  spec.seed = 2;  // same shape, different weights
+  const auto swapped = registry.swap(spec);
+  ASSERT_TRUE(swapped.ok()) << swapped.error().message;
+  EXPECT_GT(swapped.value(), before->generation);
+  const auto after = registry.find("m");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->generation, swapped.value());
+  EXPECT_NE(after->net.get(), before->net.get());
+
+  // The pre-swap snapshot is still fully usable: an in-flight batch can
+  // finish on the engine/net it started with.
+  auto old_engine = before->make_engine();
+  ASSERT_NE(old_engine, nullptr);
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 64;
+  in_opt.batch = 3;
+  const auto input = data::make_sdgc_input(in_opt).features;
+  const auto result = old_engine->run(*before->net, input);
+  EXPECT_EQ(result.output.cols(), 3u);
+}
+
+TEST(RegistryLifecycle, SwapCannotChangeNeuronCount) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.add(tiny_spec("m")).ok());
+  auto wider = tiny_spec("m");
+  wider.neurons = 128;
+  const auto swapped = registry.swap(wider);
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_EQ(swapped.error().code, ErrorCode::kBadInput);
+  // Registry still serves the original.
+  EXPECT_EQ(registry.find("m")->net->neurons(), 64);
+}
+
+TEST(RegistryLifecycle, SwapAndRemoveUnknownIdsAreBadInput) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.swap(tiny_spec("ghost")).error().code,
+            ErrorCode::kBadInput);
+  EXPECT_EQ(registry.remove("ghost").error().code, ErrorCode::kBadInput);
+}
+
+TEST(RegistryLifecycle, RemoveDropsLookupButNotHeldSnapshots) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.add(tiny_spec("m")).ok());
+  const auto held = registry.find("m");
+  ASSERT_TRUE(registry.remove("m").ok());
+  EXPECT_EQ(registry.find("m"), nullptr);
+  EXPECT_EQ(registry.generation("m"), 0u);
+  EXPECT_EQ(registry.size(), 0u);
+  // The held snapshot keeps serving.
+  EXPECT_NE(held->net, nullptr);
+  EXPECT_NE(held->make_engine(), nullptr);
+}
+
+TEST(RegistryLifecycle, CloneProducesIndependentBitIdenticalEngines) {
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.add(tiny_spec("m", "snicit")).ok());
+  const auto model = registry.find("m");
+  auto a = model->make_engine();
+  auto b = model->make_engine();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a.get(), b.get());
+
+  data::SdgcInputOptions in_opt;
+  in_opt.neurons = 64;
+  in_opt.batch = 8;
+  const auto input = data::make_sdgc_input(in_opt).features;
+  const auto ra = a->run(*model->net, input);
+  const auto rb = b->run(*model->net, input);
+  ASSERT_EQ(ra.output.cols(), rb.output.cols());
+  EXPECT_EQ(std::memcmp(ra.output.data(), rb.output.data(),
+                        ra.output.rows() * ra.output.cols() *
+                            sizeof(float)),
+            0);
+}
+
+TEST(RegistryLifecycle, CloneUnableEngineIsRejected) {
+  // An engine whose clone() returns nullptr cannot be pooled by serving
+  // lanes; registration must refuse it up front, typed.
+  class Unclonable final : public dnn::InferenceEngine {
+   public:
+    std::string name() const override { return "unclonable"; }
+    dnn::RunResult run(const dnn::SparseDnn&,
+                       const dnn::DenseMatrix& input) override {
+      dnn::RunResult result;
+      result.output = input;
+      return result;
+    }
+  };
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 64;
+  opt.layers = 4;
+  opt.fanin = 8;
+  auto net = std::make_shared<const dnn::SparseDnn>(
+      radixnet::make_radixnet(opt));
+  ModelRegistry registry;
+  const auto added =
+      registry.add_model("m", net, std::make_shared<Unclonable>());
+  ASSERT_FALSE(added.ok());
+  EXPECT_EQ(added.error().code, ErrorCode::kBadInput);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+}  // namespace
+}  // namespace snicit::serve
