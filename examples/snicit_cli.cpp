@@ -39,6 +39,7 @@
 #include "radixnet/radixnet.hpp"
 #include "radixnet/sdgc_io.hpp"
 #include "serve/dynamic_batcher.hpp"
+#include "serve/load_script.hpp"
 #include "serve/router.hpp"
 #include "snicit/engine.hpp"
 #include "snicit/parallel_stream.hpp"
@@ -63,7 +64,8 @@ std::vector<std::string> known_flags(const std::string& cmd) {
           "auto-threshold", "stream", "workers", "queue", "trace-out",
           "metrics-out", "spmm", "spmm-tile", "faults", "faults-seed",
           "max-attempts", "deadline-ms", "serve-requests", "batch-timeout",
-          "packer", "models"}) {
+          "packer", "models", "admission-depth", "admission-work-ms",
+          "record-script"}) {
       flags.push_back(f);
     }
   }
@@ -198,6 +200,16 @@ bool parse_serve_options(const platform::CliArgs& args,
       std::max<std::int64_t>(args.get_int("queue", 0), 0));
   opt.max_attempts = static_cast<std::size_t>(
       std::max<std::int64_t>(args.get_int("max-attempts", 5), 1));
+  // Overload control: either admission flag switches the controller on.
+  // --admission-depth caps queued-but-undispatched requests per tenant;
+  // --admission-work-ms caps the estimated backlog the cost model prices.
+  if (args.has("admission-depth") || args.has("admission-work-ms")) {
+    opt.admission.enabled = true;
+    opt.admission.max_queue_depth = static_cast<std::size_t>(
+        std::max<std::int64_t>(args.get_int("admission-depth", 256), 0));
+    opt.admission.max_backlog_ms =
+        std::max(args.get_double("admission-work-ms", 0.0), 0.0);
+  }
   const auto packers = serve::known_packers();
   if (std::find(packers.begin(), packers.end(), opt.packer) ==
       packers.end()) {
@@ -207,6 +219,18 @@ bool parse_serve_options(const platform::CliArgs& args,
     return false;
   }
   return true;
+}
+
+// Writes the recorded submission trace in the load-script text form so a
+// live traffic shape can be replayed deterministically afterwards.
+bool write_recorded_script(const serve::LoadScriptRecorder& recorder,
+                           const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string text = recorder.script().to_text();
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 int cmd_generate(const platform::CliArgs& args) {
@@ -319,15 +343,29 @@ int cmd_run(const platform::CliArgs& args) {
     serve::RouterOptions ropt;
     ropt.serve = opt;
     serve::Router router(registry, ropt);
+    serve::LoadScriptRecorder recorder;
+    const std::string record_path = args.get("record-script", "");
     bool submit_failed = false;
+    std::size_t rejected = 0;
     for (std::size_t j = 0; j < batch && !submit_failed; ++j) {
       for (std::size_t m = 0; m < ids.size(); ++m) {
         const auto& input = inputs[m];
         std::vector<float> features(input.col(j),
                                     input.col(j) + input.rows());
+        // The script records the *offered* load (including what admission
+        // refuses) — replaying it reproduces the same overload.
+        if (!record_path.empty()) {
+          recorder.record(ids[m], j, serve::Priority::kStandard,
+                          deadline_ms);
+        }
         const auto sub =
             router.submit(ids[m], std::move(features), deadline_ms);
         if (!sub.ok()) {
+          if (sub.error().code ==
+              platform::ErrorCode::kRejectedOverload) {
+            ++rejected;  // fast-fail is the contract; keep offering load
+            continue;
+          }
           std::fprintf(stderr, "error: submit to '%s' failed: %s\n",
                        ids[m].c_str(), sub.error().message.c_str());
           submit_failed = true;
@@ -336,6 +374,15 @@ int cmd_run(const platform::CliArgs& args) {
       }
     }
     const auto report = router.finish();
+    if (!record_path.empty()) {
+      if (write_recorded_script(recorder, record_path)) {
+        std::printf("recorded %zu arrival(s) to %s\n", recorder.size(),
+                    record_path.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write load script to %s\n",
+                     record_path.c_str());
+      }
+    }
     std::printf(
         "served %zu tenant(s) in %.2f ms (%zu shared worker(s), max batch "
         "%zu, packer %s)\n",
@@ -343,7 +390,11 @@ int cmd_run(const platform::CliArgs& args) {
         std::max<std::size_t>(opt.workers, 1), opt.max_batch,
         opt.packer.c_str());
     bool complete = !submit_failed;
+    std::size_t shed = 0;
+    int max_level = 0;
     for (const auto& [id, tenant] : report.tenants) {
+      shed += tenant.shed_requests;
+      max_level = std::max(max_level, tenant.max_brownout_level);
       std::printf(
           "  %-16s %5zu req / %4zu round(s) / %4zu batch(es)  fill %.2f  "
           "latency p50 %.2f ms p95 %.2f ms%s\n",
@@ -352,9 +403,21 @@ int cmd_run(const platform::CliArgs& args) {
           tenant.complete() ? "" : "  [INCOMPLETE]");
       if (!tenant.complete()) {
         complete = false;
-        std::printf("    %zu failed request(s), %zu timed out\n",
-                    tenant.failed_requests, tenant.timed_out_requests);
+        std::printf(
+            "    %zu failed request(s), %zu timed out, %zu shed\n",
+            tenant.failed_requests, tenant.timed_out_requests,
+            tenant.shed_requests);
       }
+    }
+    if (opt.admission.enabled) {
+      // Intake rejections are overload control *working* — fast-failed
+      // before acceptance, so they never flip the exit code. Sheds hit
+      // accepted requests and count against complete() like any failure.
+      std::printf(
+          "overload control: %zu rejected at intake, %zu shed, max "
+          "brownout level %d (%s)\n",
+          rejected, shed, max_level,
+          serve::to_string(static_cast<serve::BrownoutLevel>(max_level)));
     }
     write_observability();
     return complete ? 0 : 3;
@@ -378,17 +441,36 @@ int cmd_run(const platform::CliArgs& args) {
         std::max(args.get_double("deadline-ms", 0.0), 0.0);
 
     serve::DynamicBatcher batcher(*engine, wl.net, opt);
+    serve::LoadScriptRecorder recorder;
+    const std::string record_path = args.get("record-script", "");
+    std::size_t rejected = 0;
     for (std::size_t j = 0; j < wl.input.cols(); ++j) {
       std::vector<float> features(wl.input.col(j),
                                   wl.input.col(j) + wl.input.rows());
+      if (!record_path.empty()) {
+        recorder.record("", j, serve::Priority::kStandard, deadline_ms);
+      }
       const auto id = batcher.submit(std::move(features), deadline_ms);
       if (!id.ok()) {
+        if (id.error().code == platform::ErrorCode::kRejectedOverload) {
+          ++rejected;  // typed fast-fail under overload; keep offering
+          continue;
+        }
         std::fprintf(stderr, "error: submit failed: %s\n",
                      id.error().message.c_str());
         break;
       }
     }
     const auto report = batcher.finish();
+    if (!record_path.empty()) {
+      if (write_recorded_script(recorder, record_path)) {
+        std::printf("recorded %zu arrival(s) to %s\n", recorder.size(),
+                    record_path.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write load script to %s\n",
+                     record_path.c_str());
+      }
+    }
     std::printf(
         "served %zu request(s) as %zu round(s) / %zu engine batch(es) "
         "(max batch %zu, timeout %.2f ms, packer %s, %zu worker(s))\n",
@@ -405,6 +487,14 @@ int cmd_run(const platform::CliArgs& args) {
     std::printf("request latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
                 report.latency.p50(), report.latency.p95(),
                 report.latency.p99());
+    if (opt.admission.enabled) {
+      std::printf(
+          "overload control: %zu rejected at intake, %zu shed, max "
+          "brownout level %d (%s)\n",
+          rejected, report.shed_requests, report.max_brownout_level,
+          serve::to_string(static_cast<serve::BrownoutLevel>(
+              report.max_brownout_level)));
+    }
     auto& fault_registry = platform::fault::FaultRegistry::global();
     if (report.retries > 0 || report.degraded_batches > 0 ||
         !report.complete() || fault_registry.armed()) {
@@ -538,6 +628,15 @@ void usage() {
       "2.0)\n"
       "            --packer fifo|similarity (serve batch packing "
       "strategy)\n"
+      "            --admission-depth N (overload control: per-tenant cap\n"
+      "              on queued requests; refused submits fast-fail with\n"
+      "              rejected_overload + a retry-after hint)\n"
+      "            --admission-work-ms MS (cap on estimated queued work\n"
+      "              priced by the EWMA cost model; either admission flag\n"
+      "              enables the controller and the brownout ladder)\n"
+      "            --record-script FILE (record the offered submission\n"
+      "              stream as a load script replayable by the overload\n"
+      "              conformance harness)\n"
       "            --models FILE (multi-model serving: JSON manifest\n"
       "              {\"models\":[{\"id\":...,\"engine\":...,...}]}; routes\n"
       "              --batch requests per model through per-tenant lanes\n"

@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # CI serve lane: run the request-level serving suites (`ctest -L serve`),
-# the multi-model registry/router suites (`-L multimodel`), and the fault
+# the multi-model registry/router suites (`-L multimodel`), the
+# overload-control conformance suites (`-L overload`), and the fault
 # drills they share machinery with (`-L fault`) in a build instrumented
 # with TSan, so the concurrency surface — client threads in submit(), the
 # server thread's collect/pack/execute loop, the router thread's
@@ -26,6 +27,6 @@ cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
 
 # halt_on_error: a race report must fail the lane, not scroll past it.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  ctest --test-dir "$build_dir" -L "serve|fault|multimodel" --output-on-failure
+  ctest --test-dir "$build_dir" -L "serve|fault|multimodel|overload" --output-on-failure
 
-echo "serve lane clean: all serve/fault/multimodel-labelled tests passed under TSan"
+echo "serve lane clean: all serve/fault/multimodel/overload-labelled tests passed under TSan"

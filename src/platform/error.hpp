@@ -38,6 +38,7 @@ enum class ErrorCode : int {
   kTimeout,               // per-batch deadline exceeded
   kNumericalDivergence,   // NaN/inf or residue blowup detected mid-run
   kQueueClosed,           // operation on a closed work queue
+  kRejectedOverload,      // admission control refused or shed the request
 };
 
 /// Stable lowercase name for logs/JSON ("bad_model_file", ...).
@@ -50,6 +51,7 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kNumericalDivergence: return "numerical_divergence";
     case ErrorCode::kQueueClosed: return "queue_closed";
+    case ErrorCode::kRejectedOverload: return "rejected_overload";
   }
   return "unknown";
 }

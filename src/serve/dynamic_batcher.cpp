@@ -25,6 +25,22 @@ std::size_t default_round_limit(const ServeOptions& options) {
   return options.max_batch * std::max<std::size_t>(2 * workers, 2);
 }
 
+std::size_t default_queue_capacity(const ServeOptions& options,
+                                   std::size_t round_limit,
+                                   const AdmissionController* controller) {
+  std::size_t capacity = options.queue_capacity != 0
+                             ? options.queue_capacity
+                             : 4 * round_limit;
+  // With admission control the controller's depth cap must be the
+  // binding constraint — a smaller physical queue would reject below the
+  // configured quota with the wrong reason.
+  if (controller != nullptr) {
+    capacity =
+        std::max(capacity, controller->options().max_queue_depth + 1);
+  }
+  return capacity;
+}
+
 void reject(bool ok, const char* message) {
   if (!ok) {
     throw platform::ErrorException(
@@ -42,8 +58,14 @@ DynamicBatcher::DynamicBatcher(dnn::InferenceEngine& engine,
       options_(std::move(options)),
       round_limit_(default_round_limit(options_)),
       packer_(make_packer(options_.packer, options_.similarity_threshold)),
-      queue_(options_.queue_capacity != 0 ? options_.queue_capacity
-                                          : 4 * round_limit_),
+      controller_(options_.controller
+                      ? options_.controller
+                      : (options_.admission.enabled
+                             ? std::make_shared<AdmissionController>(
+                                   options_.admission)
+                             : nullptr)),
+      queue_(default_queue_capacity(options_, round_limit_,
+                                    controller_.get())),
       manual_(manual) {
   reject(options_.max_batch >= 1, "max_batch must be >= 1");
   reject(options_.batch_timeout_ms >= 0.0,
@@ -87,7 +109,7 @@ DynamicBatcher::~DynamicBatcher() {
 }
 
 platform::Result<std::size_t> DynamicBatcher::submit(
-    std::vector<float> features, double deadline_ms) {
+    std::vector<float> features, double deadline_ms, Priority priority) {
   if (features.size() != static_cast<std::size_t>(net_->neurons())) {
     return platform::Error{
         ErrorCode::kBadInput,
@@ -104,7 +126,23 @@ platform::Result<std::size_t> DynamicBatcher::submit(
         .counter(metric_prefix_ + "requests")
         .add(1);
   }
-  return queue_.submit(std::move(features), deadline_ms);
+  if (controller_ == nullptr) {
+    return queue_.submit(std::move(features), deadline_ms, priority);
+  }
+  // Admission-controlled intake: decide now and never block the client.
+  const AdmissionVerdict verdict =
+      controller_->admit(options_.tenant, priority, wall_.elapsed_ms());
+  if (!verdict.admitted) {
+    return verdict.to_error(options_.tenant);
+  }
+  auto id = queue_.try_submit(std::move(features), deadline_ms, priority);
+  if (!id.ok()) {
+    // Physical queue refused after the controller admitted (closed, or a
+    // capacity misconfigured below the quota): roll the depth back so the
+    // controller's view stays true.
+    controller_->on_collected(options_.tenant, 1);
+  }
+  return id;
 }
 
 bool DynamicBatcher::drive(double wait_ms) {
@@ -113,6 +151,9 @@ bool DynamicBatcher::drive(double wait_ms) {
   // first arrival, which would wedge a round-robin driver on one quiet
   // lane while its other lanes have work (and blind it to hot swaps).
   if (queue_.size() == 0) return false;
+  if (controller_ != nullptr) {
+    wait_ms = controller_->effective_timeout_ms(wait_ms);
+  }
   std::vector<ServeRequest> requests = queue_.collect(round_limit_, wait_ms);
   if (requests.empty()) return false;
   serve_round(std::move(requests));
@@ -153,8 +194,12 @@ RequestResult& DynamicBatcher::result_slot(std::size_t id) {
 
 void DynamicBatcher::serve_loop() {
   while (true) {
+    const double wait_ms =
+        controller_ != nullptr
+            ? controller_->effective_timeout_ms(options_.batch_timeout_ms)
+            : options_.batch_timeout_ms;
     std::vector<ServeRequest> requests =
-        queue_.collect(round_limit_, options_.batch_timeout_ms);
+        queue_.collect(round_limit_, wait_ms);
     if (requests.empty()) break;  // closed and drained
     serve_round(std::move(requests));
   }
@@ -166,9 +211,18 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
   const bool instrumented = metrics::enabled();
   const std::size_t collected = requests.size();
   const std::size_t round = report_.rounds++;
+  if (controller_ != nullptr) {
+    controller_->on_collected(options_.tenant, collected);
+  }
+  const BrownoutLevel brownout = controller_ != nullptr
+                                     ? controller_->level()
+                                     : BrownoutLevel::kNormal;
 
   // Deadline triage: a request whose budget expired while queued fails
   // with kTimeout instead of burning engine time it can no longer use.
+  // Under admission control, sheddable requests the feasibility
+  // predictor declares doomed are shed here too — refusing to spend
+  // engine time on output that will be thrown away is the whole point.
   std::vector<ServeRequest> live;
   std::vector<double> waited;
   live.reserve(requests.size());
@@ -187,12 +241,45 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
       report_.timed_out_requests += 1;
       report_.queue_wait.add(queue_ms);
       report_.latency.add(queue_ms);
+      if (controller_ != nullptr) {
+        controller_->record_timeout(options_.tenant, request.id,
+                                    request.priority, wall_.elapsed_ms());
+      }
       if (instrumented) {
         metrics::MetricsRegistry::global()
             .counter(metric_prefix_ + "timeouts")
             .add(1);
       }
       continue;
+    }
+    if (controller_ != nullptr &&
+        request.priority == Priority::kSheddable &&
+        request.deadline_ms > 0.0) {
+      const double slack_ms = request.deadline_ms - queue_ms;
+      if (controller_->infeasible(slack_ms, live.size() + 1)) {
+        RequestResult& slot = result_slot(request.id);
+        slot.code = ErrorCode::kRejectedOverload;
+        slot.message = "shed: " + std::to_string(slack_ms) +
+                       " ms of budget left, batch estimated at " +
+                       std::to_string(
+                           controller_->estimate_ms(live.size() + 1)) +
+                       " ms";
+        slot.queue_ms = queue_ms;
+        slot.latency_ms = queue_ms;
+        slot.round = round;
+        report_.shed_requests += 1;
+        report_.queue_wait.add(queue_ms);
+        report_.latency.add(queue_ms);
+        controller_->record_shed(options_.tenant, request.id,
+                                 request.priority, slack_ms,
+                                 wall_.elapsed_ms());
+        if (instrumented) {
+          metrics::MetricsRegistry::global()
+              .counter(metric_prefix_ + "shed")
+              .add(1);
+        }
+        continue;
+      }
     }
     waited.push_back(queue_ms);
     live.push_back(std::move(request));
@@ -209,10 +296,24 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
   for (std::size_t i = 0; i < n; ++i) {
     signatures[i] = input_signature(live[i].features);
   }
+  // Brownout level >= 2 forces FIFO packing: under pressure the round
+  // stops paying for similarity clustering. Level >= 3 additionally
+  // reroutes to the economy engine tier when one is bound.
+  BatchPacker& round_packer =
+      static_cast<int>(brownout) >=
+              static_cast<int>(BrownoutLevel::kFifoPack)
+          ? static_cast<BatchPacker&>(fifo_packer_)
+          : *packer_;
+  dnn::InferenceEngine* round_engine =
+      static_cast<int>(brownout) >=
+                  static_cast<int>(BrownoutLevel::kEconomyTier) &&
+              economy_engine_ != nullptr
+          ? economy_engine_
+          : engine_;
   std::vector<std::size_t> order;
   {
     SNICIT_TRACE_SPAN(span_pack_, "serve");
-    order = packer_->pack(signatures, options_.max_batch);
+    order = round_packer.pack(signatures, options_.max_batch);
   }
   SNICIT_CHECK(order.size() == n, "packer must emit one slot per request");
   {
@@ -258,7 +359,7 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
   bool round_failed = false;
   platform::Error round_error;
   try {
-    streamed = executor.run(*engine_, *net_, input);
+    streamed = executor.run(*round_engine, *net_, input);
   } catch (const platform::ErrorException& e) {
     round_failed = true;
     round_error = e.error();
@@ -286,7 +387,7 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
     if (fallback_delta > 0) {
       registry.counter(metric_prefix_ + "fallbacks").add(fallback_delta);
     }
-    if (engine_->name().rfind("SNICIT", 0) == 0) {
+    if (round_engine->name().rfind("SNICIT", 0) == 0) {
       registry.gauge(metric_prefix_ + "conversion_residue_nnz")
           .set(registry.gauge("snicit.conversion_residue_nnz").get());
     }
@@ -345,6 +446,12 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
 
     for (std::size_t p = begin; p < end; ++p) {
       const ServeRequest& request = live[order[p]];
+      if (controller_ != nullptr) {
+        controller_->record_dispatch(options_.tenant, request.id,
+                                     request.priority,
+                                     static_cast<double>(record.batch),
+                                     wall_.elapsed_ms());
+      }
       RequestResult& slot = result_slot(request.id);
       slot.round = round;
       slot.batch = record.batch;
@@ -382,6 +489,23 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
     report_.batch_log.push_back(std::move(record));
   }
   report_.batches += num_batches;
+  if (controller_ != nullptr) {
+    // Close the control loop: this round's engine time (and, for SNICIT
+    // engines, the post-conversion residue gauge) feeds the cost model;
+    // re-evaluated pressure steps the brownout ladder.
+    double residue_nnz = 0.0;
+    if (instrumented && round_engine->name().rfind("SNICIT", 0) == 0) {
+      residue_nnz = metrics::MetricsRegistry::global()
+                        .gauge("snicit.conversion_residue_nnz")
+                        .get();
+    }
+    controller_->on_round(options_.tenant, n,
+                          round_failed ? 0.0 : streamed.total_ms,
+                          residue_nnz, wall_.elapsed_ms());
+    report_.max_brownout_level =
+        std::max(report_.max_brownout_level,
+                 static_cast<int>(controller_->level()));
+  }
   completed_.fetch_add(collected, std::memory_order_release);
 }
 

@@ -33,6 +33,7 @@
 
 #include "dnn/engine.hpp"
 #include "platform/error.hpp"
+#include "serve/overload.hpp"
 #include "serve/packer.hpp"
 #include "serve/request.hpp"
 #include "serve/request_queue.hpp"
@@ -74,6 +75,19 @@ struct ServeOptions {
   std::size_t max_attempts = 5;
   double retry_backoff_ms = 1.0;
   double max_backoff_ms = 50.0;
+
+  /// Overload control (serve/overload.hpp). Disabled by default: the
+  /// intake blocks on a full queue exactly as before. Enabled, submits
+  /// are gated by an AdmissionController (fast-fail kRejectedOverload
+  /// instead of blocking), queued sheddable traffic that cannot meet its
+  /// deadline is shed at collect time, and the brownout ladder degrades
+  /// the round policy (timeout shrink -> FIFO packing -> economy engine)
+  /// under sustained pressure.
+  AdmissionOptions admission;
+  /// Share one controller across batchers (the Router's lanes must see
+  /// one ladder and one cost model — pressure is a server property).
+  /// When null and admission.enabled, the batcher builds its own.
+  std::shared_ptr<AdmissionController> controller;
 };
 
 /// Tag selecting the externally-driven batcher mode (no internal server
@@ -104,9 +118,13 @@ class DynamicBatcher {
   /// Enqueues one sample (length must equal the network's neuron count —
   /// kBadInput otherwise). Blocks while the intake is full; kQueueClosed
   /// after finish(). `deadline_ms` is the request's total latency budget
-  /// (0 = none).
-  platform::Result<std::size_t> submit(std::vector<float> features,
-                                       double deadline_ms = 0.0);
+  /// (0 = none). With admission control enabled the submit never blocks:
+  /// a refused request fast-fails with kRejectedOverload carrying a
+  /// retry-after hint, and `priority` decides how early it is refused
+  /// (sheddable first, critical last).
+  platform::Result<std::size_t> submit(
+      std::vector<float> features, double deadline_ms = 0.0,
+      Priority priority = Priority::kStandard);
 
   /// Closes the intake, serves every request already accepted, joins the
   /// server thread, and returns the session ledger: exactly one
@@ -146,6 +164,20 @@ class DynamicBatcher {
     return completed_.load(std::memory_order_acquire);
   }
 
+  /// Binds (or clears, with nullptr) the brownout level-3 economy engine:
+  /// rounds served while the ladder sits at kEconomyTier ride it instead
+  /// of the bound engine. Must serve the same network — degradation never
+  /// changes the request contract. Call from the driver thread between
+  /// rounds (manual mode) or before serving starts.
+  void set_economy(dnn::InferenceEngine* engine) {
+    economy_engine_ = engine;
+  }
+
+  /// The overload controller in effect (null when admission is off).
+  const std::shared_ptr<AdmissionController>& controller() const {
+    return controller_;
+  }
+
   const ServeOptions& options() const { return options_; }
   /// Requests accepted so far.
   std::size_t submitted() const { return queue_.issued(); }
@@ -159,10 +191,13 @@ class DynamicBatcher {
   RequestResult& result_slot(std::size_t id);
 
   dnn::InferenceEngine* engine_;
+  dnn::InferenceEngine* economy_engine_ = nullptr;
   const dnn::SparseDnn* net_;
   ServeOptions options_;
   std::size_t round_limit_ = 0;
   std::unique_ptr<BatchPacker> packer_;
+  FifoPacker fifo_packer_;  // brownout level >= 2 override
+  std::shared_ptr<AdmissionController> controller_;
   RequestQueue queue_;
   bool manual_ = false;
   std::string metric_prefix_;        // "serve." or "serve.<tenant>."

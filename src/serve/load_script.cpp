@@ -1,0 +1,217 @@
+#include "serve/load_script.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "platform/common.hpp"
+#include "platform/rng.hpp"
+
+namespace snicit::serve {
+
+using platform::Error;
+using platform::ErrorCode;
+
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t hash = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Priority draw_priority(platform::Rng& rng, const LoadScriptSpec& spec) {
+  const double u = rng.next_double();
+  if (u < spec.sheddable_fraction) return Priority::kSheddable;
+  if (u < spec.sheddable_fraction + spec.critical_fraction) {
+    return Priority::kCritical;
+  }
+  return Priority::kStandard;
+}
+
+/// Exponential inter-arrival gap with the spec's mean.
+double draw_gap(platform::Rng& rng, double mean_gap_ms) {
+  return -std::log(1.0 - rng.next_double()) * mean_gap_ms;
+}
+
+void sort_events(std::vector<LoadEvent>& events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const LoadEvent& a, const LoadEvent& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+}
+
+}  // namespace
+
+LoadScript make_load_script(const LoadScriptSpec& spec) {
+  SNICIT_CHECK(spec.shape == "poisson" || spec.shape == "burst" ||
+                   spec.shape == "ramp" || spec.shape == "storm",
+               "unknown load script shape");
+  SNICIT_CHECK(!spec.tenants.empty(), "load script needs >= 1 tenant");
+  SNICIT_CHECK(spec.samples >= 1, "load script needs a sample pool");
+
+  LoadScript script;
+  script.name = spec.shape;
+  script.seed = spec.seed;
+  script.events.reserve(spec.tenants.size() * spec.requests_per_tenant);
+
+  for (std::size_t m = 0; m < spec.tenants.size(); ++m) {
+    // Independent stream per tenant so adding a tenant never perturbs
+    // the arrivals of the others (isolation drills rely on this).
+    platform::Rng rng(spec.seed + 0x9e37ULL * (m + 1));
+    const bool burster = spec.shape == "burst" && m == 0;
+    double t = 0.0;
+    // Storm: one absolute deadline shared by the whole window.
+    const double storm_deadline_at = spec.deadline_ms;
+    for (std::size_t j = 0; j < spec.requests_per_tenant; ++j) {
+      LoadEvent event;
+      event.tenant = spec.tenants[m];
+      event.sample = static_cast<std::size_t>(rng.next_below(spec.samples));
+      event.priority = draw_priority(rng, spec);
+      if (spec.shape == "storm") {
+        event.at_ms = rng.next_double() * spec.storm_window_ms;
+        // Same absolute deadline for everyone: budget = deadline - t.
+        event.deadline_ms =
+            spec.deadline_ms > 0.0
+                ? std::max(storm_deadline_at - event.at_ms, 1e-9)
+                : 0.0;
+      } else if (burster) {
+        event.at_ms = spec.burst_at_ms;
+        event.deadline_ms = spec.deadline_ms;
+      } else {
+        double gap = spec.mean_gap_ms;
+        if (spec.shape == "ramp" && spec.requests_per_tenant > 1) {
+          const double frac = static_cast<double>(j) /
+                              static_cast<double>(
+                                  spec.requests_per_tenant - 1);
+          gap = spec.mean_gap_ms *
+                (1.0 + (spec.ramp_final - 1.0) * frac);
+        }
+        t += draw_gap(rng, gap);
+        event.at_ms = t;
+        event.deadline_ms = spec.deadline_ms;
+      }
+      script.events.push_back(std::move(event));
+    }
+  }
+  sort_events(script.events);
+  return script;
+}
+
+std::string LoadScript::to_text() const {
+  std::string out = "loadscript v1 name=" + name + " seed=" +
+                    std::to_string(seed) + " events=" +
+                    std::to_string(events.size()) + "\n";
+  char line[256];
+  for (const LoadEvent& e : events) {
+    std::snprintf(line, sizeof(line),
+                  "at=%.9f tenant=%s sample=%zu priority=%s "
+                  "deadline=%.9f\n",
+                  e.at_ms, e.tenant.empty() ? "-" : e.tenant.c_str(),
+                  e.sample, to_string(e.priority), e.deadline_ms);
+    out += line;
+  }
+  return out;
+}
+
+platform::Result<LoadScript> LoadScript::from_text(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Error{ErrorCode::kBadInput, "load script text is empty"};
+  }
+  LoadScript script;
+  std::size_t declared = 0;
+  {
+    char name[128];
+    unsigned long long seed = 0;
+    unsigned long long events = 0;
+    if (std::sscanf(line.c_str(),
+                    "loadscript v1 name=%127s seed=%llu events=%llu",
+                    name, &seed, &events) != 3) {
+      return Error{ErrorCode::kBadInput,
+                   "malformed load script header: '" + line + "'"};
+    }
+    script.name = name;
+    script.seed = seed;
+    declared = static_cast<std::size_t>(events);
+    script.events.reserve(declared);
+  }
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    char tenant[128];
+    char priority[32];
+    double at = 0.0;
+    double deadline = 0.0;
+    unsigned long long sample = 0;
+    if (std::sscanf(line.c_str(),
+                    "at=%lf tenant=%127s sample=%llu priority=%31s "
+                    "deadline=%lf",
+                    &at, tenant, &sample, priority, &deadline) != 5) {
+      return Error{ErrorCode::kBadInput,
+                   "malformed load script event at line " +
+                       std::to_string(line_no) + ": '" + line + "'"};
+    }
+    LoadEvent event;
+    event.at_ms = at;
+    event.tenant = std::string(tenant) == "-" ? "" : tenant;
+    event.sample = static_cast<std::size_t>(sample);
+    auto parsed = parse_priority(priority);
+    if (!parsed.ok()) {
+      return Error{ErrorCode::kBadInput,
+                   "load script line " + std::to_string(line_no) + ": " +
+                       parsed.error().message};
+    }
+    event.priority = parsed.value();
+    event.deadline_ms = deadline;
+    if (!script.events.empty() && at < script.events.back().at_ms) {
+      return Error{ErrorCode::kBadInput,
+                   "load script events must be time-sorted (line " +
+                       std::to_string(line_no) + ")"};
+    }
+    script.events.push_back(std::move(event));
+  }
+  if (script.events.size() != declared) {
+    return Error{ErrorCode::kBadInput,
+                 "load script header declares " + std::to_string(declared) +
+                     " events but " + std::to_string(script.events.size()) +
+                     " were parsed (truncated script?)"};
+  }
+  return script;
+}
+
+std::uint64_t LoadScript::digest() const {
+  const std::string text = to_text();
+  return fnv1a(text.data(), text.size());
+}
+
+void LoadScriptRecorder::record(const std::string& tenant,
+                                std::size_t sample, Priority priority,
+                                double deadline_ms) {
+  LoadEvent event;
+  event.at_ms = clock_.elapsed_ms();
+  event.tenant = tenant;
+  event.sample = sample;
+  event.priority = priority;
+  event.deadline_ms = deadline_ms;
+  events_.push_back(std::move(event));
+}
+
+LoadScript LoadScriptRecorder::script() const {
+  LoadScript out;
+  out.name = "recorded";
+  out.seed = 0;
+  out.events = events_;
+  sort_events(out.events);
+  return out;
+}
+
+}  // namespace snicit::serve

@@ -1,0 +1,127 @@
+// Seeded arrival traces for the overload-control conformance harness.
+//
+// A LoadScript is the unit of reproducible load: a sorted list of
+// arrival events (time, tenant, sample index, priority, deadline) that
+// the LoadReplayer plays against the virtual clock. Scripts come from
+// three places:
+//
+//   * generators — make_load_script(spec) synthesizes the canonical
+//     shapes from a seed: Poisson arrivals, a burst dump, a linear ramp
+//     into overload, and the adversarial same-deadline storm (every
+//     request lands inside one narrow window carrying one shared
+//     absolute deadline — the worst case for a feasibility predictor).
+//     Identical spec -> identical script, bit for bit.
+//
+//   * the recorder — LoadScriptRecorder timestamps a live submission
+//     stream (e.g. snicit_cli --record-script) into a script, so a real
+//     traffic shape can be replayed deterministically afterwards.
+//
+//   * text round-trip — to_text()/from_text() give scripts a stable
+//     on-disk form with typed parse errors, so recorded traces can be
+//     checked in as conformance fixtures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/error.hpp"
+#include "platform/timer.hpp"
+#include "serve/request.hpp"
+
+namespace snicit::serve {
+
+/// One scripted arrival. `sample` indexes the tenant's sample pool
+/// (modulo its size), so a script is independent of any particular input
+/// matrix.
+struct LoadEvent {
+  double at_ms = 0.0;
+  std::string tenant;
+  std::size_t sample = 0;
+  Priority priority = Priority::kStandard;
+  /// Latency budget from arrival; 0 = none. Storm scripts express their
+  /// shared *absolute* deadline as per-event budgets relative to at_ms.
+  double deadline_ms = 0.0;
+
+  bool operator==(const LoadEvent& other) const {
+    return at_ms == other.at_ms && tenant == other.tenant &&
+           sample == other.sample && priority == other.priority &&
+           deadline_ms == other.deadline_ms;
+  }
+};
+
+struct LoadScript {
+  std::string name;        // shape label ("poisson", "burst", ...)
+  std::uint64_t seed = 0;  // generator seed (0 for recorded scripts)
+  std::vector<LoadEvent> events;  // sorted by (at_ms, insertion order)
+
+  /// Stable text form: a header line then one event per line.
+  std::string to_text() const;
+  /// Typed kBadInput on malformed text. from_text(to_text()) == *this.
+  static platform::Result<LoadScript> from_text(const std::string& text);
+
+  /// FNV-1a 64 over to_text() — the script's identity for conformance
+  /// assertions.
+  std::uint64_t digest() const;
+
+  double duration_ms() const {
+    return events.empty() ? 0.0 : events.back().at_ms;
+  }
+};
+
+/// Generator knobs. Only the fields relevant to `shape` are read.
+struct LoadScriptSpec {
+  /// poisson | burst | ramp | storm
+  std::string shape = "poisson";
+  /// Tenants submitting; arrivals of distinct tenants interleave on the
+  /// merged timeline. Single-tenant harness runs use {""}.
+  std::vector<std::string> tenants = {""};
+  std::size_t requests_per_tenant = 64;
+  /// Mean inter-arrival gap per tenant (Poisson/ramp), ms.
+  double mean_gap_ms = 1.0;
+  /// Per-request deadline budget (0 = none). For storm scripts this is
+  /// the budget of the *first* arrival; later arrivals share its absolute
+  /// deadline.
+  double deadline_ms = 0.0;
+  /// Priority mix: each request draws sheddable with this probability...
+  double sheddable_fraction = 0.0;
+  /// ...then critical with this probability; standard otherwise.
+  double critical_fraction = 0.0;
+  std::uint64_t seed = 42;
+  /// Sample-pool size the `sample` indices are drawn from.
+  std::size_t samples = 64;
+  /// burst: every arrival of the first tenant lands exactly here; other
+  /// tenants keep Poisson arrivals (the abusive-neighbour drill).
+  double burst_at_ms = 0.0;
+  /// ramp: the gap shrinks linearly to mean_gap_ms * ramp_final by the
+  /// last request — a controlled walk into overload and (with hysteresis)
+  /// back out.
+  double ramp_final = 0.25;
+  /// storm: all arrivals land uniformly inside [0, storm_window_ms].
+  double storm_window_ms = 1.0;
+};
+
+/// Deterministic in `spec` (including seed). SNICIT_CHECKs on unknown
+/// shapes — a scripted conformance run must not silently fall back.
+LoadScript make_load_script(const LoadScriptSpec& spec);
+
+/// Stamps a live submission stream into a script (arrival offsets from
+/// the recorder's construction). Not thread-safe; wrap externally if
+/// submitters race.
+class LoadScriptRecorder {
+ public:
+  void record(const std::string& tenant, std::size_t sample,
+              Priority priority, double deadline_ms);
+
+  std::size_t size() const { return events_.size(); }
+
+  /// The recorded script (name "recorded", seed 0), sorted by time.
+  LoadScript script() const;
+
+ private:
+  platform::Stopwatch clock_;
+  std::vector<LoadEvent> events_;
+};
+
+}  // namespace snicit::serve

@@ -78,7 +78,8 @@ Result<ModelSpec> parse_entry(const JsonValue& entry, std::size_t index) {
   }
   static const std::set<std::string> kKnownKeys = {
       "id",   "engine", "neurons",   "layers",      "fanin",      "seed",
-      "net",  "bias",   "threshold", "sample_size", "downsample", "prune"};
+      "net",  "bias",   "threshold", "sample_size", "downsample", "prune",
+      "economy_engine"};
   for (const auto& key : entry.keys()) {
     if (kKnownKeys.count(key) == 0) {
       return manifest_error("unknown key '" + key + "' in models[" +
@@ -161,6 +162,17 @@ Result<ModelSpec> parse_entry(const JsonValue& entry, std::size_t index) {
       return manifest_error(at(index, "prune") + " must be non-negative");
     }
     spec.prune = static_cast<float>(v.value());
+  }
+  if (entry.has("economy_engine")) {
+    auto v = string_field(entry, index, "economy_engine");
+    if (!v.ok()) return v.error();
+    spec.economy_engine = v.value();
+    const auto& known = ModelRegistry::known_engines();
+    if (std::find(known.begin(), known.end(), spec.economy_engine) ==
+        known.end()) {
+      return manifest_error("unknown engine '" + spec.economy_engine +
+                            "' in " + at(index, "economy_engine"));
+    }
   }
   if (spec.fanin > spec.neurons) {
     return manifest_error("models[" + std::to_string(index) +
@@ -362,6 +374,19 @@ Result<std::shared_ptr<const PreparedModel>> ModelRegistry::prepare(
                      "' does not support clone() (serving lanes pool "
                      "engine clones)"};
   }
+  if (!spec.economy_engine.empty()) {
+    ModelSpec economy_spec = spec;
+    economy_spec.engine = spec.economy_engine;
+    auto economy = build_prototype(economy_spec);
+    if (!economy.ok()) return economy.error();
+    model->economy = std::move(economy).value();
+    if (model->economy->clone() == nullptr) {
+      return Error{ErrorCode::kBadInput,
+                   "model '" + spec.id + "': economy engine '" +
+                       spec.economy_engine +
+                       "' does not support clone()"};
+    }
+  }
   return {std::const_pointer_cast<const PreparedModel>(
       std::move(model))};
 }
@@ -369,13 +394,14 @@ Result<std::shared_ptr<const PreparedModel>> ModelRegistry::prepare(
 Result<std::uint64_t> ModelRegistry::add(const ModelSpec& spec) {
   auto model = prepare(spec);
   if (!model.ok()) return model.error();
-  return add_model(spec.id, model.value()->net,
-                   model.value()->prototype);
+  return add_model(spec.id, model.value()->net, model.value()->prototype,
+                   model.value()->economy);
 }
 
 Result<std::uint64_t> ModelRegistry::add_model(
     const std::string& id, std::shared_ptr<const dnn::SparseDnn> net,
-    std::shared_ptr<const dnn::InferenceEngine> prototype) {
+    std::shared_ptr<const dnn::InferenceEngine> prototype,
+    std::shared_ptr<const dnn::InferenceEngine> economy) {
   if (id.empty()) {
     return Error{ErrorCode::kBadInput, "model id must be non-empty"};
   }
@@ -387,6 +413,11 @@ Result<std::uint64_t> ModelRegistry::add_model(
     return Error{ErrorCode::kBadInput,
                  "model '" + id + "': engine does not support clone()"};
   }
+  if (economy != nullptr && economy->clone() == nullptr) {
+    return Error{ErrorCode::kBadInput,
+                 "model '" + id +
+                     "': economy engine does not support clone()"};
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (models_.count(id) != 0) {
     return Error{ErrorCode::kBadInput,
@@ -397,9 +428,11 @@ Result<std::uint64_t> ModelRegistry::add_model(
   model->spec.engine = prototype->name();
   model->spec.neurons = net->neurons();
   model->spec.layers = static_cast<int>(net->num_layers());
+  if (economy != nullptr) model->spec.economy_engine = economy->name();
   model->generation = next_generation_++;
   model->net = std::move(net);
   model->prototype = std::move(prototype);
+  model->economy = std::move(economy);
   const std::uint64_t generation = model->generation;
   models_[id] = std::move(model);
   return generation;
@@ -408,13 +441,14 @@ Result<std::uint64_t> ModelRegistry::add_model(
 Result<std::uint64_t> ModelRegistry::swap(const ModelSpec& spec) {
   auto model = prepare(spec);
   if (!model.ok()) return model.error();
-  return swap_model(spec.id, model.value()->net,
-                    model.value()->prototype);
+  return swap_model(spec.id, model.value()->net, model.value()->prototype,
+                    model.value()->economy);
 }
 
 Result<std::uint64_t> ModelRegistry::swap_model(
     const std::string& id, std::shared_ptr<const dnn::SparseDnn> net,
-    std::shared_ptr<const dnn::InferenceEngine> prototype) {
+    std::shared_ptr<const dnn::InferenceEngine> prototype,
+    std::shared_ptr<const dnn::InferenceEngine> economy) {
   if (net == nullptr || prototype == nullptr) {
     return Error{ErrorCode::kBadInput,
                  "model '" + id + "': net and prototype must be non-null"};
@@ -422,6 +456,11 @@ Result<std::uint64_t> ModelRegistry::swap_model(
   if (prototype->clone() == nullptr) {
     return Error{ErrorCode::kBadInput,
                  "model '" + id + "': engine does not support clone()"};
+  }
+  if (economy != nullptr && economy->clone() == nullptr) {
+    return Error{ErrorCode::kBadInput,
+                 "model '" + id +
+                     "': economy engine does not support clone()"};
   }
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = models_.find(id);
@@ -440,9 +479,12 @@ Result<std::uint64_t> ModelRegistry::swap_model(
   model->spec = it->second->spec;
   model->spec.engine = prototype->name();
   model->spec.layers = static_cast<int>(net->num_layers());
+  model->spec.economy_engine =
+      economy != nullptr ? economy->name() : std::string();
   model->generation = next_generation_++;
   model->net = std::move(net);
   model->prototype = std::move(prototype);
+  model->economy = std::move(economy);
   const std::uint64_t generation = model->generation;
   it->second = std::move(model);  // old snapshot stays alive via lanes
   return generation;

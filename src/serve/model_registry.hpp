@@ -66,6 +66,11 @@ struct ModelSpec {
   int sample_size = 32;
   int downsample = 16;
   float prune = 0.0f;
+
+  /// Optional cheaper engine tier for brownout level 3 (same engine-name
+  /// vocabulary as `engine`; empty = none). Serves the *same* network —
+  /// an overloaded lane degrades its scheduling cost, never its answers.
+  std::string economy_engine;
 };
 
 /// A registered model, ready to serve. Immutable once published (hot swap
@@ -75,10 +80,18 @@ struct PreparedModel {
   std::uint64_t generation = 0;
   std::shared_ptr<const dnn::SparseDnn> net;
   std::shared_ptr<const dnn::InferenceEngine> prototype;
+  /// Brownout level-3 engine tier (null when the spec named none).
+  std::shared_ptr<const dnn::InferenceEngine> economy;
 
   /// Fresh engine instance for a serving lane (prototype->clone()).
   std::unique_ptr<dnn::InferenceEngine> make_engine() const {
     return prototype->clone();
+  }
+
+  bool has_economy() const { return economy != nullptr; }
+  /// Fresh economy-tier instance, or nullptr when none is configured.
+  std::unique_ptr<dnn::InferenceEngine> make_economy_engine() const {
+    return economy == nullptr ? nullptr : economy->clone();
   }
 };
 
@@ -114,9 +127,12 @@ class ModelRegistry {
 
   /// Programmatic registration: caller-built net + engine prototype. The
   /// prototype must support clone() (serving lanes pool clones of it).
+  /// `economy` optionally binds a brownout level-3 engine tier (must also
+  /// clone()).
   platform::Result<std::uint64_t> add_model(
       const std::string& id, std::shared_ptr<const dnn::SparseDnn> net,
-      std::shared_ptr<const dnn::InferenceEngine> prototype);
+      std::shared_ptr<const dnn::InferenceEngine> prototype,
+      std::shared_ptr<const dnn::InferenceEngine> economy = nullptr);
 
   /// Hot swap: replaces the model registered under spec.id with a freshly
   /// prepared one and bumps the generation. The neuron count must not
@@ -126,7 +142,8 @@ class ModelRegistry {
   platform::Result<std::uint64_t> swap(const ModelSpec& spec);
   platform::Result<std::uint64_t> swap_model(
       const std::string& id, std::shared_ptr<const dnn::SparseDnn> net,
-      std::shared_ptr<const dnn::InferenceEngine> prototype);
+      std::shared_ptr<const dnn::InferenceEngine> prototype,
+      std::shared_ptr<const dnn::InferenceEngine> economy = nullptr);
 
   /// Unregisters `id`: future lookups/submits fail, lanes still serving
   /// it drain what they already accepted. kBadInput when unknown.

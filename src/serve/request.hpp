@@ -16,6 +16,30 @@
 
 namespace snicit::serve {
 
+/// Priority class a request is submitted under. Under overload the
+/// admission controller refuses sheddable traffic first (its intake caps
+/// are scaled down) and the deadline-feasibility predictor drops queued
+/// sheddable requests that can no longer meet their budget; critical
+/// traffic is the last to be refused. Ordering is meaningful: higher
+/// values are served first within a lane.
+enum class Priority : int {
+  kSheddable = 0,
+  kStandard = 1,
+  kCritical = 2,
+};
+
+inline const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kSheddable: return "sheddable";
+    case Priority::kStandard: return "standard";
+    case Priority::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+/// Parses "sheddable" | "standard" | "critical"; kBadInput otherwise.
+platform::Result<Priority> parse_priority(const std::string& name);
+
 /// One pending request: a single sample (length = network neurons) with
 /// the wall-clock age used for queue-wait accounting and deadlines.
 struct ServeRequest {
@@ -25,6 +49,7 @@ struct ServeRequest {
   /// (or collected but not yet dispatched) past its deadline fails with
   /// kTimeout instead of riding a batch. 0 disables the deadline.
   double deadline_ms = 0.0;
+  Priority priority = Priority::kStandard;
   platform::Stopwatch age{};  // started at submit
 };
 
@@ -73,12 +98,20 @@ struct ServeReport {
   std::size_t degraded_batches = 0;   // SNICIT dense-fallback batches
   std::size_t failed_requests = 0;    // terminal non-timeout failures
   std::size_t timed_out_requests = 0; // deadline expiries
+  /// Accepted requests dropped by the overload controller before riding a
+  /// batch (sheddable traffic the feasibility predictor gave up on); their
+  /// results carry kRejectedOverload.
+  std::size_t shed_requests = 0;
+  /// Highest brownout-ladder level the session reached (0 = never browned
+  /// out; see serve/overload.hpp).
+  int max_brownout_level = 0;
   double total_ms = 0.0;              // server start -> drained
   platform::QuantileTracker latency;    // per-request latency_ms
   platform::QuantileTracker queue_wait; // per-request queue_ms
 
   bool complete() const {
-    return failed_requests == 0 && timed_out_requests == 0;
+    return failed_requests == 0 && timed_out_requests == 0 &&
+           shed_requests == 0;
   }
   double throughput() const {
     return total_ms <= 0.0

@@ -16,25 +16,55 @@ Clock::duration from_ms(double ms) {
 }
 }  // namespace
 
-RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
-  SNICIT_CHECK(capacity >= 1, "request queue capacity must be >= 1");
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+platform::Result<std::size_t> RequestQueue::enqueue_locked(
+    std::unique_lock<std::mutex>& lock, std::vector<float> features,
+    double deadline_ms, Priority priority) {
+  const std::size_t id = next_id_++;
+  pending_.push_back(ServeRequest{id, std::move(features), deadline_ms,
+                                  priority, {}});
+  lock.unlock();
+  not_empty_.notify_one();
+  return id;
 }
 
 platform::Result<std::size_t> RequestQueue::submit(
-    std::vector<float> features, double deadline_ms) {
+    std::vector<float> features, double deadline_ms, Priority priority) {
   std::unique_lock<std::mutex> lock(mutex_);
+  // A zero-capacity queue never has space — report overload, not a
+  // shutdown, and do not wait for space that cannot appear. The closed
+  // check still wins: retrying a closed queue is pointless and the error
+  // must say so.
+  if (capacity_ == 0) {
+    if (closed_) {
+      return platform::Error{platform::ErrorCode::kQueueClosed,
+                             "request queue is closed"};
+    }
+    return platform::Error{platform::ErrorCode::kRejectedOverload,
+                           "request queue has zero capacity"};
+  }
   not_full_.wait(lock,
                  [this] { return closed_ || pending_.size() < capacity_; });
   if (closed_) {
     return platform::Error{platform::ErrorCode::kQueueClosed,
                            "request queue is closed"};
   }
-  const std::size_t id = next_id_++;
-  pending_.push_back(
-      ServeRequest{id, std::move(features), deadline_ms, {}});
-  lock.unlock();
-  not_empty_.notify_one();
-  return id;
+  return enqueue_locked(lock, std::move(features), deadline_ms, priority);
+}
+
+platform::Result<std::size_t> RequestQueue::try_submit(
+    std::vector<float> features, double deadline_ms, Priority priority) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) {
+    return platform::Error{platform::ErrorCode::kQueueClosed,
+                           "request queue is closed"};
+  }
+  if (pending_.size() >= capacity_ || capacity_ == 0) {
+    return platform::Error{platform::ErrorCode::kRejectedOverload,
+                           "request queue is full"};
+  }
+  return enqueue_locked(lock, std::move(features), deadline_ms, priority);
 }
 
 std::vector<ServeRequest> RequestQueue::collect(std::size_t limit,
@@ -63,11 +93,24 @@ std::vector<ServeRequest> RequestQueue::collect(std::size_t limit,
     }
   }
 
+  // Take the highest priority classes first; arrival order within a
+  // class (stable sort over positions keeps FIFO behaviour when every
+  // request is standard, so the pre-priority batcher sees no change).
   const std::size_t n = std::min(limit, pending_.size());
+  std::vector<std::size_t> order(pending_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return static_cast<int>(pending_[a].priority) >
+                            static_cast<int>(pending_[b].priority);
+                   });
+  order.resize(n);
   out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    out.push_back(std::move(pending_.front()));
-    pending_.pop_front();
+  for (std::size_t i : order) out.push_back(std::move(pending_[i]));
+  std::sort(order.begin(), order.end());
+  for (std::size_t i = order.size(); i-- > 0;) {
+    pending_.erase(pending_.begin() +
+                   static_cast<std::ptrdiff_t>(order[i]));
   }
   lock.unlock();
   not_full_.notify_all();

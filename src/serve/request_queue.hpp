@@ -24,6 +24,10 @@ namespace snicit::serve {
 
 class RequestQueue {
  public:
+  /// capacity == 0 is a valid degenerate queue: it holds nothing, so
+  /// every submit fast-fails with kRejectedOverload (the zero-quota way
+  /// to cut off a tenant) — distinct from kQueueClosed, which means the
+  /// queue is shutting down and a retry can never succeed.
   explicit RequestQueue(std::size_t capacity);
 
   RequestQueue(const RequestQueue&) = delete;
@@ -31,17 +35,28 @@ class RequestQueue {
 
   /// Blocks while the queue is full. Returns the assigned request id
   /// (sequential from 0, also the index of the request's slot in the
-  /// final report), or kQueueClosed once close() has been called — a
-  /// submit is never silently dropped.
-  platform::Result<std::size_t> submit(std::vector<float> features,
-                                       double deadline_ms = 0.0);
+  /// final report), kQueueClosed once close() has been called, or
+  /// kRejectedOverload when capacity is 0 — a submit is never silently
+  /// dropped. The closed check wins when both apply.
+  platform::Result<std::size_t> submit(
+      std::vector<float> features, double deadline_ms = 0.0,
+      Priority priority = Priority::kStandard);
 
-  /// Takes up to `limit` pending requests in arrival order. Blocks until
-  /// at least one request is pending (or the queue is closed and drained,
-  /// returning empty — the batcher's shutdown signal). Once the first
-  /// request is visible, waits at most `wait_ms` for the group to fill,
-  /// capped by the smallest remaining deadline slack among the pending
-  /// requests.
+  /// Non-blocking submit: where submit() would wait for space, fail
+  /// immediately with kRejectedOverload instead. The admission-controlled
+  /// intake path uses this — an overloaded server answers now, it does
+  /// not hold the client hostage.
+  platform::Result<std::size_t> try_submit(
+      std::vector<float> features, double deadline_ms = 0.0,
+      Priority priority = Priority::kStandard);
+
+  /// Takes up to `limit` pending requests, highest Priority class first
+  /// (arrival order within a class — plain FIFO when everything is
+  /// standard). Blocks until at least one request is pending (or the
+  /// queue is closed and drained, returning empty — the batcher's
+  /// shutdown signal). Once the first request is visible, waits at most
+  /// `wait_ms` for the group to fill, capped by the smallest remaining
+  /// deadline slack among the pending requests.
   std::vector<ServeRequest> collect(std::size_t limit, double wait_ms);
 
   /// Irreversible: submits fail with kQueueClosed; collect drains what is
@@ -56,6 +71,10 @@ class RequestQueue {
   std::size_t issued() const;
 
  private:
+  platform::Result<std::size_t> enqueue_locked(
+      std::unique_lock<std::mutex>& lock, std::vector<float> features,
+      double deadline_ms, Priority priority);
+
   mutable std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;

@@ -15,6 +15,16 @@ Router::Router(ModelRegistry& registry, RouterOptions options)
   if (options_.lone_wait_ms < 0.0) {
     options_.lone_wait_ms = options_.serve.batch_timeout_ms;
   }
+  // One controller for the whole router: pressure, the cost model, and
+  // the brownout ladder are properties of the shared server, and the
+  // per-tenant depth map inside it is what keeps tenant quotas isolated.
+  if (options_.serve.controller != nullptr) {
+    controller_ = options_.serve.controller;
+  } else if (options_.serve.admission.enabled) {
+    controller_ =
+        std::make_shared<AdmissionController>(options_.serve.admission);
+    options_.serve.controller = controller_;
+  }
   server_ = std::thread([this] { route_loop(); });
 }
 
@@ -22,7 +32,8 @@ Router::~Router() { finish(); }
 
 platform::Result<std::size_t> Router::submit(const std::string& model_id,
                                              std::vector<float> features,
-                                             double deadline_ms) {
+                                             double deadline_ms,
+                                             Priority priority) {
   Lane* lane = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -45,6 +56,10 @@ platform::Result<std::size_t> Router::submit(const std::string& model_id,
       serve.tenant = model_id;
       fresh->batcher = std::make_unique<DynamicBatcher>(
           *fresh->engine, *model->net, std::move(serve), ManualDrive{});
+      if (model->has_economy()) {
+        fresh->economy = model->make_economy_engine();
+        fresh->batcher->set_economy(fresh->economy.get());
+      }
       it = lanes_.emplace(model_id, std::move(fresh)).first;
     }
     lane = it->second.get();
@@ -57,7 +72,8 @@ platform::Result<std::size_t> Router::submit(const std::string& model_id,
   // Outside the lock: a full intake may block, and the queue's own
   // synchronization covers concurrent submitters. Lanes are never
   // destroyed before the router thread is joined, so `lane` stays valid.
-  return lane->batcher->submit(std::move(features), deadline_ms);
+  return lane->batcher->submit(std::move(features), deadline_ms,
+                               priority);
 }
 
 std::vector<Router::Lane*> Router::snapshot_lanes() const {
@@ -90,9 +106,12 @@ void Router::sync_lane(Lane& lane) {
   // engine can be dropped as soon as the new one is bound.
   auto engine = model->make_engine();
   lane.batcher->rebind(*engine, *model->net);
+  auto economy = model->make_economy_engine();  // null when unconfigured
+  lane.batcher->set_economy(economy.get());
   {
     std::lock_guard<std::mutex> lock(mutex_);
     lane.engine = std::move(engine);
+    lane.economy = std::move(economy);
     lane.model = std::move(model);
     lane.generation = lane.model->generation;
   }

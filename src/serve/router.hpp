@@ -47,6 +47,11 @@ namespace snicit::serve {
 struct RouterOptions {
   /// Per-lane serving policy template. `serve.tenant` is overwritten with
   /// the model id lane by lane; `serve.workers` is the shared budget.
+  /// `serve.admission.enabled` turns on overload control for the whole
+  /// router: one shared AdmissionController (one brownout ladder, one
+  /// cost model, per-tenant depth accounting) is injected into every
+  /// lane, so a flooding tenant exhausts its *own* quota while its
+  /// neighbours keep their acceptance rate.
   ServeOptions serve;
   /// collect() wait used when a lane is the only one with pending work
   /// (lets a lone tenant fill batches). Negative picks
@@ -85,10 +90,13 @@ class Router {
   /// Enqueues one sample for `model_id`. The lane is created on first
   /// use from the registry's current entry. kBadInput when the id is not
   /// registered (or its lane was retired by a remove); kQueueClosed after
-  /// finish(); feature-length errors are typed per the lane's network.
-  platform::Result<std::size_t> submit(const std::string& model_id,
-                                       std::vector<float> features,
-                                       double deadline_ms = 0.0);
+  /// finish(); feature-length errors are typed per the lane's network;
+  /// kRejectedOverload (with a retry-after hint) when admission control
+  /// refuses the tenant's intake.
+  platform::Result<std::size_t> submit(
+      const std::string& model_id, std::vector<float> features,
+      double deadline_ms = 0.0,
+      Priority priority = Priority::kStandard);
 
   /// Closes every intake, drains every lane, joins the router thread, and
   /// returns the per-tenant ledgers. Idempotent — later calls return an
@@ -105,12 +113,18 @@ class Router {
 
   const RouterOptions& options() const { return options_; }
 
+  /// The shared overload controller (null when admission is off).
+  const std::shared_ptr<AdmissionController>& controller() const {
+    return controller_;
+  }
+
  private:
   struct Lane {
     std::string id;
     std::shared_ptr<const PreparedModel> model;
     std::uint64_t generation = 0;
     std::unique_ptr<dnn::InferenceEngine> engine;
+    std::unique_ptr<dnn::InferenceEngine> economy;  // brownout tier 3
     std::unique_ptr<DynamicBatcher> batcher;
     bool removed = false;  // registry dropped the id; draining
     bool retired = false;  // drained after removal; no longer driven
@@ -123,6 +137,7 @@ class Router {
 
   ModelRegistry& registry_;
   RouterOptions options_;
+  std::shared_ptr<AdmissionController> controller_;  // shared by lanes
 
   mutable std::mutex mutex_;  // guards lanes_ map shape and finished_
   std::map<std::string, std::unique_ptr<Lane>> lanes_;

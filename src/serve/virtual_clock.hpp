@@ -1,0 +1,28 @@
+// The conformance harness's time source: a virtual clock that only moves
+// when the replayer moves it. Load-replay tests never sleep and never
+// read the wall clock — arrival times come from the script, service
+// times from the deterministic service model — so every latency, every
+// admission decision, and every brownout transition is an exact function
+// of (script, options) and therefore bit-reproducible run over run.
+#pragma once
+
+#include "platform/common.hpp"
+
+namespace snicit::serve {
+
+class VirtualClock {
+ public:
+  double now_ms() const { return now_ms_; }
+
+  /// Time never runs backwards; replayer bugs that would reorder events
+  /// fail loudly instead of silently corrupting the decision log.
+  void advance_to(double t_ms) {
+    SNICIT_CHECK(t_ms >= now_ms_, "virtual clock cannot run backwards");
+    now_ms_ = t_ms;
+  }
+
+ private:
+  double now_ms_ = 0.0;
+};
+
+}  // namespace snicit::serve

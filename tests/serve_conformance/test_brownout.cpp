@@ -1,0 +1,272 @@
+// Brownout conformance: the ladder degrades *scheduling* (fill timeout,
+// packer, engine tier) and never the math — accepted outputs stay
+// bit-identical to serial stream_inference at every level. Golden output
+// digests are compared across force-pinned levels, SNICIT batches are
+// replayed serially batch by batch, and the pressure-driven transitions
+// (escalate under a burst, relax with hysteresis as the backlog drains)
+// are asserted on the virtual clock.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/serial.hpp"
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "radixnet/radixnet.hpp"
+#include "serve/load_replay.hpp"
+#include "serve/load_script.hpp"
+#include "snicit/engine.hpp"
+#include "snicit/stream.hpp"
+
+namespace {
+
+using namespace snicit;
+
+struct Workload {
+  dnn::SparseDnn net;
+  dnn::DenseMatrix samples;
+
+  explicit Workload(std::uint64_t seed = 5)
+      : net([&] {
+          radixnet::RadixNetOptions opt;
+          opt.neurons = 64;
+          opt.layers = 6;
+          opt.seed = seed;
+          return radixnet::make_radixnet(opt);
+        }()),
+        samples([&] {
+          data::SdgcInputOptions opt;
+          opt.neurons = 64;
+          opt.batch = 24;
+          opt.seed = seed + 1;
+          return data::make_sdgc_input(opt).features;
+        }()) {
+    net.ensure_csc();
+  }
+};
+
+serve::LoadScript brownout_script(std::size_t requests = 40) {
+  serve::LoadScriptSpec spec;
+  spec.shape = "poisson";
+  spec.tenants = {"t"};
+  spec.requests_per_tenant = requests;
+  spec.mean_gap_ms = 0.4;
+  spec.deadline_ms = 0.0;  // no budgets: every accepted request serves
+  spec.seed = 17;
+  spec.samples = 24;
+  return serve::make_load_script(spec);
+}
+
+serve::ReplayOptions level_options(int level) {
+  serve::ReplayOptions opt;
+  opt.max_batch = 8;
+  opt.batch_timeout_ms = 2.0;
+  opt.admission.enabled = true;
+  opt.admission.max_queue_depth = 256;  // accept everything
+  opt.admission.brownout.force_level = level;
+  return opt;
+}
+
+bool bit_identical(const std::vector<float>& a, const float* b,
+                   std::size_t n) {
+  return a.size() == n &&
+         std::memcmp(a.data(), b, n * sizeof(float)) == 0;
+}
+
+// --- Golden digests across the ladder --------------------------------
+
+TEST(BrownoutGolden, OutputsBitIdenticalToSerialOracleAtEveryLevel) {
+  Workload wl;
+  // The reference engine treats columns independently, so each request's
+  // output must equal the serial one-pass oracle's column whatever batch
+  // (or brownout level) it rode.
+  dnn::ReferenceEngine oracle_engine;
+  const auto oracle =
+      core::stream_inference(oracle_engine, wl.net, wl.samples, {});
+
+  const auto script = brownout_script();
+  std::vector<std::uint64_t> digests;
+  for (int level = 0; level <= 3; ++level) {
+    dnn::ReferenceEngine engine;
+    dnn::ReferenceEngine economy;  // mathematically identical tier
+    serve::LoadReplayer replayer(level_options(level));
+    replayer.add_tenant("t", engine, wl.net, wl.samples);
+    replayer.set_economy("t", economy);
+    const auto report = replayer.run(script);
+
+    SCOPED_TRACE("level " + std::to_string(level));
+    ASSERT_FALSE(report.batches.empty());
+    for (const auto& batch : report.batches) {
+      EXPECT_EQ(static_cast<int>(batch.level), level);
+      EXPECT_EQ(batch.economy, level >= 3);
+    }
+    for (const auto& request : report.requests) {
+      ASSERT_TRUE(request.served()) << "request " << request.index;
+      const std::size_t column = request.sample % wl.samples.cols();
+      EXPECT_TRUE(bit_identical(request.output,
+                                oracle.outputs.col(column),
+                                oracle.outputs.rows()))
+          << "request " << request.index << " at level " << level;
+    }
+    digests.push_back(report.output_digest());
+  }
+  // Scheduling degradation reorders and re-times batches; it must never
+  // change a single served bit.
+  for (std::size_t i = 1; i < digests.size(); ++i) {
+    EXPECT_EQ(digests[i], digests[0]) << "level " << i;
+  }
+}
+
+TEST(BrownoutGolden, SnicitBatchesReplaySeriallyBitExactAtEveryLevel) {
+  Workload wl;
+  core::SnicitParams params;
+  params.threshold_layer = 3;
+  params.sample_size = 8;
+  params.downsample_dim = 8;
+
+  const auto script = brownout_script(/*requests=*/32);
+  for (int level = 0; level <= 3; ++level) {
+    core::SnicitEngine engine(params);
+    core::SnicitEngine economy(params);  // same tuning: identical math
+    serve::LoadReplayer replayer(level_options(level));
+    replayer.add_tenant("t", engine, wl.net, wl.samples);
+    replayer.set_economy("t", economy);
+    const auto report = replayer.run(script);
+
+    SCOPED_TRACE("level " + std::to_string(level));
+    // SNICIT couples columns through its conversion centroid, so the
+    // contract is per *formed* batch: replaying exactly that batch
+    // serially through stream_inference must reproduce the served
+    // outputs bit for bit.
+    for (const auto& batch : report.batches) {
+      dnn::DenseMatrix input(wl.samples.rows(),
+                             batch.request_indices.size());
+      for (std::size_t j = 0; j < batch.request_indices.size(); ++j) {
+        const auto& request = report.requests[batch.request_indices[j]];
+        const std::size_t column = request.sample % wl.samples.cols();
+        std::copy_n(wl.samples.col(column), wl.samples.rows(),
+                    input.col(j));
+      }
+      core::SnicitEngine replay_engine(params);
+      core::StreamOptions sopt;
+      sopt.batch_size = batch.request_indices.size();
+      const auto serial =
+          core::stream_inference(replay_engine, wl.net, input, sopt);
+      for (std::size_t j = 0; j < batch.request_indices.size(); ++j) {
+        const auto& request = report.requests[batch.request_indices[j]];
+        ASSERT_TRUE(request.served());
+        EXPECT_TRUE(bit_identical(request.output, serial.outputs.col(j),
+                                  serial.outputs.rows()))
+            << "request " << request.index << " in batch " << batch.batch;
+      }
+    }
+  }
+}
+
+// --- Pressure-driven transitions -------------------------------------
+
+TEST(BrownoutReplay, BurstEscalatesTheLadderAndDrainRelaxesIt) {
+  Workload wl;
+  baselines::SerialEngine engine;
+
+  serve::LoadScriptSpec spec;
+  spec.shape = "burst";  // everything lands at t=0: max pressure
+  spec.tenants = {"t"};
+  spec.requests_per_tenant = 64;
+  spec.seed = 9;
+  spec.samples = 24;
+  const auto script = serve::make_load_script(spec);
+
+  serve::ReplayOptions opt;
+  opt.max_batch = 8;
+  opt.admission.enabled = true;
+  opt.admission.max_queue_depth = 64;  // pressure = backlog / 64
+  opt.admission.brownout.enter_pressure = 0.75;
+  opt.admission.brownout.exit_pressure = 0.35;
+  opt.admission.brownout.enter_rounds = 2;
+  opt.admission.brownout.exit_rounds = 2;
+  opt.run_engines = false;
+  serve::LoadReplayer replayer(opt);
+  replayer.add_tenant("t", engine, wl.net, wl.samples);
+  const auto report = replayer.run(script);
+
+  // The burst drives pressure to 1.0; draining 8 columns a round walks
+  // it back down through the hysteresis band to a de-escalation.
+  EXPECT_GE(report.brownout_ups, 1u);
+  EXPECT_GE(report.brownout_downs, 1u);
+  EXPECT_GE(report.max_brownout_level, 1);
+  const std::string log = report.log.to_text();
+  EXPECT_NE(log.find("brownout_up"), std::string::npos);
+  EXPECT_NE(log.find("brownout_down"), std::string::npos);
+  // No request was harmed by the ladder: everything accepted completes.
+  EXPECT_EQ(report.completed() + report.rejected(), report.submitted());
+}
+
+TEST(BrownoutReplay, TightTimeoutLevelShrinksTheFillWindow) {
+  Workload wl;
+  baselines::SerialEngine engine;
+  const auto script = [&] {
+    serve::LoadScriptSpec spec;
+    spec.shape = "poisson";
+    spec.tenants = {"t"};
+    spec.requests_per_tenant = 12;
+    spec.mean_gap_ms = 3.0;  // slower than any fill window: timeouts bind
+    spec.seed = 21;
+    spec.samples = 24;
+    return serve::make_load_script(spec);
+  }();
+
+  const auto run_level = [&](int level) {
+    serve::ReplayOptions opt = level_options(level);
+    opt.batch_timeout_ms = 8.0;
+    opt.admission.brownout.timeout_shrink = 0.25;
+    opt.run_engines = false;
+    serve::LoadReplayer replayer(opt);
+    replayer.add_tenant("t", engine, wl.net, wl.samples);
+    return replayer.run(script);
+  };
+
+  const auto normal = run_level(0);
+  const auto tight = run_level(1);
+  // A shrunk fill window dispatches sooner: no batch waits the full
+  // window, so rounds start earlier and form at least as many batches.
+  ASSERT_FALSE(normal.batches.empty());
+  ASSERT_FALSE(tight.batches.empty());
+  EXPECT_LT(tight.batches.front().start_ms,
+            normal.batches.front().start_ms);
+  EXPECT_GE(tight.batches.size(), normal.batches.size());
+}
+
+TEST(BrownoutReplay, TenRepetitionsAreBitIdentical) {
+  Workload wl;
+  core::SnicitParams params;
+  params.threshold_layer = 3;
+  params.sample_size = 8;
+  params.downsample_dim = 8;
+
+  const auto script = brownout_script(/*requests=*/24);
+  serve::ReplayOptions opt = level_options(-1);  // free-running ladder
+  std::uint64_t decision_digest = 0;
+  std::uint64_t output_digest = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    core::SnicitEngine engine(params);
+    serve::LoadReplayer replayer(opt);
+    replayer.add_tenant("t", engine, wl.net, wl.samples);
+    const auto report = replayer.run(script);
+    if (rep == 0) {
+      decision_digest = report.decision_digest();
+      output_digest = report.output_digest();
+      EXPECT_NE(decision_digest, 0u);
+    } else {
+      EXPECT_EQ(report.decision_digest(), decision_digest)
+          << "repetition " << rep;
+      EXPECT_EQ(report.output_digest(), output_digest)
+          << "repetition " << rep;
+    }
+  }
+}
+
+}  // namespace

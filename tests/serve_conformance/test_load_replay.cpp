@@ -1,0 +1,434 @@
+// Load-script and load-replay conformance: seeded generators are
+// bit-deterministic across all four canonical shapes, the text form
+// round-trips with typed parse errors, the recorder stamps a replayable
+// script, and the virtual-clock replayer reproduces serial
+// stream_inference outputs while admission control defends goodput under
+// scripted overload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/serial.hpp"
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "platform/error.hpp"
+#include "radixnet/radixnet.hpp"
+#include "serve/load_replay.hpp"
+#include "serve/load_script.hpp"
+#include "serve/virtual_clock.hpp"
+#include "snicit/stream.hpp"
+
+namespace {
+
+using namespace snicit;
+using platform::ErrorCode;
+
+// --- Virtual clock ---------------------------------------------------
+
+TEST(VirtualClock, AdvancesMonotonically) {
+  serve::VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 0.0);
+  clock.advance_to(1.5);
+  clock.advance_to(1.5);  // standing still is allowed
+  clock.advance_to(4.0);
+  EXPECT_DOUBLE_EQ(clock.now_ms(), 4.0);
+}
+
+// --- Script generators -----------------------------------------------
+
+serve::LoadScriptSpec base_spec(const std::string& shape,
+                                std::uint64_t seed = 42) {
+  serve::LoadScriptSpec spec;
+  spec.shape = shape;
+  spec.tenants = {"a", "b"};
+  spec.requests_per_tenant = 24;
+  spec.mean_gap_ms = 0.5;
+  spec.deadline_ms = 5.0;
+  spec.sheddable_fraction = 0.25;
+  spec.critical_fraction = 0.25;
+  spec.seed = seed;
+  spec.samples = 16;
+  return spec;
+}
+
+TEST(LoadScript, GeneratorsAreDeterministicPerShape) {
+  for (const std::string shape : {"poisson", "burst", "ramp", "storm"}) {
+    SCOPED_TRACE(shape);
+    const auto spec = base_spec(shape);
+    const auto first = serve::make_load_script(spec);
+    const auto second = serve::make_load_script(spec);
+    EXPECT_EQ(first.events, second.events);
+    EXPECT_EQ(first.digest(), second.digest());
+    EXPECT_EQ(first.name, shape);
+    EXPECT_EQ(first.events.size(), std::size_t{2 * 24});
+
+    // A different seed is a different script.
+    auto reseeded = base_spec(shape, 43);
+    EXPECT_NE(serve::make_load_script(reseeded).digest(), first.digest());
+
+    // Events are sorted and samples stay inside the pool.
+    for (std::size_t i = 1; i < first.events.size(); ++i) {
+      EXPECT_LE(first.events[i - 1].at_ms, first.events[i].at_ms);
+    }
+    for (const auto& event : first.events) {
+      EXPECT_LT(event.sample, spec.samples);
+      EXPECT_GE(event.at_ms, 0.0);
+    }
+  }
+}
+
+TEST(LoadScript, TenantStreamsAreIndependent) {
+  // Adding a tenant must not perturb another tenant's arrivals (each
+  // tenant draws from its own seeded stream) — the foundation of the
+  // flood-isolation oracle.
+  auto solo_spec = base_spec("poisson");
+  solo_spec.tenants = {"a"};
+  const auto solo = serve::make_load_script(solo_spec);
+  const auto both = serve::make_load_script(base_spec("poisson"));
+
+  std::vector<serve::LoadEvent> filtered;
+  for (const auto& event : both.events) {
+    if (event.tenant == "a") filtered.push_back(event);
+  }
+  ASSERT_EQ(filtered.size(), solo.events.size());
+  for (std::size_t i = 0; i < filtered.size(); ++i) {
+    EXPECT_EQ(filtered[i], solo.events[i]) << "event " << i;
+  }
+}
+
+TEST(LoadScript, BurstDumpsTheFirstTenantAtOneInstant) {
+  auto spec = base_spec("burst");
+  spec.burst_at_ms = 2.0;
+  const auto script = serve::make_load_script(spec);
+  std::size_t bursted = 0;
+  for (const auto& event : script.events) {
+    if (event.tenant == "a") {
+      EXPECT_DOUBLE_EQ(event.at_ms, 2.0);
+      ++bursted;
+    }
+  }
+  EXPECT_EQ(bursted, spec.requests_per_tenant);
+}
+
+TEST(LoadScript, StormSharesOneAbsoluteDeadline) {
+  auto spec = base_spec("storm");
+  spec.storm_window_ms = 1.0;
+  spec.deadline_ms = 6.0;
+  const auto script = serve::make_load_script(spec);
+  ASSERT_FALSE(script.events.empty());
+  // Every arrival lands inside the window and carries the *same*
+  // absolute deadline expressed as a per-event budget — the adversarial
+  // case for the feasibility predictor (everyone's slack expires at
+  // once).
+  const double absolute =
+      script.events.front().at_ms + script.events.front().deadline_ms;
+  for (const auto& event : script.events) {
+    EXPECT_LE(event.at_ms, spec.storm_window_ms);
+    EXPECT_GT(event.deadline_ms, 0.0);
+    EXPECT_NEAR(event.at_ms + event.deadline_ms, absolute, 1e-9);
+  }
+}
+
+TEST(LoadScript, RampShrinksTheGap) {
+  auto spec = base_spec("ramp");
+  spec.tenants = {"a"};
+  spec.requests_per_tenant = 64;
+  const auto script = serve::make_load_script(spec);
+  // The mean gap of the last quarter must be well below the first
+  // quarter's — the script walks into overload.
+  const std::size_t quarter = script.events.size() / 4;
+  double early = 0.0, late = 0.0;
+  for (std::size_t i = 1; i <= quarter; ++i) {
+    early += script.events[i].at_ms - script.events[i - 1].at_ms;
+  }
+  for (std::size_t i = script.events.size() - quarter;
+       i < script.events.size(); ++i) {
+    late += script.events[i].at_ms - script.events[i - 1].at_ms;
+  }
+  EXPECT_LT(late, early * 0.75);
+}
+
+// --- Text round-trip -------------------------------------------------
+
+TEST(LoadScript, TextRoundTripIsExactForRepresentableTimes) {
+  serve::LoadScript script;
+  script.name = "fixture";
+  script.seed = 7;
+  script.events = {
+      {0.25, "a", 3, serve::Priority::kSheddable, 1.5},
+      {0.5, "", 0, serve::Priority::kStandard, 0.0},
+      {1.75, "b", 11, serve::Priority::kCritical, 8.0},
+  };
+  const auto parsed = serve::LoadScript::from_text(script.to_text());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().name, script.name);
+  EXPECT_EQ(parsed.value().seed, script.seed);
+  EXPECT_EQ(parsed.value().events, script.events);
+  EXPECT_EQ(parsed.value().digest(), script.digest());
+}
+
+TEST(LoadScript, TextRoundTripIsIdempotentForGeneratedScripts) {
+  // Generated times carry more precision than the %.9f text form keeps,
+  // so one serialization may round — but text -> script -> text must be
+  // a fixed point (checked-in fixtures stay stable forever).
+  for (const std::string shape : {"poisson", "ramp", "storm"}) {
+    const auto script = serve::make_load_script(base_spec(shape));
+    const std::string text = script.to_text();
+    const auto parsed = serve::LoadScript::from_text(text);
+    ASSERT_TRUE(parsed.ok()) << shape;
+    EXPECT_EQ(parsed.value().to_text(), text) << shape;
+  }
+}
+
+TEST(LoadScript, FromTextRejectsMalformedInputTyped) {
+  const auto bad_header = serve::LoadScript::from_text("not a script\n");
+  ASSERT_FALSE(bad_header.ok());
+  EXPECT_EQ(bad_header.error().code, ErrorCode::kBadInput);
+
+  const auto bad_event = serve::LoadScript::from_text(
+      "loadscript v1 name=x seed=1 events=1\n"
+      "at=banana tenant=a sample=0 priority=standard deadline=0\n");
+  ASSERT_FALSE(bad_event.ok());
+  EXPECT_EQ(bad_event.error().code, ErrorCode::kBadInput);
+
+  const auto bad_priority = serve::LoadScript::from_text(
+      "loadscript v1 name=x seed=1 events=1\n"
+      "at=0.5 tenant=a sample=0 priority=vip deadline=0\n");
+  ASSERT_FALSE(bad_priority.ok());
+  EXPECT_EQ(bad_priority.error().code, ErrorCode::kBadInput);
+
+  const auto short_script = serve::LoadScript::from_text(
+      "loadscript v1 name=x seed=1 events=2\n"
+      "at=0.5 tenant=a sample=0 priority=standard deadline=0\n");
+  ASSERT_FALSE(short_script.ok());
+  EXPECT_EQ(short_script.error().code, ErrorCode::kBadInput);
+}
+
+TEST(LoadScriptRecorder, StampsASortedReplayableScript) {
+  serve::LoadScriptRecorder recorder;
+  recorder.record("a", 0, serve::Priority::kStandard, 5.0);
+  recorder.record("b", 1, serve::Priority::kSheddable, 0.0);
+  recorder.record("a", 2, serve::Priority::kCritical, 2.5);
+  EXPECT_EQ(recorder.size(), 3u);
+
+  const auto script = recorder.script();
+  EXPECT_EQ(script.name, "recorded");
+  EXPECT_EQ(script.seed, 0u);
+  ASSERT_EQ(script.events.size(), 3u);
+  for (std::size_t i = 1; i < script.events.size(); ++i) {
+    EXPECT_LE(script.events[i - 1].at_ms, script.events[i].at_ms);
+  }
+  // And the recorded script survives the text form.
+  const auto parsed = serve::LoadScript::from_text(script.to_text());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().events.size(), 3u);
+}
+
+// --- Replay ----------------------------------------------------------
+
+struct ReplayWorkload {
+  dnn::SparseDnn net;
+  dnn::DenseMatrix samples;
+
+  ReplayWorkload()
+      : net([] {
+          radixnet::RadixNetOptions opt;
+          opt.neurons = 64;
+          opt.layers = 4;
+          opt.seed = 13;
+          return radixnet::make_radixnet(opt);
+        }()),
+        samples([] {
+          data::SdgcInputOptions opt;
+          opt.neurons = 64;
+          opt.batch = 16;
+          opt.seed = 14;
+          return data::make_sdgc_input(opt).features;
+        }()) {
+    net.ensure_csc();
+  }
+};
+
+TEST(LoadReplay, ServedOutputsMatchSerialStreamInference) {
+  ReplayWorkload wl;
+  dnn::ReferenceEngine oracle_engine;
+  const auto oracle =
+      core::stream_inference(oracle_engine, wl.net, wl.samples, {});
+
+  serve::LoadScriptSpec spec;
+  spec.shape = "poisson";
+  spec.tenants = {"t"};
+  spec.requests_per_tenant = 20;
+  spec.mean_gap_ms = 1.0;
+  spec.seed = 3;
+  spec.samples = 16;
+  const auto script = serve::make_load_script(spec);
+
+  dnn::ReferenceEngine engine;
+  serve::ReplayOptions opt;
+  opt.max_batch = 4;
+  serve::LoadReplayer replayer(opt);
+  replayer.add_tenant("t", engine, wl.net, wl.samples);
+  const auto report = replayer.run(script);
+
+  EXPECT_EQ(report.completed(), script.events.size());
+  for (const auto& request : report.requests) {
+    ASSERT_TRUE(request.served());
+    const std::size_t column = request.sample % wl.samples.cols();
+    ASSERT_EQ(request.output.size(),
+              static_cast<std::size_t>(oracle.outputs.rows()));
+    EXPECT_EQ(std::memcmp(request.output.data(),
+                          oracle.outputs.col(column),
+                          request.output.size() * sizeof(float)),
+              0)
+        << "request " << request.index;
+  }
+  // Batches never exceed the configured engine batch.
+  for (const auto& batch : report.batches) {
+    EXPECT_LE(batch.request_indices.size(), opt.max_batch);
+    EXPECT_FALSE(batch.request_indices.empty());
+  }
+}
+
+TEST(LoadReplay, KeepRowsTruncatesOutputs) {
+  ReplayWorkload wl;
+  dnn::ReferenceEngine engine;
+  serve::LoadScriptSpec spec;
+  spec.shape = "poisson";
+  spec.tenants = {"t"};
+  spec.requests_per_tenant = 6;
+  spec.seed = 4;
+  spec.samples = 16;
+  serve::ReplayOptions opt;
+  opt.keep_rows = 8;
+  serve::LoadReplayer replayer(opt);
+  replayer.add_tenant("t", engine, wl.net, wl.samples);
+  const auto report = replayer.run(serve::make_load_script(spec));
+  for (const auto& request : report.requests) {
+    ASSERT_TRUE(request.served());
+    EXPECT_EQ(request.output.size(), 8u);
+  }
+}
+
+TEST(LoadReplay, AdmissionDefendsGoodputUnderScriptedOverload) {
+  ReplayWorkload wl;
+  baselines::SerialEngine engine;
+
+  // 2x overload: arrivals twice as fast as the virtual server drains.
+  serve::LoadScriptSpec spec;
+  spec.shape = "poisson";
+  spec.tenants = {"t"};
+  spec.requests_per_tenant = 192;
+  spec.mean_gap_ms = 0.14;  // capacity is ~0.28 ms/request at batch 16
+  spec.deadline_ms = 10.0;
+  spec.seed = 6;
+  spec.samples = 16;
+  const auto script = serve::make_load_script(spec);
+
+  const auto run = [&](bool admission) {
+    serve::ReplayOptions opt;
+    opt.max_batch = 16;
+    opt.run_engines = false;
+    if (admission) {
+      opt.admission.enabled = true;
+      opt.admission.max_queue_depth = 32;
+    }
+    serve::LoadReplayer replayer(opt);
+    replayer.add_tenant("t", engine, wl.net, wl.samples);
+    return replayer.run(script);
+  };
+
+  const auto uncontrolled = run(false);
+  const auto controlled = run(true);
+  // The uncontrolled intake accepts everything and burns capacity (and
+  // makespan) on requests that are already dead; admission keeps the
+  // backlog short, so in-budget completions per virtual second — the
+  // quantity the controller exists to defend — come out strictly ahead.
+  EXPECT_EQ(uncontrolled.rejected(), 0u);
+  EXPECT_GT(controlled.rejected(), 0u);
+  EXPECT_GT(controlled.goodput_per_s(), uncontrolled.goodput_per_s());
+  EXPECT_GE(controlled.completed(), uncontrolled.completed());
+  EXPECT_LT(controlled.makespan_ms, uncontrolled.makespan_ms);
+}
+
+TEST(LoadReplay, StormTriagesInsteadOfServingTheDead) {
+  ReplayWorkload wl;
+  baselines::SerialEngine engine;
+
+  // Same-deadline storm: everyone's budget expires at the same absolute
+  // instant. Whatever cannot be served by then must be triaged (timed
+  // out at dispatch), never served late into the void.
+  serve::LoadScriptSpec spec;
+  spec.shape = "storm";
+  spec.tenants = {"t"};
+  spec.requests_per_tenant = 64;
+  spec.storm_window_ms = 1.0;
+  spec.deadline_ms = 4.0;
+  spec.seed = 12;
+  spec.samples = 16;
+  const auto script = serve::make_load_script(spec);
+
+  serve::ReplayOptions opt;
+  opt.max_batch = 8;
+  opt.run_engines = false;
+  opt.admission.enabled = true;
+  opt.admission.max_queue_depth = 256;
+  serve::LoadReplayer replayer(opt);
+  replayer.add_tenant("t", engine, wl.net, wl.samples);
+  const auto report = replayer.run(script);
+
+  const auto& stats = report.tenant("t");
+  EXPECT_GT(stats.completed, 0u);
+  EXPECT_GT(stats.timed_out, 0u);  // the storm exceeds 4 ms of capacity
+  EXPECT_EQ(stats.completed + stats.late + stats.timed_out + stats.shed +
+                stats.rejected + stats.failed,
+            stats.submitted);
+  // Requests the deadline already killed must not have ridden a batch.
+  for (const auto& request : report.requests) {
+    if (request.outcome == serve::ReplayOutcome::kTimedOut) {
+      EXPECT_LT(request.dispatch_ms, 0.0);
+    }
+  }
+}
+
+TEST(LoadReplay, RoundRobinSharesTheVirtualServerAcrossTenants) {
+  ReplayWorkload wl;
+  baselines::SerialEngine engine_a;
+  baselines::SerialEngine engine_b;
+
+  serve::LoadScriptSpec spec;
+  spec.shape = "poisson";
+  spec.tenants = {"a", "b"};
+  spec.requests_per_tenant = 48;
+  spec.mean_gap_ms = 0.1;  // both lanes always have pending work
+  spec.seed = 5;
+  spec.samples = 16;
+  const auto script = serve::make_load_script(spec);
+
+  serve::ReplayOptions opt;
+  opt.max_batch = 8;
+  opt.run_engines = false;
+  serve::LoadReplayer replayer(opt);
+  replayer.add_tenant("a", engine_a, wl.net, wl.samples);
+  replayer.add_tenant("b", engine_b, wl.net, wl.samples);
+  const auto report = replayer.run(script);
+
+  EXPECT_EQ(report.tenant("a").completed, 48u);
+  EXPECT_EQ(report.tenant("b").completed, 48u);
+  // Under saturation the round-robin cursor alternates lanes: no tenant
+  // serves three batches in a row while the other is pending.
+  std::size_t longest_run = 0, current = 0;
+  std::string last;
+  for (const auto& batch : report.batches) {
+    current = batch.tenant == last ? current + 1 : 1;
+    last = batch.tenant;
+    longest_run = std::max(longest_run, current);
+  }
+  EXPECT_LE(longest_run, 2u);
+}
+
+}  // namespace

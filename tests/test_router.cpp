@@ -22,12 +22,15 @@
 #include <tuple>
 #include <vector>
 
+#include "baselines/serial.hpp"
 #include "data/synthetic.hpp"
 #include "dnn/reference.hpp"
 #include "platform/error.hpp"
 #include "platform/fault_injection.hpp"
 #include "platform/rng.hpp"
 #include "radixnet/radixnet.hpp"
+#include "serve/load_replay.hpp"
+#include "serve/load_script.hpp"
 #include "snicit/engine.hpp"
 #include "snicit/stream.hpp"
 
@@ -409,6 +412,171 @@ TEST(RouterIsolation, OneTenantsDeadlinesDoNotTouchTheOther) {
     EXPECT_TRUE(bit_identical(healthy->results[i].output,
                               oracle.col(columns1[i]), oracle.rows()));
   }
+}
+
+// --- Overload isolation ------------------------------------------------
+
+TEST(RouterOverload, QuotaZeroFloodCannotTouchTheVictimsBits) {
+  constexpr std::size_t kRequests = 16;
+  ModelRegistry registry;
+  ASSERT_TRUE(registry.add(tenant_spec(0, "reference")).ok());  // bully
+  ASSERT_TRUE(registry.add(tenant_spec(1, "reference")).ok());  // victim
+  std::vector<dnn::DenseMatrix> inputs = {tenant_input(0, kRequests),
+                                          tenant_input(1, kRequests)};
+  const auto model1 = registry.find(tenant_id(1));
+  dnn::ReferenceEngine serial;
+  const auto oracle =
+      core::stream_inference(serial, *model1->net, inputs[1], {}).outputs;
+
+  RouterOptions opt;
+  opt.serve.max_batch = 8;
+  opt.serve.admission.enabled = true;
+  opt.serve.admission.max_queue_depth = 256;
+  opt.serve.admission.tenant_depth[tenant_id(0)] = 0;  // cut the bully off
+  Router router(registry, opt);
+  for (std::size_t j = 0; j < kRequests; ++j) {
+    // The flood fast-fails typed at intake — it never reaches a queue,
+    // so it cannot displace, delay, or re-batch the victim's requests.
+    const auto flooded =
+        router.submit(tenant_id(0), column_of(inputs[0], j));
+    ASSERT_FALSE(flooded.ok());
+    EXPECT_EQ(flooded.code(), ErrorCode::kRejectedOverload);
+    EXPECT_NE(flooded.error().message.find("retry after"),
+              std::string::npos);
+    ASSERT_TRUE(
+        router.submit(tenant_id(1), column_of(inputs[1], j)).ok());
+  }
+  const auto report = router.finish();
+
+  const ServeReport* victim = report.find(tenant_id(1));
+  ASSERT_NE(victim, nullptr);
+  ASSERT_EQ(victim->results.size(), kRequests);
+  EXPECT_TRUE(victim->complete());
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(victim->results[i].ok());
+    EXPECT_TRUE(bit_identical(victim->results[i].output, oracle.col(i),
+                              oracle.rows()))
+        << "victim request " << i << " diverged under the flood";
+  }
+}
+
+TEST(RouterOverload, ReplayFloodLeavesVictimLatencyProfileUntouched) {
+  // Virtual-clock drill: the same victim arrival stream replayed with and
+  // without a quota-zero bully flood must produce *bitwise identical*
+  // victim outcomes — acceptance, completions, every latency sample, and
+  // therefore the p95. Tenant streams are seeded independently, so
+  // erasing the bully's events is the exact no-flood oracle.
+  radixnet::RadixNetOptions nopt;
+  nopt.neurons = 64;
+  nopt.layers = 4;
+  nopt.seed = 31;
+  auto net = radixnet::make_radixnet(nopt);
+  net.ensure_csc();
+  data::SdgcInputOptions iopt;
+  iopt.neurons = 64;
+  iopt.batch = 16;
+  iopt.seed = 32;
+  const auto samples = data::make_sdgc_input(iopt).features;
+
+  LoadScriptSpec spec;
+  spec.shape = "burst";  // bully dumps everything at t=0
+  spec.tenants = {"bully", "victim"};
+  spec.requests_per_tenant = 48;
+  spec.mean_gap_ms = 0.6;
+  spec.seed = 33;
+  spec.samples = 16;
+  const auto flood = make_load_script(spec);
+  auto calm = flood;  // the oracle: same script minus the flood
+  calm.events.erase(
+      std::remove_if(calm.events.begin(), calm.events.end(),
+                     [](const LoadEvent& e) { return e.tenant == "bully"; }),
+      calm.events.end());
+
+  baselines::SerialEngine engine_b;
+  baselines::SerialEngine engine_v;
+  const auto run = [&](const LoadScript& script) {
+    ReplayOptions opt;
+    opt.max_batch = 8;
+    opt.run_engines = false;
+    opt.admission.enabled = true;
+    opt.admission.max_queue_depth = 256;
+    opt.admission.tenant_depth["bully"] = 0;
+    LoadReplayer replayer(opt);
+    replayer.add_tenant("bully", engine_b, net, samples);
+    replayer.add_tenant("victim", engine_v, net, samples);
+    return replayer.run(script);
+  };
+
+  const auto stormy = run(flood);
+  const auto quiet = run(calm);
+
+  EXPECT_EQ(stormy.tenant("bully").rejected, spec.requests_per_tenant);
+  const auto& hit = stormy.tenant("victim");
+  const auto& oracle = quiet.tenant("victim");
+  EXPECT_DOUBLE_EQ(hit.accept_rate(), 1.0);
+  EXPECT_EQ(hit.completed, oracle.completed);
+  ASSERT_EQ(hit.latency.count(), oracle.latency.count());
+  EXPECT_EQ(hit.latency.p95(), oracle.latency.p95());  // bitwise, no slack
+  for (std::size_t i = 0; i < stormy.requests.size(); ++i) {
+    const auto& request = stormy.requests[i];
+    if (request.tenant != "victim") continue;
+    // Find the same victim arrival in the oracle run by (arrive, sample).
+    const auto match = std::find_if(
+        quiet.requests.begin(), quiet.requests.end(),
+        [&](const auto& r) {
+          return r.arrive_ms == request.arrive_ms &&
+                 r.sample == request.sample;
+        });
+    ASSERT_NE(match, quiet.requests.end());
+    EXPECT_EQ(request.outcome, match->outcome);
+    EXPECT_EQ(request.latency_ms, match->latency_ms)
+        << "victim request " << i << " timing perturbed by the flood";
+  }
+}
+
+TEST(RouterOverload, QuotaCappedFloodStillAcceptsEveryVictimRequest) {
+  radixnet::RadixNetOptions nopt;
+  nopt.neurons = 64;
+  nopt.layers = 4;
+  nopt.seed = 31;
+  auto net = radixnet::make_radixnet(nopt);
+  net.ensure_csc();
+  data::SdgcInputOptions iopt;
+  iopt.neurons = 64;
+  iopt.batch = 16;
+  iopt.seed = 32;
+  const auto samples = data::make_sdgc_input(iopt).features;
+
+  LoadScriptSpec spec;
+  spec.shape = "burst";
+  spec.tenants = {"bully", "victim"};
+  spec.requests_per_tenant = 48;
+  spec.mean_gap_ms = 0.6;
+  spec.seed = 33;
+  spec.samples = 16;
+
+  baselines::SerialEngine engine_b;
+  baselines::SerialEngine engine_v;
+  ReplayOptions opt;
+  opt.max_batch = 8;
+  opt.run_engines = false;
+  opt.admission.enabled = true;
+  opt.admission.max_queue_depth = 256;
+  opt.admission.tenant_depth["bully"] = 4;  // capped, not cut off
+  LoadReplayer replayer(opt);
+  replayer.add_tenant("bully", engine_b, net, samples);
+  replayer.add_tenant("victim", engine_v, net, samples);
+  const auto report = replayer.run(make_load_script(spec));
+
+  // The cap turns the burst into a drip: most of the flood is refused,
+  // and what leaks through shares the server round-robin without ever
+  // crowding a victim request out of the intake.
+  const auto& bully = report.tenant("bully");
+  EXPECT_GT(bully.rejected, 0u);
+  EXPECT_GT(bully.completed, 0u);
+  const auto& victim = report.tenant("victim");
+  EXPECT_DOUBLE_EQ(victim.accept_rate(), 1.0);
+  EXPECT_EQ(victim.completed, victim.submitted);
 }
 
 // --- Hot swap and remove lifecycle ------------------------------------
