@@ -1,0 +1,106 @@
+#!/usr/bin/env sh
+# CI chaos lane: crash-recovery verification under ASan+UBSan.
+#
+# Two stages:
+#
+#   1. `ctest -L chaos` — the durability suites (journal corpus, warm
+#      snapshots, kill–replay conformance, CLI exit codes) with memory
+#      and UB checking on.
+#   2. A real kill–replay drill: for each (shape, engine, seed) trial a
+#      paced `snicit_cli serve-replay` run is SIGKILL'd at a seeded
+#      pseudo-random offset, then `snicit_cli replay-journal` recovers
+#      the crashed run from its write-ahead journal and the decision /
+#      output digests are diffed against an uninterrupted oracle run.
+#      Any divergence (or a replay exit 4) fails the lane: recovery must
+#      be bit-identical, not merely plausible.
+#
+#   scripts/ci_chaos_lane.sh [build-dir]     (default: build-chaos)
+#
+# The lane uses its own tree: sanitized and plain objects don't mix.
+# Exits nonzero if configure, build, any chaos-labelled test, or any
+# kill–replay trial fails.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-chaos"}
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSNICIT_SANITIZE=address,undefined \
+  -DSNICIT_BUILD_BENCH=OFF \
+  -DSNICIT_BUILD_EXAMPLES=ON
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 4)"
+
+# halt_on_error: a UB report must fail the lane, not scroll past it.
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}" \
+  ctest --test-dir "$build_dir" -L chaos --output-on-failure
+
+cli="$build_dir/examples/snicit_cli"
+work=$(mktemp -d "${TMPDIR:-/tmp}/snicit_chaos.XXXXXX")
+trap 'rm -rf "$work"' EXIT INT TERM
+
+# Small-but-real workload: enough batches that a kill usually lands
+# mid-run, small enough that each trial is sub-second even under ASan.
+net_flags="--neurons 64 --layers 8 --batch 32"
+script_flags="--script-shape SHAPE --requests 48 --mean-gap 0.2 \
+  --deadline-ms 6 --serve-requests 8 --batch-timeout 1.5"
+
+trials=0
+failures=0
+for shape in poisson burst; do
+  for engine in reference snicit; do
+    for seed in 1 2; do
+      trials=$((trials + 1))
+      tag="${shape}_${engine}_s${seed}"
+      flags="$net_flags --engine $engine --threshold 4 --sample-size 8 \
+        --downsample 8 $(printf '%s' "$script_flags" |
+                          sed "s/SHAPE/$shape/") --script-seed $seed"
+
+      # Oracle: the uninterrupted run's digests.
+      # shellcheck disable=SC2086
+      "$cli" serve-replay $flags > "$work/$tag.oracle" 2>&1 || {
+        echo "chaos lane: oracle run failed for $tag" >&2
+        cat "$work/$tag.oracle" >&2
+        exit 1
+      }
+      grep 'digest' "$work/$tag.oracle" > "$work/$tag.oracle.digests"
+
+      # Victim: same run, journaled and paced, SIGKILL'd at a seeded
+      # pseudo-random offset inside the paced window (40ms pace x up to
+      # ~12 batches; the offset walks the whole run).
+      offset_ms=$(( (seed * 37 + trials * 53) % 240 + 20 ))
+      # shellcheck disable=SC2086
+      "$cli" serve-replay $flags --journal "$work/$tag.journal" \
+        --pace-ms 40 > "$work/$tag.victim" 2>&1 &
+      victim=$!
+      sleep "$(awk "BEGIN { printf \"%.3f\", $offset_ms / 1000 }")"
+      kill -9 "$victim" 2>/dev/null || true
+      wait "$victim" 2>/dev/null || true
+
+      # Replay the journal against the same script; diff the digests.
+      # shellcheck disable=SC2086
+      if ! "$cli" replay-journal $flags --journal "$work/$tag.journal" \
+          > "$work/$tag.replay" 2>&1; then
+        echo "chaos lane: replay-journal failed for $tag (kill at ${offset_ms}ms)" >&2
+        cat "$work/$tag.replay" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+      grep 'digest' "$work/$tag.replay" > "$work/$tag.replay.digests"
+      if ! diff -u "$work/$tag.oracle.digests" "$work/$tag.replay.digests"; then
+        echo "chaos lane: digest divergence for $tag (kill at ${offset_ms}ms)" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+      recovered=$(grep -c 'recovered:' "$work/$tag.replay" || true)
+      echo "chaos trial $tag: kill at ${offset_ms}ms, digests match (recovered lines: $recovered)"
+    done
+  done
+done
+
+if [ "$failures" -ne 0 ]; then
+  echo "chaos lane: $failures of $trials kill–replay trial(s) diverged" >&2
+  exit 1
+fi
+
+echo "chaos lane clean: chaos-labelled tests passed under ASan+UBSan and $trials kill–replay trial(s) recovered bit-identically"

@@ -1,0 +1,56 @@
+// Integrity primitives for durable artifacts: CRC32C (Castagnoli) for
+// per-record corruption detection in the request journal and the warm
+// state snapshot, and SHA-256 for whole-file model artifact verification
+// against manifest pins.
+//
+// Both are deliberately software implementations — portable, branch-free
+// table/compression loops with no ISA dependencies — because the threat
+// model is torn writes and bit rot, not adversaries: CRC32C catches the
+// short bursts a crashed fsync leaves behind, SHA-256 pins deployment
+// artifacts strongly enough that a silent re-train or filesystem
+// corruption cannot masquerade as the manifested model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "platform/error.hpp"
+
+namespace snicit::platform {
+
+/// CRC32C (polynomial 0x1EDC6F41, reflected). `seed` is the running CRC
+/// for incremental use: crc32c(b, n2, crc32c(a, n1)) == crc of a||b.
+std::uint32_t crc32c(const void* data, std::size_t bytes,
+                     std::uint32_t seed = 0);
+
+/// Incremental SHA-256. update() in any chunking; hex() finalizes a copy,
+/// so the instance stays usable for further updates.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(const void* data, std::size_t bytes);
+
+  /// 64-char lowercase hex digest of everything updated so far.
+  std::string hex() const;
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t length_ = 0;       // total bytes consumed
+  std::uint8_t buffer_[64];        // partial block
+  std::size_t buffered_ = 0;
+};
+
+/// One-shot digest of a byte string.
+std::string sha256_hex(const void* data, std::size_t bytes);
+std::string sha256_hex(const std::string& text);
+
+/// Streams `path` through SHA-256. kBadModelFile when the file cannot be
+/// opened or read — integrity verification of an unreadable artifact must
+/// fail loudly, never pass vacuously.
+Result<std::string> sha256_file(const std::string& path);
+
+}  // namespace snicit::platform

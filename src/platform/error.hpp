@@ -39,6 +39,7 @@ enum class ErrorCode : int {
   kNumericalDivergence,   // NaN/inf or residue blowup detected mid-run
   kQueueClosed,           // operation on a closed work queue
   kRejectedOverload,      // admission control refused or shed the request
+  kResourceExhausted,     // allocation/IO resource failure (journal, snapshot)
 };
 
 /// Stable lowercase name for logs/JSON ("bad_model_file", ...).
@@ -52,6 +53,7 @@ inline const char* to_string(ErrorCode code) {
     case ErrorCode::kNumericalDivergence: return "numerical_divergence";
     case ErrorCode::kQueueClosed: return "queue_closed";
     case ErrorCode::kRejectedOverload: return "rejected_overload";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
   }
   return "unknown";
 }

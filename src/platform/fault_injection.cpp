@@ -35,6 +35,7 @@ double keyed_uniform(std::uint64_t seed, std::uint64_t site_hash,
 const std::vector<std::string>& known_sites() {
   static const std::vector<std::string> sites = {
       "worker_throw", "queue_stall", "nan_tile", "spmm_nan", "convert_nan",
+      "alloc_fail",
   };
   return sites;
 }

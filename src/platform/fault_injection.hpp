@@ -48,6 +48,11 @@ namespace snicit::platform::fault {
 ///                 with NaN (key: per-site sequence)
 ///   convert_nan   cluster conversion poisons one residue entry with
 ///                 NaN (key: per-site sequence)
+///   alloc_fail    durability paths (journal append, snapshot save)
+///                 return typed ResourceExhausted instead of performing
+///                 the write, modelling OOM/ENOSPC without letting
+///                 bad_alloc escape a worker thread (key: per-site
+///                 sequence)
 const std::vector<std::string>& known_sites();
 
 struct SiteConfig {

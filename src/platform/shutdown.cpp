@@ -1,0 +1,43 @@
+#include "platform/shutdown.hpp"
+
+#include <csignal>
+
+namespace snicit::platform {
+
+namespace {
+
+// The handler may run on any thread at any instruction boundary, so it
+// does nothing but store the signal number into the global controller's
+// atomic (ShutdownController::request is a lone compare-exchange).
+extern "C" void shutdown_signal_handler(int signum) {
+  ShutdownController::global().request(signum);
+}
+
+}  // namespace
+
+bool ShutdownController::install() {
+  struct sigaction action {};
+  action.sa_handler = &shutdown_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocked syscalls should wake
+  bool ok = true;
+  ok &= (sigaction(SIGTERM, &action, nullptr) == 0);
+  ok &= (sigaction(SIGINT, &action, nullptr) == 0);
+  return ok;
+}
+
+void ShutdownController::request(int signum) {
+  // First signal wins: a SIGINT arriving during a SIGTERM drain must not
+  // flip the reported trigger mid-flush.
+  int expected = 0;
+  signal_.compare_exchange_strong(expected, signum,
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+}
+
+ShutdownController& ShutdownController::global() {
+  static ShutdownController controller;
+  return controller;
+}
+
+}  // namespace snicit::platform

@@ -1,0 +1,54 @@
+// Signal-driven graceful shutdown: converts SIGTERM/SIGINT into a flag
+// the serving loops poll, so a rollout kill becomes a deterministic
+// drain — lanes close intake, in-flight rounds finish, reports flush —
+// instead of work vanishing mid-batch.
+//
+// The handler is async-signal-safe by construction: it only stores the
+// signal number into a static std::atomic<int>. Everything with
+// side effects (closing queues, flushing journals) happens on the
+// serving threads when they next poll `requested()`. Tests drive the
+// same path synthetically via `request()` without raising a real
+// signal, and `reset()` re-arms the controller between cases.
+#pragma once
+
+#include <atomic>
+
+namespace snicit::platform {
+
+class ShutdownController {
+ public:
+  ShutdownController() = default;
+  ShutdownController(const ShutdownController&) = delete;
+  ShutdownController& operator=(const ShutdownController&) = delete;
+
+  /// Installs SIGTERM/SIGINT handlers that mark the *global* controller.
+  /// Idempotent; only the CLI calls this (libraries must not steal the
+  /// host process's handlers). Returns false if sigaction failed.
+  bool install();
+
+  /// True once a shutdown signal has been delivered (or synthesized).
+  bool requested() const {
+    return signal_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// The signal that triggered shutdown (SIGTERM/SIGINT), 0 if none.
+  int signal_number() const {
+    return signal_.load(std::memory_order_acquire);
+  }
+
+  /// Synthesizes a shutdown without raising a real signal — tests and
+  /// the CLI's --self-sigterm drill use this to make drain deterministic.
+  void request(int signum);
+
+  /// Clears the flag so the controller can be reused (tests).
+  void reset() { signal_.store(0, std::memory_order_release); }
+
+  /// The process-wide controller the installed handlers mark. Serving
+  /// components poll this one by default.
+  static ShutdownController& global();
+
+ private:
+  std::atomic<int> signal_{0};
+};
+
+}  // namespace snicit::platform

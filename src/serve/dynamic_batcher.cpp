@@ -9,6 +9,7 @@
 #include "platform/metrics.hpp"
 #include "platform/thread_pool.hpp"
 #include "platform/trace.hpp"
+#include "serve/journal.hpp"
 #include "snicit/parallel_stream.hpp"
 
 namespace snicit::serve {
@@ -121,26 +122,63 @@ platform::Result<std::size_t> DynamicBatcher::submit(
     return platform::Error{ErrorCode::kBadInput,
                            "request deadline must be non-negative"};
   }
+  // Intake-side shutdown check: the server thread also closes the queue
+  // when it polls between rounds, but a short-lived run can finish before
+  // that poll ever sees the signal — the first submission after the
+  // signal must observe the drain deterministically, not by race.
+  const platform::ShutdownController& shutdown =
+      options_.shutdown != nullptr ? *options_.shutdown
+                                   : platform::ShutdownController::global();
+  if (shutdown.requested()) {
+    drained_on_signal_.store(true, std::memory_order_release);
+    queue_.close();
+    return platform::Error{ErrorCode::kQueueClosed,
+                           "intake closed: shutdown signal received"};
+  }
   if (platform::metrics::enabled()) {
     platform::metrics::MetricsRegistry::global()
         .counter(metric_prefix_ + "requests")
         .add(1);
   }
-  if (controller_ == nullptr) {
-    return queue_.submit(std::move(features), deadline_ms, priority);
-  }
-  // Admission-controlled intake: decide now and never block the client.
-  const AdmissionVerdict verdict =
-      controller_->admit(options_.tenant, priority, wall_.elapsed_ms());
-  if (!verdict.admitted) {
-    return verdict.to_error(options_.tenant);
-  }
-  auto id = queue_.try_submit(std::move(features), deadline_ms, priority);
-  if (!id.ok()) {
-    // Physical queue refused after the controller admitted (closed, or a
-    // capacity misconfigured below the quota): roll the depth back so the
-    // controller's view stays true.
-    controller_->on_collected(options_.tenant, 1);
+  // The journal needs the request content after the queue has consumed
+  // it, so copy up front (only when durability is on).
+  std::vector<float> journal_copy;
+  const double arrive_ms = wall_.elapsed_ms();
+  if (options_.journal != nullptr) journal_copy = features;
+
+  platform::Result<std::size_t> id = [&]() -> platform::Result<std::size_t> {
+    if (controller_ == nullptr) {
+      return queue_.submit(std::move(features), deadline_ms, priority);
+    }
+    // Admission-controlled intake: decide now, never block the client.
+    const AdmissionVerdict verdict =
+        controller_->admit(options_.tenant, priority, arrive_ms);
+    if (!verdict.admitted) {
+      return verdict.to_error(options_.tenant);
+    }
+    auto admitted =
+        queue_.try_submit(std::move(features), deadline_ms, priority);
+    if (!admitted.ok()) {
+      // Physical queue refused after the controller admitted (closed, or
+      // a capacity misconfigured below the quota): roll the depth back so
+      // the controller's view stays true.
+      controller_->on_collected(options_.tenant, 1);
+    }
+    return admitted;
+  }();
+
+  if (id.ok() && options_.journal != nullptr) {
+    JournalAdmit admit;
+    admit.id = id.value();
+    admit.tenant = options_.tenant;
+    admit.sample = id.value();  // live requests have no pool; see features
+    admit.priority = priority;
+    admit.arrive_ms = arrive_ms;
+    admit.deadline_ms = deadline_ms;
+    admit.features = std::move(journal_copy);
+    if (!options_.journal->append_admit(admit).ok()) {
+      journal_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   return id;
 }
@@ -183,7 +221,21 @@ ServeReport DynamicBatcher::finish() {
   finished_ = true;
   report_.requests = queue_.issued();
   report_.total_ms = wall_.elapsed_ms();
+  report_.journal_errors = journal_errors_.load(std::memory_order_relaxed);
+  report_.drained_on_signal =
+      drained_on_signal_.load(std::memory_order_acquire);
   return std::move(report_);
+}
+
+void DynamicBatcher::journal_terminal(const RequestResult& slot) {
+  if (options_.journal == nullptr) return;
+  JournalComplete complete;
+  complete.id = slot.id;
+  complete.code = slot.code;
+  complete.output_digest = slot.ok() ? output_digest64(slot.output) : 0;
+  if (!options_.journal->append_complete(complete).ok()) {
+    journal_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 RequestResult& DynamicBatcher::result_slot(std::size_t id) {
@@ -193,14 +245,27 @@ RequestResult& DynamicBatcher::result_slot(std::size_t id) {
 }
 
 void DynamicBatcher::serve_loop() {
+  const platform::ShutdownController& shutdown =
+      options_.shutdown != nullptr ? *options_.shutdown
+                                   : platform::ShutdownController::global();
   while (true) {
+    // Signal-driven drain: a delivered SIGTERM/SIGINT closes the intake
+    // here, on the server thread — requests already accepted are still
+    // served, and the report records how the session ended.
+    if (shutdown.requested() && !queue_.closed()) {
+      queue_.close();
+      drained_on_signal_.store(true, std::memory_order_release);
+    }
     const double wait_ms =
         controller_ != nullptr
             ? controller_->effective_timeout_ms(options_.batch_timeout_ms)
             : options_.batch_timeout_ms;
-    std::vector<ServeRequest> requests =
-        queue_.collect(round_limit_, wait_ms);
-    if (requests.empty()) break;  // closed and drained
+    std::vector<ServeRequest> requests = queue_.collect(
+        round_limit_, wait_ms, options_.shutdown_poll_ms);
+    if (requests.empty()) {
+      if (queue_.closed() && queue_.size() == 0) break;  // drained
+      continue;  // idle poll: re-check the shutdown flag
+    }
     serve_round(std::move(requests));
   }
 }
@@ -241,6 +306,7 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
       report_.timed_out_requests += 1;
       report_.queue_wait.add(queue_ms);
       report_.latency.add(queue_ms);
+      journal_terminal(slot);
       if (controller_ != nullptr) {
         controller_->record_timeout(options_.tenant, request.id,
                                     request.priority, wall_.elapsed_ms());
@@ -270,6 +336,7 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
         report_.shed_requests += 1;
         report_.queue_wait.add(queue_ms);
         report_.latency.add(queue_ms);
+        journal_terminal(slot);
         controller_->record_shed(options_.tenant, request.id,
                                  request.priority, slack_ms,
                                  wall_.elapsed_ms());
@@ -480,6 +547,9 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
         slot.output.assign(streamed.outputs.col(p),
                            streamed.outputs.col(p) + streamed.outputs.rows());
       }
+      // The completion lands in the journal after the output is
+      // assigned — the digest covers the delivered bits.
+      journal_terminal(slot);
     }
     if (instrumented && record.failed) {
       metrics::MetricsRegistry::global()

@@ -33,12 +33,15 @@
 
 #include "dnn/engine.hpp"
 #include "platform/error.hpp"
+#include "platform/shutdown.hpp"
 #include "serve/overload.hpp"
 #include "serve/packer.hpp"
 #include "serve/request.hpp"
 #include "serve/request_queue.hpp"
 
 namespace snicit::serve {
+
+class JournalWriter;  // serve/journal.hpp
 
 struct ServeOptions {
   /// Engine batch size the packer slices rounds into (the paper's B).
@@ -88,6 +91,24 @@ struct ServeOptions {
   /// one ladder and one cost model — pressure is a server property).
   /// When null and admission.enabled, the batcher builds its own.
   std::shared_ptr<AdmissionController> controller;
+
+  // Durability (serve/journal.hpp). With a journal attached every
+  // accepted submit is appended (with its features — the journal is the
+  // only durable record of the request content) before it can ride a
+  // batch, and every terminal result is appended when it resolves.
+  // Append failures never fail serving: they are counted in
+  // ServeReport::journal_errors.
+  std::shared_ptr<JournalWriter> journal;
+
+  /// Shutdown flag the threaded server polls between rounds: once
+  /// requested, the intake closes, queued requests are served, and the
+  /// report is flushed with drained_on_signal = true. Null polls the
+  /// process-wide ShutdownController::global() (the one real signal
+  /// handlers mark); tests inject their own.
+  const platform::ShutdownController* shutdown = nullptr;
+  /// Idle poll interval of the threaded server loop: an idle intake
+  /// re-checks the shutdown flag this often instead of blocking forever.
+  double shutdown_poll_ms = 25.0;
 };
 
 /// Tag selecting the externally-driven batcher mode (no internal server
@@ -189,6 +210,9 @@ class DynamicBatcher {
   void serve_loop();
   void serve_round(std::vector<ServeRequest> requests);
   RequestResult& result_slot(std::size_t id);
+  /// Appends the terminal outcome of `slot` to the journal (no-op when
+  /// none is attached); failures bump journal_errors_.
+  void journal_terminal(const RequestResult& slot);
 
   dnn::InferenceEngine* engine_;
   dnn::InferenceEngine* economy_engine_ = nullptr;
@@ -204,6 +228,13 @@ class DynamicBatcher {
   const char* span_round_ = nullptr; // interned when tenant is set
   const char* span_pack_ = nullptr;
   std::atomic<std::size_t> completed_{0};
+  /// Failed journal appends; atomic because submit() journals admits on
+  /// client threads while the server journals completions.
+  std::atomic<std::size_t> journal_errors_{0};
+  /// Set when a shutdown signal closed the intake — by the server thread
+  /// between rounds, or by submit() when the signal is already pending
+  /// (client threads, hence atomic). finish() copies it into the report.
+  std::atomic<bool> drained_on_signal_{false};
   ServeReport report_;  // touched only by the (de-facto) server thread
   platform::Stopwatch wall_;
   std::thread server_;

@@ -1,0 +1,491 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include "platform/checksum.hpp"
+#include "platform/fault_injection.hpp"
+
+namespace snicit::serve {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'N', 'I', 'C', 'I', 'T', 'J', '1'};
+constexpr std::uint8_t kRecordAdmit = 1;
+constexpr std::uint8_t kRecordComplete = 2;
+
+// Serialization helpers. The journal is a local artifact, not a wire
+// format: host byte order (little-endian everywhere this runs) via
+// memcpy keeps the encode/decode paths trivially correct.
+template <typename T>
+void put(std::vector<std::uint8_t>& buf, T value) {
+  const std::size_t at = buf.size();
+  buf.resize(at + sizeof(T));
+  std::memcpy(buf.data() + at, &value, sizeof(T));
+}
+
+void put_bytes(std::vector<std::uint8_t>& buf, const void* data,
+               std::size_t bytes) {
+  if (bytes == 0) return;
+  const std::size_t at = buf.size();
+  buf.resize(at + bytes);
+  std::memcpy(buf.data() + at, data, bytes);
+}
+
+// Bounds-checked cursor over a record payload. A payload only reaches
+// the cursor after its CRC passed, but a decoder must still never read
+// past the end on a logically-malformed record.
+struct Cursor {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t at = 0;
+
+  template <typename T>
+  bool get(T& out) {
+    if (size - at < sizeof(T)) return false;
+    std::memcpy(&out, data + at, sizeof(T));
+    at += sizeof(T);
+    return true;
+  }
+
+  bool get_bytes(void* out, std::size_t bytes) {
+    if (size - at < bytes) return false;
+    std::memcpy(out, data + at, bytes);
+    at += bytes;
+    return true;
+  }
+};
+
+bool decode_admit(Cursor& cur, JournalAdmit& admit) {
+  std::uint32_t tenant_len = 0;
+  std::uint8_t priority = 0;
+  std::uint32_t feature_count = 0;
+  if (!cur.get(admit.id) || !cur.get(tenant_len)) return false;
+  if (cur.size - cur.at < tenant_len) return false;
+  admit.tenant.assign(reinterpret_cast<const char*>(cur.data + cur.at),
+                      tenant_len);
+  cur.at += tenant_len;
+  if (!cur.get(admit.sample) || !cur.get(priority) ||
+      !cur.get(admit.arrive_ms) || !cur.get(admit.deadline_ms) ||
+      !cur.get(feature_count)) {
+    return false;
+  }
+  if (priority > static_cast<std::uint8_t>(Priority::kCritical)) return false;
+  admit.priority = static_cast<Priority>(priority);
+  if (cur.size - cur.at < feature_count * sizeof(float)) return false;
+  admit.features.resize(feature_count);
+  if (feature_count > 0 &&
+      !cur.get_bytes(admit.features.data(), feature_count * sizeof(float))) {
+    return false;
+  }
+  return cur.at == cur.size;
+}
+
+bool decode_complete(Cursor& cur, JournalComplete& complete) {
+  std::int32_t code = 0;
+  if (!cur.get(complete.id) || !cur.get(code) ||
+      !cur.get(complete.output_digest)) {
+    return false;
+  }
+  complete.code = static_cast<platform::ErrorCode>(code);
+  return cur.at == cur.size;
+}
+
+}  // namespace
+
+std::uint64_t output_digest64(const std::vector<float>& output) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  const std::uint64_t size = output.size();
+  mix(&size, sizeof(size));
+  mix(output.data(), output.size() * sizeof(float));
+  return h;
+}
+
+platform::Result<FsyncPolicy> parse_fsync_policy(const std::string& name) {
+  if (name == "none") return FsyncPolicy::kNone;
+  if (name == "always") return FsyncPolicy::kAlways;
+  return platform::Error{platform::ErrorCode::kBadInput,
+                         "unknown fsync policy '" + name +
+                             "' (expected none|always)"};
+}
+
+JournalWriter::JournalWriter(std::string path, int fd, FsyncPolicy fsync)
+    : path_(std::move(path)), fd_(fd), fsync_(fsync) {}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+platform::Result<std::unique_ptr<JournalWriter>> JournalWriter::open(
+    const std::string& path, FsyncPolicy fsync) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return platform::Error{platform::ErrorCode::kResourceExhausted,
+                           "cannot open journal '" + path +
+                               "': " + std::strerror(errno)};
+  }
+  std::unique_ptr<JournalWriter> writer(new JournalWriter(path, fd, fsync));
+  std::vector<std::uint8_t> magic(kMagic, kMagic + sizeof(kMagic));
+  // The magic goes through the same write loop but is not a record (no
+  // header), so serialize it directly.
+  std::size_t done = 0;
+  while (done < magic.size()) {
+    const ssize_t wrote =
+        ::write(fd, magic.data() + done, magic.size() - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return platform::Error{platform::ErrorCode::kResourceExhausted,
+                             "journal magic write failed on '" + path +
+                                 "': " + std::strerror(errno)};
+    }
+    done += static_cast<std::size_t>(wrote);
+  }
+  if (fsync == FsyncPolicy::kAlways) ::fsync(fd);
+  return writer;
+}
+
+platform::Result<void> JournalWriter::append_record(
+    const std::vector<std::uint8_t>& payload) {
+  // OOM/ENOSPC drill: the durability paths must surface resource
+  // exhaustion as a typed error the serving layer can count, never as a
+  // bad_alloc escaping a worker thread.
+  if (platform::fault::should_fire("alloc_fail")) {
+    return platform::Error{platform::ErrorCode::kResourceExhausted,
+                           "injected alloc_fail at journal append"};
+  }
+
+  std::vector<std::uint8_t> record;
+  record.reserve(8 + payload.size());
+  put<std::uint32_t>(record, static_cast<std::uint32_t>(payload.size()));
+  put<std::uint32_t>(record,
+                     platform::crc32c(payload.data(), payload.size()));
+  put_bytes(record, payload.data(), payload.size());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) {
+    return platform::Error{platform::ErrorCode::kQueueClosed,
+                           "append to closed journal '" + path_ + "'"};
+  }
+  std::size_t done = 0;
+  while (done < record.size()) {
+    const ssize_t wrote =
+        ::write(fd_, record.data() + done, record.size() - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return platform::Error{platform::ErrorCode::kResourceExhausted,
+                             "journal append failed on '" + path_ +
+                                 "': " + std::strerror(errno)};
+    }
+    done += static_cast<std::size_t>(wrote);
+  }
+  if (fsync_ == FsyncPolicy::kAlways) ::fsync(fd_);
+  return {};
+}
+
+platform::Result<void> JournalWriter::append_admit(const JournalAdmit& admit) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(64 + admit.tenant.size() +
+                  admit.features.size() * sizeof(float));
+  put<std::uint8_t>(payload, kRecordAdmit);
+  put<std::uint64_t>(payload, admit.id);
+  put<std::uint32_t>(payload, static_cast<std::uint32_t>(admit.tenant.size()));
+  put_bytes(payload, admit.tenant.data(), admit.tenant.size());
+  put<std::uint64_t>(payload, admit.sample);
+  put<std::uint8_t>(payload, static_cast<std::uint8_t>(admit.priority));
+  put<double>(payload, admit.arrive_ms);
+  put<double>(payload, admit.deadline_ms);
+  put<std::uint32_t>(payload,
+                     static_cast<std::uint32_t>(admit.features.size()));
+  put_bytes(payload, admit.features.data(),
+            admit.features.size() * sizeof(float));
+  return append_record(payload);
+}
+
+platform::Result<void> JournalWriter::append_complete(
+    const JournalComplete& complete) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(24);
+  put<std::uint8_t>(payload, kRecordComplete);
+  put<std::uint64_t>(payload, complete.id);
+  put<std::int32_t>(payload, static_cast<std::int32_t>(complete.code));
+  put<std::uint64_t>(payload, complete.output_digest);
+  return append_record(payload);
+}
+
+void JournalWriter::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return;
+  if (fsync_ == FsyncPolicy::kAlways) ::fsync(fd_);
+  ::close(fd_);
+  fd_ = -1;
+}
+
+platform::Result<JournalContents> read_journal(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return platform::Error{platform::ErrorCode::kBadModelFile,
+                           "cannot open journal '" + path + "'"};
+  }
+  std::vector<std::uint8_t> bytes;
+  char buffer[1 << 16];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    bytes.insert(bytes.end(), buffer, buffer + got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    return platform::Error{platform::ErrorCode::kBadModelFile,
+                           "read error on journal '" + path + "'"};
+  }
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return platform::Error{platform::ErrorCode::kBadModelFile,
+                           "'" + path + "' is not a SNICIT request journal"};
+  }
+
+  JournalContents contents;
+  std::size_t at = sizeof(kMagic);
+  const auto truncate_at = [&](std::size_t offset, const std::string& why) {
+    contents.truncated_tail = true;
+    contents.truncation_reason =
+        why + " at offset " + std::to_string(offset);
+  };
+  while (at < bytes.size()) {
+    if (bytes.size() - at < 8) {
+      truncate_at(at, "torn record header");
+      break;
+    }
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&len, bytes.data() + at, 4);
+    std::memcpy(&crc, bytes.data() + at + 4, 4);
+    if (bytes.size() - at - 8 < len) {
+      truncate_at(at, "torn record payload");
+      break;
+    }
+    const std::uint8_t* payload = bytes.data() + at + 8;
+    if (platform::crc32c(payload, len) != crc) {
+      truncate_at(at, "crc mismatch");
+      break;
+    }
+    Cursor cur{payload, len};
+    std::uint8_t type = 0;
+    bool valid = cur.get(type);
+    if (valid && type == kRecordAdmit) {
+      JournalAdmit admit;
+      valid = decode_admit(cur, admit);
+      if (valid) contents.admits.push_back(std::move(admit));
+    } else if (valid && type == kRecordComplete) {
+      JournalComplete complete;
+      valid = decode_complete(cur, complete);
+      if (valid) contents.completes.push_back(complete);
+    } else {
+      valid = false;
+    }
+    if (!valid) {
+      // CRC-valid but undecodable: a writer/reader version skew or a
+      // collision. Recover the prefix rather than guessing at the rest.
+      truncate_at(at, "undecodable record");
+      break;
+    }
+    at += 8 + len;
+  }
+  return contents;
+}
+
+platform::Result<JournalReplayResult> replay_journal(
+    const JournalContents& contents, const LoadScript* script,
+    const std::map<std::string, JournalTenant>& tenants,
+    const ReplayOptions& options) {
+  using platform::Error;
+  using platform::ErrorCode;
+
+  // Partition the admits: journaled completion => the client already has
+  // its answer (suppress re-delivery); no completion => the incomplete
+  // suffix replay must answer.
+  std::map<std::uint64_t, const JournalComplete*> completed;
+  for (const auto& complete : contents.completes) {
+    completed[complete.id] = &complete;
+  }
+  std::set<std::uint64_t> admitted_ids;
+  for (const auto& admit : contents.admits) {
+    if (!admitted_ids.insert(admit.id).second) {
+      return Error{ErrorCode::kBadInput,
+                   "journal admits request id " + std::to_string(admit.id) +
+                       " twice"};
+    }
+  }
+  for (const auto& complete : contents.completes) {
+    if (admitted_ids.find(complete.id) == admitted_ids.end()) {
+      return Error{ErrorCode::kBadInput,
+                   "journal completes unadmitted request id " +
+                       std::to_string(complete.id)};
+    }
+  }
+
+  // Resolve the script to replay.
+  LoadScript reconstructed;
+  const LoadScript* replay_script = script;
+  if (script != nullptr) {
+    // Script-anchored: the journal must be a prefix of this script —
+    // admit i is script event i. Any disagreement means the journal came
+    // from a different run and replay would silently answer the wrong
+    // questions.
+    if (contents.admits.size() > script->events.size()) {
+      return Error{ErrorCode::kBadInput,
+                   "journal has more admits (" +
+                       std::to_string(contents.admits.size()) +
+                       ") than the script has events (" +
+                       std::to_string(script->events.size()) + ")"};
+    }
+    for (std::size_t i = 0; i < contents.admits.size(); ++i) {
+      const auto& admit = contents.admits[i];
+      const auto& event = script->events[i];
+      const bool matches =
+          admit.id == i && admit.tenant == event.tenant &&
+          admit.sample == event.sample && admit.priority == event.priority &&
+          admit.deadline_ms == event.deadline_ms;
+      if (!matches) {
+        return Error{ErrorCode::kBadInput,
+                     "journal admit " + std::to_string(i) +
+                         " does not match script event " + std::to_string(i) +
+                         " (journal from a different script?)"};
+      }
+    }
+  } else {
+    // Journal-only: rebuild the arrival trace from the admits. Request
+    // ids must be dense 0..n-1 in append order for the replayer's
+    // id==index convention to hold.
+    reconstructed.name = "journal";
+    reconstructed.seed = 0;
+    for (std::size_t i = 0; i < contents.admits.size(); ++i) {
+      const auto& admit = contents.admits[i];
+      if (admit.id != i) {
+        return Error{ErrorCode::kBadInput,
+                     "journal-only replay needs dense request ids; admit " +
+                         std::to_string(i) + " carries id " +
+                         std::to_string(admit.id)};
+      }
+      LoadEvent event;
+      event.at_ms = admit.arrive_ms;
+      event.tenant = admit.tenant;
+      event.sample = admit.sample;
+      event.priority = admit.priority;
+      event.deadline_ms = admit.deadline_ms;
+      reconstructed.events.push_back(std::move(event));
+    }
+    replay_script = &reconstructed;
+  }
+
+  // Every tenant named in the replayed trace needs a serving substrate.
+  for (const auto& event : replay_script->events) {
+    if (tenants.find(event.tenant) == tenants.end()) {
+      return Error{ErrorCode::kBadInput,
+                   "no tenant registered for '" + event.tenant + "'"};
+    }
+  }
+
+  // Tenants whose sample pool is absent get one rebuilt from journaled
+  // features: column j = the j-th admit of that tenant, and the events
+  // are re-pointed at those columns.
+  std::map<std::string, dnn::DenseMatrix> rebuilt_pools;
+  for (const auto& [id, tenant] : tenants) {
+    if (tenant.engine == nullptr || tenant.net == nullptr) {
+      return Error{ErrorCode::kBadInput,
+                   "tenant '" + id + "' is missing its engine or net"};
+    }
+    if (tenant.samples != nullptr) continue;
+    if (script != nullptr) {
+      return Error{ErrorCode::kBadInput,
+                   "script-anchored replay for tenant '" + id +
+                       "' needs its sample pool (scripted sample indices "
+                       "address it)"};
+    }
+    const std::size_t rows = static_cast<std::size_t>(tenant.net->neurons());
+    std::size_t count = 0;
+    for (const auto& admit : contents.admits) {
+      if (admit.tenant == id) ++count;
+    }
+    dnn::DenseMatrix pool(rows, count);
+    std::size_t col = 0;
+    for (std::size_t i = 0; i < contents.admits.size(); ++i) {
+      const auto& admit = contents.admits[i];
+      if (admit.tenant != id) continue;
+      if (admit.features.size() != rows) {
+        return Error{ErrorCode::kBadInput,
+                     "journal-only replay for tenant '" + id +
+                         "' needs journaled features (admit " +
+                         std::to_string(i) + " carries " +
+                         std::to_string(admit.features.size()) +
+                         " floats, net has " + std::to_string(rows) +
+                         " neurons)"};
+      }
+      std::memcpy(pool.col(col), admit.features.data(),
+                  rows * sizeof(float));
+      reconstructed.events[i].sample = col;
+      ++col;
+    }
+    rebuilt_pools.emplace(id, std::move(pool));
+  }
+
+  // Replay the full script on a fresh virtual clock. Registration order
+  // (= round-robin order) is the sorted tenant-id order — deterministic,
+  // so the oracle run and the replay agree on lane sweep order.
+  ReplayOptions replay_options = options;
+  replay_options.journal = nullptr;       // a replay never re-journals itself
+  replay_options.journal_features = false;
+  replay_options.halt_after_batches = 0;  // and always runs to completion
+  replay_options.pace_ms = 0.0;
+  LoadReplayer replayer(replay_options);
+  for (const auto& [id, tenant] : tenants) {
+    const auto rebuilt = rebuilt_pools.find(id);
+    const dnn::DenseMatrix& pool = rebuilt != rebuilt_pools.end()
+                                       ? rebuilt->second
+                                       : *tenant.samples;
+    replayer.add_tenant(id, *tenant.engine, *tenant.net, pool);
+  }
+
+  JournalReplayResult result;
+  result.truncated_tail = contents.truncated_tail;
+  result.report = replayer.run(*replay_script);
+
+  for (const auto& admit : contents.admits) {
+    const auto it = completed.find(admit.id);
+    if (it == completed.end()) {
+      result.resubmitted.push_back(admit.id);
+      continue;
+    }
+    result.suppressed.push_back(admit.id);
+    // Cross-check: a journaled served output must be reproduced bit for
+    // bit by the replay. Digest 0 means no output was delivered
+    // (rejection, shed, failure) — nothing to compare.
+    const JournalComplete& complete = *it->second;
+    if (complete.output_digest == 0) continue;
+    if (admit.id >= result.report.requests.size()) {
+      ++result.digest_mismatches;
+      continue;
+    }
+    const ReplayRequest& replayed = result.report.requests[admit.id];
+    const std::uint64_t replay_digest =
+        replayed.served() ? output_digest64(replayed.output) : 0;
+    if (replay_digest != complete.output_digest) ++result.digest_mismatches;
+  }
+  return result;
+}
+
+}  // namespace snicit::serve

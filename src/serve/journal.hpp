@@ -1,0 +1,184 @@
+// Write-ahead request journal: the durability backbone of the serving
+// stack. Every admitted request is appended *before* it can ride a
+// batch, and every terminal outcome is appended when it resolves, so a
+// process killed mid-run leaves behind exactly the information needed to
+// finish the work: which requests were accepted, and which of them never
+// got an answer.
+//
+// Format (binary, little-endian):
+//
+//   8-byte magic "SNICITJ1"
+//   repeated records:  u32 payload_len | u32 crc32c(payload) | payload
+//
+// Payload starts with a u8 record type:
+//
+//   1 = Admit:    u64 id, u32 tenant_len, tenant bytes, u64 sample,
+//                 u8 priority, f64 arrive_ms, f64 deadline_ms,
+//                 u32 feature_count, f32 features[feature_count]
+//   2 = Complete: u64 id, i32 error_code, u64 output_digest
+//                 (FNV-1a over the served output; 0 when none)
+//
+// CRC32C per record means a torn tail — the signature a SIGKILL'd
+// append leaves — is *detected and truncated*, never parsed: the reader
+// recovers the longest valid prefix and reports how the tail died. Only
+// a bad magic or an unreadable file is a hard error; torn tails are the
+// expected crash artifact.
+//
+// Recovery contract (`replay_journal`): the journal partitions admitted
+// requests into a *suppressed* set (completion journaled — the client
+// already has its answer) and a *resubmitted* set (admitted, never
+// resolved). Replay re-runs the deterministic load script through the
+// virtual-clock LoadReplayer, which reproduces the uninterrupted run's
+// batch compositions exactly — and therefore its outputs bit-identically
+// (batch composition affects fp accumulation order and SNICIT centroid
+// capture, so suffix-only re-batching could not make that promise).
+// Journaled completion digests are cross-checked against the replayed
+// outputs, so a divergence between what was delivered pre-crash and what
+// replay reproduces is detected, not papered over.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "platform/error.hpp"
+#include "serve/load_replay.hpp"
+#include "serve/load_script.hpp"
+#include "serve/request.hpp"
+
+namespace snicit::serve {
+
+/// FNV-1a 64 over an output column: length then float bits. The one
+/// digest both the live batcher (journaling completions) and the replay
+/// cross-check compute, so they can be compared at all.
+std::uint64_t output_digest64(const std::vector<float>& output);
+
+/// When appends hit the disk platter.
+enum class FsyncPolicy : int {
+  kNone = 0,    // OS page cache decides; fastest, loses the tail on crash
+  kAlways = 1,  // fsync after every record; the durability the tests pin
+};
+
+platform::Result<FsyncPolicy> parse_fsync_policy(const std::string& name);
+
+/// One journaled admission.
+struct JournalAdmit {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::uint64_t sample = 0;
+  Priority priority = Priority::kStandard;
+  double arrive_ms = 0.0;
+  double deadline_ms = 0.0;
+  std::vector<float> features;  // empty unless the writer journals them
+};
+
+/// One journaled completion.
+struct JournalComplete {
+  std::uint64_t id = 0;
+  platform::ErrorCode code = platform::ErrorCode::kOk;
+  std::uint64_t output_digest = 0;  // 0: no output (rejection/failure)
+};
+
+/// Append-only writer. Thread-safe: submit() paths on client threads and
+/// completion paths on the server thread interleave appends under an
+/// internal mutex. Append failures are typed (kResourceExhausted for the
+/// alloc_fail fault site and write errors) so a full disk degrades the
+/// journal, never crashes a worker.
+class JournalWriter {
+ public:
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Creates/truncates `path` and writes the magic.
+  static platform::Result<std::unique_ptr<JournalWriter>> open(
+      const std::string& path, FsyncPolicy fsync = FsyncPolicy::kAlways);
+
+  platform::Result<void> append_admit(const JournalAdmit& admit);
+  platform::Result<void> append_complete(const JournalComplete& complete);
+
+  /// Flushes (per policy) and closes the fd. Idempotent; destructor
+  /// closes without fsync (a crash is the scenario we journal *for*).
+  void close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit JournalWriter(std::string path, int fd, FsyncPolicy fsync);
+
+  platform::Result<void> append_record(const std::vector<std::uint8_t>& payload);
+
+  std::string path_;
+  int fd_ = -1;
+  FsyncPolicy fsync_ = FsyncPolicy::kAlways;
+  std::mutex mutex_;
+};
+
+/// Everything a journal file contained, plus how its tail died.
+struct JournalContents {
+  std::vector<JournalAdmit> admits;        // append order
+  std::vector<JournalComplete> completes;  // append order
+  /// True when the file ended in a torn or corrupt record: the valid
+  /// prefix above is what survived. This is the normal post-SIGKILL
+  /// state, not an error.
+  bool truncated_tail = false;
+  std::string truncation_reason;  // "torn record at offset N", "crc mismatch..."
+};
+
+/// Reads the longest valid record prefix. Hard kBadModelFile only for an
+/// unreadable file or wrong magic; torn/corrupt tails set truncated_tail.
+platform::Result<JournalContents> read_journal(const std::string& path);
+
+/// One tenant's serving substrate for replay. `samples` may be null when
+/// the journal carries features (journal-only reconstruction): the
+/// replay builds the pool from the journaled feature columns.
+struct JournalTenant {
+  dnn::InferenceEngine* engine = nullptr;
+  const dnn::SparseDnn* net = nullptr;
+  const dnn::DenseMatrix* samples = nullptr;
+};
+
+struct JournalReplayResult {
+  ReplayReport report;
+  /// Request ids whose completion was journaled pre-crash: replay
+  /// recomputes them (the full script runs for bit-identity) but they
+  /// must NOT be re-delivered to clients.
+  std::vector<std::uint64_t> suppressed;
+  /// Request ids admitted but never resolved — the incomplete suffix the
+  /// replay exists to answer.
+  std::vector<std::uint64_t> resubmitted;
+  /// Journaled completion digests that disagree with the replayed
+  /// output. Nonzero means the pre-crash run and the replay diverged —
+  /// the property the chaos lane exists to falsify.
+  std::size_t digest_mismatches = 0;
+  bool truncated_tail = false;
+
+  std::uint64_t decision_digest() const { return report.decision_digest(); }
+  std::uint64_t output_digest() const { return report.output_digest(); }
+};
+
+/// Replays a crashed run to completion.
+///
+/// Script-anchored mode (`script` non-null): the journal's admit prefix
+/// is validated event-for-event against the script (admit i must be
+/// script event i — a journal from a different script is kBadInput), and
+/// the *full* script is replayed, reproducing the uninterrupted run's
+/// batch compositions and outputs bit-identically for every engine,
+/// SNICIT included.
+///
+/// Journal-only mode (`script` null): the script is reconstructed from
+/// the journaled admits (requires journaled features when a tenant's
+/// `samples` pool is null). Batch compositions then depend on what was
+/// admitted, so digest cross-checks are guaranteed only for
+/// column-independent engines (reference/serial); SNICIT replays still
+/// complete, but warm-state-dependent outputs may legitimately differ.
+platform::Result<JournalReplayResult> replay_journal(
+    const JournalContents& contents, const LoadScript* script,
+    const std::map<std::string, JournalTenant>& tenants,
+    const ReplayOptions& options);
+
+}  // namespace snicit::serve

@@ -1,12 +1,15 @@
 #include "serve/load_replay.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <exception>
 #include <limits>
+#include <thread>
 
 #include "platform/common.hpp"
 #include "snicit/stream.hpp"
+#include "serve/journal.hpp"
 #include "serve/virtual_clock.hpp"
 
 namespace snicit::serve {
@@ -137,6 +140,55 @@ ReplayReport LoadReplayer::run(const LoadScript& script) {
       make_packer(options_.packer, options_.similarity_threshold);
   FifoPacker fifo_packer;
 
+  // Durability hooks: admits/completes land in the journal as decisions
+  // happen on the virtual timeline. Append failures degrade the journal
+  // (counted), never the run.
+  auto journal_admit = [&](const ReplayRequest& request, const Lane& lane) {
+    if (options_.journal == nullptr) return;
+    JournalAdmit admit;
+    admit.id = request.index;
+    admit.tenant = request.tenant;
+    admit.sample = request.sample;
+    admit.priority = request.priority;
+    admit.arrive_ms = request.arrive_ms;
+    admit.deadline_ms = request.deadline_ms;
+    if (options_.journal_features) {
+      const std::size_t column = request.sample % lane.samples->cols();
+      admit.features.assign(lane.samples->col(column),
+                            lane.samples->col(column) + lane.samples->rows());
+    }
+    if (!options_.journal->append_admit(admit).ok()) {
+      report.journal_errors += 1;
+    }
+  };
+  auto journal_complete = [&](const ReplayRequest& request) {
+    if (options_.journal == nullptr) return;
+    JournalComplete complete;
+    complete.id = request.index;
+    switch (request.outcome) {
+      case ReplayOutcome::kCompleted:
+      case ReplayOutcome::kLate:
+        complete.code = platform::ErrorCode::kOk;
+        complete.output_digest = output_digest64(request.output);
+        break;
+      case ReplayOutcome::kRejected:
+      case ReplayOutcome::kShed:
+        complete.code = platform::ErrorCode::kRejectedOverload;
+        break;
+      case ReplayOutcome::kTimedOut:
+        complete.code = platform::ErrorCode::kTimeout;
+        break;
+      case ReplayOutcome::kFailed:
+        complete.code = platform::ErrorCode::kWorkerFault;
+        break;
+      case ReplayOutcome::kPending:
+        return;  // not terminal; nothing to journal
+    }
+    if (!options_.journal->append_complete(complete).ok()) {
+      report.journal_errors += 1;
+    }
+  };
+
   // Accept or reject one scripted arrival at its timestamp.
   auto arrive = [&](std::size_t index) {
     const LoadEvent& event = script.events[index];
@@ -150,6 +202,10 @@ ReplayReport LoadReplayer::run(const LoadScript& script) {
     request.deadline_ms = event.deadline_ms;
     ReplayTenantStats& stats = report.tenants[event.tenant];
     stats.submitted += 1;
+    // Every arrival is journaled — a rejection is still a question the
+    // client asked, and its typed answer is journaled right behind it so
+    // replay knows not to re-deliver.
+    journal_admit(request, lane);
     if (gated) {
       const AdmissionVerdict verdict =
           controller.admit(event.tenant, event.priority, event.at_ms);
@@ -158,6 +214,7 @@ ReplayReport LoadReplayer::run(const LoadScript& script) {
         request.resolved_ms = event.at_ms;
         request.retry_after_ms = verdict.retry_after_ms;
         stats.rejected += 1;
+        journal_complete(request);
         return;
       }
     }
@@ -196,6 +253,7 @@ ReplayReport LoadReplayer::run(const LoadScript& script) {
         stats.timed_out += 1;
         controller.record_timeout(request.tenant, index, request.priority,
                                   now);
+        journal_complete(request);
         continue;
       }
       if (gated && request.priority == Priority::kSheddable &&
@@ -207,6 +265,7 @@ ReplayReport LoadReplayer::run(const LoadScript& script) {
           stats.shed += 1;
           controller.record_shed(request.tenant, index, request.priority,
                                  slack, now);
+          journal_complete(request);
           continue;
         }
       }
@@ -317,6 +376,17 @@ ReplayReport LoadReplayer::run(const LoadScript& script) {
                               result.outputs.col(j) + rows);
       }
     }
+    // Journal the batch's terminal outcomes after outputs are assigned
+    // (the completion digest covers the delivered bits).
+    for (std::size_t j = 0; j < cols; ++j) {
+      journal_complete(report.requests[batch.request_indices[j]]);
+    }
+    if (options_.pace_ms > 0.0) {
+      // Real-time pacing for the chaos lane: the virtual clock is
+      // untouched, the process just lingers so a SIGKILL has a run to hit.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(options_.pace_ms));
+    }
 
     controller.on_round(lane.id, cols, service_ms, residue_nnz, complete);
     report.max_brownout_level = std::max(
@@ -391,6 +461,14 @@ ReplayReport LoadReplayer::run(const LoadScript& script) {
     clock.advance_to(best_at);
     serve_lane(lanes_[best_lane]);
     cursor = (best_lane + 1) % lanes_.size();
+    if (options_.halt_after_batches > 0 &&
+        report.batches.size() >= options_.halt_after_batches) {
+      // Simulated SIGKILL: stop dead between rounds. No drain, no
+      // journal close — pending requests stay unanswered, exactly the
+      // crash artifact replay_journal() exists to finish.
+      report.halted = true;
+      break;
+    }
   }
 
   report.makespan_ms = std::max(clock.now_ms(), server_free_ms);

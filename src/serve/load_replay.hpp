@@ -41,6 +41,8 @@
 
 namespace snicit::serve {
 
+class JournalWriter;  // serve/journal.hpp (which includes this header)
+
 struct ReplayOptions {
   /// Engine batch size (one virtual round serves one engine batch).
   std::size_t max_batch = 16;
@@ -69,6 +71,25 @@ struct ReplayOptions {
   /// empty, residue 0). The offered-load sweeps use this to explore big
   /// grids cheaply.
   bool run_engines = true;
+
+  // Durability hooks (see serve/journal.hpp). The replayer is both the
+  // oracle generator and the crash victim of the kill-replay harness:
+  // with a journal attached every scripted arrival is appended as an
+  // admit and every terminal outcome as a complete, and halting after k
+  // batches models a SIGKILL landing between rounds.
+  /// Write-ahead journal; append failures are counted in
+  /// ReplayReport::journal_errors, never thrown.
+  JournalWriter* journal = nullptr;
+  /// Journal each admit's sample column so a journal-only replay can
+  /// rebuild the input pool without the original matrices.
+  bool journal_features = false;
+  /// 0 = run to completion. k > 0 = stop dead after the k-th served
+  /// batch (no drain, no close — the simulated kill leaves the journal
+  /// exactly as a real one would).
+  std::size_t halt_after_batches = 0;
+  /// Real milliseconds slept per served batch (virtual clock untouched):
+  /// widens the window the chaos lane's real SIGKILL must land in.
+  double pace_ms = 0.0;
 };
 
 /// Terminal outcome of one scripted request.
@@ -156,6 +177,12 @@ struct ReplayReport {
   int max_brownout_level = 0;
   std::size_t brownout_ups = 0;
   std::size_t brownout_downs = 0;
+  /// True when the run stopped at halt_after_batches (simulated kill):
+  /// the report is a crash artifact, not a finished session.
+  bool halted = false;
+  /// Journal appends that failed (alloc_fail drill, full disk). The run
+  /// itself continues — durability degrades, serving does not.
+  std::size_t journal_errors = 0;
 
   const ReplayTenantStats& tenant(const std::string& id) const;
 

@@ -12,6 +12,7 @@
 #include "baselines/snig2020.hpp"
 #include "baselines/xy2021.hpp"
 #include "dnn/reference.hpp"
+#include "platform/checksum.hpp"
 #include "platform/json.hpp"
 #include "radixnet/radixnet.hpp"
 #include "radixnet/sdgc_io.hpp"
@@ -79,7 +80,7 @@ Result<ModelSpec> parse_entry(const JsonValue& entry, std::size_t index) {
   static const std::set<std::string> kKnownKeys = {
       "id",   "engine", "neurons",   "layers",      "fanin",      "seed",
       "net",  "bias",   "threshold", "sample_size", "downsample", "prune",
-      "economy_engine"};
+      "economy_engine", "sha256"};
   for (const auto& key : entry.keys()) {
     if (kKnownKeys.count(key) == 0) {
       return manifest_error("unknown key '" + key + "' in models[" +
@@ -172,6 +173,49 @@ Result<ModelSpec> parse_entry(const JsonValue& entry, std::size_t index) {
         known.end()) {
       return manifest_error("unknown engine '" + spec.economy_engine +
                             "' in " + at(index, "economy_engine"));
+    }
+  }
+  if (entry.has("sha256")) {
+    const JsonValue& pins = entry.get("sha256");
+    if (!pins.is_array()) {
+      return manifest_error(at(index, "sha256") +
+                            " must be an array of hex digests");
+    }
+    if (spec.net_prefix.empty()) {
+      return manifest_error(at(index, "sha256") +
+                            " requires 'net' (synthetic models have no "
+                            "weight files to pin)");
+    }
+    for (std::size_t k = 0; k < pins.size(); ++k) {
+      const JsonValue& pin = pins.at(k);
+      if (!pin.is_string()) {
+        return manifest_error(at(index, "sha256") + "[" +
+                              std::to_string(k) + "] must be a string");
+      }
+      std::string hex = pin.as_string();
+      if (hex.size() != 64) {
+        return manifest_error(at(index, "sha256") + "[" +
+                              std::to_string(k) +
+                              "] must be 64 hex characters");
+      }
+      for (char& c : hex) {
+        if (c >= 'A' && c <= 'F') c = static_cast<char>(c - 'A' + 'a');
+        const bool hex_digit =
+            (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+        if (!hex_digit) {
+          return manifest_error(at(index, "sha256") + "[" +
+                                std::to_string(k) +
+                                "] must be 64 hex characters");
+        }
+      }
+      spec.sha256.push_back(std::move(hex));
+    }
+    if (spec.sha256.size() != static_cast<std::size_t>(spec.layers)) {
+      return manifest_error(at(index, "sha256") + " has " +
+                            std::to_string(spec.sha256.size()) +
+                            " digests but the model has " +
+                            std::to_string(spec.layers) +
+                            " weight files (one per layer)");
     }
   }
   if (spec.fanin > spec.neurons) {
@@ -325,6 +369,40 @@ Result<std::size_t> ModelRegistry::load_manifest_text(
   return prepared.size();
 }
 
+Result<std::size_t> ModelRegistry::verify_artifacts(const ModelSpec& spec) {
+  if (spec.sha256.empty()) return std::size_t{0};
+  if (spec.net_prefix.empty()) {
+    return Error{ErrorCode::kBadInput,
+                 "model '" + spec.id +
+                     "': sha256 pins require a net prefix (synthetic "
+                     "models have no weight files)"};
+  }
+  if (spec.sha256.size() != static_cast<std::size_t>(spec.layers)) {
+    return Error{ErrorCode::kBadInput,
+                 "model '" + spec.id + "': " +
+                     std::to_string(spec.sha256.size()) +
+                     " sha256 pins for " + std::to_string(spec.layers) +
+                     " weight files"};
+  }
+  for (int layer = 1; layer <= spec.layers; ++layer) {
+    const std::string path =
+        spec.net_prefix + "-l" + std::to_string(layer) + ".tsv";
+    auto digest = platform::sha256_file(path);
+    if (!digest.ok()) {
+      return Error{digest.error().code,
+                   "model '" + spec.id + "': " + digest.error().message};
+    }
+    const std::string& pin = spec.sha256[static_cast<std::size_t>(layer - 1)];
+    if (digest.value() != pin) {
+      return Error{ErrorCode::kBadModelFile,
+                   "model '" + spec.id + "': sha256 mismatch for '" + path +
+                       "': manifest pins " + pin + " but the file hashes " +
+                       digest.value()};
+    }
+  }
+  return spec.sha256.size();
+}
+
 Result<std::shared_ptr<const PreparedModel>> ModelRegistry::prepare(
     const ModelSpec& spec) {
   if (spec.id.empty()) {
@@ -335,6 +413,12 @@ Result<std::shared_ptr<const PreparedModel>> ModelRegistry::prepare(
     return Error{ErrorCode::kBadInput,
                  "model '" + spec.id +
                      "': neurons/layers/fanin out of range"};
+  }
+  if (!spec.sha256.empty()) {
+    // Integrity gate before any bytes are parsed: hot swaps route through
+    // prepare() too, so a swapped-in artifact is pinned the same way.
+    auto verified = verify_artifacts(spec);
+    if (!verified.ok()) return verified.error();
   }
 
   auto model = std::make_shared<PreparedModel>();

@@ -56,6 +56,13 @@ struct ModelSpec {
   /// When non-empty: load "<net>-l<k>.tsv" weight files instead of
   /// generating a Radix-Net (typed kBadModelFile on bad paths/bytes).
   std::string net_prefix;
+  /// Optional integrity pins: one lowercase SHA-256 hex digest per weight
+  /// file, in layer order (l1..lL, so size must equal `layers`). Only
+  /// meaningful with `net_prefix` — synthetic models have no artifacts to
+  /// pin. Verified on every prepare (initial load AND hot swap): a
+  /// mismatch is a typed kBadModelFile rejection, so a silently re-trained
+  /// or bit-rotted artifact can never masquerade as the manifested model.
+  std::vector<std::string> sha256;
   /// Constant per-layer bias for TSV loads; NaN picks the Table 1 value
   /// for `neurons`.
   float bias = std::numeric_limits<float>::quiet_NaN();
@@ -119,6 +126,15 @@ class ModelRegistry {
   /// Returns the number of models registered.
   platform::Result<std::size_t> load_manifest(const std::string& path);
   platform::Result<std::size_t> load_manifest_text(const std::string& text);
+
+  /// Verifies `spec`'s weight files against its sha256 pins without
+  /// loading anything. Returns the number of files hashed (0 when the
+  /// spec pins nothing). kBadModelFile on a digest mismatch or an
+  /// unreadable artifact; kBadInput when pins are present without a net
+  /// prefix or with the wrong count. prepare() runs this before every
+  /// load and hot swap; `snicit_cli verify-manifest` runs it standalone.
+  static platform::Result<std::size_t> verify_artifacts(
+      const ModelSpec& spec);
 
   /// Prepares `spec` (builds/loads the net, constructs the engine) and
   /// registers it. kBadInput when the id is empty or already taken;

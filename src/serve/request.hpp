@@ -105,6 +105,13 @@ struct ServeReport {
   /// Highest brownout-ladder level the session reached (0 = never browned
   /// out; see serve/overload.hpp).
   int max_brownout_level = 0;
+  /// True when a shutdown signal (SIGTERM/SIGINT, or a synthesized
+  /// request) closed the intake: the session drained gracefully instead
+  /// of running to a natural finish. The CLI maps this to exit code 5.
+  bool drained_on_signal = false;
+  /// Write-ahead journal appends that failed (alloc_fail drill, full
+  /// disk). Serving continues; durability for those records is lost.
+  std::size_t journal_errors = 0;
   double total_ms = 0.0;              // server start -> drained
   platform::QuantileTracker latency;    // per-request latency_ms
   platform::QuantileTracker queue_wait; // per-request queue_ms

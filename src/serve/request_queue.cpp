@@ -68,11 +68,19 @@ platform::Result<std::size_t> RequestQueue::try_submit(
 }
 
 std::vector<ServeRequest> RequestQueue::collect(std::size_t limit,
-                                                double wait_ms) {
+                                                double wait_ms,
+                                                double max_idle_ms) {
   std::vector<ServeRequest> out;
   std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait(lock, [this] { return closed_ || !pending_.empty(); });
-  if (pending_.empty()) return out;  // closed and drained
+  if (max_idle_ms < 0.0) {
+    not_empty_.wait(lock, [this] { return closed_ || !pending_.empty(); });
+  } else {
+    // Idle-bounded wait: a drain loop polling a shutdown flag cannot
+    // afford to sleep forever inside an empty queue.
+    not_empty_.wait_for(lock, from_ms(max_idle_ms),
+                        [this] { return closed_ || !pending_.empty(); });
+  }
+  if (pending_.empty()) return out;  // closed-and-drained, or idle timeout
 
   // Fill window: wait for more arrivals, but never let the wait eat the
   // deadline budget of a request already pending.

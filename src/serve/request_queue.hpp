@@ -57,7 +57,14 @@ class RequestQueue {
   /// shutdown signal). Once the first request is visible, waits at most
   /// `wait_ms` for the group to fill, capped by the smallest remaining
   /// deadline slack among the pending requests.
-  std::vector<ServeRequest> collect(std::size_t limit, double wait_ms);
+  ///
+  /// `max_idle_ms >= 0` bounds the *initial* wait: when nothing arrives
+  /// within that window and the queue is still open, collect returns
+  /// empty so the caller can poll for shutdown (distinguish via
+  /// `closed()` — closed-and-drained also returns empty). The default -1
+  /// blocks indefinitely, preserving the original contract.
+  std::vector<ServeRequest> collect(std::size_t limit, double wait_ms,
+                                    double max_idle_ms = -1.0);
 
   /// Irreversible: submits fail with kQueueClosed; collect drains what is
   /// pending, then returns empty forever. Safe to call concurrently and

@@ -34,6 +34,17 @@ platform::Result<std::size_t> Router::submit(const std::string& model_id,
                                              std::vector<float> features,
                                              double deadline_ms,
                                              Priority priority) {
+  // Intake-side shutdown check, mirroring DynamicBatcher::submit: the
+  // route loop also closes intakes when it polls, but the first
+  // submission after the signal must see the drain deterministically.
+  const platform::ShutdownController& shutdown =
+      options_.shutdown != nullptr ? *options_.shutdown
+                                   : platform::ShutdownController::global();
+  if (shutdown.requested()) {
+    drained_on_signal_.store(true, std::memory_order_release);
+    return Error{ErrorCode::kQueueClosed,
+                 "intake closed: shutdown signal received"};
+  }
   Lane* lane = nullptr;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -123,10 +134,24 @@ void Router::sync_lane(Lane& lane) {
 }
 
 void Router::route_loop() {
+  const platform::ShutdownController& shutdown =
+      options_.shutdown != nullptr ? *options_.shutdown
+                                   : platform::ShutdownController::global();
   for (;;) {
     bool worked = false;
     std::size_t pending_lanes = 0;
     std::vector<Lane*> lanes = snapshot_lanes();
+    // Signal-driven drain: close every intake once, then fall into the
+    // normal stopping path — accepted requests are served, lanes drain,
+    // and the loop exits when nothing is left.
+    if (shutdown.requested() &&
+        !drained_on_signal_.load(std::memory_order_relaxed)) {
+      drained_on_signal_.store(true, std::memory_order_release);
+    }
+    if (drained_on_signal_.load(std::memory_order_relaxed)) {
+      for (Lane* lane : lanes) lane->batcher->close_intake();
+      stopping_.store(true, std::memory_order_release);
+    }
     for (Lane* lane : lanes) {
       if (!lane->retired && lane->batcher->pending() > 0) ++pending_lanes;
     }
@@ -180,6 +205,8 @@ RouterReport Router::finish() {
     }
   }
   report.wall_ms = wall_.elapsed_ms();
+  report.drained_on_signal =
+      drained_on_signal_.load(std::memory_order_acquire);
   return report;
 }
 

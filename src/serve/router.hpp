@@ -60,6 +60,10 @@ struct RouterOptions {
   double lone_wait_ms = -1.0;
   /// Router-thread sleep between sweeps that found no work.
   double idle_sleep_ms = 0.2;
+  /// Shutdown flag polled once per sweep: when requested, every lane
+  /// closes intake, accepted requests drain, and the report is flushed
+  /// with drained_on_signal. Null polls ShutdownController::global().
+  const platform::ShutdownController* shutdown = nullptr;
 };
 
 /// Session ledger: one ServeReport per tenant lane that ever accepted a
@@ -67,6 +71,9 @@ struct RouterOptions {
 struct RouterReport {
   std::map<std::string, ServeReport> tenants;
   double wall_ms = 0.0;
+  /// True when a shutdown signal (not finish()) ended the session: every
+  /// lane drained gracefully after the signal closed intake.
+  bool drained_on_signal = false;
 
   const ServeReport* find(const std::string& id) const {
     auto it = tenants.find(id);
@@ -144,6 +151,7 @@ class Router {
   bool finished_ = false;
 
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> drained_on_signal_{false};
   platform::Stopwatch wall_;
   std::thread server_;
 };

@@ -1,0 +1,178 @@
+#include "snicit/snapshot.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "platform/checksum.hpp"
+#include "platform/fault_injection.hpp"
+
+namespace snicit::core {
+
+namespace {
+
+using platform::Error;
+using platform::ErrorCode;
+using platform::Result;
+
+constexpr char kMagic[8] = {'S', 'N', 'I', 'C', 'I', 'T', 'S', '1'};
+constexpr std::uint32_t kVersion = 1;
+// A snapshot larger than this is corrupt dimensions, not a real cache:
+// the serving nets top out far below 2^24 neurons and the centroid count
+// is bounded by the sample size (tens, not millions).
+constexpr std::uint64_t kMaxElements = 1ull << 31;
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T value) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+bool get(const std::vector<std::uint8_t>& in, std::size_t& at, T& value) {
+  if (in.size() - at < sizeof(T)) return false;
+  std::memcpy(&value, in.data() + at, sizeof(T));
+  at += sizeof(T);
+  return true;
+}
+
+Error snapshot_error(const std::string& path, const std::string& why) {
+  return Error{ErrorCode::kBadModelFile,
+               "warm-state snapshot '" + path + "': " + why};
+}
+
+}  // namespace
+
+Result<void> save_warm_state(const std::string& path,
+                             const WarmStateSnapshot& state) {
+  if (state.centroids.cols() == 0 || state.centroids.rows() == 0) {
+    return Error{ErrorCode::kBadInput,
+                 "warm-state snapshot: no centroid columns to save"};
+  }
+  // Same OOM/ENOSPC drill as the journal's append path: the snapshot is
+  // an optimisation, so resource pressure surfaces as a typed error the
+  // caller logs and moves past — never a bad_alloc.
+  if (platform::fault::should_fire("alloc_fail")) {
+    return Error{ErrorCode::kResourceExhausted,
+                 "injected alloc_fail at snapshot save"};
+  }
+
+  std::vector<std::uint8_t> body;
+  const std::uint64_t rows = state.centroids.rows();
+  const std::uint64_t cols = state.centroids.cols();
+  body.reserve(24 + static_cast<std::size_t>(rows * cols) * sizeof(float));
+  put<std::uint32_t>(body, kVersion);
+  put<std::uint32_t>(body, state.threshold_layer);
+  put<std::uint64_t>(body, rows);
+  put<std::uint64_t>(body, cols);
+  const auto* floats =
+      reinterpret_cast<const std::uint8_t*>(state.centroids.data());
+  body.insert(body.end(), floats,
+              floats + static_cast<std::size_t>(rows * cols) * sizeof(float));
+  put<std::uint32_t>(body, platform::crc32c(body.data(), body.size()));
+
+  const int fd = ::open(path.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Error{ErrorCode::kResourceExhausted,
+                 "cannot create warm-state snapshot '" + path +
+                     "': " + std::strerror(errno)};
+  }
+  bool ok = true;
+  std::size_t done = 0;
+  std::vector<std::uint8_t> file;
+  file.reserve(sizeof(kMagic) + body.size());
+  file.insert(file.end(), kMagic, kMagic + sizeof(kMagic));
+  file.insert(file.end(), body.begin(), body.end());
+  while (done < file.size()) {
+    const ssize_t wrote = ::write(fd, file.data() + done, file.size() - done);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    done += static_cast<std::size_t>(wrote);
+  }
+  if (ok && ::fsync(fd) != 0) ok = false;
+  ::close(fd);
+  if (!ok) {
+    return Error{ErrorCode::kResourceExhausted,
+                 "error writing warm-state snapshot '" + path +
+                     "': " + std::strerror(errno)};
+  }
+  return {};
+}
+
+Result<WarmStateSnapshot> load_warm_state(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return snapshot_error(path, "cannot open");
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(chunk, 1, sizeof(chunk), file);
+    bytes.insert(bytes.end(), chunk, chunk + got);
+    if (got < sizeof(chunk)) break;
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) {
+    return snapshot_error(path, "read error");
+  }
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return snapshot_error(path, "bad magic (not a warm-state snapshot)");
+  }
+
+  // Checksum first: one CRC over the whole body catches truncation and
+  // bit rot alike, before any field is trusted.
+  const std::size_t body_begin = sizeof(kMagic);
+  if (bytes.size() < body_begin + sizeof(std::uint32_t)) {
+    return snapshot_error(path, "truncated (no checksum)");
+  }
+  const std::size_t crc_at = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + crc_at, sizeof(stored_crc));
+  const std::uint32_t actual_crc =
+      platform::crc32c(bytes.data() + body_begin, crc_at - body_begin);
+  if (stored_crc != actual_crc) {
+    return snapshot_error(path, "checksum mismatch (truncated or corrupt)");
+  }
+
+  std::size_t at = body_begin;
+  std::uint32_t version = 0;
+  std::uint32_t threshold_layer = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  if (!get(bytes, at, version) || !get(bytes, at, threshold_layer) ||
+      !get(bytes, at, rows) || !get(bytes, at, cols)) {
+    return snapshot_error(path, "truncated header");
+  }
+  if (version != kVersion) {
+    return snapshot_error(path, "unsupported version " +
+                                    std::to_string(version) + " (expected " +
+                                    std::to_string(kVersion) + ")");
+  }
+  if (rows == 0 || cols == 0 || rows * cols > kMaxElements) {
+    return snapshot_error(path, "absurd dimensions " + std::to_string(rows) +
+                                    " x " + std::to_string(cols));
+  }
+  const std::size_t payload =
+      static_cast<std::size_t>(rows * cols) * sizeof(float);
+  if (crc_at - at != payload) {
+    return snapshot_error(path, "payload size mismatch");
+  }
+  WarmStateSnapshot state;
+  state.threshold_layer = threshold_layer;
+  state.centroids.reset(static_cast<std::size_t>(rows),
+                        static_cast<std::size_t>(cols));
+  std::memcpy(state.centroids.data(), bytes.data() + at, payload);
+  return state;
+}
+
+}  // namespace snicit::core

@@ -1,0 +1,55 @@
+// Warm-state snapshots: persist a WarmSnicitEngine's centroid cache (plus
+// the threshold-layer bookkeeping that makes it meaningful) so a restarted
+// server can skip the cold batch that would otherwise re-derive the class
+// representatives — and, because all restarts restore the *same* centroid
+// columns, keep serving bit-identically to the run that saved them.
+//
+// File format (version 1, host-endian — a local artifact like the request
+// journal, not a wire format):
+//
+//   8 bytes   magic "SNICITS1"
+//   u32       format version (1)
+//   u32       threshold layer t the centroids were captured at
+//   u64       rows (neurons)
+//   u64       cols (centroid count, > 0)
+//   f32[...]  centroid columns, column-major (rows * cols floats)
+//   u32       CRC32C over everything between the magic and this field
+//
+// Failure taxonomy — snapshots are an *optimisation*, so every load
+// failure is a typed error the caller can treat as "cold-start instead":
+//
+//   * kBadModelFile — missing/unreadable file, bad magic, unsupported
+//     version, truncated body, CRC mismatch, or zero/absurd dimensions.
+//     Stale and corrupt snapshots land here; never an abort.
+//   * kResourceExhausted — save-side write/fsync failure, or the
+//     `alloc_fail` fault-injection site firing (save never throws
+//     bad_alloc at the caller).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "platform/error.hpp"
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::core {
+
+/// On-disk image of a warmed engine's conversion state.
+struct WarmStateSnapshot {
+  std::uint32_t threshold_layer = 0;
+  sparse::DenseMatrix centroids;  // neurons x k, k > 0 once loaded
+};
+
+/// Writes `state` to `path` (overwriting), fsyncing before close so a
+/// crash right after save cannot leave a torn file that looks valid.
+/// kBadInput when the state has no centroid columns; kResourceExhausted
+/// on IO failure or an injected alloc_fail.
+platform::Result<void> save_warm_state(const std::string& path,
+                                       const WarmStateSnapshot& state);
+
+/// Reads and validates a snapshot. Any defect — unreadable, wrong magic,
+/// wrong version, truncated, checksum mismatch, empty centroid set — is a
+/// typed kBadModelFile; callers fall back to a cold start.
+platform::Result<WarmStateSnapshot> load_warm_state(const std::string& path);
+
+}  // namespace snicit::core

@@ -12,6 +12,7 @@
 #include "snicit/recovery.hpp"
 #include "snicit/sample_prune.hpp"
 #include "snicit/sampling.hpp"
+#include "snicit/snapshot.hpp"
 #include "sparse/spmm.hpp"
 
 namespace snicit::core {
@@ -43,6 +44,52 @@ CompressedBatch convert_with_cache(const DenseMatrix& y,
 WarmSnicitEngine::WarmSnicitEngine(SnicitParams params) : params_(params) {
   SNICIT_CHECK(!params_.auto_threshold,
                "WarmSnicitEngine pins t; auto_threshold unsupported");
+}
+
+platform::Result<void> WarmSnicitEngine::save_state(
+    const std::string& path) const {
+  if (!cache_.has_value()) {
+    return platform::Error{platform::ErrorCode::kBadInput,
+                           "warm-state save: engine has not served a "
+                           "batch yet (nothing to snapshot)"};
+  }
+  WarmStateSnapshot state;
+  state.threshold_layer =
+      static_cast<std::uint32_t>(std::max(params_.threshold_layer, 0));
+  state.centroids = cache_->columns;
+  return save_warm_state(path, state);
+}
+
+platform::Result<void> WarmSnicitEngine::restore_state(
+    const std::string& path, std::size_t expected_neurons) {
+  auto state = load_warm_state(path);
+  if (!state.ok()) return state.error();
+  // Validate *here*, with typed errors, rather than letting a mismatched
+  // cache reach convert_with_cache's SNICIT_CHECK (which aborts). A
+  // snapshot from a different model/tuning is "stale", and stale means
+  // cold-start, never crash.
+  const auto t =
+      static_cast<std::uint32_t>(std::max(params_.threshold_layer, 0));
+  if (state.value().threshold_layer != t) {
+    return platform::Error{
+        platform::ErrorCode::kBadModelFile,
+        "warm-state snapshot '" + path + "' was captured at threshold "
+        "layer " + std::to_string(state.value().threshold_layer) +
+            " but this engine pins t=" + std::to_string(t)};
+  }
+  if (expected_neurons != 0 &&
+      state.value().centroids.rows() != expected_neurons) {
+    return platform::Error{
+        platform::ErrorCode::kBadModelFile,
+        "warm-state snapshot '" + path + "' has " +
+            std::to_string(state.value().centroids.rows()) +
+            " neurons but the network has " +
+            std::to_string(expected_neurons)};
+  }
+  CentroidCache cache;
+  cache.columns = std::move(state).value().centroids;
+  cache_ = std::move(cache);
+  return {};
 }
 
 dnn::RunResult WarmSnicitEngine::run(const dnn::SparseDnn& net,

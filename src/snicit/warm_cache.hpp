@@ -15,8 +15,10 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "dnn/engine.hpp"
+#include "platform/error.hpp"
 #include "snicit/convert.hpp"
 #include "snicit/params.hpp"
 
@@ -59,6 +61,21 @@ class WarmSnicitEngine final : public dnn::InferenceEngine {
   bool warmed() const { return cache_.has_value(); }
   void reset() { cache_.reset(); }
   const CentroidCache& cache() const { return *cache_; }
+
+  /// Persists the centroid cache (versioned, checksummed — see
+  /// snicit/snapshot.hpp) so a restarted server warm-starts instead of
+  /// paying the cold batch. kBadInput when not warmed;
+  /// kResourceExhausted on IO failure or an injected alloc_fail.
+  platform::Result<void> save_state(const std::string& path) const;
+
+  /// Restores a cache saved by save_state. Validation is strict and
+  /// *typed* — wrong threshold layer, wrong neuron count (when
+  /// `expected_neurons` is non-zero), corrupt/stale/truncated file — all
+  /// return kBadModelFile so the caller cold-starts; a bad snapshot can
+  /// never abort the process or poison served outputs. On success the
+  /// engine behaves exactly as if it had been warmed by the saving run.
+  platform::Result<void> restore_state(const std::string& path,
+                                       std::size_t expected_neurons = 0);
 
  private:
   SnicitParams params_;

@@ -1,0 +1,313 @@
+// Kill–replay conformance: the crash-recovery property the journal
+// subsystem exists to guarantee. A journaled run halted after k batches
+// (the simulated SIGKILL) plus a script-anchored replay of its journal
+// must reproduce the uninterrupted oracle's decision log and served
+// outputs bit-identically — across shapes, seeds, and kill points, for
+// the reference engine and for SNICIT (whose outputs depend on batch
+// composition, which is exactly why replay re-runs the full script).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "dnn/reference.hpp"
+#include "platform/error.hpp"
+#include "radixnet/radixnet.hpp"
+#include "serve/journal.hpp"
+#include "serve/load_replay.hpp"
+#include "serve/load_script.hpp"
+#include "snicit/engine.hpp"
+
+namespace {
+
+using namespace snicit;
+using platform::ErrorCode;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "snicit_killreplay_" + name;
+}
+
+// Shared serving substrate: one small net and sample pool per process.
+struct Substrate {
+  dnn::SparseDnn net;
+  dnn::DenseMatrix pool;
+
+  Substrate() {
+    radixnet::RadixNetOptions opt;
+    opt.neurons = 64;
+    opt.layers = 8;
+    opt.seed = 11;
+    net = radixnet::make_radixnet(opt);
+    net.ensure_csc();  // SNICIT engines need the CSC mirror
+    data::SdgcInputOptions in;
+    in.neurons = 64;
+    in.batch = 32;
+    in.seed = 3;
+    pool = data::make_sdgc_input(in).features;
+  }
+};
+
+const Substrate& substrate() {
+  static const Substrate s;
+  return s;
+}
+
+serve::LoadScript make_script(const std::string& shape,
+                              std::uint64_t seed) {
+  serve::LoadScriptSpec spec;
+  spec.shape = shape;
+  spec.tenants = {""};
+  spec.requests_per_tenant = 24;
+  // Arrivals outpace the virtual service rate so a backlog builds: kills
+  // between rounds then leave admitted-but-unanswered requests behind
+  // (the resubmitted set the replay exists to serve).
+  spec.mean_gap_ms = 0.15;
+  spec.deadline_ms = 6.0;  // some requests time out: replay must agree
+  spec.sheddable_fraction = 0.25;
+  spec.seed = seed;
+  spec.samples = substrate().pool.cols();
+  return serve::make_load_script(spec);
+}
+
+serve::ReplayOptions base_options() {
+  serve::ReplayOptions opt;
+  opt.max_batch = 8;
+  opt.batch_timeout_ms = 1.5;
+  opt.packer = "similarity";
+  return opt;
+}
+
+core::SnicitParams snicit_params() {
+  core::SnicitParams params;
+  params.threshold_layer = 4;
+  params.sample_size = 8;
+  params.downsample_dim = 8;
+  return params;
+}
+
+std::unique_ptr<dnn::InferenceEngine> make_engine(
+    const std::string& kind) {
+  if (kind == "snicit") {
+    return std::make_unique<core::SnicitEngine>(snicit_params());
+  }
+  return std::make_unique<dnn::ReferenceEngine>();
+}
+
+serve::ReplayReport oracle_run(const serve::LoadScript& script,
+                               const std::string& engine_kind) {
+  auto engine = make_engine(engine_kind);
+  serve::LoadReplayer replayer(base_options());
+  replayer.add_tenant("", *engine, substrate().net, substrate().pool);
+  return replayer.run(script);
+}
+
+// Runs the victim (journaled, halted after `kill` batches), then replays
+// its journal against the script and checks bit-identity to `oracle`.
+// Accumulates how many requests the replay resubmitted into
+// `total_resubmitted`, so callers can assert the sweep actually
+// exercised crash recovery (a single kill point where the batcher had
+// just drained its queue legitimately resubmits zero).
+void check_kill_point(const serve::LoadScript& script,
+                      const serve::ReplayReport& oracle,
+                      const std::string& engine_kind, std::size_t kill,
+                      const std::string& tag,
+                      std::size_t& total_resubmitted) {
+  SCOPED_TRACE(tag);
+  const std::string path = temp_path(tag + ".journal");
+
+  auto victim_engine = make_engine(engine_kind);
+  auto writer = serve::JournalWriter::open(path);
+  ASSERT_TRUE(writer.ok()) << writer.error().message;
+  auto opts = base_options();
+  opts.journal = writer.value().get();
+  opts.halt_after_batches = kill;
+  serve::LoadReplayer victim(opts);
+  victim.add_tenant("", *victim_engine, substrate().net,
+                    substrate().pool);
+  const auto crashed = victim.run(script);
+  EXPECT_EQ(crashed.journal_errors, 0u);
+  // No close(): the destructor drops the fd without fsync, like a kill.
+  writer.value().reset();
+
+  const auto contents = serve::read_journal(path);
+  ASSERT_TRUE(contents.ok()) << contents.error().message;
+  std::size_t journaled_ok = 0;
+  for (const auto& complete : contents.value().completes) {
+    if (complete.code == ErrorCode::kOk) ++journaled_ok;
+  }
+
+  auto replay_engine = make_engine(engine_kind);
+  std::map<std::string, serve::JournalTenant> tenants;
+  tenants[""] = serve::JournalTenant{replay_engine.get(),
+                                     &substrate().net, &substrate().pool};
+  const auto replayed = serve::replay_journal(contents.value(), &script,
+                                              tenants, base_options());
+  ASSERT_TRUE(replayed.ok()) << replayed.error().message;
+
+  // The property: bit-identical to the uninterrupted run.
+  EXPECT_EQ(replayed.value().decision_digest(), oracle.decision_digest());
+  EXPECT_EQ(replayed.value().output_digest(), oracle.output_digest());
+  EXPECT_EQ(replayed.value().digest_mismatches, 0u);
+
+  // Suppressed/resubmitted partition the journaled admits exactly.
+  EXPECT_EQ(replayed.value().suppressed.size(),
+            contents.value().completes.size());
+  EXPECT_EQ(replayed.value().suppressed.size() +
+                replayed.value().resubmitted.size(),
+            contents.value().admits.size());
+  std::set<std::uint64_t> overlap(replayed.value().suppressed.begin(),
+                                  replayed.value().suppressed.end());
+  for (const auto id : replayed.value().resubmitted) {
+    EXPECT_EQ(overlap.count(id), 0u) << "request " << id
+                                     << " both suppressed and resubmitted";
+  }
+
+  total_resubmitted += replayed.value().resubmitted.size();
+  (void)journaled_ok;
+}
+
+// 2 shapes x 2 seeds x 5 kill points = 20 reference-engine kill points.
+TEST(KillReplay, ReferenceEngineIsBitIdenticalAcrossKillPoints) {
+  std::size_t total_resubmitted = 0;
+  for (const std::string shape : {"poisson", "burst"}) {
+    for (const std::uint64_t seed : {1ull, 7ull}) {
+      const auto script = make_script(shape, seed);
+      const auto oracle = oracle_run(script, "reference");
+      // Some kill points land mid-run; later ones land after the last
+      // batch and degrade to clean-run replays — both are valid crash
+      // shapes and the digest property must hold for each.
+      EXPECT_GT(oracle.batches.size(), 2u);
+      for (const std::size_t kill : {1u, 2u, 3u, 4u, 5u}) {
+        check_kill_point(script, oracle, "reference", kill,
+                         "ref_" + shape + "_s" + std::to_string(seed) +
+                             "_k" + std::to_string(kill),
+                         total_resubmitted);
+      }
+    }
+  }
+  // The sweep as a whole must hit real crash artifacts: kills that left
+  // admitted requests unanswered and forced replay to serve them.
+  EXPECT_GT(total_resubmitted, 0u);
+}
+
+// SNICIT's centroid capture depends on batch composition — the engine
+// for which suffix-only re-batching could NOT be bit-identical, and the
+// reason replay is script-anchored.
+TEST(KillReplay, SnicitEngineIsBitIdenticalAcrossKillPoints) {
+  std::size_t total_resubmitted = 0;
+  const auto script = make_script("poisson", 5);
+  const auto oracle = oracle_run(script, "snicit");
+  EXPECT_GT(oracle.batches.size(), 3u);
+  for (const std::size_t kill : {1u, 2u, 3u}) {
+    check_kill_point(script, oracle, "snicit", kill,
+                     "snicit_poisson_k" + std::to_string(kill),
+                     total_resubmitted);
+  }
+  EXPECT_GT(total_resubmitted, 0u);
+}
+
+TEST(KillReplay, CleanRunReplaySuppressesEverything) {
+  const auto script = make_script("poisson", 9);
+  const std::string path = temp_path("clean.journal");
+  auto engine = make_engine("reference");
+  auto writer = serve::JournalWriter::open(path);
+  ASSERT_TRUE(writer.ok());
+  auto opts = base_options();
+  opts.journal = writer.value().get();
+  serve::LoadReplayer live(opts);
+  live.add_tenant("", *engine, substrate().net, substrate().pool);
+  const auto report = live.run(script);
+  EXPECT_FALSE(report.halted);
+  writer.value()->close();
+
+  const auto contents = serve::read_journal(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_FALSE(contents.value().truncated_tail);
+
+  auto replay_engine = make_engine("reference");
+  std::map<std::string, serve::JournalTenant> tenants;
+  tenants[""] = serve::JournalTenant{replay_engine.get(),
+                                     &substrate().net, &substrate().pool};
+  const auto replayed = serve::replay_journal(contents.value(), &script,
+                                              tenants, base_options());
+  ASSERT_TRUE(replayed.ok()) << replayed.error().message;
+  EXPECT_TRUE(replayed.value().resubmitted.empty());
+  EXPECT_EQ(replayed.value().suppressed.size(), script.events.size());
+  EXPECT_EQ(replayed.value().digest_mismatches, 0u);
+  EXPECT_EQ(replayed.value().output_digest(), report.output_digest());
+}
+
+// Journal-only mode: no script, no sample pool — the journal's own
+// feature columns rebuild the input. Guaranteed digest-clean for
+// column-independent engines like the reference.
+TEST(KillReplay, JournalOnlyModeReconstructsTheRunFromFeatures) {
+  const auto script = make_script("poisson", 13);
+  const std::string path = temp_path("journal_only.journal");
+  auto engine = make_engine("reference");
+  auto writer = serve::JournalWriter::open(path);
+  ASSERT_TRUE(writer.ok());
+  auto opts = base_options();
+  opts.journal = writer.value().get();
+  opts.journal_features = true;
+  opts.halt_after_batches = 2;
+  serve::LoadReplayer victim(opts);
+  victim.add_tenant("", *engine, substrate().net, substrate().pool);
+  const auto crashed = victim.run(script);
+  EXPECT_TRUE(crashed.halted);
+  writer.value().reset();
+
+  const auto contents = serve::read_journal(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_FALSE(contents.value().admits.empty());
+  EXPECT_FALSE(contents.value().admits.front().features.empty());
+
+  auto replay_engine = make_engine("reference");
+  std::map<std::string, serve::JournalTenant> tenants;
+  tenants[""] = serve::JournalTenant{replay_engine.get(),
+                                     &substrate().net, nullptr};
+  const auto replayed = serve::replay_journal(
+      contents.value(), nullptr, tenants, base_options());
+  ASSERT_TRUE(replayed.ok()) << replayed.error().message;
+  EXPECT_EQ(replayed.value().digest_mismatches, 0u);
+  EXPECT_FALSE(replayed.value().resubmitted.empty());
+  for (const auto id : replayed.value().resubmitted) {
+    EXPECT_TRUE(replayed.value().report.requests[id].outcome !=
+                serve::ReplayOutcome::kPending);
+  }
+}
+
+TEST(KillReplay, JournalFromADifferentScriptIsTyped) {
+  const auto script = make_script("poisson", 21);
+  const std::string path = temp_path("wrong_script.journal");
+  auto engine = make_engine("reference");
+  auto writer = serve::JournalWriter::open(path);
+  ASSERT_TRUE(writer.ok());
+  auto opts = base_options();
+  opts.journal = writer.value().get();
+  opts.halt_after_batches = 2;
+  serve::LoadReplayer victim(opts);
+  victim.add_tenant("", *engine, substrate().net, substrate().pool);
+  (void)victim.run(script);
+  writer.value().reset();
+
+  const auto contents = serve::read_journal(path);
+  ASSERT_TRUE(contents.ok());
+
+  // Replaying against a *different* script must be refused, not quietly
+  // produce wrong answers.
+  const auto other = make_script("poisson", 22);
+  auto replay_engine = make_engine("reference");
+  std::map<std::string, serve::JournalTenant> tenants;
+  tenants[""] = serve::JournalTenant{replay_engine.get(),
+                                     &substrate().net, &substrate().pool};
+  const auto replayed = serve::replay_journal(contents.value(), &other,
+                                              tenants, base_options());
+  ASSERT_FALSE(replayed.ok());
+  EXPECT_EQ(replayed.error().code, ErrorCode::kBadInput);
+}
+
+}  // namespace

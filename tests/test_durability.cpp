@@ -1,0 +1,599 @@
+// Durability and crash-recovery suite: CRC32C/SHA-256 against published
+// vectors, the signal-driven ShutdownController, the write-ahead journal's
+// corrupted-artifact corpus (torn tails, bit flips, bad magic), warm-state
+// snapshots (round trip, bad CRC, truncation, version skew — every defect
+// a typed cold-start fallback, never a crash), manifest sha256 pins, and
+// the alloc_fail fault site that turns resource exhaustion into typed
+// errors on the journal and snapshot paths.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "platform/checksum.hpp"
+#include "platform/error.hpp"
+#include "platform/fault_injection.hpp"
+#include "platform/shutdown.hpp"
+#include "radixnet/radixnet.hpp"
+#include "radixnet/sdgc_io.hpp"
+#include "serve/journal.hpp"
+#include "serve/model_registry.hpp"
+#include "snicit/snapshot.hpp"
+#include "snicit/warm_cache.hpp"
+#include "sparse/dense_matrix.hpp"
+
+namespace {
+
+using namespace snicit;
+using platform::ErrorCode;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "snicit_durability_" + name;
+}
+
+std::vector<std::uint8_t> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path,
+                 const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::size_t file_size(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_TRUE(in.good()) << path;
+  return static_cast<std::size_t>(in.tellg());
+}
+
+// --- Checksums against published vectors ------------------------------
+
+TEST(Crc32c, MatchesPublishedVectors) {
+  // RFC 3720 appendix B.4 test vector for CRC32C (Castagnoli).
+  const char digits[] = "123456789";
+  EXPECT_EQ(platform::crc32c(digits, 9), 0xE3069283u);
+  EXPECT_EQ(platform::crc32c(nullptr, 0), 0u);
+
+  std::vector<std::uint8_t> zeros(32, 0);
+  EXPECT_EQ(platform::crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+}
+
+TEST(Crc32c, IncrementalEqualsOneShot) {
+  const std::string text = "the journal's records are CRC'd one by one";
+  const auto whole = platform::crc32c(text.data(), text.size());
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    const auto first = platform::crc32c(text.data(), split);
+    const auto both =
+        platform::crc32c(text.data() + split, text.size() - split, first);
+    EXPECT_EQ(both, whole) << "split at " << split;
+  }
+}
+
+TEST(Sha256, MatchesPublishedVectors) {
+  EXPECT_EQ(
+      platform::sha256_hex(nullptr, 0),
+      "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  const char abc[] = "abc";
+  EXPECT_EQ(
+      platform::sha256_hex(abc, 3),
+      "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, StreamingUpdatesMatchOneShot) {
+  std::string big;
+  for (int i = 0; i < 5000; ++i) big += static_cast<char>('a' + (i % 26));
+  const auto whole = platform::sha256_hex(big.data(), big.size());
+
+  platform::Sha256 hasher;
+  std::size_t at = 0;
+  const std::size_t chunks[] = {1, 63, 64, 65, 1000, big.size()};
+  for (const std::size_t chunk : chunks) {
+    const std::size_t take = std::min(chunk, big.size() - at);
+    hasher.update(big.data() + at, take);
+    at += take;
+    if (at >= big.size()) break;
+  }
+  if (at < big.size()) hasher.update(big.data() + at, big.size() - at);
+  EXPECT_EQ(hasher.hex(), whole);
+}
+
+TEST(Sha256, FileDigestMatchesBufferDigest) {
+  const std::string path = temp_path("sha_file.bin");
+  std::vector<std::uint8_t> bytes(100000);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  write_bytes(path, bytes);
+  const auto from_file = platform::sha256_file(path);
+  ASSERT_TRUE(from_file.ok());
+  EXPECT_EQ(from_file.value(),
+            platform::sha256_hex(bytes.data(), bytes.size()));
+
+  const auto missing = platform::sha256_file(temp_path("no_such_file"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kBadModelFile);
+}
+
+// --- Shutdown controller ----------------------------------------------
+
+TEST(ShutdownController, FirstSignalWinsAndResetRearms) {
+  platform::ShutdownController controller;
+  EXPECT_FALSE(controller.requested());
+  EXPECT_EQ(controller.signal_number(), 0);
+  controller.request(SIGTERM);
+  EXPECT_TRUE(controller.requested());
+  EXPECT_EQ(controller.signal_number(), SIGTERM);
+  controller.request(SIGINT);  // second signal does not overwrite
+  EXPECT_EQ(controller.signal_number(), SIGTERM);
+  controller.reset();
+  EXPECT_FALSE(controller.requested());
+  controller.request(SIGINT);
+  EXPECT_EQ(controller.signal_number(), SIGINT);
+}
+
+TEST(ShutdownController, InstalledHandlerCatchesARealSignal) {
+  auto& global = platform::ShutdownController::global();
+  global.reset();
+  ASSERT_TRUE(global.install());
+  EXPECT_FALSE(global.requested());
+  std::raise(SIGTERM);
+  EXPECT_TRUE(global.requested());
+  EXPECT_EQ(global.signal_number(), SIGTERM);
+  global.reset();
+}
+
+// --- Journal: round trip and the corrupted-artifact corpus ------------
+
+serve::JournalAdmit make_admit(std::uint64_t id, bool with_features) {
+  serve::JournalAdmit admit;
+  admit.id = id;
+  admit.tenant = id % 2 == 0 ? "" : "tenant-b";
+  admit.sample = id * 3;
+  admit.priority = id % 3 == 0 ? serve::Priority::kCritical
+                               : serve::Priority::kStandard;
+  admit.arrive_ms = 0.25 * static_cast<double>(id);
+  admit.deadline_ms = id % 2 == 0 ? 0.0 : 7.5;
+  if (with_features) {
+    admit.features = {static_cast<float>(id), 0.5f, -1.25f};
+  }
+  return admit;
+}
+
+void expect_admits_equal(const serve::JournalAdmit& a,
+                         const serve::JournalAdmit& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.tenant, b.tenant);
+  EXPECT_EQ(a.sample, b.sample);
+  EXPECT_EQ(a.priority, b.priority);
+  EXPECT_DOUBLE_EQ(a.arrive_ms, b.arrive_ms);
+  EXPECT_DOUBLE_EQ(a.deadline_ms, b.deadline_ms);
+  EXPECT_EQ(a.features, b.features);
+}
+
+TEST(Journal, RoundTripsAdmitsAndCompletes) {
+  const std::string path = temp_path("roundtrip.journal");
+  std::vector<serve::JournalAdmit> admits;
+  {
+    auto writer = serve::JournalWriter::open(path);
+    ASSERT_TRUE(writer.ok()) << writer.error().message;
+    for (std::uint64_t id = 0; id < 6; ++id) {
+      admits.push_back(make_admit(id, id % 2 == 1));
+      ASSERT_TRUE(writer.value()->append_admit(admits.back()).ok());
+    }
+    serve::JournalComplete complete;
+    complete.id = 2;
+    complete.code = ErrorCode::kOk;
+    complete.output_digest = 0xDEADBEEFCAFEF00Dull;
+    ASSERT_TRUE(writer.value()->append_complete(complete).ok());
+    complete.id = 3;
+    complete.code = ErrorCode::kTimeout;
+    complete.output_digest = 0;
+    ASSERT_TRUE(writer.value()->append_complete(complete).ok());
+    writer.value()->close();
+  }
+  const auto contents = serve::read_journal(path);
+  ASSERT_TRUE(contents.ok()) << contents.error().message;
+  EXPECT_FALSE(contents.value().truncated_tail);
+  ASSERT_EQ(contents.value().admits.size(), admits.size());
+  for (std::size_t i = 0; i < admits.size(); ++i) {
+    expect_admits_equal(contents.value().admits[i], admits[i]);
+  }
+  ASSERT_EQ(contents.value().completes.size(), 2u);
+  EXPECT_EQ(contents.value().completes[0].id, 2u);
+  EXPECT_EQ(contents.value().completes[0].code, ErrorCode::kOk);
+  EXPECT_EQ(contents.value().completes[0].output_digest,
+            0xDEADBEEFCAFEF00Dull);
+  EXPECT_EQ(contents.value().completes[1].code, ErrorCode::kTimeout);
+}
+
+TEST(Journal, TornTailIsTruncatedNotFatal) {
+  const std::string path = temp_path("torn.journal");
+  {
+    auto writer = serve::JournalWriter::open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->append_admit(make_admit(0, true)).ok());
+    ASSERT_TRUE(writer.value()->append_admit(make_admit(1, true)).ok());
+    writer.value()->close();
+  }
+  // A SIGKILL mid-append leaves a partial record: simulate with 3 stray
+  // bytes (a torn header).
+  auto bytes = read_bytes(path);
+  const auto intact = bytes.size();
+  bytes.push_back(0x21);
+  bytes.push_back(0x00);
+  bytes.push_back(0x00);
+  write_bytes(path, bytes);
+
+  auto contents = serve::read_journal(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents.value().truncated_tail);
+  EXPECT_EQ(contents.value().admits.size(), 2u);
+
+  // A torn payload (full header, half the payload) truncates the same
+  // way: recover the valid prefix, report the tail.
+  bytes.resize(intact);
+  write_bytes(path, bytes);
+  {
+    auto writer = serve::JournalWriter::open(temp_path("extra.journal"));
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->append_admit(make_admit(2, true)).ok());
+    writer.value()->close();
+  }
+  const auto extra = read_bytes(temp_path("extra.journal"));
+  // Append record 2's header + a few payload bytes only (skip the magic).
+  bytes.insert(bytes.end(), extra.begin() + 8, extra.begin() + 8 + 12);
+  write_bytes(path, bytes);
+  contents = serve::read_journal(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents.value().truncated_tail);
+  EXPECT_EQ(contents.value().admits.size(), 2u);
+  EXPECT_FALSE(contents.value().truncation_reason.empty());
+}
+
+TEST(Journal, BitFlippedRecordLosesSuffixNotPrefix) {
+  const std::string path = temp_path("bitflip.journal");
+  std::size_t after_first = 0;
+  {
+    auto writer = serve::JournalWriter::open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value()->append_admit(make_admit(0, true)).ok());
+    after_first = file_size(path);
+    ASSERT_TRUE(writer.value()->append_admit(make_admit(1, true)).ok());
+    ASSERT_TRUE(writer.value()->append_admit(make_admit(2, true)).ok());
+    writer.value()->close();
+  }
+  auto bytes = read_bytes(path);
+  // Flip one bit inside record 1's payload: its CRC now disagrees, so it
+  // and everything after it are dropped; record 0 survives untouched.
+  bytes[after_first + 9] ^= 0x40;
+  write_bytes(path, bytes);
+
+  const auto contents = serve::read_journal(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents.value().truncated_tail);
+  EXPECT_NE(contents.value().truncation_reason.find("crc"),
+            std::string::npos)
+      << contents.value().truncation_reason;
+  ASSERT_EQ(contents.value().admits.size(), 1u);
+  expect_admits_equal(contents.value().admits[0], make_admit(0, true));
+}
+
+TEST(Journal, BadMagicAndMissingFileAreHardErrors) {
+  const std::string path = temp_path("notajournal.bin");
+  write_bytes(path, {'N', 'O', 'T', 'A', 'J', 'R', 'N', 'L', 1, 2, 3});
+  const auto contents = serve::read_journal(path);
+  ASSERT_FALSE(contents.ok());
+  EXPECT_EQ(contents.error().code, ErrorCode::kBadModelFile);
+
+  const auto missing = serve::read_journal(temp_path("absent.journal"));
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kBadModelFile);
+}
+
+TEST(Journal, FsyncPolicyParses) {
+  EXPECT_TRUE(serve::parse_fsync_policy("none").ok());
+  EXPECT_TRUE(serve::parse_fsync_policy("always").ok());
+  const auto bad = serve::parse_fsync_policy("sometimes");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kBadInput);
+}
+
+// --- alloc_fail: typed resource exhaustion on durability paths --------
+
+class AllocFailTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    platform::fault::FaultRegistry::global().clear();
+  }
+};
+
+TEST_F(AllocFailTest, JournalAppendReturnsTypedResourceExhaustion) {
+  auto& registry = platform::fault::FaultRegistry::global();
+  ASSERT_TRUE(registry.configure("alloc_fail:1.0", 7).ok());
+  auto writer = serve::JournalWriter::open(temp_path("allocfail.journal"));
+  ASSERT_TRUE(writer.ok());
+  const auto appended = writer.value()->append_admit(make_admit(0, true));
+  ASSERT_FALSE(appended.ok());
+  EXPECT_EQ(appended.error().code, ErrorCode::kResourceExhausted);
+  registry.clear();
+  // Disarmed, the same writer appends fine: the failure was injected,
+  // not a wedged fd.
+  EXPECT_TRUE(writer.value()->append_admit(make_admit(1, true)).ok());
+}
+
+TEST_F(AllocFailTest, SnapshotSaveReturnsTypedResourceExhaustion) {
+  auto& registry = platform::fault::FaultRegistry::global();
+  ASSERT_TRUE(registry.configure("alloc_fail:1.0", 7).ok());
+  core::WarmStateSnapshot state;
+  state.threshold_layer = 4;
+  state.centroids.reset(8, 2);
+  const auto saved =
+      core::save_warm_state(temp_path("allocfail.snap"), state);
+  ASSERT_FALSE(saved.ok());
+  EXPECT_EQ(saved.error().code, ErrorCode::kResourceExhausted);
+}
+
+// --- Warm-state snapshots: round trip and corpus ----------------------
+
+core::WarmStateSnapshot sample_state() {
+  core::WarmStateSnapshot state;
+  state.threshold_layer = 4;
+  state.centroids.reset(16, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t r = 0; r < 16; ++r) {
+      state.centroids.at(r, c) =
+          static_cast<float>(r) * 0.25f - static_cast<float>(c);
+    }
+  }
+  return state;
+}
+
+TEST(Snapshot, RoundTripsBitExactly) {
+  const std::string path = temp_path("roundtrip.snap");
+  const auto state = sample_state();
+  ASSERT_TRUE(core::save_warm_state(path, state).ok());
+  const auto loaded = core::load_warm_state(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value().threshold_layer, state.threshold_layer);
+  ASSERT_EQ(loaded.value().centroids.rows(), state.centroids.rows());
+  ASSERT_EQ(loaded.value().centroids.cols(), state.centroids.cols());
+  EXPECT_EQ(std::memcmp(loaded.value().centroids.data(),
+                        state.centroids.data(),
+                        16 * 3 * sizeof(float)),
+            0);
+}
+
+TEST(Snapshot, EmptyStateIsBadInput) {
+  core::WarmStateSnapshot state;
+  const auto saved = core::save_warm_state(temp_path("empty.snap"), state);
+  ASSERT_FALSE(saved.ok());
+  EXPECT_EQ(saved.error().code, ErrorCode::kBadInput);
+}
+
+TEST(Snapshot, CorruptionCorpusIsTypedNeverFatal) {
+  const std::string path = temp_path("corpus.snap");
+  ASSERT_TRUE(core::save_warm_state(path, sample_state()).ok());
+  const auto pristine = read_bytes(path);
+
+  // Bit flip in the payload: CRC mismatch.
+  auto flipped = pristine;
+  flipped[flipped.size() / 2] ^= 0x01;
+  write_bytes(path, flipped);
+  auto loaded = core::load_warm_state(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kBadModelFile);
+  EXPECT_NE(loaded.error().message.find("checksum"), std::string::npos);
+
+  // Truncation (the torn-write crash artifact).
+  auto truncated = pristine;
+  truncated.resize(truncated.size() - 7);
+  write_bytes(path, truncated);
+  loaded = core::load_warm_state(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kBadModelFile);
+
+  // Wrong magic.
+  auto wrong_magic = pristine;
+  wrong_magic[0] = 'X';
+  write_bytes(path, wrong_magic);
+  loaded = core::load_warm_state(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kBadModelFile);
+
+  // Unsupported version with a *valid* CRC: the version gate itself.
+  auto versioned = pristine;
+  std::uint32_t bogus_version = 9;
+  std::memcpy(versioned.data() + 8, &bogus_version, 4);
+  const std::uint32_t crc =
+      platform::crc32c(versioned.data() + 8, versioned.size() - 12);
+  std::memcpy(versioned.data() + versioned.size() - 4, &crc, 4);
+  write_bytes(path, versioned);
+  loaded = core::load_warm_state(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kBadModelFile);
+  EXPECT_NE(loaded.error().message.find("version"), std::string::npos);
+
+  // Missing file.
+  loaded = core::load_warm_state(temp_path("no_such.snap"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.error().code, ErrorCode::kBadModelFile);
+}
+
+TEST(WarmState, EngineSaveRestoreKeepsServingBitIdentical) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 64;
+  opt.layers = 8;
+  opt.seed = 11;
+  const auto net = radixnet::make_radixnet(opt);
+  net.ensure_csc();
+  dnn::DenseMatrix batch(64, 12);
+  for (std::size_t j = 0; j < batch.cols(); ++j) {
+    for (std::size_t r = 0; r < 8; ++r) {
+      batch.at((j * 5 + r * 3) % 64, j) = 1.0f;
+    }
+  }
+  core::SnicitParams params;
+  params.threshold_layer = 4;
+  params.sample_size = 8;
+  params.downsample_dim = 8;
+
+  core::WarmSnicitEngine first(params);
+  EXPECT_FALSE(first.warmed());
+  const auto save_unwarmed = first.save_state(temp_path("unwarmed.snap"));
+  ASSERT_FALSE(save_unwarmed.ok());
+  EXPECT_EQ(save_unwarmed.error().code, ErrorCode::kBadInput);
+
+  (void)first.run(net, batch);  // cold run establishes the cache
+  ASSERT_TRUE(first.warmed());
+  const auto warm_output = first.run(net, batch).output;
+  const std::string path = temp_path("engine.snap");
+  ASSERT_TRUE(first.save_state(path).ok());
+
+  // A restarted server: fresh engine, restored cache, same answers.
+  core::WarmSnicitEngine second(params);
+  const auto restored = second.restore_state(path, 64);
+  ASSERT_TRUE(restored.ok()) << restored.error().message;
+  ASSERT_TRUE(second.warmed());
+  EXPECT_EQ(second.cache().size(), first.cache().size());
+  const auto replayed_output = second.run(net, batch).output;
+  ASSERT_EQ(replayed_output.cols(), warm_output.cols());
+  EXPECT_EQ(std::memcmp(replayed_output.data(), warm_output.data(),
+                        replayed_output.rows() * replayed_output.cols() *
+                            sizeof(float)),
+            0);
+}
+
+TEST(WarmState, StaleSnapshotsColdStartWithTypedErrors) {
+  const std::string path = temp_path("stale.snap");
+  ASSERT_TRUE(core::save_warm_state(path, sample_state()).ok());
+
+  core::SnicitParams params;
+  params.threshold_layer = 4;
+  core::WarmSnicitEngine engine(params);
+
+  // Wrong neuron count: snapshot has 16 rows, network expects 64.
+  auto restored = engine.restore_state(path, 64);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.error().code, ErrorCode::kBadModelFile);
+  EXPECT_FALSE(engine.warmed());
+
+  // Wrong threshold layer: snapshot pinned t=4, engine pins t=3.
+  core::SnicitParams other = params;
+  other.threshold_layer = 3;
+  core::WarmSnicitEngine mismatched(other);
+  restored = mismatched.restore_state(path, 16);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.error().code, ErrorCode::kBadModelFile);
+  EXPECT_FALSE(mismatched.warmed());
+
+  // Matching expectations restore fine.
+  restored = engine.restore_state(path, 16);
+  ASSERT_TRUE(restored.ok()) << restored.error().message;
+  EXPECT_TRUE(engine.warmed());
+}
+
+// --- Manifest sha256 pins ---------------------------------------------
+
+TEST(ManifestSha, ParserValidatesPins) {
+  const std::string good_pin(64, 'a');
+  const auto parse = [](const std::string& models_json) {
+    return serve::ModelRegistry::parse_manifest_text(
+        "{\"models\": [" + models_json + "]}");
+  };
+  // Pins require a net prefix.
+  auto specs = parse(R"({"id": "m", "layers": 1, "sha256": [")" +
+                     good_pin + R"("]})");
+  ASSERT_FALSE(specs.ok());
+  EXPECT_NE(specs.error().message.find("requires 'net'"),
+            std::string::npos);
+  // Count must match layers.
+  specs = parse(R"({"id": "m", "net": "p", "layers": 2, "sha256": [")" +
+                good_pin + R"("]})");
+  ASSERT_FALSE(specs.ok());
+  // 64 hex chars, not arbitrary strings.
+  specs = parse(
+      R"({"id": "m", "net": "p", "layers": 1, "sha256": ["nothex"]})");
+  ASSERT_FALSE(specs.ok());
+  // Uppercase digests normalize to lowercase.
+  std::string upper(64, 'A');
+  specs = parse(R"({"id": "m", "net": "p", "layers": 1, "sha256": [")" +
+                upper + R"("]})");
+  ASSERT_TRUE(specs.ok()) << specs.error().message;
+  EXPECT_EQ(specs.value()[0].sha256[0], good_pin);
+}
+
+TEST(ManifestSha, VerifyArtifactsCatchesTamperedWeights) {
+  radixnet::RadixNetOptions opt;
+  opt.neurons = 32;
+  opt.layers = 2;
+  opt.seed = 5;
+  const auto net = radixnet::make_radixnet(opt);
+  const std::string prefix = temp_path("pinned");
+  radixnet::save_network_tsv(net, prefix);
+
+  serve::ModelSpec spec;
+  spec.id = "pinned";
+  spec.engine = "reference";
+  spec.neurons = 32;
+  spec.layers = 2;
+  spec.net_prefix = prefix;
+  for (int layer = 1; layer <= 2; ++layer) {
+    const auto digest = platform::sha256_file(
+        prefix + "-l" + std::to_string(layer) + ".tsv");
+    ASSERT_TRUE(digest.ok());
+    spec.sha256.push_back(digest.value());
+  }
+
+  const auto verified = serve::ModelRegistry::verify_artifacts(spec);
+  ASSERT_TRUE(verified.ok()) << verified.error().message;
+  EXPECT_EQ(verified.value(), 2u);
+
+  // Registry prepare() runs the same gate: a pinned model loads...
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(registry.add(spec).ok());
+
+  // ...until a weight file is tampered with.
+  {
+    std::ofstream tamper(prefix + "-l2.tsv", std::ios::app);
+    tamper << "1\t1\t0.125\n";
+  }
+  const auto tampered = serve::ModelRegistry::verify_artifacts(spec);
+  ASSERT_FALSE(tampered.ok());
+  EXPECT_EQ(tampered.error().code, ErrorCode::kBadModelFile);
+  EXPECT_NE(tampered.error().message.find("sha256 mismatch"),
+            std::string::npos);
+  // Hot swap goes through prepare(), so the tampered artifact cannot be
+  // swapped in either.
+  const auto swapped = registry.swap(spec);
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_EQ(swapped.error().code, ErrorCode::kBadModelFile);
+
+  // A missing file is the same typed rejection.
+  std::remove((prefix + "-l2.tsv").c_str());
+  const auto missing = serve::ModelRegistry::verify_artifacts(spec);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kBadModelFile);
+
+  // Pin-count / prefix misuse are usage errors, not integrity errors.
+  serve::ModelSpec misshapen = spec;
+  misshapen.sha256.pop_back();
+  EXPECT_EQ(serve::ModelRegistry::verify_artifacts(misshapen).error().code,
+            ErrorCode::kBadInput);
+  serve::ModelSpec no_net = spec;
+  no_net.net_prefix.clear();
+  EXPECT_EQ(serve::ModelRegistry::verify_artifacts(no_net).error().code,
+            ErrorCode::kBadInput);
+}
+
+}  // namespace
