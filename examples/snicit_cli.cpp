@@ -166,14 +166,14 @@ sparse::SpmmPolicy cli_spmm_policy(const platform::CliArgs& args) {
   sparse::SpmmPolicy policy = sparse::SpmmPolicy::from_env();
   if (args.has("spmm")) {
     const std::string name = args.get("spmm", "auto");
-    const auto variant = sparse::parse_spmm_variant(name);
-    if (!variant) {
+    if (!sparse::apply_spmm_spec(name, policy)) {
       throw std::invalid_argument(
-          "unknown --spmm variant '" + name +
-          "' (expected auto|gather|gather_simd|gather_threaded|tiled|"
-          "scatter|scatter_simd)");
+          "unknown --spmm spec '" + name +
+          "' (expected VARIANT[+EPILOGUE] with VARIANT one of "
+          "auto|gather|gather_simd|gather_threaded|tiled|scatter|"
+          "scatter_simd and EPILOGUE fused|split, or a bare "
+          "fused|split)");
     }
-    policy.variant = *variant;
   }
   if (args.has("spmm-tile")) {
     policy.tile = static_cast<std::size_t>(
@@ -1026,8 +1026,11 @@ void usage() {
       "reference\n"
       "            --threshold T --sample-size S --downsample N --prune P\n"
       "            --auto-threshold --stream CHUNK --workers N --queue C\n"
-      "            --spmm auto|gather|gather_simd|gather_threaded|tiled|"
-      "scatter|scatter_simd\n"
+      "            --spmm VARIANT[+fused|+split] | fused | split\n"
+      "              (VARIANT: auto|gather|gather_simd|gather_threaded|"
+      "tiled|scatter|scatter_simd;\n"
+      "               the epilogue arm picks fused bias+ReLU stores vs a "
+      "separate pass)\n"
       "            --spmm-tile W (batch-tile width of the tiled kernel)\n"
       "            --trace-out FILE (chrome://tracing JSON)\n"
       "            --metrics-out FILE (workload counters/series JSON)\n"

@@ -23,6 +23,8 @@ class Bf2019Engine final : public dnn::InferenceEngine {
   std::string name() const override { return "BF-2019"; }
   dnn::RunResult run(const dnn::SparseDnn& net,
                      const dnn::DenseMatrix& input) override;
+  void run_into(const dnn::SparseDnn& net, const dnn::DenseMatrix& input,
+                platform::Workspace& ws, dnn::RunResult& result) override;
   std::unique_ptr<dnn::InferenceEngine> clone() const override {
     return std::make_unique<Bf2019Engine>(*this);
   }
@@ -30,6 +32,7 @@ class Bf2019Engine final : public dnn::InferenceEngine {
  private:
   std::size_t partitions_;
   sparse::SpmmPolicy policy_;
+  platform::Workspace ws_;  // scratch behind the plain run() entry point
 };
 
 }  // namespace snicit::baselines

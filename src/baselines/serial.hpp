@@ -13,9 +13,14 @@ class SerialEngine final : public dnn::InferenceEngine {
   std::string name() const override { return "SDGC-serial"; }
   dnn::RunResult run(const dnn::SparseDnn& net,
                      const dnn::DenseMatrix& input) override;
+  void run_into(const dnn::SparseDnn& net, const dnn::DenseMatrix& input,
+                platform::Workspace& ws, dnn::RunResult& result) override;
   std::unique_ptr<dnn::InferenceEngine> clone() const override {
     return std::make_unique<SerialEngine>(*this);
   }
+
+ private:
+  platform::Workspace ws_;  // scratch behind the plain run() entry point
 };
 
 }  // namespace snicit::baselines

@@ -23,6 +23,8 @@ class Snig2020Engine final : public dnn::InferenceEngine {
   std::string name() const override { return "SNIG-2020"; }
   dnn::RunResult run(const dnn::SparseDnn& net,
                      const dnn::DenseMatrix& input) override;
+  void run_into(const dnn::SparseDnn& net, const dnn::DenseMatrix& input,
+                platform::Workspace& ws, dnn::RunResult& result) override;
   std::unique_ptr<dnn::InferenceEngine> clone() const override {
     return std::make_unique<Snig2020Engine>(*this);
   }
@@ -31,6 +33,7 @@ class Snig2020Engine final : public dnn::InferenceEngine {
   std::size_t partitions_;
   std::size_t layers_per_task_;
   sparse::SpmmPolicy policy_;
+  platform::Workspace ws_;  // scratch behind the plain run() entry point
 };
 
 }  // namespace snicit::baselines

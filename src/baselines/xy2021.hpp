@@ -38,12 +38,15 @@ class Xy2021Engine final : public dnn::InferenceEngine {
   std::string name() const override { return "XY-2021"; }
   dnn::RunResult run(const dnn::SparseDnn& net,
                      const dnn::DenseMatrix& input) override;
+  void run_into(const dnn::SparseDnn& net, const dnn::DenseMatrix& input,
+                platform::Workspace& ws, dnn::RunResult& result) override;
   std::unique_ptr<dnn::InferenceEngine> clone() const override {
     return std::make_unique<Xy2021Engine>(*this);
   }
 
  private:
   Xy2021Options options_;
+  platform::Workspace ws_;  // scratch behind the plain run() entry point
 };
 
 }  // namespace snicit::baselines

@@ -10,6 +10,7 @@
 
 #include "dnn/sparse_dnn.hpp"
 #include "platform/timer.hpp"
+#include "platform/workspace.hpp"
 #include "sparse/dense_matrix.hpp"
 
 namespace snicit::dnn {
@@ -21,8 +22,25 @@ struct RunResult {
   platform::StageBreakdown stages;    // named stage durations (ms)
   std::vector<double> layer_ms;       // per-layer wall time (ms)
   std::map<std::string, double> diagnostics;  // engine-specific scalars
+  /// Layer at which the engine abandoned its compressed path for the
+  /// dense fallback this run, -1 when it did not. POD mirror of the
+  /// "fallback_layer" diagnostic: a *reused* result never carries a stale
+  /// verdict (begin_run resets it), while the diagnostics map keeps its
+  /// only-present-when-it-happened contract.
+  int fallback_layer = -1;
 
   double total_ms() const { return stages.total_ms(); }
+
+  /// Clears per-run state while keeping heap capacity (layer timings,
+  /// stage entries, the output buffer), so a result cycled through
+  /// run_into stops allocating once warm. Diagnostics keys persist with
+  /// stale values until the run overwrites them — engines own clearing
+  /// any key whose *absence* is meaningful.
+  void begin_run() {
+    layer_ms.clear();
+    stages.reset_values();
+    fallback_layer = -1;
+  }
 };
 
 class InferenceEngine {
@@ -34,6 +52,17 @@ class InferenceEngine {
   /// Runs the full feed-forward of `net` on `input` (neurons x batch) and
   /// returns the last-layer activations plus timing.
   virtual RunResult run(const SparseDnn& net, const DenseMatrix& input) = 0;
+
+  /// Allocation-free steady-state form: scratch comes from `ws`, the
+  /// outcome lands in `result` (which must not alias `input`). A caller
+  /// cycling the same workspace + result through repeated calls allocates
+  /// nothing once both are warm. The default forwards to run() for
+  /// engines without a workspace-aware path.
+  virtual void run_into(const SparseDnn& net, const DenseMatrix& input,
+                        platform::Workspace& ws, RunResult& result) {
+    (void)ws;
+    result = run(net, input);
+  }
 
   /// Deep copy of this engine — parameters plus any warmed per-engine
   /// state (centroid caches, autotuned kernel choices) — so serving

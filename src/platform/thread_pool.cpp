@@ -46,14 +46,8 @@ namespace {
 thread_local int g_pool_depth = 0;
 }  // namespace
 
-void ThreadPool::run_chunks(std::size_t num_chunks,
-                            const std::function<void(std::size_t)>& fn) {
-  if (num_chunks == 0) return;
-  if (workers_.empty() || num_chunks == 1 || g_pool_depth > 0) {
-    for (std::size_t i = 0; i < num_chunks; ++i) fn(i);
-    return;
-  }
-
+void ThreadPool::run_chunks_pooled(std::size_t num_chunks,
+                                   const std::function<void(std::size_t)>& fn) {
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (job_ != nullptr) {
@@ -125,10 +119,11 @@ ScopedSerialRegion::~ScopedSerialRegion() { --g_pool_depth; }
 
 bool in_serial_region() { return g_pool_depth > 0; }
 
-namespace {
+namespace detail {
 
-void split_into_ranges(std::size_t begin, std::size_t end, std::size_t grain,
-                       const std::function<void(std::size_t, std::size_t)>& body) {
+void parallel_ranges_pooled(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
   const std::size_t n = end - begin;
   auto& pool = ThreadPool::global();
   const std::size_t target_chunks =
@@ -143,22 +138,6 @@ void split_into_ranges(std::size_t begin, std::size_t end, std::size_t grain,
   });
 }
 
-}  // namespace
-
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body,
-                  std::size_t grain) {
-  if (begin >= end) return;
-  split_into_ranges(begin, end, grain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) body(i);
-  });
-}
-
-void parallel_for_ranges(std::size_t begin, std::size_t end,
-                         const std::function<void(std::size_t, std::size_t)>& body,
-                         std::size_t grain) {
-  if (begin >= end) return;
-  split_into_ranges(begin, end, grain, body);
-}
+}  // namespace detail
 
 }  // namespace snicit::platform

@@ -12,9 +12,15 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace snicit::platform {
+
+/// True while the current thread is inside a ScopedSerialRegion (below) or
+/// a pool task (where nested parallelism always degrades to inline
+/// execution).
+bool in_serial_region();
 
 class ThreadPool {
  public:
@@ -30,13 +36,28 @@ class ThreadPool {
   /// Runs fn(chunk_index) for chunk_index in [0, num_chunks); blocks until
   /// all chunks finish. The calling thread participates, so a pool with no
   /// workers executes everything serially with zero synchronization.
-  void run_chunks(std::size_t num_chunks,
-                  const std::function<void(std::size_t)>& fn);
+  ///
+  /// Templated so the inline fast path (no workers, one chunk, or a serial
+  /// region) calls the body directly without materialising a
+  /// std::function — the zero-allocation serving hot path. Only genuinely
+  /// pooled dispatches pay the type-erasure.
+  template <typename Fn>
+  void run_chunks(std::size_t num_chunks, Fn&& fn) {
+    if (num_chunks == 0) return;
+    if (workers_.empty() || num_chunks == 1 || in_serial_region()) {
+      for (std::size_t i = 0; i < num_chunks; ++i) fn(i);
+      return;
+    }
+    run_chunks_pooled(num_chunks,
+                      std::function<void(std::size_t)>(std::forward<Fn>(fn)));
+  }
 
   /// The process-wide pool (sized from SNICIT_THREADS or hardware).
   static ThreadPool& global();
 
  private:
+  void run_chunks_pooled(std::size_t num_chunks,
+                         const std::function<void(std::size_t)>& fn);
   void worker_loop();
 
   std::vector<std::thread> workers_;
@@ -67,20 +88,48 @@ class ScopedSerialRegion {
   ScopedSerialRegion& operator=(const ScopedSerialRegion&) = delete;
 };
 
-/// True while the current thread is inside a ScopedSerialRegion or a pool
-/// task (where nested parallelism always degrades to inline execution).
-bool in_serial_region();
+namespace detail {
+/// Pooled tail of the parallel loops: splits [begin, end) into ~3 chunks
+/// per worker (bounded by `grain`) and dispatches through the global pool.
+void parallel_ranges_pooled(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body);
+}  // namespace detail
 
 /// Parallel loop over [begin, end): splits the range into ~3 chunks per
-/// worker (bounded by `grain`) and runs body(i) for every index.
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body,
-                  std::size_t grain = 1);
+/// worker (bounded by `grain`) and runs body(i) for every index. When the
+/// loop cannot actually parallelise (single-thread pool, serial region)
+/// the body runs inline with no std::function materialisation.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                  std::size_t grain = 1) {
+  if (begin >= end) return;
+  if (in_serial_region() || ThreadPool::global().size() == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  detail::parallel_ranges_pooled(begin, end, grain,
+                                 [&body](std::size_t lo, std::size_t hi) {
+                                   for (std::size_t i = lo; i < hi; ++i) {
+                                     body(i);
+                                   }
+                                 });
+}
 
 /// Parallel loop receiving whole sub-ranges: body(lo, hi). Preferred for
-/// hot kernels since it avoids a std::function call per element.
-void parallel_for_ranges(std::size_t begin, std::size_t end,
-                         const std::function<void(std::size_t, std::size_t)>& body,
-                         std::size_t grain = 1);
+/// hot kernels since it avoids a call per element; the inline fast path
+/// hands the body the entire range in one call.
+template <typename Body>
+void parallel_for_ranges(std::size_t begin, std::size_t end, Body&& body,
+                         std::size_t grain = 1) {
+  if (begin >= end) return;
+  if (in_serial_region() || ThreadPool::global().size() == 1) {
+    body(begin, end);
+    return;
+  }
+  detail::parallel_ranges_pooled(
+      begin, end, grain,
+      std::function<void(std::size_t, std::size_t)>(std::forward<Body>(body)));
+}
 
 }  // namespace snicit::platform

@@ -58,6 +58,14 @@ class StageBreakdown {
   };
   const std::vector<Entry>& entries() const { return entries_; }
 
+  /// Zeroes every stage's accumulated time in place, keeping the entry
+  /// and index storage — reusing a breakdown across runs then allocates
+  /// nothing once every stage name has been seen. Stages from a previous
+  /// run that the next one never adds to linger at 0 ms.
+  void reset_values() {
+    for (auto& e : entries_) e.ms = 0.0;
+  }
+
  private:
   std::vector<Entry> entries_;
   std::map<std::string, std::size_t> index_;

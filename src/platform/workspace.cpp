@@ -1,0 +1,44 @@
+#include "platform/workspace.hpp"
+
+#include <atomic>
+
+#include "platform/metrics.hpp"
+
+namespace snicit::platform {
+
+namespace {
+std::atomic<long long> g_bytes{0};
+std::atomic<std::size_t> g_steady_allocs{0};
+}  // namespace
+
+namespace detail {
+
+void workspace_account_bytes(long long delta) {
+  g_bytes.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void workspace_account_steady_allocs(std::size_t n) {
+  g_steady_allocs.fetch_add(n, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+std::size_t Workspace::global_bytes_reserved() {
+  const long long v = g_bytes.load(std::memory_order_relaxed);
+  return v > 0 ? static_cast<std::size_t>(v) : 0;
+}
+
+std::size_t Workspace::global_steady_state_allocs() {
+  return g_steady_allocs.load(std::memory_order_relaxed);
+}
+
+void Workspace::publish_metrics() {
+  if (!metrics::enabled()) return;
+  auto& registry = metrics::MetricsRegistry::global();
+  registry.gauge("workspace.bytes_reserved")
+      .set(static_cast<double>(global_bytes_reserved()));
+  registry.gauge("workspace.steady_state_allocs")
+      .set(static_cast<double>(global_steady_state_allocs()));
+}
+
+}  // namespace snicit::platform

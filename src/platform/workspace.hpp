@@ -1,0 +1,173 @@
+// Persistent per-lane scratch arena for the steady-state serving loop.
+//
+// Every engine run needs the same transient storage — ping-pong
+// activation buffers, a post-convergence scratch matrix, column-index
+// vectors, the CompressedBatch the SNICIT pipeline carries between
+// stages. Allocating them per run makes the serving hot loop allocate
+// continuously; a Workspace owns them instead, handing out
+// capacity-preserving slots (`DenseMatrix::reset(rows, cols, ZeroFill)`
+// never shrinks) so after the first run through a given problem shape the
+// loop touches the heap zero times. The zero-allocation claim is
+// observable: workspaces account every byte of slot growth into
+// process-wide gauges, and growth after mark_warm() — the end of a
+// workspace's first run — is counted separately as a steady-state
+// allocation (`workspace.steady_state_allocs`, which a healthy serving
+// loop keeps at 0).
+//
+// A Workspace is scratch, not state: copying one (engine clone) copies
+// *nothing* — the copy starts cold and warms up on its own first run.
+// It is single-threaded by design; concurrent lanes each own one
+// (ParallelStreamExecutor keeps a slot per worker).
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sparse/coo.hpp"  // sparse::Index
+#include "sparse/dense_matrix.hpp"
+
+namespace snicit::platform {
+
+namespace detail {
+/// Process-wide accounting behind the workspace.* gauges (workspace.cpp).
+void workspace_account_bytes(long long delta);
+void workspace_account_steady_allocs(std::size_t n);
+}  // namespace detail
+
+class Workspace {
+ public:
+  /// Matrix slots. Engines use kPing/kPong for the layer ping-pong,
+  /// kScratch for the post-convergence multiply target, kSample for the
+  /// downsampled feature matrix, kSlice for the serving layer's batch
+  /// slice (distinct from the engine slots so a sliced input stays valid
+  /// while the engine cycles its own buffers).
+  enum Mat : int { kPing = 0, kPong, kScratch, kSample, kSlice, kMatCount };
+  /// Index-vector slots: kColumns for centroid/probe column lists, kAux
+  /// as a second list when a caller needs two live at once.
+  enum Vec : int { kColumns = 0, kAux, kVecCount };
+
+  Workspace() = default;
+  ~Workspace() { release_accounting(); }
+
+  // Scratch semantics: copies are cold and empty (see file comment).
+  Workspace(const Workspace&) {}
+  Workspace& operator=(const Workspace&) { return *this; }
+  Workspace(Workspace&& other) noexcept { swap(other); }
+  // Swap-based: the source ends up holding this workspace's old buffers
+  // (and their accounting), which its destructor then releases.
+  Workspace& operator=(Workspace&& other) noexcept {
+    if (this != &other) swap(other);
+    return *this;
+  }
+
+  /// Acquires a matrix slot shaped rows x cols. Storage only ever grows;
+  /// ZeroFill::kNo (for provably fully-written targets) skips the fill.
+  sparse::DenseMatrix& mat(Mat m, std::size_t rows, std::size_t cols,
+                           sparse::ZeroFill fill) {
+    auto& mx = mats_[static_cast<int>(m)];
+    const std::size_t before = mx.capacity();
+    mx.reset(rows, cols, fill);
+    account_growth(before, mx.capacity(), sizeof(float));
+    return mx;
+  }
+
+  /// The slot as last shaped (no resize).
+  sparse::DenseMatrix& mat(Mat m) { return mats_[static_cast<int>(m)]; }
+
+  /// Acquires an index-vector slot of size n (contents unspecified).
+  std::vector<sparse::Index>& vec(Vec v, std::size_t n) {
+    auto& ix = vecs_[static_cast<int>(v)];
+    const std::size_t before = ix.capacity();
+    ix.resize(n);
+    account_growth(before, ix.capacity(), sizeof(sparse::Index));
+    return ix;
+  }
+
+  /// The slot as last sized (no resize). Callers that build a list with
+  /// clear() + push_back reuse the grown capacity across runs.
+  std::vector<sparse::Index>& vec(Vec v) {
+    return vecs_[static_cast<int>(v)];
+  }
+
+  /// Reusable list-of-index-lists (per-partition column lists). The outer
+  /// vector and every inner vector keep their capacity across runs.
+  std::vector<std::vector<sparse::Index>>& index_lists() {
+    return index_lists_;
+  }
+
+  /// Typed engine-private state living in the workspace (e.g. SNICIT's
+  /// CompressedBatch). Default-constructed on first access per type;
+  /// later accesses return the same object, internal buffers intact.
+  template <typename T>
+  T& state() {
+    if (user_.type() != typeid(T)) user_.emplace<T>();
+    return *std::any_cast<T>(&user_);
+  }
+
+  /// Marks the end of this workspace's warm-up run: growth from here on
+  /// counts as a steady-state allocation. Idempotent.
+  void mark_warm() { warm_ = true; }
+  bool warm() const { return warm_; }
+
+  /// Bytes of slot storage this workspace has grown so far (index lists
+  /// and state<T> internals are engine-shaped and not tracked).
+  std::size_t bytes_reserved() const { return bytes_; }
+  /// Slot growth events after mark_warm() on this workspace.
+  std::size_t steady_state_allocs() const { return steady_allocs_; }
+
+  /// Process-wide totals across live workspaces (destroyed ones release
+  /// their bytes; steady-state counts are cumulative).
+  static std::size_t global_bytes_reserved();
+  static std::size_t global_steady_state_allocs();
+
+  /// Publishes the totals as gauges `workspace.bytes_reserved` and
+  /// `workspace.steady_state_allocs` (no-op while metrics are disabled).
+  static void publish_metrics();
+
+ private:
+  void account_growth(std::size_t before, std::size_t after,
+                      std::size_t elem_size) {
+    if (after <= before) return;
+    const std::size_t delta = (after - before) * elem_size;
+    bytes_ += delta;
+    detail::workspace_account_bytes(static_cast<long long>(delta));
+    if (warm_) {
+      ++steady_allocs_;
+      detail::workspace_account_steady_allocs(1);
+    }
+  }
+
+  void release_accounting() {
+    if (bytes_ != 0) {
+      detail::workspace_account_bytes(-static_cast<long long>(bytes_));
+      bytes_ = 0;
+    }
+  }
+
+  void swap(Workspace& other) noexcept {
+    for (int i = 0; i < kMatCount; ++i) {
+      std::swap(mats_[i], other.mats_[i]);
+    }
+    for (int i = 0; i < kVecCount; ++i) {
+      vecs_[i].swap(other.vecs_[i]);
+    }
+    index_lists_.swap(other.index_lists_);
+    user_.swap(other.user_);
+    std::swap(bytes_, other.bytes_);
+    std::swap(steady_allocs_, other.steady_allocs_);
+    std::swap(warm_, other.warm_);
+  }
+
+  sparse::DenseMatrix mats_[kMatCount];
+  std::vector<sparse::Index> vecs_[kVecCount];
+  std::vector<std::vector<sparse::Index>> index_lists_;
+  std::any user_;
+  std::size_t bytes_ = 0;
+  std::size_t steady_allocs_ = 0;
+  bool warm_ = false;
+};
+
+}  // namespace snicit::platform

@@ -9,6 +9,7 @@
 #include "platform/metrics.hpp"
 #include "platform/thread_pool.hpp"
 #include "platform/trace.hpp"
+#include "platform/workspace.hpp"
 #include "serve/journal.hpp"
 #include "snicit/parallel_stream.hpp"
 
@@ -397,14 +398,20 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
     std::copy_n(live[order[p]].features.data(), rows, input.col(p));
   }
 
-  core::ParallelStreamOptions popt;
-  popt.batch_size = options_.max_batch;
-  popt.keep_rows = options_.keep_rows;
-  popt.workers = options_.workers;
-  popt.max_attempts = options_.max_attempts;
-  popt.retry_backoff_ms = options_.retry_backoff_ms;
-  popt.max_backoff_ms = options_.max_backoff_ms;
-  const core::ParallelStreamExecutor executor(popt);
+  if (!executor_) {
+    // One executor for the batcher's lifetime: its per-lane scratch
+    // (workspaces, cycled results) warms on the first round and is
+    // reused by every later one.
+    core::ParallelStreamOptions popt;
+    popt.batch_size = options_.max_batch;
+    popt.keep_rows = options_.keep_rows;
+    popt.workers = options_.workers;
+    popt.max_attempts = options_.max_attempts;
+    popt.retry_backoff_ms = options_.retry_backoff_ms;
+    popt.max_backoff_ms = options_.max_backoff_ms;
+    executor_ = std::make_unique<core::ParallelStreamExecutor>(popt);
+  }
+  const core::ParallelStreamExecutor& executor = *executor_;
 
   const std::size_t num_batches =
       (n + options_.max_batch - 1) / options_.max_batch;
@@ -458,6 +465,9 @@ void DynamicBatcher::serve_round(std::vector<ServeRequest> requests) {
       registry.gauge(metric_prefix_ + "conversion_residue_nnz")
           .set(registry.gauge("snicit.conversion_residue_nnz").get());
     }
+    // Steady-state memory health of the serving lanes: reserved scratch
+    // bytes plus any allocation events after warm-up (0 when healthy).
+    platform::Workspace::publish_metrics();
     if (!round_failed) {
       if (streamed.retries > 0) {
         registry.counter(metric_prefix_ + "retries")

@@ -39,6 +39,10 @@
 #include "serve/request.hpp"
 #include "serve/request_queue.hpp"
 
+namespace snicit::core {
+class ParallelStreamExecutor;
+}
+
 namespace snicit::serve {
 
 class JournalWriter;  // serve/journal.hpp
@@ -220,6 +224,10 @@ class DynamicBatcher {
   ServeOptions options_;
   std::size_t round_limit_ = 0;
   std::unique_ptr<BatchPacker> packer_;
+  /// Built lazily on the first round and reused for every later one, so
+  /// its per-lane serving scratch (workspaces, cycled results) persists —
+  /// after the warm-up round the serving hot path stops allocating.
+  std::unique_ptr<core::ParallelStreamExecutor> executor_;
   FifoPacker fifo_packer_;  // brownout level >= 2 override
   std::shared_ptr<AdmissionController> controller_;
   RequestQueue queue_;

@@ -22,6 +22,14 @@ void CompressedBatch::refresh_ne_idx() {
 CompressedBatch convert_to_compressed(const DenseMatrix& y,
                                       const std::vector<Index>& centroid_cols,
                                       float prune_threshold) {
+  CompressedBatch out;
+  convert_into(y, centroid_cols, prune_threshold, out);
+  return out;
+}
+
+void convert_into(const DenseMatrix& y,
+                  const std::vector<Index>& centroid_cols,
+                  float prune_threshold, CompressedBatch& out) {
   SNICIT_CHECK(!centroid_cols.empty(), "need at least one centroid");
   SNICIT_TRACE_SPAN("convert_to_compressed", "snicit");
   const std::size_t n = y.rows();
@@ -31,19 +39,27 @@ CompressedBatch convert_to_compressed(const DenseMatrix& y,
   const bool count_pruned = platform::metrics::enabled();
   std::atomic<std::size_t> pruned_total{0};
 
-  CompressedBatch out;
-  out.yhat.reset(n, b);
+  // Every member is reshaped capacity-preserving and fully overwritten
+  // (every yhat column is written below), so a reused batch stops
+  // allocating once warm.
+  out.yhat.reset(n, b, sparse::ZeroFill::kNo);
   out.mapper.assign(b, 0);
   out.centroids = centroid_cols;
   out.ne_rec.assign(b, 0);
 
-  // Pre-mark centroids with -1 (Algorithm 2 precondition).
-  std::vector<std::uint8_t> is_cent(b, 0);
+  // Pre-mark centroids with -1 (Algorithm 2 precondition). Thread-local
+  // so the flag array's capacity survives across conversions; the
+  // parallel loop below must read it through the captured pointer — a
+  // worker thread naming the thread_local directly would get its own
+  // (empty) instance.
+  static thread_local std::vector<std::uint8_t> is_cent_tls;
+  is_cent_tls.assign(b, 0);
   for (Index c : centroid_cols) {
     SNICIT_CHECK(c >= 0 && static_cast<std::size_t>(c) < b,
                  "centroid column out of range");
-    is_cent[static_cast<std::size_t>(c)] = 1;
+    is_cent_tls[static_cast<std::size_t>(c)] = 1;
   }
+  const std::uint8_t* const is_cent = is_cent_tls.data();
 
   platform::parallel_for_ranges(0, b, [&](std::size_t lo, std::size_t hi) {
     std::size_t pruned = 0;
@@ -110,7 +126,6 @@ CompressedBatch convert_to_compressed(const DenseMatrix& y,
         .add(static_cast<std::int64_t>(
             pruned_total.load(std::memory_order_relaxed)));
   }
-  return out;
 }
 
 }  // namespace snicit::core

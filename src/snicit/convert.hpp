@@ -41,4 +41,11 @@ CompressedBatch convert_to_compressed(const DenseMatrix& y,
                                       const std::vector<Index>& centroid_cols,
                                       float prune_threshold);
 
+/// Same, into a caller-owned batch (a workspace slot): every member is
+/// reshaped capacity-preserving and fully overwritten, so repeated
+/// conversions at a stable batch shape never allocate.
+void convert_into(const DenseMatrix& y,
+                  const std::vector<Index>& centroid_cols,
+                  float prune_threshold, CompressedBatch& out);
+
 }  // namespace snicit::core

@@ -22,6 +22,12 @@ namespace snicit::core {
 
 namespace {
 
+// Stage/diagnostic names longer than the small-string buffer, interned
+// once so the hot path never builds a heap-allocated temporary key.
+const std::string kStagePostConvergence = "post-convergence";
+const std::string kDiagConversionResidueNnz = "conversion_residue_nnz";
+const std::string kDiagFinalNeColumns = "final_ne_columns";
+
 /// Activation density over a fixed 16-column probe prefix (inputs are
 /// shuffled, so a prefix is an unbiased sample) — the cost-model input.
 double probe_density(const dnn::DenseMatrix& y) {
@@ -39,11 +45,13 @@ sparse::SpmmVariant pre_convergence_step(const dnn::SparseDnn& net,
                                          const sparse::SpmmPolicy& policy,
                                          const dnn::DenseMatrix& in,
                                          dnn::DenseMatrix& out) {
-  const auto variant =
-      sparse::spmm_dispatch(net.weight(layer), &net.weight_csc(layer), in,
-                            out, probe_density(in), policy);
-  sparse::apply_bias_activation(out, net.bias(layer), net.ymax());
-  return variant;
+  // Bias + clipped ReLU fused into the kernel's store (bit-identical to
+  // the split multiply + epilogue pass, applied per element after its
+  // accumulation completes).
+  const sparse::BiasAct epi{net.bias(layer), 0.0f, net.ymax()};
+  return sparse::spmm_dispatch_fused(net.weight(layer),
+                                     &net.weight_csc(layer), in, out,
+                                     probe_density(in), epi, policy);
 }
 
 std::size_t count_non_empty(const std::vector<std::uint8_t>& ne_rec) {
@@ -91,6 +99,15 @@ SnicitEngine::SnicitEngine(SnicitParams params) : params_(params) {
 
 dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
                                  const dnn::DenseMatrix& input) {
+  dnn::RunResult result;
+  run_into(net, input, ws_, result);
+  return result;
+}
+
+void SnicitEngine::run_into(const dnn::SparseDnn& net,
+                            const dnn::DenseMatrix& input,
+                            platform::Workspace& ws,
+                            dnn::RunResult& result) {
   SNICIT_TRACE_SPAN("snicit.run", "engine");
   const auto layers = net.num_layers();
   const int t_bound = std::clamp<int>(params_.threshold_layer, 0,
@@ -106,9 +123,17 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
   const sparse::SpmmPolicy post_policy =
       effective_spmm_policy(params_.post_kernel, params_.spmm);
 
-  dnn::RunResult result;
+  result.begin_run();
+  const std::size_t rows = input.rows();
+  const std::size_t batch_cols = input.cols();
   result.layer_ms.reserve(layers);
-  trace_ = Trace{};
+  // Reset the trace in place: its vectors keep their capacity across runs.
+  trace_.threshold_layer = -1;
+  trace_.centroid_count = 0;
+  trace_.ne_count.clear();
+  trace_.compressed_nnz.clear();
+  trace_.change_fraction.clear();
+  trace_.fallback_layer = -1;
 
   // Per-layer workload instruments (§4's Figs. 6-8 are plots of exactly
   // these). Looked up once per run; null when metrics are off so the
@@ -132,28 +157,33 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
   std::optional<platform::trace::TraceSpan> stage_span;
   stage_span.emplace("pre-convergence", "snicit");
   platform::Stopwatch stage;
-  dnn::DenseMatrix cur = input;
-  dnn::DenseMatrix next(input.rows(), input.cols());
+  auto& ping = ws.mat(platform::Workspace::kPing, rows, batch_cols,
+                      sparse::ZeroFill::kNo);
+  std::copy_n(input.data(), rows * batch_cols, ping.data());
+  auto& pong = ws.mat(platform::Workspace::kPong, rows, batch_cols,
+                      sparse::ZeroFill::kNo);
+  dnn::DenseMatrix* cur = &ping;
+  dnn::DenseMatrix* nxt = &pong;
   ConvergenceDetector detector(params_.auto_level, params_.eta);
   int t = t_bound;
   for (int i = 0; i < t_bound; ++i) {
     SNICIT_TRACE_SPAN("pre_layer", "snicit");
     platform::Stopwatch layer;
-    pre_convergence_step(net, static_cast<std::size_t>(i), pre_policy, cur,
-                         next);
-    std::swap(cur, next);
+    pre_convergence_step(net, static_cast<std::size_t>(i), pre_policy, *cur,
+                         *nxt);
+    std::swap(cur, nxt);
     result.layer_ms.push_back(layer.elapsed_ms());
     if (active_series != nullptr) {
       // Pre-convergence carries the batch dense: every column is active
       // and every column is multiplied.
       const auto idx = static_cast<std::size_t>(i);
-      active_series->record(idx, static_cast<double>(cur.cols()));
-      spmm_cols_series->record(idx, static_cast<double>(cur.cols()));
-      nnz_series->record(idx, static_cast<double>(cur.count_nonzeros()));
+      active_series->record(idx, static_cast<double>(cur->cols()));
+      spmm_cols_series->record(idx, static_cast<double>(cur->cols()));
+      nnz_series->record(idx, static_cast<double>(cur->count_nonzeros()));
       pruned_series->record(idx, 0.0);
     }
     if (params_.auto_threshold) {
-      const bool done = detector.observe(cur);
+      const bool done = detector.observe(*cur);
       if (params_.record_trace) {
         trace_.change_fraction.push_back(detector.last_distance());
       }
@@ -168,43 +198,44 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
   stage_span.reset();
 
   if (static_cast<std::size_t>(t) >= layers) {
-    // No post-convergence layers remain: pure feed-forward, nothing to
-    // compress (the t = l corner of the Figure 8 sweep).
-    stage.reset();
-    for (std::size_t i = static_cast<std::size_t>(t); i < layers; ++i) {
-      pre_convergence_step(net, i, pre_policy, cur, next);
-      std::swap(cur, next);
-    }
+    // No post-convergence layers remain: t is clamped to [0, layers], so
+    // t == layers here and the feed-forward is already complete — nothing
+    // to compress (the t = l corner of the Figure 8 sweep).
     result.stages.add("conversion", 0.0);
-    result.stages.add("post-convergence", stage.elapsed_ms());
+    result.stages.add(kStagePostConvergence, 0.0);
     result.stages.add("recovery", 0.0);
-    result.output = std::move(cur);
+    result.output.reset(rows, batch_cols, sparse::ZeroFill::kNo);
+    std::copy_n(cur->data(), rows * batch_cols, result.output.data());
     trace_.threshold_layer = t;
     result.diagnostics["threshold_layer"] = t;
     result.diagnostics["centroids"] = 0.0;
+    result.diagnostics.erase("fallback_layer");
     if (metrics::enabled()) {
       auto& registry = metrics::MetricsRegistry::global();
       registry.gauge("snicit.threshold_layer").set(t);
       registry.gauge("snicit.centroids").set(0.0);
     }
-    return result;
+    ws.mark_warm();
+    return;
   }
 
   // --- Stage 2: cluster-based conversion (§3.2) ---
   stage_span.emplace("conversion", "snicit");
   stage.reset();
-  const dnn::DenseMatrix f =
-      build_sample_matrix(cur, params_.sample_size, params_.downsample_dim);
-  const std::vector<sparse::Index> centroid_cols =
-      prune_samples(f, params_.eta, params_.epsilon);
+  auto& f = ws.mat(platform::Workspace::kSample);
+  build_sample_matrix_into(*cur, params_.sample_size, params_.downsample_dim,
+                           f);
+  auto& centroid_cols = ws.vec(platform::Workspace::kAux);
+  prune_samples_into(f, params_.eta, params_.epsilon, centroid_cols);
   float prune = params_.prune_threshold;
-  CompressedBatch batch = convert_to_compressed(cur, centroid_cols, prune);
+  CompressedBatch& batch = ws.state<CompressedBatch>();
+  convert_into(*cur, centroid_cols, prune, batch);
   if (params_.adaptive_prune_target > 0.0) {
     // Derive the threshold from the initial residues, then re-apply it to
     // the freshly converted batch (cheap: one elementwise pass).
     prune = choose_prune_threshold(batch, params_.adaptive_prune_target);
     if (prune > 0.0f) {
-      batch = convert_to_compressed(cur, centroid_cols, prune);
+      convert_into(*cur, centroid_cols, prune, batch);
     }
   }
   result.stages.add("conversion", stage.elapsed_ms());
@@ -219,7 +250,7 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
   for (std::size_t j = 0; j < batch.batch(); ++j) {
     if (!batch.is_centroid(j)) residue_nnz += batch.yhat.column_nonzeros(j);
   }
-  result.diagnostics["conversion_residue_nnz"] =
+  result.diagnostics[kDiagConversionResidueNnz] =
       static_cast<double>(residue_nnz);
   if (metrics::enabled()) {
     auto& registry = metrics::MetricsRegistry::global();
@@ -231,13 +262,18 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
   }
 
   // --- Stage 3: post-convergence update (§3.3) ---
-  // `cur` still holds the dense Y(t) the batch was converted from; nothing
-  // below writes it, so it doubles as the divergence-guard checkpoint: a
-  // fallback recomputes layers t..l-1 from it on the dense baseline path,
-  // bit-identical to the serial reference.
+  // `*cur` still holds the dense Y(t) the batch was converted from;
+  // nothing below writes it, so it doubles as the divergence-guard
+  // checkpoint: a fallback recomputes layers t..l-1 from it on the dense
+  // baseline path, bit-identical to the serial reference.
   stage_span.emplace("post-convergence", "snicit");
   stage.reset();
-  dnn::DenseMatrix scratch(input.rows(), input.cols());
+  // The spMM target: the update kernel only reads the columns listed in
+  // ne_idx (plus their centroid columns, which are always non-empty), and
+  // the load-reduced spMM writes exactly those columns first — so the
+  // buffer never needs zeroing.
+  auto& scratch = ws.mat(platform::Workspace::kScratch, rows, batch_cols,
+                         sparse::ZeroFill::kNo);
   int since_refresh = 0;
   int since_reconvert = 0;
   int fallback_from = -1;  // layer where the divergence guard fired
@@ -250,6 +286,9 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
     platform::Stopwatch layer;
     const std::size_t spmm_columns = batch.ne_idx.size();
     bool diverged = false;
+    // The update math stays split by design: Eq. (5) needs the *raw*
+    // multiply of the centroid column twice (with and without the
+    // residue), so the bias/clip cannot be folded into the spMM store.
     const std::size_t pruned = post_convergence_layer(
         net.weight(i), &net.weight_csc(i), net.bias(i), net.ymax(), prune,
         batch, scratch, post_policy,
@@ -276,11 +315,13 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
         i + 1 < layers) {
       // Optional re-clustering (§3.2.2 discusses and rejects this):
       // recover the dense batch, pick fresh centroids, convert again.
+      // Off by default, so this arm keeps the simpler value-returning
+      // calls (it allocates per reconversion).
       const dnn::DenseMatrix dense = recover_results(batch);
-      const dnn::DenseMatrix f = build_sample_matrix(
+      const dnn::DenseMatrix fr = build_sample_matrix(
           dense, params_.sample_size, params_.downsample_dim);
-      batch = convert_to_compressed(
-          dense, prune_samples(f, params_.eta, params_.epsilon), prune);
+      prune_samples_into(fr, params_.eta, params_.epsilon, centroid_cols);
+      convert_into(dense, centroid_cols, prune, batch);
       since_reconvert = 0;
       since_refresh = 0;
     }
@@ -290,7 +331,7 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
       trace_.compressed_nnz.push_back(batch.yhat.count_nonzeros());
     }
   }
-  result.stages.add("post-convergence", stage.elapsed_ms());
+  result.stages.add(kStagePostConvergence, stage.elapsed_ms());
   stage_span.reset();
 
   if (fallback_from >= 0) {
@@ -306,22 +347,28 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
     trace_.compressed_nnz.clear();
     for (std::size_t i = static_cast<std::size_t>(t); i < layers; ++i) {
       platform::Stopwatch layer;
-      pre_convergence_step(net, i, pre_policy, cur, next);
-      std::swap(cur, next);
+      // The last layer writes straight into the caller's result.
+      dnn::DenseMatrix* dst = nxt;
+      if (i + 1 == layers) {
+        result.output.reset(rows, batch_cols, sparse::ZeroFill::kNo);
+        dst = &result.output;
+      }
+      pre_convergence_step(net, i, pre_policy, *cur, *dst);
+      if (i + 1 < layers) std::swap(cur, nxt);
       result.layer_ms.push_back(layer.elapsed_ms());
       if (active_series != nullptr) {
         // Dense again: every column active and multiplied.
-        active_series->record(i, static_cast<double>(cur.cols()));
-        spmm_cols_series->record(i, static_cast<double>(cur.cols()));
-        nnz_series->record(i, static_cast<double>(cur.count_nonzeros()));
+        active_series->record(i, static_cast<double>(dst->cols()));
+        spmm_cols_series->record(i, static_cast<double>(dst->cols()));
+        nnz_series->record(i, static_cast<double>(dst->count_nonzeros()));
         pruned_series->record(i, 0.0);
       }
     }
     result.stages.add("fallback", stage.elapsed_ms());
     stage_span.reset();
     result.stages.add("recovery", 0.0);  // output is already dense
-    result.output = std::move(cur);
     trace_.fallback_layer = fallback_from;
+    result.fallback_layer = fallback_from;
     result.diagnostics["threshold_layer"] = t;
     result.diagnostics["centroids"] =
         static_cast<double>(centroid_cols.size());
@@ -332,23 +379,28 @@ dnn::RunResult SnicitEngine::run(const dnn::SparseDnn& net,
       registry.counter("snicit.fallbacks").add(1);
       registry.gauge("snicit.fallback_layer").set(fallback_from);
     }
-    return result;
+    ws.mark_warm();
+    return;
   }
 
   // --- Stage 4: final results recovery (§3.4) ---
   stage_span.emplace("recovery", "snicit");
   stage.reset();
-  result.output = recover_results(batch);
+  recover_into(batch, result.output);
   result.stages.add("recovery", stage.elapsed_ms());
   stage_span.reset();
 
   result.diagnostics["threshold_layer"] = t;
   result.diagnostics["centroids"] =
       static_cast<double>(centroid_cols.size());
-  result.diagnostics["final_ne_columns"] =
+  result.diagnostics[kDiagFinalNeColumns] =
       static_cast<double>(batch.ne_idx.size());
   result.diagnostics["prune_threshold"] = static_cast<double>(prune);
-  return result;
+  // A reused result may carry the verdict of an earlier degraded run;
+  // absence of this key is what "clean run" means to callers. The key is
+  // within the small-string buffer, so the lookup never allocates.
+  result.diagnostics.erase("fallback_layer");
+  ws.mark_warm();
 }
 
 }  // namespace snicit::core

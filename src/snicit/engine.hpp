@@ -21,6 +21,8 @@ class SnicitEngine final : public dnn::InferenceEngine {
 
   dnn::RunResult run(const dnn::SparseDnn& net,
                      const dnn::DenseMatrix& input) override;
+  void run_into(const dnn::SparseDnn& net, const dnn::DenseMatrix& input,
+                platform::Workspace& ws, dnn::RunResult& result) override;
 
   /// Clones are fully independent: each owns its params and per-run
   /// Trace, so pooled instances never race on diagnostics.
@@ -46,6 +48,7 @@ class SnicitEngine final : public dnn::InferenceEngine {
  private:
   SnicitParams params_;
   Trace trace_;
+  platform::Workspace ws_;  // scratch behind the plain run() entry point
 };
 
 }  // namespace snicit::core

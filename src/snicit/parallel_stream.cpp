@@ -40,18 +40,21 @@ struct BatchJob {
 
 /// Runs one batch and scatters the kept rows into the shared result.
 /// Workers write disjoint column ranges and disjoint batch_ms slots, so
-/// no synchronization is needed on the result. Returns true when the
-/// engine reported a mid-network degradation (SNICIT dense fallback).
+/// no synchronization is needed on the result. The lane's ServeScratch
+/// carries the engine workspace and the cycled RunResult, so a warm lane
+/// serves without touching the heap. Returns true when the engine
+/// reported a mid-network degradation (SNICIT dense fallback).
 bool serve_batch(dnn::InferenceEngine& engine, const dnn::SparseDnn& net,
-                 const BatchJob& job, std::size_t keep,
+                 const BatchJob& job, std::size_t keep, ServeScratch& sc,
                  StreamResult& result) {
   SNICIT_TRACE_SPAN("serve_batch", "stream");
   platform::Stopwatch sw;
-  const auto run = engine.run(net, job.batch);
+  engine.run_into(net, job.batch, sc.ws, sc.run);
   const double ms = sw.elapsed_ms();
   result.batch_ms[job.index] = ms;
   for (std::size_t j = 0; j < job.batch.cols(); ++j) {
-    std::copy_n(run.output.col(j), keep, result.outputs.col(job.start + j));
+    std::copy_n(sc.run.output.col(j), keep,
+                result.outputs.col(job.start + j));
   }
   if (platform::metrics::enabled()) {
     auto& registry = platform::metrics::MetricsRegistry::global();
@@ -61,7 +64,7 @@ bool serve_batch(dnn::InferenceEngine& engine, const dnn::SparseDnn& net,
     registry.counter("stream.worker_busy_us")
         .add(static_cast<std::int64_t>(ms * 1000.0));
   }
-  return run.diagnostics.count("fallback_layer") != 0;
+  return sc.run.fallback_layer >= 0;
 }
 
 /// Worker faults that would hit every batch identically are not worth
@@ -151,7 +154,8 @@ struct RunState {
   /// (with a healthy engine clone) normally picks it up, or inline when
   /// the queue is full/closed. Exceptions never escape: a fault costs at
   /// most this batch.
-  void process(dnn::InferenceEngine& engine, BatchJob job) {
+  void process(dnn::InferenceEngine& engine, ServeScratch& scratch,
+               BatchJob job) {
     for (;;) {
       if (aborting.load(std::memory_order_relaxed)) {
         record_failure(job, ErrorCode::kQueueClosed,
@@ -187,7 +191,7 @@ struct RunState {
                   std::to_string(job.index) + ", attempt " +
                   std::to_string(job.attempts) + ")");
         }
-        if (serve_batch(engine, net, job, keep, result)) {
+        if (serve_batch(engine, net, job, keep, scratch, result)) {
           degraded.fetch_add(1, std::memory_order_relaxed);
         }
         mark_terminal();
@@ -238,6 +242,13 @@ struct RunState {
 
 }  // namespace
 
+ServeScratch& ParallelStreamExecutor::slot(std::size_t i) const {
+  while (slots_.size() <= i) {
+    slots_.push_back(std::make_unique<ServeScratch>());
+  }
+  return *slots_[i];
+}
+
 ParallelStreamExecutor::ParallelStreamExecutor(ParallelStreamOptions options)
     : options_(options) {
   SNICIT_CHECK(options_.batch_size >= 1, "batch_size must be >= 1");
@@ -263,11 +274,12 @@ StreamResult ParallelStreamExecutor::run(dnn::InferenceEngine& engine,
                                               : std::size_t{0});
   if (workers <= 1) {
     // One worker (or <= 2 batches) cannot overlap anything: the serial
-    // path is the same computation without threads or clones.
+    // path is the same computation without threads or clones. It still
+    // rides this executor's persistent lane-0 scratch.
     StreamOptions serial;
     serial.batch_size = options_.batch_size;
     serial.keep_rows = options_.keep_rows;
-    return stream_inference(engine, net, input, serial);
+    return stream_inference(engine, net, input, serial, &slot(0));
   }
 
   const std::size_t keep =
@@ -295,11 +307,16 @@ StreamResult ParallelStreamExecutor::run(dnn::InferenceEngine& engine,
   RunState state{options_, net,   keep, num_batches,
                  result,   queue};
 
+  // Pre-grow every lane's scratch before the pool starts: slot() growth
+  // is not thread-safe, and workers index straight into their slot.
+  slot(workers);
+
   // Batch 0 on the caller's engine, before any clone exists: triggers the
   // remaining lazy mirror builds (e.g. ELL) and warms stateful engines,
   // so the net is read-only and the engine state final when cloned. It
   // rides the same retry loop as pooled batches (inline retries only).
-  state.process(engine, BatchJob{0, 0, input.columns(0, std::min(bs, total))});
+  state.process(engine, slot(0),
+                BatchJob{0, 0, input.columns(0, std::min(bs, total))});
   if (state.aborting.load()) {
     queue.close();
     if (state.fatal_error) std::rethrow_exception(state.fatal_error);
@@ -326,8 +343,9 @@ StreamResult ParallelStreamExecutor::run(dnn::InferenceEngine& engine,
       // Each worker owns a core's worth of work: its engine's inner
       // kernel loops run inline instead of re-entering the shared pool.
       platform::ScopedSerialRegion serial_region;
+      ServeScratch& sc = slot(w + 1);  // pre-grown; no growth here
       while (auto job = queue.pop()) {
-        state.process(*engines[w], std::move(*job));
+        state.process(*engines[w], sc, std::move(*job));
       }
     });
   }

@@ -20,6 +20,8 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
+#include <vector>
 
 #include "snicit/stream.hpp"
 
@@ -89,6 +91,18 @@ class ParallelStreamExecutor {
 
  private:
   ParallelStreamOptions options_;
+
+  /// Persistent per-lane serving scratch: slot 0 is the inline/serial
+  /// lane (batch 0 and the single-worker path), slots 1..W belong to the
+  /// pooled workers. Keeping them on the executor means repeated run()
+  /// calls reuse every warmed buffer — the serving loop's zero-allocation
+  /// steady state. Mutable because they are scratch, not observable
+  /// state; one driver thread per executor is assumed (concurrent run()
+  /// calls on the same executor would share lanes).
+  mutable std::vector<std::unique_ptr<ServeScratch>> slots_;
+  /// Grows the slot vector up to `i` (not thread-safe: run() pre-grows
+  /// every worker slot before the pool starts).
+  ServeScratch& slot(std::size_t i) const;
 };
 
 }  // namespace snicit::core

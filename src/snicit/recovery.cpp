@@ -9,10 +9,17 @@
 namespace snicit::core {
 
 DenseMatrix recover_results(const CompressedBatch& batch) {
+  DenseMatrix y;
+  recover_into(batch, y);
+  return y;
+}
+
+void recover_into(const CompressedBatch& batch, DenseMatrix& y) {
   SNICIT_TRACE_SPAN("recover_results", "snicit");
   const std::size_t n = batch.yhat.rows();
   const std::size_t b = batch.yhat.cols();
-  DenseMatrix y(n, b);
+  // Every column is written below (centroids copied, residues summed).
+  y.reset(n, b, sparse::ZeroFill::kNo);
   platform::parallel_for_ranges(0, b, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t j = lo; j < hi; ++j) {
       const float* SNICIT_RESTRICT res = batch.yhat.col(j);
@@ -28,7 +35,6 @@ DenseMatrix recover_results(const CompressedBatch& batch) {
       }
     }
   });
-  return y;
 }
 
 }  // namespace snicit::core

@@ -11,4 +11,8 @@ namespace snicit::core {
 /// residue + centroid.
 DenseMatrix recover_results(const CompressedBatch& batch);
 
+/// Same, into a caller-owned matrix (typically the run result's output
+/// buffer): `y` is reshaped capacity-preserving and fully overwritten.
+void recover_into(const CompressedBatch& batch, DenseMatrix& y);
+
 }  // namespace snicit::core

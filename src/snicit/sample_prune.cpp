@@ -10,17 +10,32 @@ namespace snicit::core {
 
 std::vector<Index> prune_samples(const DenseMatrix& f, float eta,
                                  float epsilon) {
+  std::vector<Index> survivors;
+  prune_samples_into(f, eta, epsilon, survivors);
+  return survivors;
+}
+
+void prune_samples_into(const DenseMatrix& f, float eta, float epsilon,
+                        std::vector<Index>& survivors) {
   SNICIT_TRACE_SPAN("prune_samples", "snicit");
   const std::size_t n = f.rows();
   const std::size_t s = f.cols();
   SNICIT_CHECK(n > 0 && s > 0, "sample matrix must be non-empty");
 
-  // tmp_idx[i] == -1 marks a pruned column (Algorithm 1's shared array).
-  std::vector<Index> tmp_idx(s);
+  // Algorithm 1's shared arrays, kept thread-local so steady-state calls
+  // reuse their capacity (the sample count s is tiny and stable). The
+  // parallel loop below must touch them through the captured pointers — a
+  // worker thread naming a thread_local directly would get its own
+  // (empty) instance. tmp_idx[i] == -1 marks a pruned column.
+  static thread_local std::vector<Index> tmp_idx_tls;
+  static thread_local std::vector<int> diff_tls;
+  tmp_idx_tls.resize(s);
+  diff_tls.resize(s);
+  Index* const tmp_idx = tmp_idx_tls.data();
+  int* const diff = diff_tls.data();
   for (std::size_t i = 0; i < s; ++i) tmp_idx[i] = static_cast<Index>(i);
 
   const float limit = static_cast<float>(n) * epsilon;
-  std::vector<int> diff(s);
 
   for (std::size_t cmp = 0; cmp < s; ++cmp) {
     if (tmp_idx[cmp] == -1) continue;
@@ -47,12 +62,12 @@ std::vector<Index> prune_samples(const DenseMatrix& f, float eta,
     }
   }
 
-  std::vector<Index> survivors;
+  survivors.clear();
   survivors.reserve(s);
   for (std::size_t i = 0; i < s; ++i) {
     if (tmp_idx[i] != -1) survivors.push_back(tmp_idx[i]);
   }
-  return survivors;  // already ascending: tmp_idx preserved input order
+  // Already ascending: tmp_idx preserved input order.
 }
 
 }  // namespace snicit::core

@@ -24,4 +24,11 @@ using sparse::Index;
 std::vector<Index> prune_samples(const DenseMatrix& f, float eta,
                                  float epsilon);
 
+/// Same, into a caller-owned vector (a workspace slot): `survivors` is
+/// cleared and refilled, keeping its capacity, and the algorithm's
+/// internal arrays live in thread-local scratch — steady-state calls at a
+/// stable batch shape never allocate.
+void prune_samples_into(const DenseMatrix& f, float eta, float epsilon,
+                        std::vector<Index>& survivors);
+
 }  // namespace snicit::core

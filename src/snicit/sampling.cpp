@@ -9,6 +9,13 @@
 namespace snicit::core {
 
 DenseMatrix build_sample_matrix(const DenseMatrix& y, int s, int n) {
+  DenseMatrix f;
+  build_sample_matrix_into(y, s, n, f);
+  return f;
+}
+
+void build_sample_matrix_into(const DenseMatrix& y, int s, int n,
+                              DenseMatrix& f) {
   SNICIT_TRACE_SPAN("build_sample_matrix", "snicit");
   SNICIT_CHECK(s >= 1, "sample size must be >= 1");
   const std::size_t cols = std::min<std::size_t>(y.cols(),
@@ -17,12 +24,13 @@ DenseMatrix build_sample_matrix(const DenseMatrix& y, int s, int n) {
       n > 0 && static_cast<std::size_t>(n) < y.rows();
   const std::size_t dim = downsample ? static_cast<std::size_t>(n) : y.rows();
 
-  DenseMatrix f(dim, cols);
+  // Every element below is written, so skip the zero fill.
+  f.reset(dim, cols, sparse::ZeroFill::kNo);
   if (!downsample) {
     platform::parallel_for(0, cols, [&](std::size_t j) {
       std::copy_n(y.col(j), y.rows(), f.col(j));
     });
-    return f;
+    return;
   }
 
   // Sum downsampling: split each column into n segments of ~N/n elements
@@ -40,7 +48,6 @@ DenseMatrix build_sample_matrix(const DenseMatrix& y, int s, int n) {
       dst[k] = sum;
     }
   });
-  return f;
 }
 
 }  // namespace snicit::core

@@ -17,4 +17,10 @@ using sparse::DenseMatrix;
 /// s' = min(s, y.cols()).
 DenseMatrix build_sample_matrix(const DenseMatrix& y, int s, int n);
 
+/// Same, into a caller-owned target (a workspace slot): `f` is reshaped
+/// capacity-preserving and fully overwritten, so repeated calls at a
+/// stable shape never allocate.
+void build_sample_matrix_into(const DenseMatrix& y, int s, int n,
+                              DenseMatrix& f);
+
 }  // namespace snicit::core

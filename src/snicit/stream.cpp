@@ -12,25 +12,37 @@ namespace snicit::core {
 StreamResult stream_inference(dnn::InferenceEngine& engine,
                               const dnn::SparseDnn& net,
                               const dnn::DenseMatrix& input,
-                              const StreamOptions& options) {
+                              const StreamOptions& options,
+                              ServeScratch* scratch) {
   SNICIT_CHECK(options.batch_size >= 1, "batch_size must be >= 1");
+  const std::size_t rows = input.rows();
   const std::size_t total = input.cols();
   const std::size_t keep =
-      options.keep_rows == 0 ? input.rows()
-                             : std::min(options.keep_rows, input.rows());
+      options.keep_rows == 0 ? rows : std::min(options.keep_rows, rows);
 
   StreamResult result;
   result.outputs.reset(keep, total);
   net.ensure_csc();  // shared model prep across batches
 
+  ServeScratch local;
+  ServeScratch& sc = scratch != nullptr ? *scratch : local;
+
   for (std::size_t start = 0; start < total;
        start += options.batch_size) {
     SNICIT_TRACE_SPAN("serve_batch", "stream");
     const std::size_t end = std::min(total, start + options.batch_size);
-    const dnn::DenseMatrix batch = input.columns(start, end);
+    // Slice the batch into the scratch slot (kSlice stays valid while the
+    // engine cycles its own ping-pong slots) instead of materialising a
+    // fresh matrix per batch.
+    auto& batch = sc.ws.mat(platform::Workspace::kSlice, rows, end - start,
+                            sparse::ZeroFill::kNo);
+    for (std::size_t j = start; j < end; ++j) {
+      std::copy_n(input.col(j), rows, batch.col(j - start));
+    }
 
     platform::Stopwatch sw;
-    const auto run = engine.run(net, batch);
+    engine.run_into(net, batch, sc.ws, sc.run);
+    const auto& run = sc.run;
     const double ms = sw.elapsed_ms();
     result.batch_ms.push_back(ms);
     result.latency.add(ms);

@@ -22,6 +22,16 @@ struct StreamOptions {
   std::size_t keep_rows = 0;
 };
 
+/// Per-lane persistent serving state: the engine workspace plus the
+/// cycled RunResult, so a lane that serves batch after batch reuses every
+/// buffer (input slice, ping-pong activations, compressed batch, output)
+/// and stops allocating once warm. One lane = one ServeScratch; it is not
+/// thread-safe.
+struct ServeScratch {
+  platform::Workspace ws;
+  dnn::RunResult run;
+};
+
 /// A batch the resilient executor gave up on after exhausting its retry
 /// budget (or its deadline): the batch's output columns stay zero, the
 /// rest of the stream is unaffected.
@@ -71,9 +81,14 @@ struct StreamResult {
 /// Runs `input` (N x total) through `engine` in batches. The final batch
 /// may be smaller. The engine sees each batch independently, exactly like
 /// the per-batch runs of the paper's B sweeps.
+///
+/// `scratch` optionally carries the lane's persistent buffers across
+/// calls (a caller serving round after round passes the same one to reach
+/// the zero-allocation steady state); null uses call-local scratch.
 StreamResult stream_inference(dnn::InferenceEngine& engine,
                               const dnn::SparseDnn& net,
                               const dnn::DenseMatrix& input,
-                              const StreamOptions& options = {});
+                              const StreamOptions& options = {},
+                              ServeScratch* scratch = nullptr);
 
 }  // namespace snicit::core

@@ -137,9 +137,11 @@ dnn::RunResult WarmSnicitEngine::run(const dnn::SparseDnn& net,
     }
     const double density = sparse::estimate_column_density(
         cur, std::span<const sparse::Index>(probe, probe_n));
-    sparse::spmm_dispatch(net.weight(i), &net.weight_csc(i), cur, next,
-                          density, pre_policy);
-    sparse::apply_bias_activation(next, net.bias(i), net.ymax());
+    // Bias + clipped ReLU fused into the kernel's store (bit-identical
+    // to the split multiply + epilogue pass).
+    const sparse::BiasAct epi{net.bias(i), 0.0f, net.ymax()};
+    sparse::spmm_dispatch_fused(net.weight(i), &net.weight_csc(i), cur,
+                                next, density, epi, pre_policy);
     std::swap(cur, next);
     result.layer_ms.push_back(layer.elapsed_ms());
   }

@@ -12,6 +12,12 @@
 
 namespace snicit::sparse {
 
+/// Fill policy for DenseMatrix::reset. kNo skips the zero-fill for hot
+/// loops where the caller provably writes every element before reading
+/// it back (fused spMM stores, whole-column copies); until then the
+/// contents are unspecified.
+enum class ZeroFill { kYes, kNo };
+
 class DenseMatrix {
  public:
   DenseMatrix() = default;
@@ -40,10 +46,25 @@ class DenseMatrix {
 
   /// Resizes without preserving contents (values are zero-filled).
   void reset(std::size_t rows, std::size_t cols) {
+    reset(rows, cols, ZeroFill::kYes);
+  }
+
+  /// Capacity-preserving resize: never shrinks the underlying storage, so
+  /// a workspace matrix cycled through varying shapes stops allocating
+  /// once it has seen its largest. ZeroFill::kNo leaves the contents
+  /// unspecified.
+  void reset(std::size_t rows, std::size_t cols, ZeroFill fill) {
     rows_ = rows;
     cols_ = cols;
-    data_.assign(rows * cols, 0.0f);
+    if (fill == ZeroFill::kYes) {
+      data_.assign(rows * cols, 0.0f);
+    } else {
+      data_.resize(rows * cols);
+    }
   }
+
+  /// Elements the underlying storage can hold without reallocating.
+  std::size_t capacity() const { return data_.capacity(); }
 
   /// Copy of columns [begin, end) as a new rows() x (end - begin) matrix
   /// (one contiguous memcpy — columns are the storage unit).

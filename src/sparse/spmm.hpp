@@ -20,9 +20,17 @@
 // equal element-for-element — the property the differential equivalence
 // suite (test_spmm_equivalence) locks down.
 //
-// All kernels compute *multiplication only*; bias and activation are a
-// separate fused pass (the paper's post-convergence kernels also split
-// multiply and bias/activation, §3.3.1 adjustment (2)).
+// The plain kernels compute *multiplication only*, with bias and
+// activation as a separate pass (the paper's post-convergence kernels
+// also split multiply and bias/activation, §3.3.1 adjustment (2)). Each
+// kernel additionally has a `_fused` form that applies the SDGC epilogue
+// min(max(acc + bias, 0), ymax) to each output column while it is still
+// cache-hot from the core's stores, eliminating the second
+// read-modify-write pass over the (by then cold) output. Because the
+// epilogue touches each element only *after* its accumulation chain
+// finishes, a fused kernel is bit-identical to its split counterpart
+// followed by apply_bias_activation — the equivalence suite locks this
+// down cell by cell.
 #pragma once
 
 #include <cstddef>
@@ -34,6 +42,16 @@
 #include "sparse/dense_matrix.hpp"
 
 namespace snicit::sparse {
+
+/// Bias + clipped-ReLU epilogue the fused kernels apply:
+/// out = min(max(acc + b, 0), ymax), with b either per output row
+/// (`bias[row]`, size must equal the weight's rows) or the scalar
+/// `scalar_bias` when `bias` is empty (the SDGC benchmark nets).
+struct BiasAct {
+  std::span<const float> bias{};
+  float scalar_bias = 0.0f;
+  float ymax = 0.0f;
+};
 
 /// out = W * y for every column of y. out is fully overwritten.
 void spmm_gather(const CsrMatrix& w, const DenseMatrix& y, DenseMatrix& out);
@@ -96,6 +114,53 @@ void spmm_scatter_simd(const CscMatrix& w, const DenseMatrix& y,
 void spmm_scatter_cols_simd(const CscMatrix& w, const DenseMatrix& y,
                             std::span<const Index> columns, DenseMatrix& out);
 
+// --- Fused-epilogue tier ---------------------------------------------------
+//
+// Each form below runs the kernel of the same name and applies `epi` on
+// the accumulator before the single store (for the scatter family, which
+// accumulates in place / in its transpose panel, the epilogue rides the
+// final write-out of each column instead). Results are bit-identical to
+// the split kernel followed by apply_bias_activation on the same columns.
+
+void spmm_gather_fused(const CsrMatrix& w, const DenseMatrix& y,
+                       DenseMatrix& out, const BiasAct& epi);
+
+void spmm_gather_cols_fused(const CsrMatrix& w, const DenseMatrix& y,
+                            std::span<const Index> columns, DenseMatrix& out,
+                            const BiasAct& epi);
+
+void spmm_tiled_fused(const CsrMatrix& w, const DenseMatrix& y,
+                      DenseMatrix& out, const BiasAct& epi,
+                      std::size_t tile = 16);
+
+void spmm_scatter_fused(const CscMatrix& w, const DenseMatrix& y,
+                        DenseMatrix& out, const BiasAct& epi);
+
+void spmm_scatter_cols_fused(const CscMatrix& w, const DenseMatrix& y,
+                             std::span<const Index> columns, DenseMatrix& out,
+                             const BiasAct& epi);
+
+void spmm_gather_simd_fused(const CsrMatrix& w, const DenseMatrix& y,
+                            DenseMatrix& out, const BiasAct& epi);
+
+void spmm_gather_cols_simd_fused(const CsrMatrix& w, const DenseMatrix& y,
+                                 std::span<const Index> columns,
+                                 DenseMatrix& out, const BiasAct& epi);
+
+void spmm_gather_threaded_fused(const CsrMatrix& w, const DenseMatrix& y,
+                                DenseMatrix& out, const BiasAct& epi);
+
+void spmm_gather_cols_threaded_fused(const CsrMatrix& w, const DenseMatrix& y,
+                                     std::span<const Index> columns,
+                                     DenseMatrix& out, const BiasAct& epi);
+
+void spmm_scatter_simd_fused(const CscMatrix& w, const DenseMatrix& y,
+                             DenseMatrix& out, const BiasAct& epi);
+
+void spmm_scatter_cols_simd_fused(const CscMatrix& w, const DenseMatrix& y,
+                                  std::span<const Index> columns,
+                                  DenseMatrix& out, const BiasAct& epi);
+
 /// In place: y = clamp(y + bias, 0, ymax), the SDGC activation
 /// σ(x) = min(max(x, 0), ymax) with per-row bias.
 void apply_bias_activation(DenseMatrix& y, std::span<const float> bias,
@@ -103,6 +168,11 @@ void apply_bias_activation(DenseMatrix& y, std::span<const float> bias,
 
 /// Same with a single scalar bias for every neuron (SDGC benchmarks).
 void apply_bias_activation(DenseMatrix& y, float bias, float ymax);
+
+/// The epilogue restricted to the listed columns — the split counterpart
+/// of the `_cols_fused` kernels (other columns are left untouched).
+void apply_bias_activation_cols(DenseMatrix& y, std::span<const Index> columns,
+                                const BiasAct& epi);
 
 /// Fraction of nonzero entries in the listed columns (density estimator
 /// used by the XY-2021-style cost model). Samples at most `max_rows` rows

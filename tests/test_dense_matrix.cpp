@@ -49,6 +49,36 @@ TEST(DenseMatrix, ResetZeroFills) {
   EXPECT_EQ(m.count_nonzeros(), 0u);
 }
 
+TEST(DenseMatrix, ResetNoFillPreservesContentsAtSameShape) {
+  DenseMatrix m(2, 3, 4.0f);
+  m.reset(2, 3, ZeroFill::kNo);
+  // Same footprint, no fill: the storage (and its contents) stay put.
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m.at(1, 2), 4.0f);
+  // Explicit zero fill is the old reset behaviour.
+  m.reset(2, 3, ZeroFill::kYes);
+  EXPECT_EQ(m.count_nonzeros(), 0u);
+}
+
+TEST(DenseMatrix, ResetNeverShrinksCapacity) {
+  DenseMatrix m;
+  m.reset(16, 16, ZeroFill::kYes);
+  const std::size_t cap = m.capacity();
+  EXPECT_GE(cap, 16u * 16u);
+  // Shrinking the shape keeps the storage: the workspace reuse contract.
+  m.reset(2, 2, ZeroFill::kNo);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.capacity(), cap);
+  // Growing back within capacity is allocation-free (capacity unchanged).
+  m.reset(16, 16, ZeroFill::kNo);
+  EXPECT_EQ(m.capacity(), cap);
+  // Growing beyond it grows the capacity.
+  m.reset(32, 32, ZeroFill::kNo);
+  EXPECT_GE(m.capacity(), 32u * 32u);
+}
+
 TEST(DenseMatrix, CountNonzerosWithTolerance) {
   DenseMatrix m(2, 2);
   m.at(0, 0) = 0.5f;

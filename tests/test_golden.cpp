@@ -126,11 +126,13 @@ bool store_golden(const std::map<std::string, std::uint64_t>& golden) {
   return out.good();
 }
 
-std::unique_ptr<dnn::InferenceEngine> make_engine(const std::string& name,
-                                                  int layers) {
+std::unique_ptr<dnn::InferenceEngine> make_engine(
+    const std::string& name, int layers,
+    sparse::SpmmEpilogue epilogue = sparse::SpmmEpilogue::kFused) {
   // Pinned scalar kernel: digests must not depend on the host machine.
   sparse::SpmmPolicy policy;
   policy.variant = sparse::SpmmVariant::kGatherScalar;
+  policy.epilogue = epilogue;
   if (name == "reference") return std::make_unique<dnn::ReferenceEngine>();
   if (name == "bf2019") {
     return std::make_unique<baselines::Bf2019Engine>(0, policy);
@@ -163,7 +165,9 @@ std::unique_ptr<dnn::InferenceEngine> make_engine(const std::string& name,
 /// (WarmSnicitEngine's first run establishes the centroid cache, the
 /// second serves from it — the serving steady state), so a regression
 /// that only corrupts cache reuse cannot hide behind a clean cold run.
-void check_engine(const std::string& engine_name, int runs = 1) {
+void check_engine(
+    const std::string& engine_name, int runs = 1,
+    sparse::SpmmEpilogue epilogue = sparse::SpmmEpilogue::kFused) {
   const auto golden = load_golden();
   for (const auto& config : configs()) {
     radixnet::RadixNetOptions net_opt;
@@ -179,7 +183,7 @@ void check_engine(const std::string& engine_name, int runs = 1) {
     in_opt.seed = config.seed + 1;
     const auto input = data::make_sdgc_input(in_opt).features;
 
-    auto engine = make_engine(engine_name, config.layers);
+    auto engine = make_engine(engine_name, config.layers, epilogue);
     ASSERT_NE(engine, nullptr) << engine_name;
     auto result = engine->run(net, input);
     for (int r = 1; r < runs; ++r) result = engine->run(net, input);
@@ -219,6 +223,27 @@ TEST(GoldenOutputs, SnicitWarmFirstRun) { check_engine("snicit-warm"); }
 // Warm engine, second run served from the centroid cache.
 TEST(GoldenOutputs, SnicitWarmSecondRun) {
   check_engine("snicit-warm", /*runs=*/2);
+}
+
+// The fused-epilogue contract at system scale: forcing the split A/B arm
+// (spMM then a separate apply_bias_activation pass) must reproduce the
+// fused-default digests bit-for-bit — the SAME golden keys, no separate
+// entries. A divergence here means a fused kernel changed an
+// accumulation order somewhere in an engine's layer loop.
+TEST(GoldenOutputs, Bf2019SplitEpilogueSameDigests) {
+  check_engine("bf2019", 1, sparse::SpmmEpilogue::kSplit);
+}
+TEST(GoldenOutputs, Snig2020SplitEpilogueSameDigests) {
+  check_engine("snig2020", 1, sparse::SpmmEpilogue::kSplit);
+}
+TEST(GoldenOutputs, Xy2021SplitEpilogueSameDigests) {
+  check_engine("xy2021", 1, sparse::SpmmEpilogue::kSplit);
+}
+TEST(GoldenOutputs, SnicitSplitEpilogueSameDigests) {
+  check_engine("snicit", 1, sparse::SpmmEpilogue::kSplit);
+}
+TEST(GoldenOutputs, SnicitWarmSplitEpilogueSameDigests) {
+  check_engine("snicit-warm", 2, sparse::SpmmEpilogue::kSplit);
 }
 
 }  // namespace

@@ -209,6 +209,136 @@ TEST(KernelEquivalenceEdge, AllZeroActivations) {
   EXPECT_TRUE(bit_equal(ref, out));
 }
 
+// --- Fused epilogue --------------------------------------------------------
+//
+// Contract under test: every `_fused` kernel is *bit-identical* to its
+// split counterpart followed by apply_bias_activation on the same
+// columns — same accumulation order, epilogue applied per element after
+// its chain completes. Signs, clipping at 0 and at ymax, per-row and
+// scalar bias all ride along.
+
+std::vector<float> random_bias(std::size_t rows, std::uint64_t seed) {
+  platform::Rng rng(seed);
+  std::vector<float> b(rows);
+  for (auto& v : b) v = rng.uniform(-0.4f, 0.4f);
+  return b;
+}
+
+TEST_P(KernelEquivalence, FusedFullMatrixBitIdenticalToSplit) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  platform::Rng rng(seed * 31337 + 5);
+  const Index rows = static_cast<Index>(16 + rng.next_below(80));
+  const Index cols = static_cast<Index>(16 + rng.next_below(80));
+  const float ymax = 1.0f;  // low enough that both clip edges fire
+  const auto bias = random_bias(static_cast<std::size_t>(rows), seed + 77);
+  const BiasAct epi{bias, 0.0f, ymax};
+  for (double density : {0.1, 0.6}) {
+    const auto w = random_weights(rows, cols, density, seed + 4000);
+    const auto w_csc = CscMatrix::from_csr(w);
+    for (std::size_t batch : {std::size_t{1}, std::size_t{5}, std::size_t{8},
+                              std::size_t{9}, std::size_t{16}}) {
+      const auto y = random_activations(static_cast<std::size_t>(cols), batch,
+                                        density, seed + batch);
+      DenseMatrix split(static_cast<std::size_t>(rows), batch);
+      DenseMatrix fused(static_cast<std::size_t>(rows), batch);
+
+      spmm_gather(w, y, split);
+      apply_bias_activation(split, bias, ymax);
+      spmm_gather_fused(w, y, fused, epi);
+      EXPECT_TRUE(bit_equal(split, fused)) << "gather batch " << batch;
+
+      spmm_gather_simd(w, y, split);
+      apply_bias_activation(split, bias, ymax);
+      spmm_gather_simd_fused(w, y, fused, epi);
+      EXPECT_TRUE(bit_equal(split, fused)) << "gather_simd batch " << batch;
+
+      spmm_gather_threaded(w, y, split);
+      apply_bias_activation(split, bias, ymax);
+      spmm_gather_threaded_fused(w, y, fused, epi);
+      EXPECT_TRUE(bit_equal(split, fused))
+          << "gather_threaded batch " << batch;
+
+      spmm_tiled(w, y, split, 5);
+      apply_bias_activation(split, bias, ymax);
+      spmm_tiled_fused(w, y, fused, epi, 5);
+      EXPECT_TRUE(bit_equal(split, fused)) << "tiled batch " << batch;
+
+      spmm_scatter(w_csc, y, split);
+      apply_bias_activation(split, bias, ymax);
+      spmm_scatter_fused(w_csc, y, fused, epi);
+      EXPECT_TRUE(bit_equal(split, fused)) << "scatter batch " << batch;
+
+      spmm_scatter_simd(w_csc, y, split);
+      apply_bias_activation(split, bias, ymax);
+      spmm_scatter_simd_fused(w_csc, y, fused, epi);
+      EXPECT_TRUE(bit_equal(split, fused))
+          << "scatter_simd batch " << batch;
+    }
+  }
+}
+
+TEST_P(KernelEquivalence, FusedScalarBiasBitIdenticalToSplit) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const auto w = random_weights(48, 64, 0.3, seed + 5000);
+  const auto y = random_activations(64, 9, 0.5, seed + 13);
+  const BiasAct epi{{}, -0.2f, 1.5f};  // empty bias selects the scalar arm
+  DenseMatrix split(48, 9);
+  DenseMatrix fused(48, 9);
+  spmm_gather_simd(w, y, split);
+  apply_bias_activation(split, -0.2f, 1.5f);
+  spmm_gather_simd_fused(w, y, fused, epi);
+  EXPECT_TRUE(bit_equal(split, fused));
+}
+
+TEST_P(KernelEquivalence, FusedColumnSubsetBitIdenticalToSplit) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  platform::Rng rng(seed * 2741 + 11);
+  const Index rows = static_cast<Index>(16 + rng.next_below(64));
+  const Index cols = static_cast<Index>(16 + rng.next_below(64));
+  const auto w = random_weights(rows, cols, 0.3, seed + 6000);
+  const auto w_csc = CscMatrix::from_csr(w);
+  const std::size_t batch = 3 + rng.next_below(20);
+  const auto y = random_activations(static_cast<std::size_t>(cols), batch,
+                                    0.4, seed + 17);
+  std::vector<Index> subset;
+  for (std::size_t j = 0; j < batch; ++j) {
+    if (rng.next_bool(0.6)) subset.push_back(static_cast<Index>(j));
+  }
+  if (subset.empty()) subset.push_back(0);
+  const auto bias = random_bias(static_cast<std::size_t>(rows), seed + 19);
+  const BiasAct epi{bias, 0.0f, 1.0f};
+
+  // 0.5f sentinel: columns outside the subset must stay untouched in
+  // both modes (and therefore still compare bit-equal).
+  DenseMatrix split(static_cast<std::size_t>(rows), batch, 0.5f);
+  DenseMatrix fused(static_cast<std::size_t>(rows), batch, 0.5f);
+
+  spmm_gather_cols(w, y, subset, split);
+  apply_bias_activation_cols(split, subset, epi);
+  spmm_gather_cols_fused(w, y, subset, fused, epi);
+  EXPECT_TRUE(bit_equal(split, fused)) << "gather_cols";
+
+  spmm_gather_cols_simd(w, y, subset, split);
+  apply_bias_activation_cols(split, subset, epi);
+  spmm_gather_cols_simd_fused(w, y, subset, fused, epi);
+  EXPECT_TRUE(bit_equal(split, fused)) << "gather_cols_simd";
+
+  spmm_gather_cols_threaded(w, y, subset, split);
+  apply_bias_activation_cols(split, subset, epi);
+  spmm_gather_cols_threaded_fused(w, y, subset, fused, epi);
+  EXPECT_TRUE(bit_equal(split, fused)) << "gather_cols_threaded";
+
+  spmm_scatter_cols(w_csc, y, subset, split);
+  apply_bias_activation_cols(split, subset, epi);
+  spmm_scatter_cols_fused(w_csc, y, subset, fused, epi);
+  EXPECT_TRUE(bit_equal(split, fused)) << "scatter_cols";
+
+  spmm_scatter_cols_simd(w_csc, y, subset, split);
+  apply_bias_activation_cols(split, subset, epi);
+  spmm_scatter_cols_simd_fused(w_csc, y, subset, fused, epi);
+  EXPECT_TRUE(bit_equal(split, fused)) << "scatter_cols_simd";
+}
+
 // --- Policy layer ----------------------------------------------------------
 
 TEST(SpmmPolicy, VariantNamesRoundTrip) {
@@ -291,6 +421,138 @@ TEST(SpmmPolicy, FromEnvParsesVariantAndTile) {
   EXPECT_EQ(junk.tile, 16u);
   ::unsetenv("SNICIT_SPMM");
   ::unsetenv("SNICIT_SPMM_TILE");
+}
+
+TEST(SpmmPolicy, SpecParsingCoversVariantEpilogueAndCombined) {
+  SpmmPolicy p;
+  ASSERT_EQ(p.epilogue, SpmmEpilogue::kFused);  // fused is the default
+
+  // VARIANT+EPILOGUE sets both.
+  EXPECT_TRUE(apply_spmm_spec("gather_simd+split", p));
+  EXPECT_EQ(p.variant, SpmmVariant::kGatherSimd);
+  EXPECT_EQ(p.epilogue, SpmmEpilogue::kSplit);
+
+  // Bare epilogue flips the mode, leaves the variant alone.
+  EXPECT_TRUE(apply_spmm_spec("fused", p));
+  EXPECT_EQ(p.variant, SpmmVariant::kGatherSimd);
+  EXPECT_EQ(p.epilogue, SpmmEpilogue::kFused);
+
+  // Bare variant keeps whatever epilogue was in force.
+  EXPECT_TRUE(apply_spmm_spec("split", p));
+  EXPECT_TRUE(apply_spmm_spec("scatter", p));
+  EXPECT_EQ(p.variant, SpmmVariant::kScatter);
+  EXPECT_EQ(p.epilogue, SpmmEpilogue::kSplit);
+
+  // Junk in either half rejects without touching the policy.
+  const SpmmPolicy before = p;
+  EXPECT_FALSE(apply_spmm_spec("gather+turbo", p));
+  EXPECT_FALSE(apply_spmm_spec("warp+fused", p));
+  EXPECT_FALSE(apply_spmm_spec("gather+", p));
+  EXPECT_FALSE(apply_spmm_spec("", p));
+  EXPECT_EQ(p.variant, before.variant);
+  EXPECT_EQ(p.epilogue, before.epilogue);
+}
+
+TEST(SpmmPolicy, FromEnvParsesEpilogueSpec) {
+  ::setenv("SNICIT_SPMM", "gather_threaded+split", 1);
+  auto policy = SpmmPolicy::from_env();
+  EXPECT_EQ(policy.variant, SpmmVariant::kGatherThreaded);
+  EXPECT_EQ(policy.epilogue, SpmmEpilogue::kSplit);
+  ::setenv("SNICIT_SPMM", "split", 1);
+  policy = SpmmPolicy::from_env();
+  EXPECT_EQ(policy.variant, SpmmVariant::kAuto);
+  EXPECT_EQ(policy.epilogue, SpmmEpilogue::kSplit);
+  ::unsetenv("SNICIT_SPMM");
+}
+
+TEST(SpmmPolicy, EpilogueCostFreeWhenFusedUniformWhenSplit) {
+  SpmmProblem p;
+  p.rows = 1024;
+  p.nnz = 32 * 1024;
+  p.batch_cols = 64;
+  p.density = 0.5;
+  p.has_csc = true;
+  SpmmPolicy policy;
+
+  // No epilogue on the call: no term, either mode.
+  p.has_epilogue = false;
+  EXPECT_DOUBLE_EQ(spmm_epilogue_cost(p, policy), 0.0);
+
+  // Fused epilogue rides the store for free.
+  p.has_epilogue = true;
+  policy.epilogue = SpmmEpilogue::kFused;
+  EXPECT_DOUBLE_EQ(spmm_epilogue_cost(p, policy), 0.0);
+
+  // Split pays the second sweep — and pays it identically whatever
+  // variant is under consideration, so the cost-model argmin (the
+  // variant choice) is epilogue-invariant.
+  policy.epilogue = SpmmEpilogue::kSplit;
+  const double split_cost = spmm_epilogue_cost(p, policy);
+  EXPECT_GT(split_cost, 0.0);
+  SpmmPolicy fused_policy;
+  for (int i = 0; i < kNumSpmmVariants; ++i) {
+    const auto v = static_cast<SpmmVariant>(i);
+    EXPECT_DOUBLE_EQ(spmm_variant_cost(v, p, policy) - split_cost,
+                     spmm_variant_cost(v, p, fused_policy))
+        << to_string(v);
+  }
+}
+
+TEST(SpmmDispatch, FusedEntryPointBitIdenticalAcrossModes) {
+  const auto w = random_weights(48, 64, 0.3, 47);
+  const auto w_csc = CscMatrix::from_csr(w);
+  const auto y = random_activations(64, 11, 0.5, 53);
+  std::vector<float> bias(48);
+  for (std::size_t r = 0; r < 48; ++r) {
+    bias[r] = 0.1f * static_cast<float>(r % 7) - 0.3f;
+  }
+  const BiasAct epi{bias, 0.0f, 1.0f};
+  // Manual split reference.
+  DenseMatrix ref(48, 11);
+  spmm_gather(w, y, ref);
+  apply_bias_activation(ref, bias, 1.0f);
+
+  for (int i = 0; i < kNumSpmmVariants; ++i) {
+    SpmmPolicy policy;
+    policy.variant = static_cast<SpmmVariant>(i);
+    policy.epilogue = SpmmEpilogue::kFused;
+    DenseMatrix fused(48, 11);
+    const auto ran_f =
+        spmm_dispatch_fused(w, &w_csc, y, fused, 0.5, epi, policy);
+    EXPECT_EQ(ran_f, policy.variant);
+    policy.epilogue = SpmmEpilogue::kSplit;
+    DenseMatrix split(48, 11);
+    const auto ran_s =
+        spmm_dispatch_fused(w, &w_csc, y, split, 0.5, epi, policy);
+    EXPECT_EQ(ran_s, policy.variant);
+    // The two modes of the same variant are bit-identical; both track
+    // the scalar reference to cross-family tolerance.
+    EXPECT_TRUE(bit_equal(fused, split)) << to_string(policy.variant);
+    expect_close(ref, fused, to_string(policy.variant));
+  }
+}
+
+TEST(SpmmDispatch, FusedColumnSubsetBitIdenticalAcrossModes) {
+  const auto w = random_weights(40, 56, 0.3, 59);
+  const auto w_csc = CscMatrix::from_csr(w);
+  const auto y = random_activations(56, 14, 0.5, 61);
+  const std::vector<Index> subset = {1, 2, 5, 6, 10, 13};
+  std::vector<float> bias(40, 0.05f);
+  const BiasAct epi{bias, 0.0f, 2.0f};
+  for (int i = 0; i < kNumSpmmVariants; ++i) {
+    SpmmPolicy policy;
+    policy.variant = static_cast<SpmmVariant>(i);
+    policy.epilogue = SpmmEpilogue::kFused;
+    DenseMatrix fused(40, 14, 0.5f);
+    spmm_dispatch_cols_fused(w, &w_csc, y, subset, fused, 0.5, epi, policy);
+    policy.epilogue = SpmmEpilogue::kSplit;
+    DenseMatrix split(40, 14, 0.5f);
+    spmm_dispatch_cols_fused(w, &w_csc, y, subset, split, 0.5, epi, policy);
+    EXPECT_TRUE(bit_equal(fused, split)) << to_string(policy.variant);
+    // Columns outside the subset keep their sentinel in both modes.
+    EXPECT_FLOAT_EQ(fused.at(0, 0), 0.5f);
+    EXPECT_FLOAT_EQ(split.at(0, 0), 0.5f);
+  }
 }
 
 TEST(SpmmDispatch, EveryForcedVariantMatchesReference) {
